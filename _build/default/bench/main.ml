@@ -1,0 +1,133 @@
+(* Bench harness: regenerates every table and figure of the paper's
+   evaluation (simulated metrics), plus Bechamel microbenchmarks of the real
+   serializer hot paths (wall-clock ns/op of this OCaml implementation).
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments
+     dune exec bench/main.exe -- fig2 tab1    # a subset
+     dune exec bench/main.exe -- --quick      # smaller run budgets
+     dune exec bench/main.exe -- micro        # Bechamel section only *)
+
+let hr () = print_endline (String.make 78 '=')
+
+let run_experiment (e : Experiments.Registry.entry) =
+  hr ();
+  Printf.printf "[%s] %s\n%!" e.Experiments.Registry.id
+    e.Experiments.Registry.title;
+  hr ();
+  let t0 = Unix.gettimeofday () in
+  e.Experiments.Registry.run ();
+  Printf.printf "  (%s finished in %.1fs)\n\n%!" e.Experiments.Registry.id
+    (Unix.gettimeofday () -. t0)
+
+(* --- Bechamel microbenchmarks ----------------------------------------- *)
+
+let sample_message space =
+  let msg = Wire.Dyn.create Apps.Proto.resp in
+  Wire.Dyn.set_int msg "id" 7L;
+  List.iter
+    (fun n ->
+      Wire.Dyn.append msg "vals"
+        (Wire.Dyn.Payload (Wire.Payload.of_string space (String.make n 'v'))))
+    [ 64; 512; 2048 ];
+  msg
+
+let micro () =
+  let open Bechamel in
+  let space = Mem.Addr_space.create () in
+  let msg = sample_message space in
+  let scratch = Bytes.create 16384 in
+  let scratch_view =
+    Mem.View.make
+      ~addr:(Mem.Addr_space.reserve space ~bytes:16384)
+      ~data:scratch ~off:0 ~len:16384
+  in
+  let proto_encode () =
+    let w = Wire.Cursor.Writer.create scratch_view in
+    Baselines.Protobuf.encode w msg
+  in
+  let cf_write () =
+    let plan = Cornflakes.Format_.measure msg in
+    let w = Wire.Cursor.Writer.create scratch_view in
+    Cornflakes.Format_.write plan w msg
+  in
+  let proto_len = Baselines.Protobuf.encoded_len msg in
+  let proto_bytes =
+    let w = Wire.Cursor.Writer.create scratch_view in
+    Baselines.Protobuf.encode w msg;
+    Bytes.sub scratch 0 proto_len
+  in
+  let proto_pool =
+    Mem.Pinned.Pool.create space ~name:"bench" ~classes:[ (16384, 64) ]
+  in
+  let proto_buf = Mem.Pinned.Buf.alloc proto_pool ~len:proto_len in
+  Mem.Pinned.Buf.fill proto_buf (Bytes.to_string proto_bytes);
+  (* Deserialization needs an endpoint arena; build a tiny rig. *)
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let registry = Mem.Registry.create space in
+  let ep = Net.Endpoint.create fabric registry ~id:1 in
+  let proto_decode () =
+    let m =
+      Baselines.Protobuf.deserialize ep Apps.Proto.schema Apps.Proto.resp
+        proto_buf
+    in
+    Mem.Arena.reset (Net.Endpoint.arena ep);
+    ignore m
+  in
+  let tests =
+    Test.make_grouped ~name:"serializers"
+      [
+        Test.make ~name:"protobuf-encode" (Staged.stage proto_encode);
+        Test.make ~name:"protobuf-decode" (Staged.stage proto_decode);
+        Test.make ~name:"cornflakes-measure+write" (Staged.stage cf_write);
+        Test.make ~name:"zipf-sample"
+          (let z = Sim.Dist.Zipf.create ~n:1_000_000 ~s:0.99 in
+           let rng = Sim.Rng.create ~seed:1 in
+           Staged.stage (fun () -> ignore (Sim.Dist.Zipf.sample z rng)));
+        Test.make ~name:"cache-hierarchy-touch-2KB"
+          (let cpu = Memmodel.Cpu.create Memmodel.Params.default in
+           Staged.stage (fun () ->
+               Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(1 lsl 22)
+                 ~len:2048));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "== Bechamel microbenchmarks (real wall-clock of this impl) ==";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  Experiments.Util.set_quick quick;
+  let selected = List.filter (fun a -> a <> "--quick" && a <> "micro") args in
+  let want_micro = List.mem "micro" args in
+  let entries =
+    match selected with
+    | [] -> Experiments.Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %s (known: %s)\n" id
+                  (String.concat ", " (Experiments.Registry.ids ()));
+                exit 1)
+          ids
+  in
+  let t0 = Unix.gettimeofday () in
+  if not (want_micro && selected = []) then List.iter run_experiment entries;
+  if want_micro || selected = [] then micro ();
+  Printf.printf "\nAll done in %.1fs.\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,177 @@
+(* Command-line interface: run experiments, compile schemas (codegen),
+   validate schemas, and inspect workload generators. *)
+
+open Cmdliner
+
+(* --- experiments ------------------------------------------------------- *)
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment ids (default: all). See --list.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced run budgets.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+  in
+  let run ids quick list =
+    if list then
+      List.iter
+        (fun (e : Experiments.Registry.entry) ->
+          Printf.printf "%-10s %s\n" e.Experiments.Registry.id
+            e.Experiments.Registry.title)
+        Experiments.Registry.all
+    else begin
+      Experiments.Util.set_quick quick;
+      let entries =
+        match ids with
+        | [] -> Experiments.Registry.all
+        | ids ->
+            List.map
+              (fun id ->
+                match Experiments.Registry.find id with
+                | Some e -> e
+                | None ->
+                    Printf.eprintf "unknown experiment %S; try --list\n" id;
+                    exit 1)
+              ids
+      in
+      List.iter
+        (fun (e : Experiments.Registry.entry) ->
+          Printf.printf "== [%s] %s ==\n%!" e.Experiments.Registry.id
+            e.Experiments.Registry.title;
+          e.Experiments.Registry.run ())
+        entries
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run paper-reproduction experiments")
+    Term.(const run $ ids $ quick $ list)
+
+(* --- schema tools ------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA"
+           ~doc:"Schema file to compile.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write generated OCaml here (default: stdout).")
+  in
+  let run input output =
+    let text = read_file input in
+    match Schema.Parser.parse text with
+    | exception Schema.Parser.Parse_error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | exception Schema.Lexer.Lex_error { pos; message } ->
+        Printf.eprintf "lex error at offset %d: %s\n" pos message;
+        exit 1
+    | schema -> (
+        let source = Codegen.Emit.module_source ~schema_text:text schema in
+        match output with
+        | None -> print_string source
+        | Some path ->
+            let oc = open_out path in
+            output_string oc source;
+            close_out oc;
+            Printf.printf "wrote %s (%d messages)\n" path
+              (List.length schema.Schema.Desc.messages))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Generate OCaml accessors from a schema")
+    Term.(const run $ input $ output)
+
+let check_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA"
+           ~doc:"Schema file to validate.")
+  in
+  let run input =
+    match Schema.Parser.parse (read_file input) with
+    | exception Schema.Parser.Parse_error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | exception Schema.Lexer.Lex_error { pos; message } ->
+        Printf.eprintf "lex error at offset %d: %s\n" pos message;
+        exit 1
+    | schema ->
+        List.iter
+          (fun (m : Schema.Desc.message) ->
+            Printf.printf "message %s (%d fields)\n" m.Schema.Desc.msg_name
+              (Array.length m.Schema.Desc.fields);
+            Array.iter
+              (fun (f : Schema.Desc.field) ->
+                Printf.printf "  %s%s %s = %d\n"
+                  (match f.Schema.Desc.label with
+                  | Schema.Desc.Repeated -> "repeated "
+                  | Schema.Desc.Singular -> "")
+                  (Schema.Desc.field_type_to_string f.Schema.Desc.ty)
+                  f.Schema.Desc.field_name f.Schema.Desc.number)
+              m.Schema.Desc.fields)
+          schema.Schema.Desc.messages
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a schema")
+    Term.(const run $ input)
+
+(* --- trace inspection --------------------------------------------------- *)
+
+let trace_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("ycsb", `Ycsb); ("google", `Google);
+                            ("twitter", `Twitter); ("cdn", `Cdn) ])) None
+      & info [] ~docv:"WORKLOAD" ~doc:"ycsb | google | twitter | cdn")
+  in
+  let count =
+    Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of ops to sample.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "record" ] ~docv:"FILE"
+           ~doc:"Record the sampled ops to a replayable trace file.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let run which count output seed =
+    let wl =
+      match which with
+      | `Ycsb -> Workload.Ycsb.make ~entries:2 ~entry_size:2048 ()
+      | `Google -> Workload.Google.make ~max_vals:8 ()
+      | `Twitter -> Workload.Twitter.make ()
+      | `Cdn -> Workload.Cdn.make ()
+    in
+    match output with
+    | Some path ->
+        Workload.Trace.record wl ~seed ~n:count path;
+        Printf.printf "recorded %d ops of %s to %s\n" count
+          wl.Workload.Spec.name path
+    | None ->
+        let rng = Sim.Rng.create ~seed in
+        Printf.printf "workload %s (store capacity %d, mean response %.0f B)\n"
+          wl.Workload.Spec.name wl.Workload.Spec.store_capacity
+          wl.Workload.Spec.mean_response_bytes;
+        for _ = 1 to count do
+          print_endline (Workload.Trace.op_to_line (wl.Workload.Spec.next rng))
+        done
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Sample or record operations from a workload generator")
+    Term.(const run $ which $ count $ output $ seed)
+
+let () =
+  let doc = "Cornflakes reproduction: experiments, schema compiler, traces" in
+  let info = Cmd.info "cornflakes" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; check_cmd; trace_cmd ]))

@@ -1,0 +1,25 @@
+(* Calibration probe (not part of the bench harness). *)
+
+let kv_max backend ~entries ~entry_size =
+  let rig = Apps.Rig.create () in
+  let n_keys = min 262144 (max 8192 (5 * 32 * 1024 * 1024 / (entries * entry_size))) in
+  let wl = Workload.Ycsb.make ~n_keys ~entries ~entry_size () in
+  let app = Apps.Kv_app.install rig ~backend ~workload:wl in
+  let send ep ~dst ~id = Apps.Kv_app.send_next app ep ~dst ~id in
+  let parse_id = Some (fun buf -> Apps.Kv_app.parse_id app buf) in
+  let r =
+    Loadgen.Driver.closed_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~outstanding:4 ~duration_ns:8_000_000
+      ~warmup_ns:2_500_000 ~rng:rig.Apps.Rig.rng ~send ~parse_id
+  in
+  r.Loadgen.Driver.achieved_rps
+
+let () =
+  print_endline "== single-field crossover ==";
+  List.iter
+    (fun size ->
+      let zc = kv_max (Apps.Backend.cornflakes ~config:Cornflakes.Config.all_zero_copy ()) ~entries:1 ~entry_size:size in
+      let cp = kv_max (Apps.Backend.cornflakes ~config:Cornflakes.Config.all_copy ()) ~entries:1 ~entry_size:size in
+      Printf.printf "size %5d: zc %8.0f krps  copy %8.0f krps  zc/copy %.3f\n%!"
+        size (zc /. 1e3) (cp /. 1e3) (zc /. cp))
+    [ 128; 256; 384; 512; 768; 1024; 2048 ]

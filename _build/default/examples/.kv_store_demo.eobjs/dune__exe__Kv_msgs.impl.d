@@ -1,0 +1,1 @@
+examples/kv_msgs.ml: Cornflakes List Schema Wire

@@ -1,0 +1,1 @@
+examples/kv_store_demo.ml: Apps Cornflakes Kv_msgs Kvstore List Loadgen Mem Net Option Printf Sim String Wire Workload

@@ -1,0 +1,50 @@
+(* The paper's Section 5 methodology in miniature: derive the zero-copy
+   threshold for a platform by sweeping field sizes and comparing an
+   all-scatter-gather Cornflakes against an all-copy one. Practitioners
+   re-run exactly this on new hardware (Section 4.1, "Configuring
+   Cornflakes").
+
+   Run with:  dune exec examples/threshold_study.exe *)
+
+let sizes = [ 64; 128; 256; 512; 1024; 2048 ]
+
+let measure config ~entry_size =
+  let rig = Apps.Rig.create () in
+  let l3 =
+    Memmodel.Params.default.Memmodel.Params.l3.Memmodel.Params.size_bytes
+  in
+  let n_keys = min 262_144 (max 8_192 (5 * l3 / entry_size)) in
+  let workload = Workload.Ycsb.make ~n_keys ~entries:1 ~entry_size () in
+  let app =
+    Apps.Kv_app.install rig
+      ~backend:(Apps.Backend.cornflakes ~config ())
+      ~workload
+  in
+  let send ep ~dst ~id = Apps.Kv_app.send_next app ep ~dst ~id in
+  let parse_id = Some (fun buf -> Apps.Kv_app.parse_id app buf) in
+  let r =
+    Loadgen.Driver.closed_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~outstanding:4 ~duration_ns:8_000_000
+      ~warmup_ns:2_500_000 ~rng:rig.Apps.Rig.rng ~send ~parse_id
+  in
+  r.Loadgen.Driver.achieved_rps
+
+let () =
+  print_endline "field size | all-zero-copy | all-copy | winner";
+  let threshold = ref None in
+  List.iter
+    (fun entry_size ->
+      let zc = measure Cornflakes.Config.all_zero_copy ~entry_size in
+      let copy = measure Cornflakes.Config.all_copy ~entry_size in
+      if zc >= copy && !threshold = None then threshold := Some entry_size;
+      Printf.printf "%9dB | %10.0f krps | %7.0f krps | %s\n%!" entry_size
+        (zc /. 1e3) (copy /. 1e3)
+        (if zc >= copy then "zero-copy" else "copy"))
+    sizes;
+  match !threshold with
+  | Some t ->
+      Printf.printf
+        "\nconfigure Cornflakes with: Config.with_threshold %d\n\
+         (the paper derives 512 for its Mellanox and Intel platforms)\n"
+        t
+  | None -> print_endline "\ncopy won everywhere; keep Config.all_copy"

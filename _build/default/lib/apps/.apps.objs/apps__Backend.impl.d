@@ -1,0 +1,1 @@
+lib/apps/backend.ml: Baselines Cornflakes List Mem Memmodel Net Printf Proto Schema Wire

@@ -1,0 +1,1 @@
+lib/apps/backend.mli: Cornflakes Mem Memmodel Net Schema Wire

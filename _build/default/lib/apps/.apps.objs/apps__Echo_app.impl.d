@@ -1,0 +1,1 @@
+lib/apps/echo_app.ml: Backend Baselines Buffer Char Int64 List Loadgen Mem Net Proto Rig Wire Workload

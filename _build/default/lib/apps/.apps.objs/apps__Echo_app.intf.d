@@ -1,0 +1,1 @@
+lib/apps/echo_app.mli: Backend Mem Net Rig

@@ -1,0 +1,1 @@
+lib/apps/kv_app.ml: Array Backend Int64 Kvstore List Loadgen Mem Memmodel Net Proto Rig Sim Wire Workload

@@ -1,0 +1,1 @@
+lib/apps/kv_app.mli: Backend Kvstore Mem Net Rig Workload

@@ -1,0 +1,1 @@
+lib/apps/rig.ml: List Loadgen Mem Memmodel Net Sim

@@ -1,0 +1,1 @@
+lib/apps/rig.mli: Loadgen Mem Memmodel Net Nic Sim

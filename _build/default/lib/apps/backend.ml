@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  send :
+    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit;
+  recv :
+    ?cpu:Memmodel.Cpu.t ->
+    Net.Endpoint.t ->
+    Schema.Desc.message ->
+    Mem.Pinned.Buf.t ->
+    Wire.Dyn.t;
+  wrap :
+    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> Mem.View.t -> Wire.Payload.t;
+}
+
+let cornflakes ?(config = Cornflakes.Config.default) () =
+  {
+    name =
+      (if config = Cornflakes.Config.default then "cornflakes"
+       else if config = Cornflakes.Config.all_copy then "cornflakes-copy"
+       else if config = Cornflakes.Config.all_zero_copy then "cornflakes-zc"
+       else
+         Printf.sprintf "cornflakes-t%d%s" config.Cornflakes.Config.zero_copy_threshold
+           (if config.Cornflakes.Config.serialize_and_send then "" else "-nosas"));
+    send = (fun ?cpu ep ~dst msg -> Cornflakes.Send.send_object ?cpu config ep ~dst msg);
+    recv =
+      (fun ?cpu _ep desc buf ->
+        Cornflakes.Send.deserialize ?cpu Proto.schema desc buf);
+    wrap = (fun ?cpu ep view -> Cornflakes.Cf_ptr.make ?cpu config ep view);
+  }
+
+let literal_wrap ?cpu _ep view =
+  ignore cpu;
+  Wire.Payload.Literal view
+
+(* Setting a bytes field on a Protobuf struct copies the data into the
+   message object (paper section 8: "applications still move data from
+   in-memory data structures to Protobuf objects"); SerializeTo* then moves
+   it again into the output buffer. The first copy is the cold one. *)
+let protobuf_wrap ?cpu ep view =
+  Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) view)
+
+let protobuf =
+  {
+    name = "protobuf";
+    send = (fun ?cpu ep ~dst msg -> Baselines.Protobuf.serialize_and_send ?cpu ep ~dst msg);
+    recv =
+      (fun ?cpu ep desc buf ->
+        Baselines.Protobuf.deserialize ?cpu ep Proto.schema desc buf);
+    wrap = protobuf_wrap;
+  }
+
+let flatbuffers =
+  {
+    name = "flatbuffers";
+    send = (fun ?cpu ep ~dst msg -> Baselines.Flatbuf.serialize_and_send ?cpu ep ~dst msg);
+    recv =
+      (fun ?cpu _ep desc buf ->
+        Baselines.Flatbuf.deserialize ?cpu Proto.schema desc buf);
+    wrap = literal_wrap;
+  }
+
+let capnproto =
+  {
+    name = "capnproto";
+    send = (fun ?cpu ep ~dst msg -> Baselines.Capnp.serialize_and_send ?cpu ep ~dst msg);
+    recv =
+      (fun ?cpu _ep desc buf ->
+        Baselines.Capnp.deserialize ?cpu Proto.schema desc buf);
+    wrap = literal_wrap;
+  }
+
+let all = [ cornflakes (); protobuf; flatbuffers; capnproto ]
+
+let by_name name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Backend.by_name: %s" name)

@@ -1,0 +1,39 @@
+(** Serialization backends: one record per evaluated system (§6.1.3).
+
+    Each backend knows how to send a dynamic message over an endpoint, how
+    to deserialize a received buffer, and how to wrap raw application bytes
+    into a payload for an outgoing message:
+
+    - Cornflakes wraps through {!Cornflakes.Cf_ptr.make} — the hybrid
+      threshold plus [recover_ptr], paying copy or refcount per field;
+    - the copying libraries hold a [Literal] window and pay their copies at
+      serialization time. *)
+
+type t = {
+  name : string;
+  send :
+    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit;
+  recv :
+    ?cpu:Memmodel.Cpu.t ->
+    Net.Endpoint.t ->
+    Schema.Desc.message ->
+    Mem.Pinned.Buf.t ->
+    Wire.Dyn.t;
+  wrap :
+    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> Mem.View.t -> Wire.Payload.t;
+}
+
+(** [cornflakes ~config] — hybrid by default; pass
+    {!Cornflakes.Config.all_copy} / [all_zero_copy] for the ablations. *)
+val cornflakes : ?config:Cornflakes.Config.t -> unit -> t
+
+val protobuf : t
+
+val flatbuffers : t
+
+val capnproto : t
+
+(** The four systems of the end-to-end comparisons, Cornflakes first. *)
+val all : t list
+
+val by_name : string -> t

@@ -1,0 +1,119 @@
+type mode =
+  | Lib of Backend.t
+  | No_serialization
+  | Zero_copy_raw
+  | Zero_copy_safe
+  | One_copy
+  | Two_copy
+
+let mode_name = function
+  | Lib b -> b.Backend.name
+  | No_serialization -> "no-serialization"
+  | Zero_copy_raw -> "zero-copy"
+  | Zero_copy_safe -> "zero-copy-safe"
+  | One_copy -> "one-copy"
+  | Two_copy -> "two-copy"
+
+type t = { rig : Rig.t; mode : mode }
+
+let lib_handler rig backend ~src buf =
+  let cpu = rig.Rig.cpu in
+  let ep = rig.Rig.server_ep in
+  let req = backend.Backend.recv ~cpu ep Proto.resp buf in
+  let resp = Wire.Dyn.create Proto.resp in
+  (match Wire.Dyn.get_int req "id" with
+  | Some id -> Wire.Dyn.set_int resp "id" id
+  | None -> ());
+  List.iter
+    (fun v ->
+      match v with
+      | Wire.Dyn.Payload p ->
+          let payload = backend.Backend.wrap ~cpu ep (Wire.Payload.view p) in
+          Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload)
+      | _ -> ())
+    (Wire.Dyn.get_list req "vals");
+  backend.Backend.send ~cpu ep ~dst:src resp;
+  Wire.Dyn.release ~cpu req;
+  Mem.Pinned.Buf.decr_ref ~cpu buf
+
+let manual_handler rig mode ~src buf =
+  let cpu = rig.Rig.cpu in
+  let ep = rig.Rig.server_ep in
+  match mode with
+  | No_serialization ->
+      (* Pure L3 forward: the receive buffer itself is retransmitted. *)
+      Baselines.Manual.forward ~cpu ep ~dst:src buf
+  | _ ->
+      let fields = Baselines.Manual.parse ~cpu (Mem.Pinned.Buf.view buf) in
+      (match mode with
+      | Zero_copy_raw ->
+          Baselines.Manual.send_zero_copy ~cpu ~safety:`Raw ep ~dst:src fields
+      | Zero_copy_safe ->
+          Baselines.Manual.send_zero_copy ~cpu ~safety:`Safe ep ~dst:src fields
+      | One_copy -> Baselines.Manual.send_one_copy ~cpu ep ~dst:src fields
+      | Two_copy -> Baselines.Manual.send_two_copy ~cpu ep ~dst:src fields
+      | Lib _ | No_serialization -> assert false);
+      Mem.Pinned.Buf.decr_ref ~cpu buf
+
+let install rig mode =
+  (match mode with
+  | Lib backend ->
+      Loadgen.Server.set_handler rig.Rig.server (fun ~src buf ->
+          lib_handler rig backend ~src buf)
+  | _ ->
+      Loadgen.Server.set_handler rig.Rig.server (fun ~src buf ->
+          manual_handler rig mode ~src buf));
+  { rig; mode }
+
+let send_request t ~sizes client ~dst ~id =
+  match t.mode with
+  | Lib backend ->
+      let space = t.rig.Rig.space in
+      let msg = Wire.Dyn.create Proto.resp in
+      Wire.Dyn.set_int msg "id" (Int64.of_int id);
+      List.iter
+        (fun n ->
+          Wire.Dyn.append msg "vals"
+            (Wire.Dyn.Payload
+               (Wire.Payload.of_string space (Workload.Spec.filler (max 1 n)))))
+        sizes;
+      backend.Backend.send client ~dst msg;
+      Mem.Arena.reset (Net.Endpoint.arena client)
+  | _ ->
+      (* Manual framing; FIFO matching, so the id is not encoded. *)
+      let body =
+        let buf = Buffer.create 256 in
+        let u32 v =
+          Buffer.add_char buf (Char.chr (v land 0xff));
+          Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+          Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+          Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+        in
+        u32 (List.length sizes);
+        List.iter u32 sizes;
+        List.iter (fun n -> Buffer.add_string buf (Workload.Spec.filler n)) sizes;
+        Buffer.contents buf
+      in
+      Net.Endpoint.send_string client ~dst body
+
+let parse_id t =
+  match t.mode with
+  | Lib backend ->
+      Some
+        (fun buf ->
+          let msg =
+            backend.Backend.recv
+              (List.hd t.rig.Rig.clients)
+              Proto.resp buf
+          in
+          let id =
+            match Wire.Dyn.get_int msg "id" with
+            | Some id -> Int64.to_int id
+            | None -> -1
+          in
+          Wire.Dyn.release msg;
+          List.iter
+            (fun c -> Mem.Arena.reset (Net.Endpoint.arena c))
+            t.rig.Rig.clients;
+          id)
+  | _ -> None

@@ -1,0 +1,181 @@
+type t = {
+  rig : Rig.t;
+  backend : Backend.t;
+  workload : Workload.Spec.t;
+  store : Kvstore.Store.t;
+  pool : Mem.Pinned.Pool.t;
+  client_rng : Sim.Rng.t;
+}
+
+let store t = t.store
+
+let pool t = t.pool
+
+(* Read a key payload out of a request: the handler streams over the key
+   bytes (it must hash them), charged to App. *)
+let key_string ?cpu (p : Wire.Payload.t) =
+  let v = Wire.Payload.view p in
+  (match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:v.Mem.View.addr
+        ~len:v.Mem.View.len);
+  Mem.View.to_string v
+
+let handle_get t ~cpu req resp =
+  List.iter
+    (fun v ->
+      match v with
+      | Wire.Dyn.Payload p -> (
+          let key = key_string ~cpu p in
+          match Kvstore.Store.get ~cpu t.store ~key with
+          | Some value ->
+              List.iter
+                (fun buf ->
+                  let payload =
+                    t.backend.Backend.wrap ~cpu t.rig.Rig.server_ep
+                      (Mem.Pinned.Buf.view buf)
+                  in
+                  Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload))
+                (Kvstore.Store.buffers value)
+          | None -> ())
+      | _ -> ())
+    (Wire.Dyn.get_list req "keys")
+
+let handle_get_index t ~cpu req resp =
+  match (Wire.Dyn.get_list req "keys", Wire.Dyn.get_int req "index") with
+  | [ Wire.Dyn.Payload p ], Some index -> (
+      let key = key_string ~cpu p in
+      match Kvstore.Store.get ~cpu t.store ~key with
+      | Some (Kvstore.Store.Vector arr) when Int64.to_int index < Array.length arr
+        ->
+          let buf = arr.(Int64.to_int index) in
+          let payload =
+            t.backend.Backend.wrap ~cpu t.rig.Rig.server_ep
+              (Mem.Pinned.Buf.view buf)
+          in
+          Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload)
+      | Some _ | None -> ())
+  | _ -> ()
+
+let handle_put t ~cpu req resp =
+  ignore resp;
+  match Wire.Dyn.get_list req "keys" with
+  | [ Wire.Dyn.Payload kp ] ->
+      let key = key_string ~cpu kp in
+      (* Allocate-and-swap: copy the incoming bytes into fresh pinned
+         buffers; never touch the old value in place. *)
+      let bufs =
+        List.filter_map
+          (fun v ->
+            match v with
+            | Wire.Dyn.Payload p -> (
+                let src = Wire.Payload.view p in
+                match Mem.Pinned.Buf.alloc ~cpu t.pool ~len:src.Mem.View.len with
+                | buf ->
+                    Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
+                    Some buf
+                | exception Mem.Pinned.Out_of_memory _ ->
+                    (* Pool churn exhausted the class: drop the put, as a
+                       cache would under eviction pressure. *)
+                    None)
+            | _ -> None)
+          (Wire.Dyn.get_list req "vals")
+      in
+      (match bufs with
+      | [] -> ()
+      | [ one ] -> Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Single one)
+      | many -> Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Linked many))
+  | _ -> ()
+
+let handler t ~src buf =
+  let cpu = t.rig.Rig.cpu in
+  let ep = t.rig.Rig.server_ep in
+  let req = t.backend.Backend.recv ~cpu ep Proto.req buf in
+  let resp = Wire.Dyn.create Proto.resp in
+  (match Wire.Dyn.get_int req "id" with
+  | Some id -> Wire.Dyn.set_int resp "id" id
+  | None -> ());
+  (match Wire.Dyn.get_int req "op" with
+  | Some op when op = Proto.op_get -> handle_get t ~cpu req resp
+  | Some op when op = Proto.op_get_index -> handle_get_index t ~cpu req resp
+  | Some op when op = Proto.op_put -> handle_put t ~cpu req resp
+  | Some _ | None -> ());
+  t.backend.Backend.send ~cpu ep ~dst:src resp;
+  Wire.Dyn.release ~cpu req;
+  Mem.Pinned.Buf.decr_ref ~cpu buf
+
+let activate t =
+  Loadgen.Server.set_handler t.rig.Rig.server (fun ~src buf -> handler t ~src buf);
+  t
+
+let install rig ~backend ~workload =
+  let pool =
+    Rig.data_pool rig ~name:("kv-" ^ workload.Workload.Spec.name)
+      ~classes:workload.Workload.Spec.pool_classes
+  in
+  let store =
+    Kvstore.Store.create rig.Rig.space ~name:workload.Workload.Spec.name
+      ~capacity:workload.Workload.Spec.store_capacity
+  in
+  workload.Workload.Spec.populate store ~pool;
+  activate
+    {
+      rig;
+      backend;
+      workload;
+      store;
+      pool;
+      client_rng = Sim.Rng.split rig.Rig.rng;
+    }
+
+let switch_backend t backend = activate { t with backend }
+
+(* --- Client side (uncharged) ------------------------------------------ *)
+
+let send_op t op client ~dst ~id =
+  let space = t.rig.Rig.space in
+  let msg = Wire.Dyn.create Proto.req in
+  Wire.Dyn.set_int msg "id" (Int64.of_int id);
+  (match op with
+  | Workload.Spec.Get { keys } ->
+      Wire.Dyn.set_int msg "op" Proto.op_get;
+      List.iter
+        (fun key ->
+          Wire.Dyn.append msg "keys"
+            (Wire.Dyn.Payload (Wire.Payload.of_string space key)))
+        keys
+  | Workload.Spec.Get_index { key; index } ->
+      Wire.Dyn.set_int msg "op" Proto.op_get_index;
+      Wire.Dyn.append msg "keys"
+        (Wire.Dyn.Payload (Wire.Payload.of_string space key));
+      Wire.Dyn.set_int msg "index" (Int64.of_int index)
+  | Workload.Spec.Put { key; sizes } ->
+      Wire.Dyn.set_int msg "op" Proto.op_put;
+      Wire.Dyn.append msg "keys"
+        (Wire.Dyn.Payload (Wire.Payload.of_string space key));
+      List.iter
+        (fun n ->
+          Wire.Dyn.append msg "vals"
+            (Wire.Dyn.Payload
+               (Wire.Payload.of_string space (Workload.Spec.filler (max 1 n)))))
+        sizes);
+  t.backend.Backend.send client ~dst msg;
+  (* Client-side arenas hold per-request copies; recycle them. *)
+  Mem.Arena.reset (Net.Endpoint.arena client)
+
+let send_next t client ~dst ~id =
+  send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id
+
+let parse_id t buf =
+  let msg = t.backend.Backend.recv (List.hd t.rig.Rig.clients) Proto.resp buf in
+  let id =
+    match Wire.Dyn.get_int msg "id" with
+    | Some id -> Int64.to_int id
+    | None -> -1
+  in
+  Wire.Dyn.release msg;
+  List.iter
+    (fun c -> Mem.Arena.reset (Net.Endpoint.arena c))
+    t.rig.Rig.clients;
+  id

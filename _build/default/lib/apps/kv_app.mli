@@ -1,0 +1,34 @@
+(** The custom key-value store application (§6.1.2), parameterised by a
+    serialization backend.
+
+    The server deserializes a [Req], looks keys up in the store, wraps each
+    value buffer through the backend (Cornflakes: hybrid CFPtr; baselines:
+    literal views copied at serialization time), and sends a [Resp] with
+    the combined serialize-and-send path of the backend. Puts allocate new
+    pinned buffers and swap pointers — never updating values in place — per
+    the Cornflakes memory-safety model (§4.1). *)
+
+type t
+
+(** [install rig ~backend ~workload] populates a store per the workload and
+    installs the request handler on the rig's server. *)
+val install : Rig.t -> backend:Backend.t -> workload:Workload.Spec.t -> t
+
+(** [switch_backend t backend] reuses the populated store and pool under a
+    different serializer (avoids re-populating between systems). *)
+val switch_backend : t -> Backend.t -> t
+
+val store : t -> Kvstore.Store.t
+
+(** Client-side request sender for a workload op. *)
+val send_op : t -> Workload.Spec.op -> Net.Endpoint.t -> dst:int -> id:int -> unit
+
+(** Client-side generator: draws the next op from the workload. *)
+val send_next : t -> Net.Endpoint.t -> dst:int -> id:int -> unit
+
+(** Client-side response-id parser (uncharged; resets the client arena). *)
+val parse_id : t -> Mem.Pinned.Buf.t -> int
+
+(** Values served but not yet reclaimed by puts remain owned by the store;
+    exposed for leak assertions in tests. *)
+val pool : t -> Mem.Pinned.Pool.t

@@ -1,0 +1,29 @@
+let schema_text =
+  {|
+  syntax = "proto3";
+  // Request sent by clients of the custom key-value store.
+  message Req {
+    uint64 id = 1;
+    uint32 op = 2;
+    repeated bytes keys = 3;
+    uint32 index = 4;
+    repeated bytes vals = 5;
+  }
+  // Response carrying the queried values (paper Listing 1's GetM).
+  message Resp {
+    uint64 id = 1;
+    repeated bytes vals = 2;
+  }
+  |}
+
+let schema = Schema.Parser.parse schema_text
+
+let req = Schema.Desc.message schema "Req"
+
+let resp = Schema.Desc.message schema "Resp"
+
+let op_get = 0L
+
+let op_put = 1L
+
+let op_get_index = 2L

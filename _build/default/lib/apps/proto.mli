@@ -1,0 +1,19 @@
+(** The schema shared by the evaluation applications (the analogue of the
+    paper's Listing 1 [GetM] messages). *)
+
+val schema_text : string
+
+val schema : Schema.Desc.t
+
+(** Request: [id], [op] (0 = get, 1 = put, 2 = get_index), [keys], optional
+    [index], and [vals] for puts. *)
+val req : Schema.Desc.message
+
+(** Response: [id] and the value buffers. *)
+val resp : Schema.Desc.message
+
+val op_get : int64
+
+val op_put : int64
+
+val op_get_index : int64

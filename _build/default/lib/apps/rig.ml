@@ -1,0 +1,63 @@
+type t = {
+  engine : Sim.Engine.t;
+  fabric : Net.Fabric.t;
+  space : Mem.Addr_space.t;
+  registry : Mem.Registry.t;
+  cpu : Memmodel.Cpu.t;
+  server_ep : Net.Endpoint.t;
+  server : Loadgen.Server.t;
+  clients : Net.Endpoint.t list;
+  rng : Sim.Rng.t;
+}
+
+let server_id = 1
+
+let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
+    ?(n_clients = 16) ?(seed = 0xc0ffee) ?server_config () =
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let space = Mem.Addr_space.create () in
+  let registry = Mem.Registry.create space in
+  let cpu = Memmodel.Cpu.create ?shared_l3 params in
+  let server_config =
+    match (server_config, nic_model) with
+    | Some c, _ -> c
+    | None, Some nic_model -> { Net.Endpoint.default_config with nic_model }
+    | None, None -> Net.Endpoint.default_config
+  in
+  let server_ep =
+    Net.Endpoint.create ~cpu ~config:server_config fabric registry
+      ~id:server_id
+  in
+  let server = Loadgen.Server.create server_ep cpu in
+  let clients =
+    List.init n_clients (fun i ->
+        Net.Endpoint.create fabric registry ~id:(100 + i))
+  in
+  {
+    engine;
+    fabric;
+    space;
+    registry;
+    cpu;
+    server_ep;
+    server;
+    clients;
+    rng = Sim.Rng.create ~seed;
+  }
+
+let data_pool t ~name ~classes =
+  let pool = Mem.Pinned.Pool.create t.space ~name ~classes in
+  Mem.Registry.register t.registry pool;
+  pool
+
+let warm t ~requests ~send ~parse_id =
+  if requests > 0 then begin
+    let duration = max 1_000_000 (requests * 3_000) in
+    let (_ : Loadgen.Driver.result) =
+      Loadgen.Driver.closed_loop t.engine ~clients:[ List.hd t.clients ]
+        ~server:server_id ~outstanding:4 ~duration_ns:duration ~warmup_ns:0
+        ~rng:t.rng ~send ~parse_id
+    in
+    ()
+  end

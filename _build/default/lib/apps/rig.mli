@@ -1,0 +1,42 @@
+(** Experiment rig: one single-core server plus a fleet of client endpoints
+    on a fabric, matching the paper's testbed topology (16-thread load
+    generator against a one-core server, §6.1.1). *)
+
+type t = {
+  engine : Sim.Engine.t;
+  fabric : Net.Fabric.t;
+  space : Mem.Addr_space.t;
+  registry : Mem.Registry.t;
+  cpu : Memmodel.Cpu.t;
+  server_ep : Net.Endpoint.t;
+  server : Loadgen.Server.t;
+  clients : Net.Endpoint.t list;
+  rng : Sim.Rng.t;
+}
+
+val server_id : int
+
+(** [create ()] builds the rig. [n_clients] defaults to 16. *)
+val create :
+  ?params:Memmodel.Params.t ->
+  ?shared_l3:Memmodel.Cache.t ->
+  ?nic_model:Nic.Model.t ->
+  ?n_clients:int ->
+  ?seed:int ->
+  ?server_config:Net.Endpoint.config ->
+  unit ->
+  t
+
+(** [data_pool t ~name ~classes] makes a registered pinned pool for
+    application data. *)
+val data_pool :
+  t -> name:string -> classes:(int * int) list -> Mem.Pinned.Pool.t
+
+(** [warm t ~requests ~send ~parse_id] drives a short closed-loop burst to
+    warm caches and pools before measurement. *)
+val warm :
+  t ->
+  requests:int ->
+  send:(Net.Endpoint.t -> dst:int -> id:int -> unit) ->
+  parse_id:(Mem.Pinned.Buf.t -> int) option ->
+  unit

@@ -1,0 +1,1 @@
+lib/baselines/capnp.ml: Array Int64 List Mem Memmodel Net Printf Schema Wire

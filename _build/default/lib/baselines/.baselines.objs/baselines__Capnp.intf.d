@@ -1,0 +1,1 @@
+lib/baselines/capnp.mli: Mem Memmodel Net Schema Wire

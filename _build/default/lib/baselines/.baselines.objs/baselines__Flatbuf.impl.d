@@ -1,0 +1,1 @@
+lib/baselines/flatbuf.ml: Array Int64 List Mem Net Printf Schema Wire

@@ -1,0 +1,1 @@
+lib/baselines/flatbuf.mli: Mem Memmodel Net Schema Wire

@@ -1,0 +1,1 @@
+lib/baselines/manual.ml: List Mem Memmodel Net Wire

@@ -1,0 +1,1 @@
+lib/baselines/manual.mli: Mem Memmodel Net

@@ -1,0 +1,1 @@
+lib/baselines/protobuf.ml: Array Int64 List Mem Memmodel Net Printf Schema Wire

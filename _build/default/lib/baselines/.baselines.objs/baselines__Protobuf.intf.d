@@ -1,0 +1,1 @@
+lib/baselines/protobuf.mli: Mem Memmodel Net Schema Wire

@@ -1,0 +1,209 @@
+exception Decode_error of string
+
+let name = "flatbuffers"
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* --- Sizing ----------------------------------------------------------- *)
+
+let rec table_len msg = 4 + (8 * Wire.Dyn.present_count msg)
+
+and value_extra (v : Wire.Dyn.value) =
+  match v with
+  | Wire.Dyn.Int _ | Wire.Dyn.Float _ -> 0
+  | Wire.Dyn.Payload p -> Wire.Payload.len p
+  | Wire.Dyn.Nested m -> total_msg m
+  | Wire.Dyn.List elems ->
+      (8 * List.length elems)
+      + List.fold_left (fun acc e -> acc + value_extra e) 0 elems
+
+and total_msg msg =
+  let extra = ref 0 in
+  Wire.Dyn.iter_present msg (fun _ _ v -> extra := !extra + value_extra v);
+  table_len msg + !extra
+
+let total_buffer msg = 4 + total_msg msg
+
+(* --- Building (back-to-front) ----------------------------------------- *)
+
+type slot =
+  | S_inline of int64
+  | S_ref of int * int (* target position, length *)
+  | S_vec of int * int (* vector position, element count *)
+
+type builder = {
+  w : Wire.Cursor.Writer.t;
+  scratch : Mem.View.t;
+  mutable head : int;
+}
+
+let push_payload b (p : Wire.Payload.t) =
+  let v = Wire.Payload.view p in
+  b.head <- b.head - v.Mem.View.len;
+  Wire.Cursor.Writer.seek b.w b.head;
+  Wire.Cursor.Writer.view_bytes b.w v;
+  b.head
+
+let write_slot b ~pos slot =
+  let module W = Wire.Cursor.Writer in
+  W.seek b.w pos;
+  match slot with
+  | S_inline v -> W.u64 b.w v
+  | S_ref (target, len) ->
+      W.u32 b.w (target - pos);
+      W.u32 b.w len
+  | S_vec (target, count) ->
+      W.u32 b.w (target - pos);
+      W.u32 b.w count
+
+let rec build_value b (v : Wire.Dyn.value) =
+  match v with
+  | Wire.Dyn.Int i -> S_inline i
+  | Wire.Dyn.Float f -> S_inline (Int64.bits_of_float f)
+  | Wire.Dyn.Payload p ->
+      let pos = push_payload b p in
+      S_ref (pos, Wire.Payload.len p)
+  | Wire.Dyn.Nested m ->
+      let pos = build_msg b m in
+      S_ref (pos, 0)
+  | Wire.Dyn.List elems ->
+      let slots = List.map (build_value b) elems in
+      let count = List.length elems in
+      b.head <- b.head - (8 * count);
+      let vec = b.head in
+      List.iteri (fun j slot -> write_slot b ~pos:(vec + (8 * j)) slot) slots;
+      S_vec (vec, count)
+
+and build_msg b msg =
+  if Array.length (Wire.Dyn.desc msg).Schema.Desc.fields > 32 then
+    invalid_arg "Flatbuf: messages are limited to 32 fields";
+  (* Children first: back-to-front building places them at higher
+     positions, so relative offsets from the table are positive. *)
+  let slots = ref [] in
+  Wire.Dyn.iter_present msg (fun i _ v -> slots := (i, build_value b v) :: !slots);
+  let slots = List.rev !slots in
+  b.head <- b.head - table_len msg;
+  let table = b.head in
+  let module W = Wire.Cursor.Writer in
+  W.seek b.w table;
+  let bitmap =
+    List.fold_left (fun acc (i, _) -> acc lor (1 lsl i)) 0 slots
+  in
+  W.u32 b.w bitmap;
+  List.iteri
+    (fun k (_, slot) -> write_slot b ~pos:(table + 4 + (8 * k)) slot)
+    slots;
+  table
+
+let build ?cpu ep msg =
+  let size = total_buffer msg in
+  let scratch = Mem.Arena.alloc ?cpu (Net.Endpoint.arena ep) ~len:size in
+  let w = Wire.Cursor.Writer.create ?cpu scratch in
+  let b = { w; scratch; head = size } in
+  let root = build_msg b msg in
+  b.head <- b.head - 4;
+  Wire.Cursor.Writer.seek b.w b.head;
+  Wire.Cursor.Writer.u32 b.w (root - b.head);
+  assert (b.head = 0);
+  b.scratch
+
+let serialize_and_send ?cpu ep ~dst msg =
+  let finished = build ?cpu ep msg in
+  if finished.Mem.View.len > Net.Packet.max_payload then
+    invalid_arg "Flatbuf.serialize_and_send: message exceeds frame";
+  let staging =
+    Net.Endpoint.alloc_tx ?cpu ep
+      ~len:(Net.Packet.header_len + finished.Mem.View.len)
+  in
+  (* Second copy: the contiguous builder output moves into DMA-safe
+     staging; the source is cache-hot from the build. *)
+  Mem.Pinned.Buf.blit_from ?cpu staging ~src:finished
+    ~dst_off:Net.Packet.header_len;
+  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+
+(* --- Reading (zero-copy) ---------------------------------------------- *)
+
+let max_depth = 32
+
+let rec read_msg ?cpu ?(depth = 0) schema (desc : Schema.Desc.message) buf
+    ~pos =
+  if depth > max_depth then fail "nesting deeper than %d" max_depth;
+  let module R = Wire.Cursor.Reader in
+  let view = Mem.Pinned.Buf.view buf in
+  let total = view.Mem.View.len in
+  if pos < 0 || pos + 4 > total then fail "table position out of range";
+  let r = R.create ?cpu view in
+  R.seek r pos;
+  let bitmap = R.u32 r in
+  let msg = Wire.Dyn.create desc in
+  let k = ref 0 in
+  Array.iteri
+    (fun i (field : Schema.Desc.field) ->
+      if bitmap land (1 lsl i) <> 0 then begin
+        let slot = pos + 4 + (8 * !k) in
+        incr k;
+        if slot + 8 > total then fail "slot out of range";
+        let v = read_value ?cpu ~depth schema field buf r ~slot ~total in
+        Wire.Dyn.set msg field.Schema.Desc.field_name v
+      end)
+    desc.Schema.Desc.fields;
+  msg
+
+and read_value ?cpu ~depth schema (field : Schema.Desc.field) buf r ~slot
+    ~total =
+  match field.Schema.Desc.label with
+  | Schema.Desc.Repeated ->
+      let module R = Wire.Cursor.Reader in
+      R.seek r slot;
+      let rel = R.u32 r in
+      let count = R.u32 r in
+      let vec = slot + rel in
+      if vec < 0 || vec + (8 * count) > total then fail "vector out of range";
+      let elems =
+        List.init count (fun j ->
+            read_element ?cpu ~depth schema field buf r
+              ~slot:(vec + (8 * j))
+              ~total)
+      in
+      Wire.Dyn.List elems
+  | Schema.Desc.Singular ->
+      read_element ?cpu ~depth schema field buf r ~slot ~total
+
+and read_element ?cpu ~depth schema (field : Schema.Desc.field) buf r ~slot
+    ~total =
+  let module R = Wire.Cursor.Reader in
+  R.seek r slot;
+  match field.Schema.Desc.ty with
+  | Schema.Desc.Scalar Schema.Desc.Float64 ->
+      Wire.Dyn.Float (Int64.float_of_bits (R.u64 r))
+  | Schema.Desc.Scalar _ -> Wire.Dyn.Int (R.u64 r)
+  | Schema.Desc.Str | Schema.Desc.Bytes ->
+      let rel = R.u32 r in
+      let len = R.u32 r in
+      let target = slot + rel in
+      if target < 0 || len < 0 || target + len > total then
+        fail "payload out of range";
+      let sub = Mem.Pinned.Buf.sub buf ~off:target ~len in
+      Mem.Pinned.Buf.incr_ref ?cpu sub;
+      Wire.Dyn.Payload (Wire.Payload.Zero_copy sub)
+  | Schema.Desc.Message mname -> (
+      let rel = R.u32 r in
+      let _zero = R.u32 r in
+      match Schema.Desc.find_message schema mname with
+      | None -> fail "unknown message %s" mname
+      | Some nested_desc ->
+          let saved = R.pos r in
+          let nested =
+            read_msg ?cpu ~depth:(depth + 1) schema nested_desc buf
+              ~pos:(slot + rel)
+          in
+          R.seek r saved;
+          Wire.Dyn.Nested nested)
+
+let deserialize ?cpu schema desc buf =
+  let module R = Wire.Cursor.Reader in
+  let view = Mem.Pinned.Buf.view buf in
+  if view.Mem.View.len < 4 then fail "buffer too small";
+  let r = R.create ?cpu view in
+  let root = R.u32 r in
+  read_msg ?cpu schema desc buf ~pos:root

@@ -1,0 +1,248 @@
+exception Decode_error of string
+
+let name = "protobuf"
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* Wire types. *)
+let wt_varint = 0
+
+let wt_fixed64 = 1
+
+let wt_len = 2
+
+let key ~number ~wt = Int64.of_int ((number lsl 3) lor wt)
+
+let scalar_is_float = function
+  | Schema.Desc.Float64 -> true
+  | Schema.Desc.Bool | Schema.Desc.Int32 | Schema.Desc.Int64
+  | Schema.Desc.UInt32 | Schema.Desc.UInt64 ->
+      false
+
+(* --- Sizing ----------------------------------------------------------- *)
+
+let varint_len = Wire.Cursor.varint_len
+
+let rec value_len (field : Schema.Desc.field) (v : Wire.Dyn.value) =
+  match v with
+  | Wire.Dyn.Int i -> (
+      match field.Schema.Desc.ty with
+      | Schema.Desc.Scalar s when scalar_is_float s -> 8
+      | _ -> varint_len i)
+  | Wire.Dyn.Float _ -> 8
+  | Wire.Dyn.Payload p -> Wire.Payload.len p
+  | Wire.Dyn.Nested m -> encoded_len m
+  | Wire.Dyn.List _ -> invalid_arg "Protobuf.value_len: nested list"
+
+and field_len (field : Schema.Desc.field) (v : Wire.Dyn.value) =
+  let number = field.Schema.Desc.number in
+  let klen = varint_len (key ~number ~wt:0) in
+  match v with
+  | Wire.Dyn.List elems -> (
+      match field.Schema.Desc.ty with
+      | Schema.Desc.Scalar s when not (scalar_is_float s) ->
+          (* Packed: one key, length, then varints. *)
+          let body =
+            List.fold_left (fun acc e -> acc + value_len field e) 0 elems
+          in
+          if elems = [] then klen + varint_len 0L
+          else klen + varint_len (Int64.of_int body) + body
+      | _ ->
+          (* One key per element; payloads/messages are length-delimited. *)
+          List.fold_left
+            (fun acc e ->
+              let body = value_len field e in
+              acc + klen + varint_len (Int64.of_int body) + body)
+            0 elems)
+  | Wire.Dyn.Int i -> (
+      match field.Schema.Desc.ty with
+      | Schema.Desc.Scalar s when scalar_is_float s -> klen + 8
+      | _ -> klen + varint_len i)
+  | Wire.Dyn.Float _ -> klen + 8
+  | Wire.Dyn.Payload p ->
+      let body = Wire.Payload.len p in
+      klen + varint_len (Int64.of_int body) + body
+  | Wire.Dyn.Nested m ->
+      let body = encoded_len m in
+      klen + varint_len (Int64.of_int body) + body
+
+and encoded_len msg =
+  let total = ref 0 in
+  Wire.Dyn.iter_present msg (fun _ field v -> total := !total + field_len field v);
+  !total
+
+(* --- Encoding --------------------------------------------------------- *)
+
+let charge_field cpu =
+  match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Tx
+        (Memmodel.Cpu.params cpu).Memmodel.Params.cost_per_call
+
+let rec encode_scalar ?cpu w (field : Schema.Desc.field) v =
+  ignore cpu;
+  let module W = Wire.Cursor.Writer in
+  match (field.Schema.Desc.ty, v) with
+  | Schema.Desc.Scalar s, Wire.Dyn.Int i when not (scalar_is_float s) ->
+      W.varint w i
+  | Schema.Desc.Scalar Schema.Desc.Float64, Wire.Dyn.Float f ->
+      W.u64 w (Int64.bits_of_float f)
+  | Schema.Desc.Scalar Schema.Desc.Float64, Wire.Dyn.Int i ->
+      W.u64 w i
+  | _ -> invalid_arg "Protobuf.encode_scalar"
+
+and encode_field ?cpu w (field : Schema.Desc.field) v =
+  let module W = Wire.Cursor.Writer in
+  let number = field.Schema.Desc.number in
+  charge_field cpu;
+  match v with
+  | Wire.Dyn.List elems -> (
+      match field.Schema.Desc.ty with
+      | Schema.Desc.Scalar s when not (scalar_is_float s) ->
+          W.varint w (key ~number ~wt:wt_len);
+          let body =
+            List.fold_left (fun acc e -> acc + value_len field e) 0 elems
+          in
+          W.varint w (Int64.of_int body);
+          List.iter (fun e -> encode_scalar ?cpu w field e) elems
+      | _ -> List.iter (fun e -> encode_element ?cpu w field e) elems)
+  | _ -> encode_element ?cpu w field v
+
+and encode_element ?cpu w (field : Schema.Desc.field) v =
+  let module W = Wire.Cursor.Writer in
+  let number = field.Schema.Desc.number in
+  match v with
+  | Wire.Dyn.Int _ | Wire.Dyn.Float _ ->
+      let wt =
+        match field.Schema.Desc.ty with
+        | Schema.Desc.Scalar s when scalar_is_float s -> wt_fixed64
+        | _ -> wt_varint
+      in
+      W.varint w (key ~number ~wt);
+      encode_scalar ?cpu w field v
+  | Wire.Dyn.Payload p ->
+      W.varint w (key ~number ~wt:wt_len);
+      W.varint w (Int64.of_int (Wire.Payload.len p));
+      W.view_bytes w (Wire.Payload.view p)
+  | Wire.Dyn.Nested m ->
+      W.varint w (key ~number ~wt:wt_len);
+      W.varint w (Int64.of_int (encoded_len m));
+      encode ?cpu w m
+  | Wire.Dyn.List _ -> invalid_arg "Protobuf.encode_element: nested list"
+
+and encode ?cpu w msg =
+  Wire.Dyn.iter_present msg (fun _ field v -> encode_field ?cpu w field v)
+
+let serialize_and_send ?cpu ep ~dst msg =
+  let body = encoded_len msg in
+  if body > Net.Packet.max_payload then
+    invalid_arg "Protobuf.serialize_and_send: message exceeds frame";
+  let staging =
+    Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + body)
+  in
+  let window =
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len
+      ~len:body
+  in
+  let w = Wire.Cursor.Writer.create ?cpu window in
+  encode ?cpu w msg;
+  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+
+(* --- Decoding --------------------------------------------------------- *)
+
+let field_by_number (desc : Schema.Desc.message) number =
+  let n = Array.length desc.Schema.Desc.fields in
+  let rec go i =
+    if i >= n then None
+    else if desc.Schema.Desc.fields.(i).Schema.Desc.number = number then
+      Some desc.Schema.Desc.fields.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Charge a cheap per-byte validation pass (UTF-8 check) — the baselines do
+   this eagerly at deserialization time (§6.4). *)
+let charge_validate cpu ~len =
+  match cpu with
+  | None -> ()
+  | Some cpu -> Memmodel.Cpu.charge cpu Memmodel.Cpu.Deser (0.3 *. float_of_int len)
+
+let rec decode ?cpu ep schema (desc : Schema.Desc.message) (view : Mem.View.t) =
+  let module R = Wire.Cursor.Reader in
+  let r = R.create ?cpu view in
+  let msg = Wire.Dyn.create desc in
+  (try
+     while R.remaining r > 0 do
+       let k = Int64.to_int (R.varint r) in
+       let number = k lsr 3 and wt = k land 7 in
+       match field_by_number desc number with
+       | None -> skip ?cpu r wt
+       | Some field -> decode_field ?cpu ep schema msg field r wt
+     done
+   with Invalid_argument _ -> fail "truncated message");
+  msg
+
+and skip ?cpu r wt =
+  ignore cpu;
+  let module R = Wire.Cursor.Reader in
+  if wt = wt_varint then ignore (R.varint r)
+  else if wt = wt_fixed64 then ignore (R.u64 r)
+  else if wt = wt_len then begin
+    let len = Int64.to_int (R.varint r) in
+    if len < 0 || len > R.remaining r then fail "bad skip length";
+    R.seek r (R.pos r + len)
+  end
+  else fail "unsupported wire type %d" wt
+
+and decode_field ?cpu ep schema msg (field : Schema.Desc.field) r wt =
+  let module R = Wire.Cursor.Reader in
+  let fname = field.Schema.Desc.field_name in
+  let add v =
+    match field.Schema.Desc.label with
+    | Schema.Desc.Repeated -> Wire.Dyn.append msg fname v
+    | Schema.Desc.Singular -> Wire.Dyn.set msg fname v
+  in
+  match field.Schema.Desc.ty with
+  | Schema.Desc.Scalar s when scalar_is_float s ->
+      if wt <> wt_fixed64 then fail "double field with wire type %d" wt;
+      add (Wire.Dyn.Float (Int64.float_of_bits (R.u64 r)))
+  | Schema.Desc.Scalar _ ->
+      if wt = wt_varint then add (Wire.Dyn.Int (R.varint r))
+      else if wt = wt_len && field.Schema.Desc.label = Schema.Desc.Repeated
+      then begin
+        (* Packed repeated scalars. *)
+        let len = Int64.to_int (R.varint r) in
+        if len < 0 || len > R.remaining r then fail "bad packed length";
+        let stop = R.pos r + len in
+        let elems = ref [] in
+        while R.pos r < stop do
+          elems := Wire.Dyn.Int (R.varint r) :: !elems
+        done;
+        if R.pos r <> stop then fail "packed overrun";
+        Wire.Dyn.set msg fname (Wire.Dyn.List (List.rev !elems))
+      end
+      else fail "scalar field with wire type %d" wt
+  | Schema.Desc.Str | Schema.Desc.Bytes ->
+      if wt <> wt_len then fail "payload field with wire type %d" wt;
+      let len = Int64.to_int (R.varint r) in
+      if len < 0 || len > R.remaining r then fail "bad payload length";
+      let src = R.sub r ~len in
+      (* Protobuf materialises field bytes: copy them out of the packet. *)
+      let copied = Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) src in
+      if field.Schema.Desc.ty = Schema.Desc.Str then charge_validate cpu ~len;
+      add (Wire.Dyn.Payload (Wire.Payload.Copied copied))
+  | Schema.Desc.Message mname ->
+      if wt <> wt_len then fail "message field with wire type %d" wt;
+      let len = Int64.to_int (R.varint r) in
+      if len < 0 || len > R.remaining r then fail "bad message length";
+      let src = R.sub r ~len in
+      let nested_desc =
+        match Schema.Desc.find_message schema mname with
+        | Some d -> d
+        | None -> fail "unknown message %s" mname
+      in
+      add (Wire.Dyn.Nested (decode ?cpu ep schema nested_desc src))
+
+let deserialize ?cpu ep schema desc buf =
+  decode ?cpu ep schema desc (Mem.Pinned.Buf.view buf)

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Char List Printf Schema String

@@ -1,0 +1,152 @@
+let keywords =
+  [
+    "and"; "as"; "assert"; "begin"; "class"; "constraint"; "do"; "done";
+    "downto"; "else"; "end"; "exception"; "external"; "false"; "for"; "fun";
+    "function"; "functor"; "if"; "in"; "include"; "inherit"; "initializer";
+    "lazy"; "let"; "match"; "method"; "module"; "mutable"; "new"; "object";
+    "of"; "open"; "or"; "private"; "rec"; "sig"; "struct"; "then"; "to";
+    "true"; "try"; "type"; "val"; "virtual"; "when"; "while"; "with";
+  ]
+
+let ocaml_name s =
+  let b = Buffer.create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | 'a' .. 'z' | '0' .. '9' | '_' ->
+          if i = 0 && c >= '0' && c <= '9' then Buffer.add_char b 'f';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  let name = Buffer.contents b in
+  let name = if name = "" then "field" else name in
+  if List.mem name keywords then name ^ "_" else name
+
+let module_name s = String.capitalize_ascii (ocaml_name s)
+
+let emit_scalar_field buf (f : Schema.Desc.field) scalar =
+  let n = ocaml_name f.Schema.Desc.field_name in
+  let fname = f.Schema.Desc.field_name in
+  match (f.Schema.Desc.label, scalar) with
+  | Schema.Desc.Repeated, _ ->
+      Printf.bprintf buf
+        "  let add_%s t v = Wire.Dyn.append t.msg %S (Wire.Dyn.Int v)\n\n" n
+        fname;
+      Printf.bprintf buf
+        "  let %s t =\n\
+        \    List.filter_map\n\
+        \      (function Wire.Dyn.Int v -> Some v | _ -> None)\n\
+        \      (Wire.Dyn.get_list t.msg %S)\n\n"
+        n fname
+  | Schema.Desc.Singular, Schema.Desc.Float64 ->
+      Printf.bprintf buf
+        "  let set_%s t v = Wire.Dyn.set t.msg %S (Wire.Dyn.Float v)\n\n" n
+        fname;
+      Printf.bprintf buf
+        "  let %s t =\n\
+        \    match Wire.Dyn.get t.msg %S with\n\
+        \    | Some (Wire.Dyn.Float v) -> Some v\n\
+        \    | _ -> None\n\n"
+        n fname
+  | Schema.Desc.Singular, _ ->
+      Printf.bprintf buf "  let set_%s t v = Wire.Dyn.set_int t.msg %S v\n\n" n
+        fname;
+      Printf.bprintf buf "  let %s t = Wire.Dyn.get_int t.msg %S\n\n" n fname
+
+let emit_payload_field buf (f : Schema.Desc.field) =
+  let n = ocaml_name f.Schema.Desc.field_name in
+  let fname = f.Schema.Desc.field_name in
+  match f.Schema.Desc.label with
+  | Schema.Desc.Repeated ->
+      Printf.bprintf buf
+        "  (* [add_%s] accepts any bytes; CFPtr decides copy vs zero-copy. *)\n\
+        \  let add_%s ?cpu config ep t view =\n\
+        \    Wire.Dyn.append t.msg %S\n\
+        \      (Wire.Dyn.Payload (Cornflakes.Cf_ptr.make ?cpu config ep view))\n\n"
+        n n fname;
+      Printf.bprintf buf
+        "  let add_%s_payload t p =\n\
+        \    Wire.Dyn.append t.msg %S (Wire.Dyn.Payload p)\n\n"
+        n fname;
+      Printf.bprintf buf
+        "  let %s t =\n\
+        \    List.filter_map\n\
+        \      (function Wire.Dyn.Payload p -> Some p | _ -> None)\n\
+        \      (Wire.Dyn.get_list t.msg %S)\n\n"
+        n fname
+  | Schema.Desc.Singular ->
+      Printf.bprintf buf
+        "  let set_%s ?cpu config ep t view =\n\
+        \    Wire.Dyn.set t.msg %S\n\
+        \      (Wire.Dyn.Payload (Cornflakes.Cf_ptr.make ?cpu config ep view))\n\n"
+        n fname;
+      Printf.bprintf buf
+        "  let set_%s_payload t p = Wire.Dyn.set t.msg %S (Wire.Dyn.Payload p)\n\n"
+        n fname;
+      Printf.bprintf buf "  let %s t = Wire.Dyn.get_payload t.msg %S\n\n" n fname
+
+let emit_message_field buf (f : Schema.Desc.field) =
+  let n = ocaml_name f.Schema.Desc.field_name in
+  let fname = f.Schema.Desc.field_name in
+  match f.Schema.Desc.label with
+  | Schema.Desc.Repeated ->
+      Printf.bprintf buf
+        "  let add_%s t nested = Wire.Dyn.append t.msg %S (Wire.Dyn.Nested nested)\n\n"
+        n fname;
+      Printf.bprintf buf
+        "  let %s t =\n\
+        \    List.filter_map\n\
+        \      (function Wire.Dyn.Nested m -> Some m | _ -> None)\n\
+        \      (Wire.Dyn.get_list t.msg %S)\n\n"
+        n fname
+  | Schema.Desc.Singular ->
+      Printf.bprintf buf
+        "  let set_%s t nested = Wire.Dyn.set t.msg %S (Wire.Dyn.Nested nested)\n\n"
+        n fname;
+      Printf.bprintf buf
+        "  let %s t =\n\
+        \    match Wire.Dyn.get t.msg %S with\n\
+        \    | Some (Wire.Dyn.Nested m) -> Some m\n\
+        \    | _ -> None\n\n"
+        n fname
+
+let emit_message buf (m : Schema.Desc.message) =
+  Printf.bprintf buf "module %s = struct\n" (module_name m.Schema.Desc.msg_name);
+  Printf.bprintf buf "  let desc = Schema.Desc.message schema %S\n\n"
+    m.Schema.Desc.msg_name;
+  Buffer.add_string buf "  type t = { msg : Wire.Dyn.t }\n\n";
+  Buffer.add_string buf "  let create () = { msg = Wire.Dyn.create desc }\n\n";
+  Buffer.add_string buf "  let to_dyn t = t.msg\n\n";
+  Buffer.add_string buf
+    "  let of_dyn msg =\n\
+    \    if (Wire.Dyn.desc msg).Schema.Desc.msg_name <> desc.Schema.Desc.msg_name\n\
+    \    then invalid_arg \"of_dyn: wrong message type\";\n\
+    \    { msg }\n\n";
+  Array.iter
+    (fun (f : Schema.Desc.field) ->
+      match f.Schema.Desc.ty with
+      | Schema.Desc.Scalar s -> emit_scalar_field buf f s
+      | Schema.Desc.Str | Schema.Desc.Bytes -> emit_payload_field buf f
+      | Schema.Desc.Message _ -> emit_message_field buf f)
+    m.Schema.Desc.fields;
+  Buffer.add_string buf
+    "  let object_len t = Cornflakes.Format_.object_len t.msg\n\n";
+  Buffer.add_string buf
+    "  let deserialize buf =\n\
+    \    { msg = Cornflakes.Send.deserialize schema desc buf }\n\n";
+  Buffer.add_string buf
+    "  (* Combined serialize-and-send: no separate serialize step. *)\n\
+    \  let send ?cpu config ep ~dst t =\n\
+    \    Cornflakes.Send.send_object ?cpu config ep ~dst t.msg\n\n";
+  Buffer.add_string buf
+    "  let release ?cpu t = Wire.Dyn.release ?cpu t.msg\nend\n\n"
+
+let module_source ~schema_text schema =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "(* Generated by the Cornflakes compiler (Codegen.Emit). DO NOT EDIT. *)\n\n";
+  Printf.bprintf buf "let schema = Schema.Parser.parse {schema|%s|schema}\n\n"
+    schema_text;
+  List.iter (fun m -> emit_message buf m) schema.Schema.Desc.messages;
+  Buffer.contents buf

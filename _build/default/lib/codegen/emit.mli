@@ -1,0 +1,15 @@
+(** The Cornflakes compiler: emits OCaml accessor modules from a schema.
+
+    This is the analogue of the paper's code-generation step (§3, Listing 1):
+    from a message schema it produces, per message, a typed wrapper over the
+    dynamic-message runtime with a constructor, setters, getters, repeated-
+    field appenders, [deserialize], and a combined [send] (serialize-and-
+    send). The generated source depends only on the public [schema], [wire],
+    [mem] and [cornflakes] libraries; [examples/] contains a checked-in
+    instance kept in sync by a golden test. *)
+
+(** [module_source ~schema_text schema] is the complete [.ml] source. *)
+val module_source : schema_text:string -> Schema.Desc.t -> string
+
+(** [ocaml_name s] — a valid lower-case OCaml identifier for a field name. *)
+val ocaml_name : string -> string

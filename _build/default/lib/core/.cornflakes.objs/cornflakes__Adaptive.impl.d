@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Cf_ptr Config Mem Memmodel Wire

@@ -1,0 +1,1 @@
+lib/core/cf_ptr.ml: Config Mem Net Wire

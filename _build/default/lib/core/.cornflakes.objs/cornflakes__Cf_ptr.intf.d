@@ -1,0 +1,1 @@
+lib/core/cf_ptr.mli: Config Mem Memmodel Net Wire

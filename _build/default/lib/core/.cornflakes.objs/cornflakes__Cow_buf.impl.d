@@ -1,0 +1,1 @@
+lib/core/cow_buf.ml: Bytes Mem Memmodel String

@@ -1,0 +1,1 @@
+lib/core/cow_buf.mli: Mem Memmodel

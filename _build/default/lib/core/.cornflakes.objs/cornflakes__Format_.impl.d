@@ -1,0 +1,1 @@
+lib/core/format_.ml: Array Int64 List Mem Memmodel Printf Schema Wire

@@ -1,0 +1,1 @@
+lib/core/format_.mli: Mem Memmodel Schema Wire

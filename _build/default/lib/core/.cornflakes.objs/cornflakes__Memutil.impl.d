@@ -1,0 +1,1 @@
+lib/core/memutil.ml: List Mem

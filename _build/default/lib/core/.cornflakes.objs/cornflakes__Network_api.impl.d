@@ -1,0 +1,1 @@
+lib/core/network_api.ml: Cf_ptr Config Mem Net Queue Send

@@ -1,0 +1,1 @@
+lib/core/network_api.mli: Config Mem Memmodel Net Wire

@@ -1,0 +1,1 @@
+lib/core/obj_api.ml: Format_ List Mem Wire

@@ -1,0 +1,1 @@
+lib/core/obj_api.mli: Mem Memmodel Wire

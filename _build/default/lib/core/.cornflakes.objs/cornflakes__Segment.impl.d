@@ -1,0 +1,1 @@
+lib/core/segment.ml: Bytes Char Format_ Hashtbl List Mem Memmodel Memutil Net Obj_api Printf Wire

@@ -1,0 +1,1 @@
+lib/core/segment.mli: Mem Memmodel Net Wire

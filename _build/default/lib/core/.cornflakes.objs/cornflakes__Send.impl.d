@@ -1,0 +1,1 @@
+lib/core/send.ml: Config Format_ List Mem Memmodel Memutil Net Nic Wire

@@ -1,0 +1,1 @@
+lib/core/send.mli: Config Mem Memmodel Net Schema Wire

@@ -1,0 +1,22 @@
+let copy ?cpu ep view =
+  Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) view)
+
+let make ?cpu (config : Config.t) ep (view : Mem.View.t) =
+  if view.Mem.View.len >= config.zero_copy_threshold then
+    match
+      Mem.Registry.recover_ptr ?cpu
+        (Net.Endpoint.registry ep)
+        ~addr:view.Mem.View.addr ~len:view.Mem.View.len
+    with
+    | Some buf -> Wire.Payload.Zero_copy buf
+    | None -> copy ?cpu ep view
+  else copy ?cpu ep view
+
+let of_buf ?cpu (config : Config.t) ep buf =
+  if Mem.Pinned.Buf.len buf >= config.zero_copy_threshold then
+    Wire.Payload.Zero_copy buf
+  else begin
+    let p = copy ?cpu ep (Mem.Pinned.Buf.view buf) in
+    Mem.Pinned.Buf.decr_ref ?cpu buf;
+    p
+  end

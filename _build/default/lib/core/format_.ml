@@ -1,0 +1,249 @@
+exception Malformed of string
+
+type plan = {
+  header_len : int;
+  stream_len : int;
+  zc_bufs : Mem.Pinned.Buf.t list;
+  zc_len : int;
+  total_len : int;
+}
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let bitmap_words nfields = (nfields + 31) / 32
+
+let header_block_len (msg : Wire.Dyn.t) =
+  let desc = Wire.Dyn.desc msg in
+  4
+  + (4 * bitmap_words (Array.length desc.Schema.Desc.fields))
+  + (8 * Wire.Dyn.present_count msg)
+
+(* --- Measuring ------------------------------------------------------- *)
+
+type sizes = {
+  mutable stream : int;
+  mutable zc : int;
+  mutable zc_rev : Mem.Pinned.Buf.t list;
+}
+
+let rec measure_payload sz (p : Wire.Payload.t) =
+  match p with
+  | Wire.Payload.Zero_copy buf ->
+      sz.zc <- sz.zc + Mem.Pinned.Buf.len buf;
+      sz.zc_rev <- buf :: sz.zc_rev
+  | Wire.Payload.Copied v | Wire.Payload.Literal v ->
+      sz.stream <- sz.stream + v.Mem.View.len
+
+and measure_msg sz (msg : Wire.Dyn.t) =
+  Wire.Dyn.iter_present msg (fun _ _field v -> measure_value sz v)
+
+and measure_value sz (v : Wire.Dyn.value) =
+  match v with
+  | Wire.Dyn.Int _ | Wire.Dyn.Float _ -> ()
+  | Wire.Dyn.Payload p -> measure_payload sz p
+  | Wire.Dyn.Nested m ->
+      sz.stream <- sz.stream + header_block_len m;
+      measure_msg sz m
+  | Wire.Dyn.List elems ->
+      sz.stream <- sz.stream + (8 * List.length elems);
+      List.iter (measure_value sz) elems
+
+let measure msg =
+  let sz = { stream = 0; zc = 0; zc_rev = [] } in
+  measure_msg sz msg;
+  let header_len = header_block_len msg in
+  {
+    header_len;
+    stream_len = sz.stream;
+    zc_bufs = List.rev sz.zc_rev;
+    zc_len = sz.zc;
+    total_len = header_len + sz.stream + sz.zc;
+  }
+
+let object_len msg = (measure msg).total_len
+
+let num_entries plan = 1 + List.length plan.zc_bufs
+
+(* --- Writing ---------------------------------------------------------- *)
+
+type cursors = { mutable stream_pos : int; mutable zc_pos : int }
+
+let rec write_msg ?cpu w cur (msg : Wire.Dyn.t) ~hpos =
+  let module W = Wire.Cursor.Writer in
+  let desc = Wire.Dyn.desc msg in
+  let nfields = Array.length desc.Schema.Desc.fields in
+  let bw = bitmap_words nfields in
+  W.seek w hpos;
+  W.u32 w bw;
+  (* Bitmap: bit i set iff field index i is present. *)
+  let words = Array.make bw 0 in
+  Wire.Dyn.iter_present msg (fun i _ _ ->
+      words.(i / 32) <- words.(i / 32) lor (1 lsl (i mod 32)));
+  Array.iter (fun word -> W.u32 w word) words;
+  let slot_base = hpos + 4 + (4 * bw) in
+  let k = ref 0 in
+  Wire.Dyn.iter_present msg (fun _ _field v ->
+      let slot = slot_base + (8 * !k) in
+      incr k;
+      write_value ?cpu w cur v ~slot)
+
+and write_value ?cpu w cur (v : Wire.Dyn.value) ~slot =
+  let module W = Wire.Cursor.Writer in
+  match v with
+  | Wire.Dyn.Int value ->
+      W.seek w slot;
+      W.u64 w value
+  | Wire.Dyn.Float f ->
+      W.seek w slot;
+      W.u64 w (Int64.bits_of_float f)
+  | Wire.Dyn.Payload p -> write_payload ?cpu w cur p ~slot
+  | Wire.Dyn.Nested m ->
+      let nh = header_block_len m in
+      let pos = cur.stream_pos in
+      cur.stream_pos <- cur.stream_pos + nh;
+      W.seek w slot;
+      W.u32 w pos;
+      W.u32 w nh;
+      write_msg ?cpu w cur m ~hpos:pos
+  | Wire.Dyn.List elems ->
+      let count = List.length elems in
+      let table = cur.stream_pos in
+      cur.stream_pos <- cur.stream_pos + (8 * count);
+      W.seek w slot;
+      W.u32 w table;
+      W.u32 w count;
+      List.iteri
+        (fun j elem -> write_value ?cpu w cur elem ~slot:(table + (8 * j)))
+        elems
+
+and write_payload ?cpu w cur (p : Wire.Payload.t) ~slot =
+  let module W = Wire.Cursor.Writer in
+  match p with
+  | Wire.Payload.Zero_copy buf ->
+      let len = Mem.Pinned.Buf.len buf in
+      let pos = cur.zc_pos in
+      cur.zc_pos <- cur.zc_pos + len;
+      W.seek w slot;
+      W.u32 w pos;
+      W.u32 w len;
+      (* Data travels as its own gather entry; nothing written here. *)
+      ignore cpu
+  | Wire.Payload.Copied v | Wire.Payload.Literal v ->
+      let pos = cur.stream_pos in
+      cur.stream_pos <- cur.stream_pos + v.Mem.View.len;
+      W.seek w pos;
+      W.view_bytes w v;
+      W.seek w slot;
+      W.u32 w pos;
+      W.u32 w v.Mem.View.len
+
+let write ?cpu plan w msg =
+  let cur =
+    {
+      stream_pos = plan.header_len;
+      zc_pos = plan.header_len + plan.stream_len;
+    }
+  in
+  write_msg ?cpu w cur msg ~hpos:0;
+  assert (cur.stream_pos = plan.header_len + plan.stream_len);
+  assert (cur.zc_pos = plan.total_len)
+
+(* --- Deserializing ---------------------------------------------------- *)
+
+let charge_field_read cpu =
+  match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Deser
+        (Memmodel.Cpu.params cpu).Memmodel.Params.cost_per_call
+
+let max_depth = 32
+
+let rec read_msg ?cpu ?(depth = 0) schema (desc : Schema.Desc.message) buf
+    ~hpos =
+  if depth > max_depth then malformed "nesting deeper than %d" max_depth;
+  let module R = Wire.Cursor.Reader in
+  let view = Mem.Pinned.Buf.view buf in
+  let total = view.Mem.View.len in
+  if hpos < 0 || hpos + 4 > total then malformed "header position out of range";
+  let r = R.create ?cpu view in
+  R.seek r hpos;
+  let bw = R.u32 r in
+  let nfields = Array.length desc.Schema.Desc.fields in
+  if bw <> bitmap_words nfields then
+    malformed "bitmap size %d does not match schema for %s" bw
+      desc.Schema.Desc.msg_name;
+  if hpos + 4 + (4 * bw) > total then malformed "bitmap out of range";
+  let words = Array.init bw (fun _ -> R.u32 r) in
+  let present i = words.(i / 32) land (1 lsl (i mod 32)) <> 0 in
+  let msg = Wire.Dyn.create desc in
+  let slot_base = hpos + 4 + (4 * bw) in
+  let k = ref 0 in
+  Array.iteri
+    (fun i (field : Schema.Desc.field) ->
+      if present i then begin
+        let slot = slot_base + (8 * !k) in
+        incr k;
+        if slot + 8 > total then malformed "info slot out of range";
+        let v = read_value ?cpu ~depth schema field buf r ~slot ~total in
+        Wire.Dyn.set msg field.Schema.Desc.field_name v
+      end)
+    desc.Schema.Desc.fields;
+  msg
+
+and read_value ?cpu ~depth schema (field : Schema.Desc.field) buf r ~slot
+    ~total =
+  let module R = Wire.Cursor.Reader in
+  charge_field_read cpu;
+  match field.Schema.Desc.label with
+  | Schema.Desc.Repeated ->
+      R.seek r slot;
+      let table = R.u32 r in
+      let count = R.u32 r in
+      if count < 0 || table < 0 || table + (8 * count) > total then
+        malformed "repeated field table out of range";
+      let elems =
+        List.init count (fun j ->
+            read_element ?cpu ~depth schema field buf r
+              ~slot:(table + (8 * j))
+              ~total)
+      in
+      Wire.Dyn.List elems
+  | Schema.Desc.Singular ->
+      read_element ?cpu ~depth schema field buf r ~slot ~total
+
+and read_element ?cpu ~depth schema (field : Schema.Desc.field) buf r ~slot
+    ~total =
+  let module R = Wire.Cursor.Reader in
+  R.seek r slot;
+  match field.Schema.Desc.ty with
+  | Schema.Desc.Scalar Schema.Desc.Float64 ->
+      Wire.Dyn.Float (Int64.float_of_bits (R.u64 r))
+  | Schema.Desc.Scalar _ -> Wire.Dyn.Int (R.u64 r)
+  | Schema.Desc.Str | Schema.Desc.Bytes ->
+      let off = R.u32 r in
+      let len = R.u32 r in
+      if off < 0 || len < 0 || off + len > total then
+        malformed "payload [%d, %d) out of object of %d bytes" off (off + len)
+          total;
+      (* Zero-copy deserialization: the field is a window into the receive
+         buffer, holding its own reference. *)
+      let sub = Mem.Pinned.Buf.sub buf ~off ~len in
+      Mem.Pinned.Buf.incr_ref ?cpu sub;
+      Wire.Dyn.Payload (Wire.Payload.Zero_copy sub)
+  | Schema.Desc.Message name -> (
+      let off = R.u32 r in
+      let hlen = R.u32 r in
+      if off < 0 || hlen < 4 || off + hlen > total then
+        malformed "nested header out of range";
+      match Schema.Desc.find_message schema name with
+      | None -> malformed "unknown nested message %s" name
+      | Some nested_desc ->
+          let saved = R.pos r in
+          let nested =
+            read_msg ?cpu ~depth:(depth + 1) schema nested_desc buf ~hpos:off
+          in
+          R.seek r saved;
+          Wire.Dyn.Nested nested)
+
+let deserialize ?cpu schema desc buf = read_msg ?cpu schema desc buf ~hpos:0

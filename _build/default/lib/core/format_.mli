@@ -1,0 +1,66 @@
+(** The Cornflakes wire format (§3.3, Figure 4).
+
+    An object is laid out as three regions:
+
+    {v
+    +-----------------------------+ 0
+    | u32 bitmap word count       |
+    | bitmap (present fields)     |
+    | 8-byte info slot per        |
+    |   present field, in schema  |
+    |   order                     |
+    +-----------------------------+ header_len
+    | copied region ("stream"):   |
+    |   list tables, nested       |
+    |   headers, copied payloads  |
+    +-----------------------------+ header_len + stream_len
+    | zero-copy region: payloads  |
+    |   appended by the NIC as    |
+    |   extra gather entries      |
+    +-----------------------------+ total
+    v}
+
+    Info slots: scalars hold the value inline (ints are never zero-copied —
+    footnote 5); strings/bytes hold [(u32 offset, u32 length)]; nested
+    messages hold [(u32 offset, u32 header_length)]; repeated fields hold
+    [(u32 table_offset, u32 count)], the table being 8-byte entries of the
+    element's slot form. All offsets are relative to the object start, so a
+    receiver deserializes from the gathered (contiguous) packet without
+    copies. *)
+
+exception Malformed of string
+
+(** The serialization plan: region sizes and the ordered zero-copy entries.
+    Produced by one traversal; [write] replays the identical traversal. *)
+type plan = {
+  header_len : int;
+  stream_len : int;
+  zc_bufs : Mem.Pinned.Buf.t list; (* in traversal order *)
+  zc_len : int;
+  total_len : int;
+}
+
+val measure : Wire.Dyn.t -> plan
+
+(** [object_len msg] without building the entry list. *)
+val object_len : Wire.Dyn.t -> int
+
+(** Number of scatter-gather data entries the object needs:
+    1 (header + copied region) + number of zero-copy payloads. *)
+val num_entries : plan -> int
+
+(** [write ?cpu plan w msg] emits header + copied region
+    ([plan.header_len + plan.stream_len] bytes) into [w]; zero-copy bytes
+    are not touched. Raises [Invalid_argument] if [w] is too small. *)
+val write : ?cpu:Memmodel.Cpu.t -> plan -> Wire.Cursor.Writer.t -> Wire.Dyn.t -> unit
+
+(** [deserialize ?cpu schema desc buf] rebuilds a message from a received
+    object. Bytes/string fields become [Zero_copy] windows into [buf] (one
+    new reference each); nothing larger than the header/tables is read.
+    Raises [Malformed] on out-of-bounds offsets or bad bitmaps. *)
+val deserialize :
+  ?cpu:Memmodel.Cpu.t ->
+  Schema.Desc.t ->
+  Schema.Desc.message ->
+  Mem.Pinned.Buf.t ->
+  Wire.Dyn.t

@@ -1,0 +1,8 @@
+(* Count the distinct refcount-metadata cache lines behind a buffer list:
+   the unit of completion-side metadata misses. *)
+let distinct_meta_lines bufs =
+  let lines =
+    List.sort_uniq compare
+      (List.map (fun b -> Mem.Pinned.Buf.metadata_addr b lsr 6) bufs)
+  in
+  List.length lines

@@ -1,0 +1,4 @@
+(** [distinct_meta_lines bufs] — how many distinct refcount cache lines the
+    buffers' metadata occupies (completion releases pay one miss per line,
+    not per buffer). *)
+val distinct_meta_lines : Mem.Pinned.Buf.t list -> int

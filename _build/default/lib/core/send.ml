@@ -1,0 +1,115 @@
+exception Message_too_large of { len : int; max : int }
+
+(* Demote the smallest zero-copy payloads to copies until at most [keep]
+   remain. Demotion pays both the metadata touch (the refcount was already
+   taken) and the data copy — the double-cost case §3.2.1 warns about, which
+   is why it only happens on SGE-limit overflow. *)
+let demote_excess ?cpu ep msg ~keep =
+  let zc_lens =
+    Wire.Dyn.fold_payloads msg ~init:[] ~f:(fun acc p ->
+        match p with
+        | Wire.Payload.Zero_copy buf -> Mem.Pinned.Buf.len buf :: acc
+        | Wire.Payload.Copied _ | Wire.Payload.Literal _ -> acc)
+  in
+  let count = List.length zc_lens in
+  if count > keep then begin
+    let sorted = List.sort (fun a b -> compare b a) zc_lens in
+    let cutoff = List.nth sorted (keep - 1) in
+    let strictly_larger = List.length (List.filter (fun l -> l > cutoff) sorted) in
+    let allow_at_cutoff = ref (keep - strictly_larger) in
+    let arena = Net.Endpoint.arena ep in
+    Wire.Dyn.map_payloads msg (fun p ->
+        match p with
+        | Wire.Payload.Copied _ | Wire.Payload.Literal _ -> p
+        | Wire.Payload.Zero_copy buf ->
+            let len = Mem.Pinned.Buf.len buf in
+            let keep_this =
+              len > cutoff
+              || (len = cutoff && !allow_at_cutoff > 0
+                 &&
+                 (decr allow_at_cutoff;
+                  true))
+            in
+            if keep_this then p
+            else begin
+              let copied = Mem.Arena.copy_in ?cpu arena (Mem.Pinned.Buf.view buf) in
+              Mem.Pinned.Buf.decr_ref ?cpu buf;
+              Wire.Payload.Copied copied
+            end)
+  end
+
+let send_object ?cpu (config : Config.t) ep ~dst msg =
+  let plan = Format_.measure msg in
+  if plan.Format_.total_len > Net.Packet.max_payload then
+    raise
+      (Message_too_large
+         { len = plan.Format_.total_len; max = Net.Packet.max_payload });
+  let limit = (Nic.Device.model (Net.Endpoint.nic ep)).Nic.Model.max_sge in
+  let max_zc = limit - if config.serialize_and_send then 1 else 2 in
+  let nzc = List.length plan.Format_.zc_bufs in
+  let plan =
+    if nzc > max_zc then begin
+      demote_excess ?cpu ep msg ~keep:max_zc;
+      Format_.measure msg
+    end
+    else plan
+  in
+  let contiguous_len = plan.Format_.header_len + plan.Format_.stream_len in
+  (* Completion-side reference release: by the time the CQE arrives the
+     refcount metadata has typically been evicted again, so the release
+     pays a second metadata miss — but buffers whose refcounts share a
+     cache line (adjacent slots, e.g. one value's linked list) amortise it.
+     Charged here (per distinct metadata line) so per-request service times
+     include it; staging entries recycle hot buffers and pay nothing. *)
+  (match cpu with
+  | None -> ()
+  | Some cpu ->
+      let p = Memmodel.Cpu.params cpu in
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Safety
+        (float_of_int (Memutil.distinct_meta_lines plan.Format_.zc_bufs)
+        *. p.Memmodel.Params.cost_completion_per_sge));
+  if config.serialize_and_send then begin
+    (* One staging buffer: packet header headroom + object header + copied
+       fields. Zero-copy payloads ride as further gather entries. *)
+    let staging =
+      Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + contiguous_len)
+    in
+    let window =
+      Mem.View.sub
+        (Mem.Pinned.Buf.view staging)
+        ~off:Net.Packet.header_len ~len:contiguous_len
+    in
+    let w = Wire.Cursor.Writer.create ?cpu window in
+    Format_.write ?cpu plan w msg;
+    Net.Endpoint.send_inline_header ?cpu ep ~dst
+      ~segments:(staging :: plan.Format_.zc_bufs)
+  end
+  else begin
+    (* Layered path: object buffer, then an explicit scatter-gather array
+       handed to the stack, which prepends a header-only entry. *)
+    let obj = Net.Endpoint.alloc_tx ?cpu ep ~len:contiguous_len in
+    let w = Wire.Cursor.Writer.create ?cpu (Mem.Pinned.Buf.view obj) in
+    Format_.write ?cpu plan w msg;
+    let nsge = 1 + List.length plan.Format_.zc_bufs in
+    let sga = Mem.Arena.alloc ?cpu (Net.Endpoint.arena ep) ~len:(16 * nsge) in
+    (match cpu with
+    | None -> ()
+    | Some cpu ->
+        let p = Memmodel.Cpu.params cpu in
+        (* Materialising the scatter-gather array: a heap vector allocation,
+           writing (ptr, len) pairs, and the stack re-reading them while
+           posting — the intermediate transformation serialize-and-send
+           eliminates (paper section 3.2.3). *)
+        Memmodel.Cpu.charge cpu Memmodel.Cpu.Alloc
+          p.Memmodel.Params.cost_vec_alloc;
+        Memmodel.Cpu.charge cpu Memmodel.Cpu.Tx
+          (float_of_int nsge *. 2.0 *. p.Memmodel.Params.cost_per_call);
+        Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:sga.Mem.View.addr
+          ~len:(16 * nsge);
+        Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:sga.Mem.View.addr
+          ~len:(16 * nsge));
+    Net.Endpoint.send_extra_header ?cpu ep ~dst
+      ~segments:(obj :: plan.Format_.zc_bufs)
+  end
+
+let deserialize = Format_.deserialize

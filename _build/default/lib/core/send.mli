@@ -1,0 +1,36 @@
+(** The combined serialize-and-send entry point (paper §3.2.3, Listing 2's
+    [send_object]).
+
+    With [config.serialize_and_send] on, the packet header, object header
+    and copied fields share one staging buffer/gather entry, and zero-copy
+    payloads are posted directly from the message — no intermediate
+    scatter-gather array exists. With it off, Cornflakes behaves like a
+    serialization library layered over an independent stack: it builds an
+    object buffer, materialises a scatter-gather array, and the stack
+    prepends its own header entry (one extra gather entry, one extra
+    allocation — the Table 5 ablation).
+
+    Ownership: the message's zero-copy references transfer to the stack and
+    are released on TX completion; the caller must not release the message's
+    payloads after a successful send. If the gather list would exceed the
+    NIC's SGE limit, the smallest zero-copy payloads are transparently
+    demoted to copies first. *)
+
+exception Message_too_large of { len : int; max : int }
+
+val send_object :
+  ?cpu:Memmodel.Cpu.t ->
+  Config.t ->
+  Net.Endpoint.t ->
+  dst:int ->
+  Wire.Dyn.t ->
+  unit
+
+(** [deserialize ?cpu schema desc buf] — re-export of {!Format_.deserialize}
+    for API symmetry with Listing 1. *)
+val deserialize :
+  ?cpu:Memmodel.Cpu.t ->
+  Schema.Desc.t ->
+  Schema.Desc.message ->
+  Mem.Pinned.Buf.t ->
+  Wire.Dyn.t

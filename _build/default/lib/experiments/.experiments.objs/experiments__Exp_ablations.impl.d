@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Apps Cornflakes Float Kv_bench List Loadgen Nic Printf Stats Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Apps Cornflakes Kv_bench List Loadgen Memmodel Nic Stats Util Workload

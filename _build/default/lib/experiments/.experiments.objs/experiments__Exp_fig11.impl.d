@@ -1,0 +1,1 @@
+lib/experiments/exp_fig11.ml: Apps Kv_bench List Loadgen Memmodel Printf Stats Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Apps Cornflakes Kv_bench List Loadgen Printf Stats Util Workload

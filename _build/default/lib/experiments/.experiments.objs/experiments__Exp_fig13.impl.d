@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Apps List Loadgen Mem Memmodel Micro Net Nic Printf Sim Stats Util

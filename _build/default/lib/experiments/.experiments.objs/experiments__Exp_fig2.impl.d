@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.ml: Apps List Loadgen Printf Stats Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Apps Cornflakes List Loadgen Memmodel Printf Stats Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Apps Kv_bench List Printf Stats Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Apps Cornflakes List Loadgen Mini_redis Printf Stats Util Workload

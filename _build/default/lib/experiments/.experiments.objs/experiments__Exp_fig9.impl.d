@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Apps Baselines Cornflakes Int64 List Mem Memmodel Net Printf Queue Sim Stats Tcp Util Wire Workload

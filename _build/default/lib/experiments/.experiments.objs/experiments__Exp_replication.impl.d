@@ -1,0 +1,1 @@
+lib/experiments/exp_replication.ml: Apps List Loadgen Replication Stats Util Workload

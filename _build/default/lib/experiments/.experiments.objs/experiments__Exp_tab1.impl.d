@@ -1,0 +1,1 @@
+lib/experiments/exp_tab1.ml: Apps Kv_bench List Loadgen Printf Stats Util Workload

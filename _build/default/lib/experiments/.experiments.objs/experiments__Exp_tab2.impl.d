@@ -1,0 +1,1 @@
+lib/experiments/exp_tab2.ml: Apps Kv_bench List Loadgen Stats Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab3.ml: Apps Cornflakes List Loadgen Mini_redis Stats Util Workload

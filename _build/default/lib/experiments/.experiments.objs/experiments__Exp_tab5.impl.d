@@ -1,0 +1,1 @@
+lib/experiments/exp_tab5.ml: Apps Cornflakes Kv_bench List Loadgen Stats Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/kv_bench.ml: Apps List Loadgen Util

@@ -1,0 +1,1 @@
+lib/experiments/kv_bench.mli: Apps Loadgen Stats Util Workload

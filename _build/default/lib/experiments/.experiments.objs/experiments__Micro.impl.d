@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Apps Baselines Buffer Char Kvstore List Loadgen Mem Net Sim String Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/micro.mli: Apps Util

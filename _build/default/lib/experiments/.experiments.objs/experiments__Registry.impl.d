@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablations Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig2 Exp_fig3 Exp_fig5 Exp_fig7 Exp_fig8 Exp_fig9 Exp_replication Exp_tab1 Exp_tab2 Exp_tab3 Exp_tab5 List

@@ -1,0 +1,1 @@
+lib/experiments/util.ml: Apps List Loadgen Mem Net Printf Stats

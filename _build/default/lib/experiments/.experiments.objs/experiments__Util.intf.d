@@ -1,0 +1,1 @@
+lib/experiments/util.mli: Apps Loadgen Mem Net Stats

@@ -1,0 +1,58 @@
+(* Figure 12 and Table 4: the hybrid threshold ablation. Figure 12 compares
+   hybrid vs only-scatter-gather vs only-copy on the Twitter trace; Table 4
+   compares hybrid vs only-scatter-gather on the Google workload. *)
+
+let configs =
+  [
+    ("hybrid (512B)", Cornflakes.Config.default);
+    ("all scatter-gather", Cornflakes.Config.all_zero_copy);
+    ("all copy", Cornflakes.Config.all_copy);
+  ]
+
+let backends () =
+  List.map
+    (fun (name, config) ->
+      { (Apps.Backend.cornflakes ~config ()) with Apps.Backend.name })
+    configs
+
+let run () =
+  let workload = Workload.Twitter.make () in
+  let curves = Kv_bench.curves ~workload (backends ()) in
+  let slo_ns = 50_000 in
+  Util.print_curves
+    ~title:"Figure 12: hybrid vs all-scatter-gather vs all-copy (Twitter)"
+    ~slo_ns curves;
+  let find name = List.find (fun c -> Stats.Curve.name c = name) curves in
+  let hybrid = Util.tput_at_slo (find "hybrid (512B)") ~slo_ns in
+  let zc = Util.tput_at_slo (find "all scatter-gather") ~slo_ns in
+  Printf.printf "  headline: hybrid vs all-SG at SLO -> %s (paper: +2.3-3.9%%)\n"
+    (Util.pct_delta zc hybrid)
+
+let run_tab4 () =
+  let t =
+    Stats.Table.create
+      ~title:"Table 4: hybrid vs only-scatter-gather, Google workload (krps)"
+      ~columns:[ "lists"; "hybrid"; "all-SG"; "gain"; "paper gain" ]
+  in
+  List.iter
+    (fun (max_vals, paper) ->
+      let workload = Workload.Google.make ~max_vals () in
+      let results =
+        Kv_bench.capacities ~workload
+          [
+            Apps.Backend.cornflakes ();
+            Apps.Backend.cornflakes ~config:Cornflakes.Config.all_zero_copy ();
+          ]
+      in
+      let hybrid = (List.assoc "cornflakes" results).Loadgen.Driver.achieved_rps in
+      let zc = (List.assoc "cornflakes-zc" results).Loadgen.Driver.achieved_rps in
+      Stats.Table.add_row t
+        [
+          Printf.sprintf "1-%d vals" max_vals;
+          Util.krps hybrid;
+          Util.krps zc;
+          Util.pct_delta zc hybrid;
+          paper;
+        ])
+    [ (1, "+1.4%"); (4, "+5%"); (8, "+9%"); (16, "+14.0%") ];
+  Stats.Table.print t

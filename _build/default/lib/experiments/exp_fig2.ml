@@ -1,0 +1,80 @@
+(* Figure 2: p99 latency vs achieved load for the echo server, comparing
+   no-serialization, zero-copy, one-copy, two-copy, and the software
+   serialization libraries, on a 2 x 2048 B list message. *)
+
+let modes () =
+  [
+    Apps.Echo_app.No_serialization;
+    Apps.Echo_app.Zero_copy_raw;
+    Apps.Echo_app.One_copy;
+    Apps.Echo_app.Two_copy;
+    Apps.Echo_app.Lib Apps.Backend.protobuf;
+    Apps.Echo_app.Lib Apps.Backend.flatbuffers;
+    Apps.Echo_app.Lib Apps.Backend.capnproto;
+    Apps.Echo_app.Lib (Apps.Backend.cornflakes ());
+  ]
+
+let sizes = [ 2048; 2048 ]
+
+let run_mode mode =
+  let rig = Apps.Rig.create () in
+  let app = Apps.Echo_app.install rig mode in
+  let d =
+    {
+      Util.send =
+        (fun ep ~dst ~id -> Apps.Echo_app.send_request app ~sizes ep ~dst ~id);
+      parse_id = Apps.Echo_app.parse_id app;
+    }
+  in
+  let cap = Util.capacity rig d in
+  let bytes_per_req =
+    if cap.Loadgen.Driver.achieved_rps > 0.0 then
+      cap.Loadgen.Driver.achieved_gbps *. 1e9 /. 8.0
+      /. cap.Loadgen.Driver.achieved_rps
+    else 0.0
+  in
+  let c =
+    Util.curve rig d
+      ~name:(Apps.Echo_app.mode_name mode)
+      ~capacity_rps:cap.Loadgen.Driver.achieved_rps
+  in
+  (mode, cap, bytes_per_req, c)
+
+let run () =
+  let results = List.map run_mode (modes ()) in
+  let slo_ns = 50_000 in
+  let t =
+    Stats.Table.create
+      ~title:
+        "Figure 2: echo server (2 x 2048 B fields), single core — achieved \
+         load vs p99"
+      ~columns:
+        [ "system"; "max Gbps"; "Gbps @ p99<50us"; "service ns"; "p99 us @ 0.75 cap" ]
+  in
+  List.iter
+    (fun (mode, cap, bytes_per_req, c) ->
+      let at_slo = Util.tput_at_slo c ~slo_ns in
+      let gbps_at_slo = at_slo *. bytes_per_req *. 8.0 /. 1e9 in
+      let p99_mid =
+        match Stats.Curve.points c with
+        | _ :: _ :: _ :: (p : Stats.Curve.point) :: _ -> p.Stats.Curve.p99_ns
+        | p :: _ -> p.Stats.Curve.p99_ns
+        | [] -> 0
+      in
+      let service =
+        if cap.Loadgen.Driver.achieved_rps > 0.0 then
+          1e9 /. cap.Loadgen.Driver.achieved_rps
+        else 0.0
+      in
+      Stats.Table.add_row t
+        [
+          Apps.Echo_app.mode_name mode;
+          Util.gbps cap.Loadgen.Driver.achieved_gbps;
+          Util.gbps gbps_at_slo;
+          Printf.sprintf "%.0f" service;
+          Printf.sprintf "%.1f" (float_of_int p99_mid /. 1e3);
+        ])
+    results;
+  Stats.Table.print t;
+  Util.print_curves ~title:"Figure 2: throughput-latency curves" ~slo_ns
+    (List.map (fun (_, _, _, c) -> c) results)

@@ -1,0 +1,75 @@
+(* Figure 5: heatmap of percent difference in maximum throughput between
+   all-scatter-gather and all-copy Cornflakes, across total payload size and
+   number of entries, on the Zipf YCSB workload. The green line of the paper
+   — where scatter-gather starts winning — should track per-entry sizes of
+   about 512 B. *)
+
+let totals = [ 512; 1024; 2048; 4096; 8192 ]
+
+let entry_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+let target_ws = 5 * Memmodel.Params.default.Memmodel.Params.l3.Memmodel.Params.size_bytes
+
+let run_cell ~total ~entries =
+  if total / entries < 16 then None
+  else begin
+    let entry_size = total / entries in
+    let n_keys = min 262_144 (max 8_192 (target_ws / total)) in
+    let rig = Apps.Rig.create () in
+    let workload = Workload.Ycsb.make ~n_keys ~entries ~entry_size () in
+    let base =
+      Apps.Kv_app.install rig
+        ~backend:(Apps.Backend.cornflakes ~config:Cornflakes.Config.all_copy ())
+        ~workload
+    in
+    let measure config =
+      let app =
+        Apps.Kv_app.switch_backend base (Apps.Backend.cornflakes ~config ())
+      in
+      let d =
+        {
+          Util.send = (fun ep ~dst ~id -> Apps.Kv_app.send_next app ep ~dst ~id);
+          parse_id = Some (fun buf -> Apps.Kv_app.parse_id app buf);
+        }
+      in
+      (Util.capacity rig d).Loadgen.Driver.achieved_rps
+    in
+    let sg = measure Cornflakes.Config.all_zero_copy in
+    let copy = measure Cornflakes.Config.all_copy in
+    Some (100.0 *. (sg -. copy) /. copy)
+  end
+
+let run () =
+  let t =
+    Stats.Table.create
+      ~title:
+        "Figure 5: % max-throughput difference, scatter-gather vs copy \
+         (positive = SG wins)"
+      ~columns:
+        ("entries \\ total B"
+        :: List.map string_of_int totals)
+  in
+  let crossover = ref [] in
+  List.iter
+    (fun entries ->
+      let row =
+        List.map
+          (fun total ->
+            match run_cell ~total ~entries with
+            | None -> "-"
+            | Some delta ->
+                if delta >= 0.0 && not (List.mem_assoc entries !crossover)
+                then crossover := (entries, total) :: !crossover;
+                Printf.sprintf "%+.1f%%" delta)
+          totals
+      in
+      Stats.Table.add_row t (string_of_int entries :: row))
+    entry_counts;
+  Stats.Table.print t;
+  print_endline "  crossover (first total size where SG wins, per entry count):";
+  List.iter
+    (fun (entries, total) ->
+      Printf.printf "    %2d entries: total %5d B -> %4d B per field\n" entries
+        total (total / entries))
+    (List.rev !crossover);
+  print_endline "  (paper: SG wins once individual fields reach ~512 B)"

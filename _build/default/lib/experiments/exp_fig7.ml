@@ -1,0 +1,18 @@
+(* Figure 7: throughput-tail-latency on the Twitter cache trace (32% of
+   gets >= 512 B, 8% puts). Cornflakes should beat all software baselines;
+   the paper reports +15.4% over Protobuf at a ~53 us tail SLO. *)
+
+let run () =
+  let workload = Workload.Twitter.make () in
+  let curves = Kv_bench.curves ~workload Apps.Backend.all in
+  let slo_ns = 53_000 in
+  Util.print_curves ~title:"Figure 7: Twitter cache trace" ~slo_ns curves;
+  let find name =
+    List.find (fun c -> Stats.Curve.name c = name) curves
+  in
+  let cf = Util.tput_at_slo (find "cornflakes") ~slo_ns in
+  let pb = Util.tput_at_slo (find "protobuf") ~slo_ns in
+  Printf.printf
+    "  headline: cornflakes %s krps vs protobuf %s krps at p99<%d us -> %s \
+     (paper: +15.4%%)\n"
+    (Util.krps cf) (Util.krps pb) (slo_ns / 1000) (Util.pct_delta pb cf)

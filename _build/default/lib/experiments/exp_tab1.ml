@@ -1,0 +1,43 @@
+(* Table 1: throughput (krps) on the Google bytes-size-distribution
+   workload, lists of 1 / 1-4 / 1-8 / 1-16 values, for Cornflakes and the
+   three libraries. Figure 6 is the throughput-latency curve for the 1-8
+   case. *)
+
+let cases = [ 1; 4; 8; 16 ]
+
+let run () =
+  let t =
+    Stats.Table.create
+      ~title:"Table 1: Google bytes distribution — krps per system"
+      ~columns:
+        ("system" :: List.map (fun m -> Printf.sprintf "1-%d vals" m) cases)
+  in
+  let results =
+    List.map
+      (fun max_vals ->
+        let workload = Workload.Google.make ~max_vals () in
+        Kv_bench.capacities ~workload Apps.Backend.all)
+      cases
+  in
+  List.iter
+    (fun backend ->
+      let name = backend.Apps.Backend.name in
+      let row =
+        List.map
+          (fun per_case ->
+            Util.krps (List.assoc name per_case).Loadgen.Driver.achieved_rps)
+          results
+      in
+      Stats.Table.add_row t (name :: row))
+    Apps.Backend.all;
+  Stats.Table.print t;
+  print_endline
+    "  (paper: Cornflakes within ~2% of Protobuf for 1 and 1-4 vals, ahead \
+     for 1-8/1-16)"
+
+let run_fig6 () =
+  let workload = Workload.Google.make ~max_vals:8 () in
+  let curves = Kv_bench.curves ~workload Apps.Backend.all in
+  Util.print_curves
+    ~title:"Figure 6: Google distribution, 1-8 vals — throughput vs p99"
+    ~slo_ns:50_000 curves

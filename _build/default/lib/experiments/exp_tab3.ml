@@ -1,0 +1,71 @@
+(* Table 3: highest throughput for three Redis commands on the YCSB
+   workload with 4096-byte total payloads: get (1 x 4096), mget-2
+   (2 keys x 2048) and lrange-2 (one list of 2 x 2048). Paper: Cornflakes
+   serialization gives +15% to +40.1%. *)
+
+type command_case = {
+  label : string;
+  paper_gain : string;
+  workload : Workload.Spec.t;
+  list_values : bool;
+}
+
+let cases () =
+  [
+    {
+      label = "get (1x4096)";
+      paper_gain = "+15%";
+      workload = Workload.Ycsb.make ~entries:1 ~entry_size:4096 ();
+      list_values = false;
+    };
+    {
+      label = "mget-2 (2x2048)";
+      paper_gain = "+18%";
+      workload = Workload.Ycsb.make ~multiget:2 ~entries:1 ~entry_size:2048 ();
+      list_values = false;
+    };
+    {
+      label = "lrange-2 (2x2048)";
+      paper_gain = "+40.1%";
+      workload = Workload.Ycsb.make ~entries:2 ~entry_size:2048 ();
+      list_values = true;
+    };
+  ]
+
+let measure mode case =
+  let rig = Apps.Rig.create () in
+  let srv =
+    Mini_redis.Server.install rig mode ~workload:case.workload
+      ~list_values:case.list_values
+  in
+  let d =
+    {
+      Util.send = (fun ep ~dst ~id -> Mini_redis.Server.send_next srv ep ~dst ~id);
+      parse_id = None;
+    }
+  in
+  (Util.capacity rig d).Loadgen.Driver.achieved_rps
+
+let run () =
+  let t =
+    Stats.Table.create
+      ~title:"Table 3: Redis commands, 4096 B payloads (krps)"
+      ~columns:[ "command"; "redis"; "cornflakes"; "gain"; "paper gain" ]
+  in
+  List.iter
+    (fun case ->
+      let native = measure Mini_redis.Server.Native case in
+      let cf =
+        measure (Mini_redis.Server.Cornflakes_backed Cornflakes.Config.default)
+          case
+      in
+      Stats.Table.add_row t
+        [
+          case.label;
+          Util.krps native;
+          Util.krps cf;
+          Util.pct_delta native cf;
+          case.paper_gain;
+        ])
+    (cases ());
+  Stats.Table.print t

@@ -1,0 +1,43 @@
+(* Table 5: the combined serialize-and-send ablation. With the optimisation
+   off, Cornflakes materialises a scatter-gather array and the stack
+   prepends a separate header entry. Paper: +7.7% (Google 1-4), +10%
+   (Twitter), +17.4% (YCSB 4 x 1024, reported in Gbps). *)
+
+let sas_backends () =
+  [
+    Apps.Backend.cornflakes ();
+    Apps.Backend.cornflakes
+      ~config:{ Cornflakes.Config.default with serialize_and_send = false }
+      ();
+  ]
+
+let names () = List.map (fun b -> b.Apps.Backend.name) (sas_backends ())
+
+let run () =
+  let t =
+    Stats.Table.create
+      ~title:"Table 5: combined serialize-and-send ablation"
+      ~columns:[ "workload"; "with"; "without"; "gain"; "paper gain" ]
+  in
+  let with_name, without_name =
+    match names () with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let row label workload ~unit_gbps paper =
+    let results = Kv_bench.capacities ~workload (sas_backends ()) in
+    let metric name =
+      let r = List.assoc name results in
+      if unit_gbps then r.Loadgen.Driver.achieved_gbps
+      else r.Loadgen.Driver.achieved_rps
+    in
+    let v_with = metric with_name and v_without = metric without_name in
+    let fmt v = if unit_gbps then Util.gbps v ^ " Gbps" else Util.krps v ^ " krps" in
+    Stats.Table.add_row t
+      [ label; fmt v_with; fmt v_without; Util.pct_delta v_without v_with; paper ]
+  in
+  row "Google 1-4 vals" (Workload.Google.make ~max_vals:4 ()) ~unit_gbps:false
+    "+7.7%";
+  row "Twitter" (Workload.Twitter.make ()) ~unit_gbps:false "+10.4%";
+  row "YCSB 4x1024"
+    (Workload.Ycsb.make ~entries:4 ~entry_size:1024 ())
+    ~unit_gbps:true "+17.4%";
+  Stats.Table.print t

@@ -1,0 +1,27 @@
+let driver app =
+  {
+    Util.send = (fun ep ~dst ~id -> Apps.Kv_app.send_next app ep ~dst ~id);
+    parse_id = Some (fun buf -> Apps.Kv_app.parse_id app buf);
+  }
+
+(* Measure each backend on a freshly populated rig: sharing one rig across
+   systems lets the first system pay every cold miss and hands the later
+   ones a warm cache — an order bias we must not have. *)
+let with_apps ?rig ~workload backends f =
+  List.map
+    (fun backend ->
+      let rig = match rig with Some r -> r | None -> Apps.Rig.create () in
+      let app = Apps.Kv_app.install rig ~backend ~workload in
+      (backend.Apps.Backend.name, f backend.Apps.Backend.name rig app))
+    backends
+
+let capacities ?rig ~workload backends =
+  with_apps ?rig ~workload backends (fun _name rig app ->
+      Util.capacity rig (driver app))
+
+let curves ?rig ~workload backends =
+  List.map snd
+    (with_apps ?rig ~workload backends (fun name rig app ->
+         let d = driver app in
+         let cap = Util.capacity rig d in
+         Util.curve rig d ~name ~capacity_rps:cap.Loadgen.Driver.achieved_rps))

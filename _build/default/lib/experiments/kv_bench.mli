@@ -1,0 +1,20 @@
+(** Helpers shared by the key-value-store experiments: install a workload
+    once, then measure each serialization system over the same store. *)
+
+val driver : Apps.Kv_app.t -> Util.driver
+
+(** [capacities ~workload backends] — one rig, one populate; returns
+    [(backend_name, result)] per backend, in order. *)
+val capacities :
+  ?rig:Apps.Rig.t ->
+  workload:Workload.Spec.t ->
+  Apps.Backend.t list ->
+  (string * Loadgen.Driver.result) list
+
+(** [curves ~workload ~slo_ns backends] — capacity then an open-loop sweep
+    per backend, over a shared store. *)
+val curves :
+  ?rig:Apps.Rig.t ->
+  workload:Workload.Spec.t ->
+  Apps.Backend.t list ->
+  Stats.Curve.t list

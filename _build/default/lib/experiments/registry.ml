@@ -1,0 +1,79 @@
+type entry = {
+  id : string;
+  title : string;
+  run : unit -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig2";
+      title = "Echo server: copies dominate serialization cost";
+      run = Exp_fig2.run;
+    };
+    {
+      id = "fig3";
+      title = "Microbenchmark: copy vs scatter-gather vs raw scatter-gather";
+      run = Exp_fig3.run;
+    };
+    {
+      id = "fig5";
+      title = "Heatmap: SG vs copy across payload size and entry count";
+      run = Exp_fig5.run;
+    };
+    {
+      id = "tab1";
+      title = "Google bytes distribution: krps per system";
+      run = Exp_tab1.run;
+    };
+    {
+      id = "fig6";
+      title = "Google 1-8 vals: throughput vs p99";
+      run = Exp_tab1.run_fig6;
+    };
+    { id = "fig7"; title = "Twitter trace: throughput vs p99"; run = Exp_fig7.run };
+    { id = "tab2"; title = "CDN trace: objects per second"; run = Exp_tab2.run };
+    {
+      id = "fig8";
+      title = "Redis: native serialization vs Cornflakes";
+      run = Exp_fig8.run;
+    };
+    { id = "tab3"; title = "Redis commands at 4096 B"; run = Exp_tab3.run };
+    { id = "fig9"; title = "TCP echo latency boxes"; run = Exp_fig9.run };
+    {
+      id = "fig10";
+      title = "NIC generality: CX-6 vs e810 at 1024 B";
+      run = Exp_fig10.run;
+    };
+    { id = "fig11"; title = "CPU cycle breakdown on CDN"; run = Exp_fig11.run };
+    {
+      id = "fig12";
+      title = "Hybrid vs all-SG vs all-copy (Twitter)";
+      run = Exp_fig12.run;
+    };
+    {
+      id = "tab4";
+      title = "Hybrid vs all-SG (Google)";
+      run = Exp_fig12.run_tab4;
+    };
+    {
+      id = "tab5";
+      title = "Serialize-and-send ablation";
+      run = Exp_tab5.run;
+    };
+    { id = "fig13"; title = "Multicore scaling"; run = Exp_fig13.run };
+    {
+      id = "ablations";
+      title = "Extra ablations: threshold sweep, SGE overflow, adaptive";
+      run = Exp_ablations.run;
+    };
+    {
+      id = "replication";
+      title = "Replicated store: throughput by backup count";
+      run = Exp_replication.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

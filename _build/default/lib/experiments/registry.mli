@@ -1,0 +1,14 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, addressable by id from the bench harness and the CLI. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : unit -> unit;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val ids : unit -> string list

@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Array Hashtbl List Mem Memmodel String

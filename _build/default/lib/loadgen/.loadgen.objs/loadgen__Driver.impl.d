@@ -1,0 +1,1 @@
+lib/loadgen/driver.ml: Float Hashtbl List Mem Net Queue Sim Stats

@@ -1,0 +1,1 @@
+lib/loadgen/driver.mli: Mem Net Sim Stats

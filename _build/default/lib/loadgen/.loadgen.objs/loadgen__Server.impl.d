@@ -1,0 +1,1 @@
+lib/loadgen/server.ml: Mem Memmodel Net Queue Sim

@@ -1,0 +1,1 @@
+lib/loadgen/server.mli: Mem Memmodel Net

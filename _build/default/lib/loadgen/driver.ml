@@ -1,0 +1,144 @@
+type result = {
+  offered_rps : float;
+  achieved_rps : float;
+  achieved_gbps : float;
+  hist : Stats.Histogram.t;
+  sent : int;
+  completed : int;
+}
+
+let p99_ns r = if Stats.Histogram.count r.hist = 0 then 0 else Stats.Histogram.percentile r.hist 0.99
+
+let p50_ns r = if Stats.Histogram.count r.hist = 0 then 0 else Stats.Histogram.percentile r.hist 0.50
+
+let to_point r =
+  {
+    Stats.Curve.offered = r.offered_rps;
+    achieved = r.achieved_rps;
+    p50_ns = p50_ns r;
+    p99_ns = p99_ns r;
+    mean_ns = Stats.Histogram.mean r.hist;
+  }
+
+type ctx = {
+  engine : Sim.Engine.t;
+  hist : Stats.Histogram.t;
+  warmup_abs : int;
+  end_abs : int;
+  mutable sent : int;
+  mutable completed : int;
+  mutable resp_bytes : int;
+  mutable next_id : int;
+  pending : (int, int) Hashtbl.t; (* id -> send time, when parse_id given *)
+}
+
+let fresh_id ctx =
+  let id = ctx.next_id in
+  ctx.next_id <- ctx.next_id + 1;
+  id
+
+(* Install the response handler on a client endpoint. [fifo] is this
+   client's in-order queue when id parsing is not available. [on_complete]
+   lets the closed-loop driver issue a follow-up request. *)
+let install_rx ctx client ~parse_id ~fifo ~on_complete =
+  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+      let now = Sim.Engine.now ctx.engine in
+      let send_ns =
+        match parse_id with
+        | Some parse -> begin
+            match parse buf with
+            | id ->
+                let t = Hashtbl.find_opt ctx.pending id in
+                (match t with Some _ -> Hashtbl.remove ctx.pending id | None -> ());
+                t
+            | exception _ -> None
+          end
+        | None -> Queue.take_opt fifo
+      in
+      (match send_ns with
+      | Some t when t >= ctx.warmup_abs && now <= ctx.end_abs ->
+          ctx.completed <- ctx.completed + 1;
+          ctx.resp_bytes <- ctx.resp_bytes + Mem.Pinned.Buf.len buf;
+          Stats.Histogram.record ctx.hist (now - t)
+      | Some _ | None -> ());
+      Mem.Pinned.Buf.decr_ref buf;
+      on_complete ())
+
+let issue ctx client ~server ~send ~parse_id ~fifo =
+  let id = fresh_id ctx in
+  let now = Sim.Engine.now ctx.engine in
+  (match parse_id with
+  | Some _ -> Hashtbl.replace ctx.pending id now
+  | None -> Queue.add now fifo);
+  ctx.sent <- ctx.sent + 1;
+  send client ~dst:server ~id
+
+let make_ctx engine ~duration_ns ~warmup_ns =
+  let now = Sim.Engine.now engine in
+  {
+    engine;
+    hist = Stats.Histogram.create ();
+    warmup_abs = now + warmup_ns;
+    end_abs = now + duration_ns;
+    sent = 0;
+    completed = 0;
+    resp_bytes = 0;
+    next_id = 1;
+    pending = Hashtbl.create 4096;
+  }
+
+let finish ctx ~offered_rps =
+  Sim.Engine.run_all ctx.engine;
+  let window_s = float_of_int (ctx.end_abs - ctx.warmup_abs) /. 1e9 in
+  {
+    offered_rps;
+    achieved_rps = float_of_int ctx.completed /. window_s;
+    achieved_gbps = float_of_int (ctx.resp_bytes * 8) /. window_s /. 1e9;
+    hist = ctx.hist;
+    sent = ctx.sent;
+    completed = ctx.completed;
+  }
+
+let open_loop engine ~clients ~server ~rate_rps ~duration_ns ~warmup_ns ~rng
+    ~send ~parse_id =
+  if clients = [] then invalid_arg "Driver.open_loop: no clients";
+  let ctx = make_ctx engine ~duration_ns ~warmup_ns in
+  let per_client_mean_ns =
+    float_of_int (List.length clients) /. rate_rps *. 1e9
+  in
+  List.iter
+    (fun client ->
+      let fifo = Queue.create () in
+      let rng = Sim.Rng.split rng in
+      install_rx ctx client ~parse_id ~fifo ~on_complete:(fun () -> ());
+      let rec arrival () =
+        if Sim.Engine.now engine < ctx.end_abs then begin
+          issue ctx client ~server ~send ~parse_id ~fifo;
+          let gap = Sim.Dist.exponential rng ~mean:per_client_mean_ns in
+          Sim.Engine.schedule engine ~after:(max 1 (int_of_float gap)) arrival
+        end
+      in
+      let first = Sim.Dist.exponential rng ~mean:per_client_mean_ns in
+      Sim.Engine.schedule engine ~after:(max 1 (int_of_float first)) arrival)
+    clients;
+  finish ctx ~offered_rps:rate_rps
+
+let closed_loop engine ~clients ~server ~outstanding ~duration_ns ~warmup_ns
+    ~rng ~send ~parse_id =
+  if clients = [] then invalid_arg "Driver.closed_loop: no clients";
+  ignore rng;
+  let ctx = make_ctx engine ~duration_ns ~warmup_ns in
+  List.iter
+    (fun client ->
+      let fifo = Queue.create () in
+      let next () =
+        if Sim.Engine.now engine < ctx.end_abs then
+          issue ctx client ~server ~send ~parse_id ~fifo
+      in
+      install_rx ctx client ~parse_id ~fifo ~on_complete:next;
+      for k = 1 to outstanding do
+        Sim.Engine.schedule engine ~after:(k * 211) (fun () ->
+            issue ctx client ~server ~send ~parse_id ~fifo)
+      done)
+    clients;
+  finish ctx ~offered_rps:Float.infinity

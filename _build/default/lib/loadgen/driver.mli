@@ -1,0 +1,55 @@
+(** Client-side load drivers.
+
+    Mirrors the paper's 16-thread DPDK load generator (§6.1.1): open-loop
+    Poisson arrivals at a configured offered load for the throughput–latency
+    curves, and a closed-loop saturation mode for "highest achieved
+    throughput" numbers. Latency histograms record at 1 µs precision;
+    completions are matched by a response-id parser or FIFO per client. *)
+
+type result = {
+  offered_rps : float;
+  achieved_rps : float;
+  achieved_gbps : float; (* response payload bits within the window *)
+  hist : Stats.Histogram.t; (* RTTs of in-window completions *)
+  sent : int;
+  completed : int;
+}
+
+val p99_ns : result -> int
+
+val p50_ns : result -> int
+
+val to_point : result -> Stats.Curve.point
+
+(** [open_loop ...] drives Poisson arrivals of aggregate [rate_rps] from
+    [clients] endpoints for [duration_ns]; completions whose request was
+    sent after [warmup_ns] and whose response arrived by the end of the run
+    count toward the histogram and achieved load.
+
+    [send ep ~dst ~id] issues one request; [parse_id] extracts the id from a
+    response payload ([None] = FIFO matching per client endpoint). *)
+val open_loop :
+  Sim.Engine.t ->
+  clients:Net.Endpoint.t list ->
+  server:int ->
+  rate_rps:float ->
+  duration_ns:int ->
+  warmup_ns:int ->
+  rng:Sim.Rng.t ->
+  send:(Net.Endpoint.t -> dst:int -> id:int -> unit) ->
+  parse_id:(Mem.Pinned.Buf.t -> int) option ->
+  result
+
+(** [closed_loop ...] keeps [outstanding] requests in flight per client
+    until [duration_ns]; measures saturation throughput. *)
+val closed_loop :
+  Sim.Engine.t ->
+  clients:Net.Endpoint.t list ->
+  server:int ->
+  outstanding:int ->
+  duration_ns:int ->
+  warmup_ns:int ->
+  rng:Sim.Rng.t ->
+  send:(Net.Endpoint.t -> dst:int -> id:int -> unit) ->
+  parse_id:(Mem.Pinned.Buf.t -> int) option ->
+  result

@@ -1,0 +1,81 @@
+type t = {
+  ep : Net.Endpoint.t;
+  cpu : Memmodel.Cpu.t;
+  engine : Sim.Engine.t;
+  queue : (int * Mem.Pinned.Buf.t) Queue.t;
+  queue_limit : int;
+  mutable busy : bool;
+  mutable handler : src:int -> Mem.Pinned.Buf.t -> unit;
+  mutable served : int;
+  mutable dropped : int;
+  mutable service_ns_total : float;
+  mutable busy_ns : int;
+}
+
+let rec service t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some (src, buf) ->
+      t.busy <- true;
+      let c0 = Memmodel.Cpu.cycles t.cpu in
+      Net.Endpoint.charge_rx ~cpu:t.cpu t.ep ~len:(Mem.Pinned.Buf.len buf);
+      Net.Endpoint.begin_hold t.ep;
+      (try t.handler ~src buf
+       with e ->
+         Net.Endpoint.release_hold t.ep ~after:0;
+         raise e);
+      Mem.Arena.reset (Net.Endpoint.arena t.ep);
+      let cycles = Memmodel.Cpu.cycles t.cpu -. c0 in
+      let dt =
+        int_of_float
+          (ceil (Memmodel.Params.cycles_to_ns (Memmodel.Cpu.params t.cpu) cycles))
+      in
+      Net.Endpoint.release_hold t.ep ~after:dt;
+      t.served <- t.served + 1;
+      t.service_ns_total <- t.service_ns_total +. float_of_int dt;
+      t.busy_ns <- t.busy_ns + dt;
+      Sim.Engine.schedule t.engine ~after:dt (fun () -> service t)
+
+let on_rx t ~src buf =
+  if Queue.length t.queue >= t.queue_limit then begin
+    t.dropped <- t.dropped + 1;
+    Mem.Pinned.Buf.decr_ref buf
+  end
+  else begin
+    Queue.add (src, buf) t.queue;
+    if not t.busy then service t
+  end
+
+let create ?(queue_limit = 4096) ep cpu =
+  let t =
+    {
+      ep;
+      cpu;
+      engine = Net.Endpoint.engine ep;
+      queue = Queue.create ();
+      queue_limit;
+      busy = false;
+      handler = (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
+      served = 0;
+      dropped = 0;
+      service_ns_total = 0.0;
+      busy_ns = 0;
+    }
+  in
+  Net.Endpoint.set_rx ep (fun ~src buf -> on_rx t ~src buf);
+  t
+
+let set_handler t f = t.handler <- f
+
+let served t = t.served
+
+let dropped t = t.dropped
+
+let mean_service_ns t =
+  if t.served = 0 then 0.0 else t.service_ns_total /. float_of_int t.served
+
+let busy_ns t = t.busy_ns
+
+let cpu t = t.cpu
+
+let endpoint t = t.ep

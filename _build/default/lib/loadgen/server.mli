@@ -1,0 +1,32 @@
+(** Single-core request server harness.
+
+    Models the paper's single-core servers: packets arriving at the endpoint
+    enter a bounded FIFO; the core serves one request at a time. A request's
+    service time is whatever the cost meter accumulated while its handler
+    ran (deserialization, store access, serialization, post). Responses the
+    handler produced are released to the NIC only after the service time has
+    elapsed (via the endpoint's send hold), and the next request starts
+    after that too. The per-request arena is reset between requests. *)
+
+type t
+
+(** [create ?queue_limit ep cpu] — [ep] must have been created with this
+    [cpu]. Installs itself as [ep]'s receive handler. *)
+val create : ?queue_limit:int -> Net.Endpoint.t -> Memmodel.Cpu.t -> t
+
+(** [set_handler t f] — [f ~src buf] owns one reference on [buf]. *)
+val set_handler : t -> (src:int -> Mem.Pinned.Buf.t -> unit) -> unit
+
+val served : t -> int
+
+val dropped : t -> int
+
+(** Mean service time (ns) over all served requests. *)
+val mean_service_ns : t -> float
+
+(** Busy fraction of wall-clock so far (approximate utilisation). *)
+val busy_ns : t -> int
+
+val cpu : t -> Memmodel.Cpu.t
+
+val endpoint : t -> Net.Endpoint.t

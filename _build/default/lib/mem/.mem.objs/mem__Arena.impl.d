@@ -1,0 +1,1 @@
+lib/mem/arena.ml: Addr_space Bytes Memmodel Pinned View

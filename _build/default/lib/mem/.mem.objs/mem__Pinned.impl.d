@@ -1,0 +1,1 @@
+lib/mem/pinned.ml: Addr_space Array Bytes List Memmodel Printf String View

@@ -1,0 +1,1 @@
+lib/mem/pinned.mli: Addr_space Memmodel View

@@ -1,0 +1,1 @@
+lib/mem/registry.ml: Addr_space List Memmodel Option Pinned

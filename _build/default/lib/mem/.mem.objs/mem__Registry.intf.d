@@ -1,0 +1,1 @@
+lib/mem/registry.mli: Addr_space Memmodel Pinned

@@ -1,0 +1,1 @@
+lib/mem/unpinned.ml: Addr_space Bytes String View

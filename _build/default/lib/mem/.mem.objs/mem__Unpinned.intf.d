@@ -1,0 +1,1 @@
+lib/mem/unpinned.mli: Addr_space View

@@ -1,0 +1,1 @@
+lib/mem/view.ml: Addr_space Bytes

@@ -1,0 +1,1 @@
+lib/mem/view.mli: Addr_space Bytes

@@ -1,0 +1,14 @@
+type t = { mutable next : int }
+
+(* Start away from 0 so address 0 never aliases a valid buffer. *)
+let create () = { next = 1 lsl 20 }
+
+let align_up v a = (v + a - 1) / a * a
+
+let reserve t ~bytes =
+  assert (bytes >= 0);
+  let base = align_up t.next 64 in
+  t.next <- base + bytes;
+  base
+
+let used t = t.next

@@ -1,0 +1,17 @@
+(** Simulated physical address space.
+
+    Every buffer the system can touch (pinned slabs, unpinned heap data,
+    arenas, metadata arrays) reserves a range here, so the cache simulator
+    sees a realistic, non-overlapping address stream. Addresses are plain
+    ints; ranges are cache-line aligned. *)
+
+type t
+
+val create : unit -> t
+
+(** [reserve t ~bytes] returns the base address of a fresh 64-byte-aligned
+    range of [bytes] bytes. *)
+val reserve : t -> bytes:int -> int
+
+(** Total bytes reserved so far. *)
+val used : t -> int

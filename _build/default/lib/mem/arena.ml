@@ -1,0 +1,47 @@
+exception Out_of_memory = Pinned.Out_of_memory
+
+type t = {
+  base_addr : int;
+  backing : Bytes.t;
+  mutable used : int;
+}
+
+let create space ~capacity =
+  {
+    base_addr = Addr_space.reserve space ~bytes:capacity;
+    backing = Bytes.create capacity;
+    used = 0;
+  }
+
+let used t = t.used
+
+let capacity t = Bytes.length t.backing
+
+let charge_alloc cpu =
+  match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Alloc
+        (Memmodel.Cpu.params cpu).Memmodel.Params.cost_arena_alloc
+
+let alloc ?cpu t ~len =
+  if t.used + len > Bytes.length t.backing then
+    raise (Out_of_memory "arena exhausted");
+  charge_alloc cpu;
+  let off = t.used in
+  t.used <- t.used + len;
+  View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+
+let copy_in ?cpu t src =
+  let dst = alloc ?cpu t ~len:src.View.len in
+  View.blit src ~dst:t.backing ~dst_off:dst.View.off;
+  (match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:src.View.addr
+        ~len:src.View.len;
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:dst.View.addr
+        ~len:src.View.len);
+  dst
+
+let reset t = t.used <- 0

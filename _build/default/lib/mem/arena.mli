@@ -1,0 +1,28 @@
+(** Bump-pointer arena for copied serialization data.
+
+    The paper's Copy variant of [CFPtr] stores field bytes in arena-backed
+    vectors: "Cornflakes uses efficient arena allocation … that offers fast
+    allocation and mass deallocation" (§3.2.2). The arena is reset after each
+    request, so its lines stay hot in cache — which is exactly why the second
+    copy into the DMA buffer is cheap. *)
+
+type t
+
+val create : Addr_space.t -> capacity:int -> t
+
+(** Bytes currently allocated. *)
+val used : t -> int
+
+val capacity : t -> int
+
+(** [copy_in ?cpu t src] copies [src]'s bytes into the arena (charging a
+    streaming read of the source and write of the arena) and returns a view
+    of the copy. Raises [Out_of_memory] if the arena is full. *)
+val copy_in : ?cpu:Memmodel.Cpu.t -> t -> View.t -> View.t
+
+(** [alloc ?cpu t ~len] reserves uninitialised arena space (for headers
+    built in place). *)
+val alloc : ?cpu:Memmodel.Cpu.t -> t -> len:int -> View.t
+
+(** Mass-deallocate; O(1). *)
+val reset : t -> unit

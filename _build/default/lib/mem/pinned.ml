@@ -1,0 +1,265 @@
+exception Use_after_free
+
+exception Out_of_memory of string
+
+type size_class = {
+  size : int; (* power-of-two buffer size *)
+  capacity : int;
+  data_base : int; (* simulated address of slot 0 *)
+  backing : Bytes.t; (* capacity * size real bytes *)
+  meta_base : int; (* simulated address of refcount 0 (8 B per slot) *)
+  refcounts : int array;
+  gens : int array;
+  free : int array; (* stack of free slot indices *)
+  mutable free_top : int; (* number of entries in [free] *)
+}
+
+type pool = {
+  name : string;
+  classes : size_class array; (* sorted by size *)
+  base : int;
+  limit : int;
+  freelist_addr : int; (* hot line holding the per-class free-list heads *)
+}
+
+module Pool = struct
+  type t = pool
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  let create space ~name ~classes =
+    if classes = [] then invalid_arg "Pinned.Pool.create: no classes";
+    let rec check_sorted = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+          if a >= b then invalid_arg "Pinned.Pool.create: classes not increasing";
+          check_sorted rest
+      | _ -> ()
+    in
+    check_sorted classes;
+    List.iter
+      (fun (size, cap) ->
+        if not (is_pow2 size) then
+          invalid_arg "Pinned.Pool.create: class size must be a power of two";
+        if cap <= 0 then invalid_arg "Pinned.Pool.create: capacity must be positive")
+      classes;
+    let freelist_addr = Addr_space.reserve space ~bytes:64 in
+    let base = ref max_int and limit = ref 0 in
+    let mk (size, capacity) =
+      let data_base = Addr_space.reserve space ~bytes:(size * capacity) in
+      let meta_base = Addr_space.reserve space ~bytes:(8 * capacity) in
+      if data_base < !base then base := data_base;
+      if data_base + (size * capacity) > !limit then
+        limit := data_base + (size * capacity);
+      let free = Array.init capacity (fun i -> capacity - 1 - i) in
+      {
+        size;
+        capacity;
+        data_base;
+        backing = Bytes.create (size * capacity);
+        meta_base;
+        refcounts = Array.make capacity 0;
+        gens = Array.make capacity 0;
+        free;
+        free_top = capacity;
+      }
+    in
+    let classes = Array.of_list (List.map mk classes) in
+    { name; classes; base = !base; limit = !limit; freelist_addr }
+
+  let name t = t.name
+
+  let base t = t.base
+
+  let limit t = t.limit
+
+  let contains t ~addr = addr >= t.base && addr < t.limit
+
+  let class_for t ~len =
+    let n = Array.length t.classes in
+    let rec find i =
+      if i >= n then None
+      else if t.classes.(i).size >= len then Some i
+      else find (i + 1)
+    in
+    find 0
+
+  let live t =
+    Array.fold_left (fun acc c -> acc + (c.capacity - c.free_top)) 0 t.classes
+
+  let available_for t ~len =
+    match class_for t ~len with
+    | None -> 0
+    | Some i -> t.classes.(i).free_top
+
+  (* Which class owns [addr]? Classes have disjoint contiguous data ranges. *)
+  let class_of_addr t ~addr =
+    let n = Array.length t.classes in
+    let rec find i =
+      if i >= n then None
+      else begin
+        let c = t.classes.(i) in
+        if addr >= c.data_base && addr < c.data_base + (c.size * c.capacity) then
+          Some i
+        else find (i + 1)
+      end
+    in
+    find 0
+end
+
+type t = {
+  pool : pool;
+  cls : int;
+  slot : int;
+  gen : int;
+  off : int; (* window start within the slot *)
+  len : int; (* window length *)
+}
+
+module Buf = struct
+  type nonrec t = t
+
+  let sc t = t.pool.classes.(t.cls)
+
+  let check_live t =
+    let c = sc t in
+    if c.gens.(t.slot) <> t.gen || c.refcounts.(t.slot) = 0 then
+      raise Use_after_free
+
+  let meta_addr t = (sc t).meta_base + (t.slot * 8)
+
+  let addr t = (sc t).data_base + (t.slot * (sc t).size) + t.off
+
+  let metadata_addr t = meta_addr t
+
+  let len t = t.len
+
+  let slot_size t = (sc t).size
+
+  let refcount t =
+    let c = sc t in
+    if c.gens.(t.slot) <> t.gen then 0 else c.refcounts.(t.slot)
+
+  let is_live t =
+    let c = sc t in
+    c.gens.(t.slot) = t.gen && c.refcounts.(t.slot) > 0
+
+  let charge_meta ?cpu t =
+    match cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Safety ~addr:(meta_addr t);
+        Memmodel.Cpu.charge cpu Memmodel.Cpu.Safety
+          (Memmodel.Cpu.params cpu).Memmodel.Params.cost_refcount_op
+
+  let alloc ?cpu pool ~len =
+    match Pool.class_for pool ~len with
+    | None ->
+        raise
+          (Out_of_memory
+             (Printf.sprintf "%s: no class for %d bytes" pool.name len))
+    | Some cls ->
+        let c = pool.classes.(cls) in
+        if c.free_top = 0 then
+          raise
+            (Out_of_memory
+               (Printf.sprintf "%s: class %d exhausted" pool.name c.size));
+        c.free_top <- c.free_top - 1;
+        let slot = c.free.(c.free_top) in
+        c.refcounts.(slot) <- 1;
+        let t = { pool; cls; slot; gen = c.gens.(slot); off = 0; len } in
+        (match cpu with
+        | None -> ()
+        | Some cpu ->
+            let p = Memmodel.Cpu.params cpu in
+            Memmodel.Cpu.charge cpu Memmodel.Cpu.Alloc
+              p.Memmodel.Params.cost_slab_alloc;
+            (* Free-list head is a hot line; refcount init touches the slot's
+               metadata line. *)
+            Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Alloc
+              ~addr:pool.freelist_addr;
+            Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Alloc
+              ~addr:(meta_addr t));
+        t
+
+  let incr_ref ?cpu t =
+    check_live t;
+    charge_meta ?cpu t;
+    let c = sc t in
+    c.refcounts.(t.slot) <- c.refcounts.(t.slot) + 1
+
+  let free_slot t =
+    let c = sc t in
+    c.gens.(t.slot) <- c.gens.(t.slot) + 1;
+    c.free.(c.free_top) <- t.slot;
+    c.free_top <- c.free_top + 1
+
+  let decr_ref ?cpu t =
+    check_live t;
+    charge_meta ?cpu t;
+    let c = sc t in
+    c.refcounts.(t.slot) <- c.refcounts.(t.slot) - 1;
+    if c.refcounts.(t.slot) = 0 then free_slot t
+
+  let view t =
+    check_live t;
+    let c = sc t in
+    View.make ~addr:(addr t) ~data:c.backing
+      ~off:((t.slot * c.size) + t.off)
+      ~len:t.len
+
+  let sub t ~off ~len =
+    check_live t;
+    if off < 0 || len < 0 || t.off + off + len > slot_size t then
+      invalid_arg "Pinned.Buf.sub: window out of bounds";
+    { t with off = t.off + off; len }
+
+  let fill ?cpu t s =
+    check_live t;
+    if String.length s > slot_size t - t.off then
+      invalid_arg "Pinned.Buf.fill: string too long";
+    let c = sc t in
+    Bytes.blit_string s 0 c.backing ((t.slot * c.size) + t.off)
+      (String.length s);
+    match cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(addr t)
+          ~len:(String.length s)
+
+  let blit_from ?cpu t ~src ~dst_off =
+    check_live t;
+    if dst_off < 0 || t.off + dst_off + src.View.len > slot_size t then
+      invalid_arg "Pinned.Buf.blit_from: out of bounds";
+    let c = sc t in
+    View.blit src ~dst:c.backing ~dst_off:((t.slot * c.size) + t.off + dst_off);
+    match cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:src.View.addr
+          ~len:src.View.len;
+        Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy
+          ~addr:(addr t + dst_off) ~len:src.View.len
+
+  let recover ?cpu pool ~addr:a ~len =
+    (match cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.charge cpu Memmodel.Cpu.Safety
+          (Memmodel.Cpu.params cpu).Memmodel.Params.cost_range_lookup);
+    match Pool.class_of_addr pool ~addr:a with
+    | None -> None
+    | Some cls ->
+        let c = pool.classes.(cls) in
+        let rel = a - c.data_base in
+        let slot = rel / c.size in
+        let off = rel mod c.size in
+        if off + len > c.size then None
+        else if c.refcounts.(slot) = 0 then None
+        else begin
+          let t = { pool; cls; slot; gen = c.gens.(slot); off; len } in
+          (* Zero-copy safety: recovering a pointer takes a reference. *)
+          charge_meta ?cpu t;
+          c.refcounts.(slot) <- c.refcounts.(slot) + 1;
+          Some t
+        end
+end

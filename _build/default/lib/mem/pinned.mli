@@ -1,0 +1,93 @@
+(** Pinned (DMA-safe) memory: slab pools of power-of-two buffers with
+    reference counts and use-after-free detection.
+
+    Mirrors the paper's "pinned memory allocator as part of the Cornflakes
+    networking stack API that allocates power-of-two-sized objects" (§4).
+    Each buffer slot has:
+
+    - a data range in the simulated address space (cache-visible),
+    - a reference count living in a separate metadata range (so refcount
+      updates produce the metadata cache misses the paper measures),
+    - a generation counter: any access through a stale handle raises
+      [Use_after_free], which is how tests prove the safety property. *)
+
+exception Use_after_free
+
+exception Out_of_memory of string
+
+module Pool : sig
+  type t
+
+  (** [create space ~name ~classes] builds a pool; [classes] lists
+      [(buffer_size, capacity)] pairs; sizes must be powers of two and
+      strictly increasing. *)
+  val create : Addr_space.t -> name:string -> classes:(int * int) list -> t
+
+  val name : t -> string
+
+  (** Address range covered by the pool's data slabs. *)
+  val base : t -> int
+
+  val limit : t -> int
+
+  val contains : t -> addr:int -> bool
+
+  (** Number of live (allocated) buffers, across classes. *)
+  val live : t -> int
+
+  (** Buffers currently free in the class that serves [len]. *)
+  val available_for : t -> len:int -> int
+end
+
+module Buf : sig
+  type t
+
+  (** [alloc ?cpu pool ~len] takes a buffer from the smallest class with
+      size >= [len]; its visible window is [len] bytes; refcount starts at 1.
+      Raises [Out_of_memory] when the class is exhausted. *)
+  val alloc : ?cpu:Memmodel.Cpu.t -> Pool.t -> len:int -> t
+
+  val addr : t -> int
+
+  (** Simulated address of the buffer's reference-count metadata (8 bytes;
+      eight buffers share a cache line). *)
+  val metadata_addr : t -> int
+
+  val len : t -> int
+
+  (** Size of the underlying slot (the power-of-two class size). *)
+  val slot_size : t -> int
+
+  val refcount : t -> int
+
+  val is_live : t -> bool
+
+  (** [incr_ref ?cpu t] charges a metadata access (the zero-copy safety
+      cost) and bumps the count. Raises [Use_after_free] on a stale handle. *)
+  val incr_ref : ?cpu:Memmodel.Cpu.t -> t -> unit
+
+  (** [decr_ref ?cpu t] releases one reference; at zero the slot returns to
+      the free list and the generation advances. *)
+  val decr_ref : ?cpu:Memmodel.Cpu.t -> t -> unit
+
+  (** [view t] is a read window over the visible bytes.
+      Raises [Use_after_free] on a stale handle. *)
+  val view : t -> View.t
+
+  (** [sub t ~off ~len] narrows the handle (shares the refcount; does not
+      bump it). *)
+  val sub : t -> off:int -> len:int -> t
+
+  (** [fill ?cpu t s] writes [s] at the start of the visible window
+      (setup/application writes). *)
+  val fill : ?cpu:Memmodel.Cpu.t -> t -> string -> unit
+
+  (** [blit_from ?cpu t ~src ~dst_off] copies [src]'s visible bytes into the
+      buffer, charging a streaming read of [src] and write of the target. *)
+  val blit_from : ?cpu:Memmodel.Cpu.t -> t -> src:View.t -> dst_off:int -> unit
+
+  (** [recover pool ~addr ~len] implements the stack's [recover_ptr]: if
+      [addr, addr+len) lies within a live allocation of [pool], bump its
+      refcount and return a handle windowed to that slice. *)
+  val recover : ?cpu:Memmodel.Cpu.t -> Pool.t -> addr:int -> len:int -> t option
+end

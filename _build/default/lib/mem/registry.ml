@@ -1,0 +1,30 @@
+type t = {
+  space : Addr_space.t;
+  mutable pools : Pinned.Pool.t list;
+  table_addr : int; (* hot line modelling the range table *)
+}
+
+let create space =
+  { space; pools = []; table_addr = Addr_space.reserve space ~bytes:64 }
+
+let space t = t.space
+
+let register t pool = t.pools <- pool :: t.pools
+
+let pools t = t.pools
+
+let find t ~addr = List.find_opt (fun p -> Pinned.Pool.contains p ~addr) t.pools
+
+let is_pinned t ~addr = Option.is_some (find t ~addr)
+
+let recover_ptr ?cpu t ~addr ~len =
+  (match cpu with
+  | None -> ()
+  | Some cpu ->
+      (* Range-table lookup: arithmetic plus one (hot) table line. *)
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Safety
+        (Memmodel.Cpu.params cpu).Memmodel.Params.cost_range_lookup;
+      Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Safety ~addr:t.table_addr);
+  match find t ~addr with
+  | None -> None
+  | Some pool -> Pinned.Buf.recover ?cpu pool ~addr ~len

@@ -1,0 +1,20 @@
+type t = { addr : int; data : Bytes.t }
+
+let alloc space ~len =
+  { addr = Addr_space.reserve space ~bytes:len; data = Bytes.create len }
+
+let of_string space s =
+  let t = alloc space ~len:(String.length s) in
+  Bytes.blit_string s 0 t.data 0 (String.length s);
+  t
+
+let addr t = t.addr
+
+let len t = Bytes.length t.data
+
+let view t = View.make ~addr:t.addr ~data:t.data ~off:0 ~len:(Bytes.length t.data)
+
+let fill t s =
+  if String.length s > Bytes.length t.data then
+    invalid_arg "Unpinned.fill: string too long";
+  Bytes.blit_string s 0 t.data 0 (String.length s)

@@ -1,0 +1,19 @@
+(** Ordinary (non-DMA-safe) heap memory.
+
+    Buffers allocated here have simulated addresses that no pinned pool
+    covers, so [recover_ptr] fails on them and the hybrid serializer must
+    fall back to copying — the memory-transparency path (§2.3). *)
+
+type t
+
+val alloc : Addr_space.t -> len:int -> t
+
+val of_string : Addr_space.t -> string -> t
+
+val addr : t -> int
+
+val len : t -> int
+
+val view : t -> View.t
+
+val fill : t -> string -> unit

@@ -1,0 +1,1 @@
+lib/memmodel/cache.ml: Array Format Params

@@ -1,0 +1,1 @@
+lib/memmodel/cache.mli: Format Params

@@ -1,0 +1,1 @@
+lib/memmodel/cpu.ml: Array Cache List Params

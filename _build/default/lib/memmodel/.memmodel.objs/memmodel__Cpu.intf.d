@@ -1,0 +1,1 @@
+lib/memmodel/cpu.mli: Cache Params

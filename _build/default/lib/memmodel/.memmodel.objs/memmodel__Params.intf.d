@@ -1,0 +1,1 @@
+lib/memmodel/params.mli:

@@ -1,0 +1,137 @@
+type level = L1 | L2 | L3 | Dram
+
+let pp_level ppf = function
+  | L1 -> Format.pp_print_string ppf "L1"
+  | L2 -> Format.pp_print_string ppf "L2"
+  | L3 -> Format.pp_print_string ppf "L3"
+  | Dram -> Format.pp_print_string ppf "DRAM"
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array; (* sets * ways; -1 = invalid *)
+  ages : int array; (* LRU stamp per entry *)
+  mutable tick : int;
+}
+
+let create (g : Params.cache_geometry) =
+  let lines = g.size_bytes / g.line_bytes in
+  let sets = max 1 (lines / g.ways) in
+  {
+    sets;
+    ways = g.ways;
+    line_bytes = g.line_bytes;
+    tags = Array.make (sets * g.ways) (-1);
+    ages = Array.make (sets * g.ways) 0;
+    tick = 0;
+  }
+
+let set_of_line t line = (line land max_int) mod t.sets
+
+let access t ~line =
+  t.tick <- t.tick + 1;
+  let s = set_of_line t line in
+  let base = s * t.ways in
+  let hit = ref false in
+  let victim = ref base in
+  let victim_age = ref max_int in
+  (let i = ref 0 in
+   while (not !hit) && !i < t.ways do
+     let idx = base + !i in
+     if t.tags.(idx) = line then begin
+       hit := true;
+       t.ages.(idx) <- t.tick
+     end
+     else begin
+       if t.ages.(idx) < !victim_age then begin
+         victim_age := t.ages.(idx);
+         victim := idx
+       end;
+       incr i
+     end
+   done);
+  if not !hit then begin
+    (* Complete the victim scan over the remaining ways. *)
+    for i = 0 to t.ways - 1 do
+      let idx = base + i in
+      if t.tags.(idx) <> line && t.ages.(idx) < !victim_age then begin
+        victim_age := t.ages.(idx);
+        victim := idx
+      end
+    done;
+    t.tags.(!victim) <- line;
+    t.ages.(!victim) <- t.tick
+  end;
+  !hit
+
+let probe t ~line =
+  let s = set_of_line t line in
+  let base = s * t.ways in
+  let rec scan i = i < t.ways && (t.tags.(base + i) = line || scan (i + 1)) in
+  scan 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.tick <- 0
+
+module Hierarchy = struct
+  type h = { l1 : t; l2 : t; l3 : t; line_bytes : int }
+
+  let level = create
+
+  let level_access = access
+
+  let create (p : Params.t) =
+    {
+      l1 = level p.l1;
+      l2 = level p.l2;
+      l3 = level p.l3;
+      line_bytes = p.l1.line_bytes;
+    }
+
+  let create_shared (p : Params.t) ~l3 =
+    { l1 = level p.l1; l2 = level p.l2; l3; line_bytes = p.l1.line_bytes }
+
+  let shared_l3 h = h.l3
+
+  let access_line h ~addr =
+    let line = addr / h.line_bytes in
+    if access h.l1 ~line then L1
+    else if access h.l2 ~line then L2
+    else if access h.l3 ~line then L3
+    else Dram
+
+  let access h ~addr ~len =
+    if len <= 0 then (0, 0, 0, 0)
+    else begin
+      let first = addr / h.line_bytes in
+      let last = (addr + len - 1) / h.line_bytes in
+      let l1 = ref 0 and l2 = ref 0 and l3 = ref 0 and dram = ref 0 in
+      for line = first to last do
+        match access_line h ~addr:(line * h.line_bytes) with
+        | L1 -> incr l1
+        | L2 -> incr l2
+        | L3 -> incr l3
+        | Dram -> incr dram
+      done;
+      (!l1, !l2, !l3, !dram)
+    end
+
+  (* DDIO: device DMA installs lines into the LLC without touching the
+     private levels and without costing CPU cycles. *)
+  let install_l3 h ~addr ~len =
+    if len > 0 then begin
+      let first = addr / h.line_bytes in
+      let last = (addr + len - 1) / h.line_bytes in
+      for line = first to last do
+        ignore (level_access h.l3 ~line)
+      done
+    end
+
+  let clear h =
+    clear h.l1;
+    clear h.l2;
+    clear h.l3
+end

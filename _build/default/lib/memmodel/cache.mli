@@ -1,0 +1,49 @@
+(** Set-associative cache level with LRU replacement.
+
+    Tags are simulated line addresses (byte address / line size). A
+    [Hierarchy.t] composes three levels (inclusive fill) and classifies each
+    access by the level it hits, which the cost model prices. *)
+
+type level = L1 | L2 | L3 | Dram
+
+val pp_level : Format.formatter -> level -> unit
+
+type t
+
+val create : Params.cache_geometry -> t
+
+(** [access t ~line] probes (and on miss, fills) the cache for a line
+    address. Returns [true] on hit. Fills evict LRU within the set. *)
+val access : t -> line:int -> bool
+
+(** [probe t ~line] checks residency without updating LRU or filling. *)
+val probe : t -> line:int -> bool
+
+val clear : t -> unit
+
+module Hierarchy : sig
+  type h
+
+  (** [create params] builds a private L1/L2 over a private L3. *)
+  val create : Params.t -> h
+
+  (** [create_shared params ~l3] builds a private L1/L2 over a shared L3
+      (multicore experiments). *)
+  val create_shared : Params.t -> l3:t -> h
+
+  val shared_l3 : h -> t
+
+  (** [access h ~addr ~len] touches every line in [addr, addr+len) and
+      returns per-level hit counts as [(l1, l2, l3, dram)]. *)
+  val access : h -> addr:int -> len:int -> int * int * int * int
+
+  (** [access_line h ~addr] touches the single line containing [addr] and
+      returns the level it hit. *)
+  val access_line : h -> addr:int -> level
+
+  (** [install_l3 h ~addr ~len] models DDIO: device DMA deposits the lines
+      in the last-level cache (no CPU cost, no L1/L2 effect). *)
+  val install_l3 : h -> addr:int -> len:int -> unit
+
+  val clear : h -> unit
+end

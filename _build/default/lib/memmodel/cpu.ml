@@ -1,0 +1,82 @@
+type category = Rx | Deser | App | Alloc | Copy | Safety | Tx | Other
+
+let category_index = function
+  | Rx -> 0
+  | Deser -> 1
+  | App -> 2
+  | Alloc -> 3
+  | Copy -> 4
+  | Safety -> 5
+  | Tx -> 6
+  | Other -> 7
+
+let all_categories = [ Rx; Deser; App; Alloc; Copy; Safety; Tx; Other ]
+
+let category_label = function
+  | Rx -> "rx"
+  | Deser -> "deserialize"
+  | App -> "app/get"
+  | Alloc -> "alloc"
+  | Copy -> "copy"
+  | Safety -> "safety"
+  | Tx -> "tx/post"
+  | Other -> "other"
+
+type t = {
+  params : Params.t;
+  hier : Cache.Hierarchy.h;
+  mutable cycles : float;
+  per_category : float array;
+}
+
+let create ?shared_l3 (params : Params.t) =
+  let hier =
+    match shared_l3 with
+    | Some l3 -> Cache.Hierarchy.create_shared params ~l3
+    | None -> Cache.Hierarchy.create params
+  in
+  { params; hier; cycles = 0.0; per_category = Array.make 8 0.0 }
+
+let params t = t.params
+
+let charge t cat cycles =
+  t.cycles <- t.cycles +. cycles;
+  let i = category_index cat in
+  t.per_category.(i) <- t.per_category.(i) +. cycles
+
+let stream t cat ~addr ~len =
+  if len > 0 then begin
+    let l1, l2, l3, dram = Cache.Hierarchy.access t.hier ~addr ~len in
+    let p = t.params in
+    let cost =
+      (float_of_int l1 *. p.stream_l1)
+      +. (float_of_int l2 *. p.stream_l2)
+      +. (float_of_int l3 *. p.stream_l3)
+      +. (float_of_int dram *. p.stream_dram)
+    in
+    charge t cat cost
+  end
+
+let latency_access t cat ~addr =
+  let p = t.params in
+  let cost =
+    match Cache.Hierarchy.access_line t.hier ~addr with
+    | Cache.L1 -> p.lat_l1
+    | Cache.L2 -> p.lat_l2
+    | Cache.L3 -> p.lat_l3
+    | Cache.Dram -> p.lat_dram
+  in
+  charge t cat cost
+
+let cycles t = t.cycles
+
+let ns t = Params.cycles_to_ns t.params t.cycles
+
+let breakdown t =
+  List.map (fun c -> (c, t.per_category.(category_index c))) all_categories
+
+let reset_breakdown t = Array.fill t.per_category 0 8 0.0
+
+let install_dma t ~addr ~len = Cache.Hierarchy.install_l3 t.hier ~addr ~len
+
+let clear_caches t = Cache.Hierarchy.clear t.hier

@@ -1,0 +1,60 @@
+(** Calibrated machine parameters for the simulated server.
+
+    Models the paper's CloudLab c6525-100g hosts: 24-core AMD EPYC 7402P at
+    2.8–3.0 GHz with ≈128 MB of combined cache, 100 Gbps NICs, and a 100 ns
+    main-memory access (§2.3, §6.1.1). Two distinct access-cost regimes
+    matter for the copy/zero-copy tradeoff:
+
+    - {b latency} costs: a dependent access (refcount, hash bucket, pinned
+      range metadata) pays the full load-to-use latency of the level it hits;
+      an L3 miss costs ~100 ns.
+    - {b streaming} costs: bulk copies overlap many outstanding misses
+      (hardware prefetch + memory-level parallelism), so the per-cache-line
+      cost is a bandwidth figure far below the raw latency.
+
+    The crossover measured in the paper (scatter-gather wins for fields
+    ≥512 B) emerges from these constants; see [bench fig5]. *)
+
+type cache_geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+type t = {
+  clock_ghz : float;
+  l1 : cache_geometry;
+  l2 : cache_geometry;
+  l3 : cache_geometry;
+  (* Latency-bound (dependent) access cost, in cycles, by hit level. *)
+  lat_l1 : float;
+  lat_l2 : float;
+  lat_l3 : float;
+  lat_dram : float;
+  (* Streaming (bulk-copy) cost per 64 B line, in cycles, by hit level. *)
+  stream_l1 : float;
+  stream_l2 : float;
+  stream_l3 : float;
+  stream_dram : float;
+  (* Fixed instruction overheads, in cycles. *)
+  cost_per_call : float; (* function call / loop iteration bookkeeping *)
+  cost_arena_alloc : float; (* bump-pointer allocation *)
+  cost_slab_alloc : float; (* pinned slab allocator fast path *)
+  cost_hash_op : float; (* hashing a key, excluding bucket memory access *)
+  cost_sg_post : float; (* writing one scatter-gather ring entry *)
+  cost_doorbell : float; (* MMIO doorbell, amortized over a burst *)
+  cost_refcount_op : float; (* arithmetic part of a refcount update *)
+  cost_range_lookup : float; (* arithmetic part of recover_ptr range check *)
+  cost_rx_packet : float; (* per-packet receive-path software cost *)
+  cost_tx_packet : float; (* per-packet transmit-path software cost *)
+  cost_completion_per_sge : float; (* completion reap per extra gather entry *)
+  cost_vec_alloc : float; (* heap allocation of an intermediate vector *)
+}
+
+(** Parameters modelling the c6525-100g servers (Mellanox CX-6 side). *)
+val default : t
+
+(** Convert an accumulated cycle count to nanoseconds. *)
+val cycles_to_ns : t -> float -> float
+
+val ns_to_cycles : t -> float -> float

@@ -1,0 +1,1 @@
+lib/mini_redis/resp.ml: Buffer Bytes Char Format List Mem Printf String Wire

@@ -1,0 +1,1 @@
+lib/mini_redis/resp.mli: Format Mem Memmodel Wire

@@ -1,0 +1,1 @@
+lib/mini_redis/server.ml: Apps Cornflakes Kvstore List Loadgen Mem Memmodel Net Resp Sim String Wire Workload

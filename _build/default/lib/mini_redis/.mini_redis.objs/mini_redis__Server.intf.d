@@ -1,0 +1,1 @@
+lib/mini_redis/server.mli: Apps Cornflakes Kvstore Net Workload

@@ -1,0 +1,210 @@
+type mode = Native | Cornflakes_backed of Cornflakes.Config.t
+
+let mode_name = function
+  | Native -> "redis-native"
+  | Cornflakes_backed _ -> "redis-cornflakes"
+
+type t = {
+  rig : Apps.Rig.t;
+  mode : mode;
+  store : Kvstore.Store.t;
+  pool : Mem.Pinned.Pool.t;
+  workload : Workload.Spec.t;
+  list_values : bool;
+  client_rng : Sim.Rng.t;
+}
+
+let store t = t.store
+
+let arg_string ?cpu (v : Resp.value) =
+  match v with
+  | Resp.Bulk view -> (
+      (match cpu with
+      | None -> ()
+      | Some cpu ->
+          Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:view.Mem.View.addr
+            ~len:view.Mem.View.len);
+      Mem.View.to_string view)
+  | _ -> raise (Resp.Protocol_error "expected bulk argument")
+
+(* Execute a command against the store; returns the reply as values still
+   referencing the store's buffers (no copies yet — the serializer decides
+   how the bytes move). *)
+let execute t ~cpu req =
+  match req with
+  | Resp.Array (cmd :: args) -> (
+      let cmd = String.uppercase_ascii (arg_string ~cpu cmd) in
+      match (cmd, args) with
+      | "GET", [ key ] -> (
+          match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+          | Some (Kvstore.Store.Single buf) -> Resp.Bulk (Mem.Pinned.Buf.view buf)
+          | Some value -> (
+              match Kvstore.Store.buffers value with
+              | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
+              | [] -> Resp.Null)
+          | None -> Resp.Null)
+      | "MGET", keys ->
+          Resp.Array
+            (List.map
+               (fun key ->
+                 match
+                   Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key)
+                 with
+                 | Some value -> (
+                     match Kvstore.Store.buffers value with
+                     | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
+                     | [] -> Resp.Null)
+                 | None -> Resp.Null)
+               keys)
+      | "LRANGE", [ key; _start; _stop ] -> (
+          (* The experiments query whole lists: LRANGE key 0 -1. *)
+          match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+          | Some value ->
+              Resp.Array
+                (List.map
+                   (fun buf -> Resp.Bulk (Mem.Pinned.Buf.view buf))
+                   (Kvstore.Store.buffers value))
+          | None -> Resp.Array [])
+      | "SET", [ key; payload ] -> (
+          let key = arg_string ~cpu key in
+          match payload with
+          | Resp.Bulk src -> (
+              match Mem.Pinned.Buf.alloc ~cpu t.pool ~len:src.Mem.View.len with
+              | buf ->
+                  Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
+                  Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Single buf);
+                  Resp.Simple "OK"
+              | exception Mem.Pinned.Out_of_memory _ ->
+                  Resp.Error "OOM command not allowed")
+          | _ -> Resp.Error "ERR bad SET payload")
+      | "DEL", keys ->
+          let removed =
+            List.fold_left
+              (fun acc key ->
+                let key = arg_string ~cpu key in
+                match Kvstore.Store.get ~cpu t.store ~key with
+                | Some _ ->
+                    Kvstore.Store.remove ~cpu t.store ~key;
+                    acc + 1
+                | None -> acc)
+              0 keys
+          in
+          Resp.Int removed
+      | "EXISTS", keys ->
+          Resp.Int
+            (List.fold_left
+               (fun acc key ->
+                 match
+                   Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key)
+                 with
+                 | Some _ -> acc + 1
+                 | None -> acc)
+               0 keys)
+      | "STRLEN", [ key ] -> (
+          match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+          | Some v -> Resp.Int (Kvstore.Store.value_len v)
+          | None -> Resp.Int 0)
+      | "PING", [] -> Resp.Simple "PONG"
+      | _, _ -> Resp.Error ("ERR unknown command '" ^ cmd ^ "'"))
+  | _ -> Resp.Error "ERR protocol: expected command array"
+
+(* Redis's handwritten serialization, over the integrated stack: the reply
+   (values included) is composed directly into a DMA-safe output buffer —
+   the paper's baseline integration minimises unnecessary copies, so this
+   is a single copy of every value byte. *)
+let send_native t ~cpu ~dst reply =
+  let ep = t.rig.Apps.Rig.server_ep in
+  let len = Resp.encoded_len reply in
+  let staging =
+    Net.Endpoint.alloc_tx ~cpu ep ~len:(Net.Packet.header_len + len)
+  in
+  let window =
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len ~len
+  in
+  let w = Wire.Cursor.Writer.create ~cpu window in
+  Resp.encode ~cpu w reply;
+  Net.Endpoint.send_inline_header ~cpu ep ~dst ~segments:[ staging ]
+
+let send_cornflakes t ~cpu ~dst config reply =
+  let ep = t.rig.Apps.Rig.server_ep in
+  (* Replies become Cornflakes objects; each bulk goes through the hybrid
+     CFPtr constructor. *)
+  let msg = Wire.Dyn.create Apps.Proto.resp in
+  Wire.Dyn.set_int msg "id" 0L;
+  let add_bulk view =
+    Wire.Dyn.append msg "vals"
+      (Wire.Dyn.Payload (Cornflakes.Cf_ptr.make ~cpu config ep view))
+  in
+  (match reply with
+  | Resp.Bulk view -> add_bulk view
+  | Resp.Array elems ->
+      List.iter
+        (fun e -> match e with Resp.Bulk view -> add_bulk view | _ -> ())
+        elems
+  | Resp.Simple _ | Resp.Error _ | Resp.Int _ | Resp.Null -> ());
+  Cornflakes.Send.send_object ~cpu config ep ~dst msg
+
+(* Redis spends considerable time per command outside serialization:
+   command-table dispatch, SDS/robj bookkeeping, LRU/expiry accounting.
+   Both serializers pay it equally; it is why serialization gains inside
+   Redis are smaller than in the lean custom store (Table 3 vs Table 1). *)
+let command_overhead_cycles = 2500.0
+
+let handler t ~src buf =
+  let cpu = t.rig.Apps.Rig.cpu in
+  Memmodel.Cpu.charge cpu Memmodel.Cpu.App command_overhead_cycles;
+  match Resp.decode ~cpu (Mem.Pinned.Buf.view buf) with
+  | exception Resp.Protocol_error _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
+  | req ->
+      let reply = execute t ~cpu req in
+      (match t.mode with
+      | Native -> send_native t ~cpu ~dst:src reply
+      | Cornflakes_backed config -> send_cornflakes t ~cpu ~dst:src config reply);
+      Mem.Pinned.Buf.decr_ref ~cpu buf
+
+let install rig mode ~workload ~list_values =
+  let pool =
+    Apps.Rig.data_pool rig
+      ~name:("redis-" ^ workload.Workload.Spec.name)
+      ~classes:workload.Workload.Spec.pool_classes
+  in
+  let store =
+    Kvstore.Store.create rig.Apps.Rig.space
+      ~name:("redis-" ^ workload.Workload.Spec.name)
+      ~capacity:workload.Workload.Spec.store_capacity
+  in
+  workload.Workload.Spec.populate store ~pool;
+  let t =
+    {
+      rig;
+      mode;
+      store;
+      pool;
+      workload;
+      list_values;
+      client_rng = Sim.Rng.split rig.Apps.Rig.rng;
+    }
+  in
+  Loadgen.Server.set_handler rig.Apps.Rig.server (fun ~src buf ->
+      handler t ~src buf);
+  t
+
+let send_op t op client ~dst ~id =
+  ignore id;
+  let space = t.rig.Apps.Rig.space in
+  let parts =
+    match op with
+    | Workload.Spec.Get { keys = [ key ] } when t.list_values ->
+        [ "LRANGE"; key; "0"; "-1" ]
+    | Workload.Spec.Get { keys = [ key ] } -> [ "GET"; key ]
+    | Workload.Spec.Get { keys } -> "MGET" :: keys
+    | Workload.Spec.Get_index { key; index } ->
+        [ "LRANGE"; key; string_of_int index; string_of_int index ]
+    | Workload.Spec.Put { key; sizes } ->
+        let n = match sizes with [ n ] -> n | _ -> List.fold_left ( + ) 0 sizes in
+        [ "SET"; key; Workload.Spec.filler (max 1 n) ]
+  in
+  Net.Endpoint.send_string client ~dst (Resp.to_string space (Resp.command space parts))
+
+let send_next t client ~dst ~id =
+  send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id

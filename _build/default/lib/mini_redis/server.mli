@@ -1,0 +1,33 @@
+(** Mini-Redis: GET / SET / MGET / LRANGE over the pinned-memory store,
+    with two reply serializers (§6.2.2):
+
+    - [Native]: Redis's handwritten serialization — the reply (including
+      every value's bytes) is composed into a contiguous reply buffer, which
+      the stack then copies into DMA-safe staging. Requests and replies are
+      RESP2.
+    - [Cornflakes]: replies are Cornflakes objects; values ride zero-copy
+      when the hybrid threshold says so. Requests remain RESP2 (they are
+      tiny), so both modes pay identical request-parsing costs.
+
+    Responses carry no request id (RESP has none), so clients match
+    responses FIFO, as Redis pipelining does. *)
+
+type mode = Native | Cornflakes_backed of Cornflakes.Config.t
+
+val mode_name : mode -> string
+
+type t
+
+(** [install rig mode ~workload ~list_values] populates the store and
+    installs the command handler. [list_values] selects the client command:
+    LRANGE for linked-list values, GET/MGET otherwise. *)
+val install :
+  Apps.Rig.t -> mode -> workload:Workload.Spec.t -> list_values:bool -> t
+
+val store : t -> Kvstore.Store.t
+
+(** Client-side: send the RESP command for a workload op (FIFO matching —
+    [id] ignored). *)
+val send_op : t -> Workload.Spec.op -> Net.Endpoint.t -> dst:int -> id:int -> unit
+
+val send_next : t -> Net.Endpoint.t -> dst:int -> id:int -> unit

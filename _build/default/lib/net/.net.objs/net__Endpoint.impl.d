@@ -1,0 +1,1 @@
+lib/net/endpoint.ml: Bytes Fabric List Mem Memmodel Nic Packet Printf Sim String

@@ -1,0 +1,214 @@
+type config = {
+  nic_model : Nic.Model.t;
+  tx_class_capacity : int;
+  rx_capacity : int;
+  arena_capacity : int;
+}
+
+let default_config =
+  {
+    nic_model = Nic.Model.mellanox_cx6;
+    tx_class_capacity = 2048;
+    rx_capacity = 4096;
+    arena_capacity = 1 lsl 20;
+  }
+
+type t = {
+  id : int;
+  fabric : Fabric.t;
+  registry : Mem.Registry.t;
+  cpu : Memmodel.Cpu.t option;
+  nic : Nic.Device.t;
+  tx_pool : Mem.Pinned.Pool.t;
+  rx_pool : Mem.Pinned.Pool.t;
+  arena : Mem.Arena.t;
+  mutable rx_handler : src:int -> Mem.Pinned.Buf.t -> unit;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable rx_dropped : int;
+  mutable held : Mem.Pinned.Buf.t list list option; (* queued posts, reversed *)
+}
+
+let engine t = Fabric.engine t.fabric
+
+let handle_wire t packet =
+  let src, _dst = Packet.parse_header packet in
+  let payload_len = String.length packet - Packet.header_len in
+  if payload_len > 0 then begin
+    (* NIC DMA writes the frame into a posted receive buffer: real bytes
+       move, but no CPU cycles are charged here. *)
+    match Mem.Pinned.Buf.alloc t.rx_pool ~len:payload_len with
+    | buf ->
+        Mem.Pinned.Buf.fill buf
+          (String.sub packet Packet.header_len payload_len);
+        (* DDIO: the DMA write leaves the frame in the LLC. *)
+        (match t.cpu with
+        | Some cpu ->
+            Memmodel.Cpu.install_dma cpu ~addr:(Mem.Pinned.Buf.addr buf)
+              ~len:payload_len
+        | None -> ());
+        t.rx_packets <- t.rx_packets + 1;
+        t.rx_bytes <- t.rx_bytes + payload_len;
+        t.rx_handler ~src buf
+    | exception Mem.Pinned.Out_of_memory _ ->
+        (* RX ring overrun under overload: the frame is dropped, exactly as
+           a real NIC drops when the host can't keep up. *)
+        t.rx_dropped <- t.rx_dropped + 1
+  end
+
+let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
+  let space = Mem.Registry.space registry in
+  let tx_pool =
+    Mem.Pinned.Pool.create space
+      ~name:(Printf.sprintf "ep%d-tx" id)
+      ~classes:
+        (List.map
+           (fun size -> (size, config.tx_class_capacity))
+           [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384 ])
+  in
+  let rx_pool =
+    Mem.Pinned.Pool.create space
+      ~name:(Printf.sprintf "ep%d-rx" id)
+      ~classes:[ (16384, config.rx_capacity) ]
+  in
+  Mem.Registry.register registry tx_pool;
+  Mem.Registry.register registry rx_pool;
+  let nic =
+    match nic with
+    | Some nic -> nic
+    | None -> Nic.Device.create (Fabric.engine fabric) ~model:config.nic_model
+  in
+  let t =
+    {
+      id;
+      fabric;
+      registry;
+      cpu;
+      nic;
+      tx_pool;
+      rx_pool;
+      arena = Mem.Arena.create space ~capacity:config.arena_capacity;
+      rx_handler = (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
+      rx_packets = 0;
+      rx_bytes = 0;
+      rx_dropped = 0;
+      held = None;
+    }
+  in
+  Nic.Device.set_on_wire nic (fun packet -> Fabric.inject fabric packet);
+  Fabric.attach fabric ~id ~rx:(fun packet -> handle_wire t packet);
+  t
+
+let id t = t.id
+
+let registry t = t.registry
+
+let cpu t = t.cpu
+
+let nic t = t.nic
+
+let arena t = t.arena
+
+let alloc_tx ?cpu t ~len = Mem.Pinned.Buf.alloc ?cpu t.tx_pool ~len
+
+let charge_post ?cpu t ~nsge =
+  match cpu with
+  | None -> ()
+  | Some cpu ->
+      let p = Memmodel.Cpu.params cpu in
+      (* Ring-entry writes, doorbell, and the completion-side processing
+         (descriptor reap + reference releases) pre-charged per packet. *)
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Tx
+        ((float_of_int nsge *. p.Memmodel.Params.cost_sg_post)
+        +. p.Memmodel.Params.cost_doorbell
+        +. p.Memmodel.Params.cost_tx_packet);
+      ignore t
+
+let rec post t ~segments =
+  match t.held with
+  | Some queued -> t.held <- Some (segments :: queued)
+  | None -> post_now t ~segments
+
+and post_now t ~segments =
+  let desc =
+    {
+      Nic.Device.segments =
+        List.map (fun buf -> { Nic.Device.buf }) segments;
+      on_complete =
+        (fun () ->
+          (* Release the stack's references; charged at post time. *)
+          List.iter (fun buf -> Mem.Pinned.Buf.decr_ref buf) segments);
+    }
+  in
+  Nic.Device.post t.nic desc
+
+let write_header ?cpu t ~dst buf =
+  let v = Mem.Pinned.Buf.view buf in
+  Packet.write_header v.Mem.View.data
+    ~off:(v.Mem.View.off - 0)
+    ~src:t.id ~dst;
+  match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:v.Mem.View.addr
+        ~len:Packet.header_len
+
+let send_inline_header ?cpu t ~dst ~segments =
+  match segments with
+  | [] -> invalid_arg "Endpoint.send_inline_header: no segments"
+  | first :: _ ->
+      if Mem.Pinned.Buf.len first < Packet.header_len then
+        invalid_arg "Endpoint.send_inline_header: no header headroom";
+      write_header ?cpu t ~dst first;
+      charge_post ?cpu t ~nsge:(List.length segments);
+      post t ~segments
+
+let send_extra_header ?cpu t ~dst ~segments =
+  let hdr = Mem.Pinned.Buf.alloc ?cpu t.tx_pool ~len:Packet.header_len in
+  write_header ?cpu t ~dst hdr;
+  charge_post ?cpu t ~nsge:(1 + List.length segments);
+  post t ~segments:(hdr :: segments)
+
+let send_string t ~dst s =
+  let buf =
+    Mem.Pinned.Buf.alloc t.tx_pool ~len:(Packet.header_len + String.length s)
+  in
+  let v = Mem.Pinned.Buf.view buf in
+  Bytes.blit_string s 0 v.Mem.View.data
+    (v.Mem.View.off + Packet.header_len)
+    (String.length s);
+  send_inline_header t ~dst ~segments:[ buf ]
+
+let set_rx t f = t.rx_handler <- f
+
+let begin_hold t =
+  if t.held <> None then invalid_arg "Endpoint.begin_hold: already holding";
+  t.held <- Some []
+
+let release_hold t ~after =
+  match t.held with
+  | None -> invalid_arg "Endpoint.release_hold: not holding"
+  | Some queued ->
+      t.held <- None;
+      let batches = List.rev queued in
+      if batches <> [] then
+        Sim.Engine.schedule (engine t) ~after (fun () ->
+            List.iter (fun segments -> post_now t ~segments) batches)
+
+let charge_rx ?cpu _t ~len =
+  match cpu with
+  | None -> ()
+  | Some cpu ->
+      let p = Memmodel.Cpu.params cpu in
+      Memmodel.Cpu.charge cpu Memmodel.Cpu.Rx p.Memmodel.Params.cost_rx_packet;
+      ignore len
+
+let rx_packets t = t.rx_packets
+
+let rx_dropped t = t.rx_dropped
+
+let rx_bytes t = t.rx_bytes
+
+let tx_packets t = Nic.Device.tx_packets t.nic
+
+let tx_bytes t = Nic.Device.tx_bytes t.nic

@@ -1,0 +1,101 @@
+(** Kernel-bypass UDP endpoint: the networking half of the co-design.
+
+    Owns a NIC, pinned staging pools, and a receive path that delivers
+    packets as refcounted buffers ([Listing 2] of the paper: [alloc],
+    [recv_packet] as the rx handler, [recover_ptr] via the registry). The
+    two send entry points encode the paper's §6.5.2 comparison:
+
+    - [send_inline_header]: serialize-and-send. The caller built the first
+      segment with [Packet.header_len] bytes of headroom; the stack writes
+      the packet header there, so object header + copied fields + packet
+      header share one gather entry.
+    - [send_extra_header]: the conventional path. The stack allocates a
+      separate header-only entry and prepends it, costing one more gather
+      entry and one more allocation.
+
+    Ownership: the stack takes over the caller's reference on every segment
+    and releases it when the NIC completion fires — the use-after-free
+    guarantee. Completion-side refcount work is pre-charged at post time so
+    per-request service times include it. *)
+
+type t
+
+type config = {
+  nic_model : Nic.Model.t;
+  tx_class_capacity : int; (* staging buffers per power-of-two class *)
+  rx_capacity : int; (* jumbo receive buffers *)
+  arena_capacity : int;
+}
+
+val default_config : config
+
+(** [create ?cpu ?nic ?config fabric registry ~id] — pass [nic] to share one
+    NIC device between several endpoints (multicore experiments: cores share
+    the port's line rate and DMA pipeline). *)
+val create :
+  ?cpu:Memmodel.Cpu.t ->
+  ?nic:Nic.Device.t ->
+  ?config:config ->
+  Fabric.t ->
+  Mem.Registry.t ->
+  id:int ->
+  t
+
+val id : t -> int
+
+val engine : t -> Sim.Engine.t
+
+val registry : t -> Mem.Registry.t
+
+val cpu : t -> Memmodel.Cpu.t option
+
+val nic : t -> Nic.Device.t
+
+(** Per-request arena for copied serialization data; the request harness
+    resets it between requests. *)
+val arena : t -> Mem.Arena.t
+
+(** [alloc_tx ?cpu t ~len] takes a staging buffer from the TX pool. *)
+val alloc_tx : ?cpu:Memmodel.Cpu.t -> t -> len:int -> Mem.Pinned.Buf.t
+
+(** [send_inline_header ?cpu t ~dst ~segments] — see module doc. The first
+    segment's initial [Packet.header_len] bytes are overwritten. *)
+val send_inline_header :
+  ?cpu:Memmodel.Cpu.t -> t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit
+
+(** [send_extra_header ?cpu t ~dst ~segments] — see module doc. *)
+val send_extra_header :
+  ?cpu:Memmodel.Cpu.t -> t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit
+
+(** [send_string t ~dst s] — uncharged convenience for load generators:
+    copies [s] into a staging buffer and sends it. *)
+val send_string : t -> dst:int -> string -> unit
+
+(** [set_rx t f] registers the receive upcall. [f ~src buf] receives the
+    payload (header stripped) as a refcounted buffer with one reference that
+    the handler must eventually release. *)
+val set_rx : t -> (src:int -> Mem.Pinned.Buf.t -> unit) -> unit
+
+(** Send holds. The request harness executes a handler at simulated time T
+    to *measure* its service time dt, but the responses it produced must not
+    reach the NIC before T+dt. [begin_hold] buffers descriptor posts;
+    [release_hold ~after] replays them [after] ns later (order preserved).
+    CPU costs are charged at call time either way. *)
+val begin_hold : t -> unit
+
+val release_hold : t -> after:int -> unit
+
+(** Software receive-path cost (parse + steering), charged by the request
+    harness when it dequeues a packet. *)
+val charge_rx : ?cpu:Memmodel.Cpu.t -> t -> len:int -> unit
+
+val rx_packets : t -> int
+
+(** Frames dropped because no receive buffer was available (host overload). *)
+val rx_dropped : t -> int
+
+val rx_bytes : t -> int
+
+val tx_packets : t -> int
+
+val tx_bytes : t -> int

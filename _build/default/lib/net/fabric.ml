@@ -1,0 +1,47 @@
+type t = {
+  engine : Sim.Engine.t;
+  one_way_delay_ns : int;
+  mutable loss_rate : float;
+  rng : Sim.Rng.t;
+  endpoints : (int, string -> unit) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(one_way_delay_ns = 850) ?(loss_rate = 0.0) engine =
+  {
+    engine;
+    one_way_delay_ns;
+    loss_rate;
+    rng = Sim.Rng.create ~seed:0x5eed_fab;
+    endpoints = Hashtbl.create 64;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+
+let one_way_delay_ns t = t.one_way_delay_ns
+
+let attach t ~id ~rx =
+  if Hashtbl.mem t.endpoints id then
+    invalid_arg (Printf.sprintf "Fabric.attach: duplicate endpoint %d" id);
+  Hashtbl.replace t.endpoints id rx
+
+let set_loss_rate t r = t.loss_rate <- r
+
+let inject t packet =
+  let _src, dst = Packet.parse_header packet in
+  let lost = t.loss_rate > 0.0 && Sim.Rng.bool t.rng t.loss_rate in
+  if lost then t.dropped <- t.dropped + 1
+  else
+    match Hashtbl.find_opt t.endpoints dst with
+    | None -> t.dropped <- t.dropped + 1
+    | Some rx ->
+        Sim.Engine.schedule t.engine ~after:t.one_way_delay_ns (fun () ->
+            t.delivered <- t.delivered + 1;
+            rx packet)
+
+let delivered t = t.delivered
+
+let dropped t = t.dropped

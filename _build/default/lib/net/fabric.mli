@@ -1,0 +1,28 @@
+(** Network fabric connecting endpoints.
+
+    Models the 100 Gbps switch (or back-to-back cable) between the load
+    generators and the server: a constant one-way delay, in-order delivery,
+    optional random loss for TCP tests. *)
+
+type t
+
+val create : ?one_way_delay_ns:int -> ?loss_rate:float -> Sim.Engine.t -> t
+
+val engine : t -> Sim.Engine.t
+
+val one_way_delay_ns : t -> int
+
+(** [attach t ~id ~rx] registers endpoint [id]; [rx packet] is called when a
+    wire packet addressed to [id] arrives. *)
+val attach : t -> id:int -> rx:(string -> unit) -> unit
+
+(** [inject t packet] routes a wire packet to its destination endpoint after
+    the one-way delay (subject to loss). Unknown destinations are dropped. *)
+val inject : t -> string -> unit
+
+(** [set_loss_rate t r] changes the drop probability (failure injection). *)
+val set_loss_rate : t -> float -> unit
+
+val delivered : t -> int
+
+val dropped : t -> int

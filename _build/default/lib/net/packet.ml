@@ -1,0 +1,35 @@
+let header_len = 42
+
+let max_payload = 9000
+
+let src_off = 26 (* IPv4 source address slot *)
+
+let dst_off = 30 (* IPv4 destination address slot *)
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let write_header buf ~off ~src ~dst =
+  if off + header_len > Bytes.length buf then
+    invalid_arg "Packet.write_header: buffer too small";
+  Bytes.fill buf off header_len '\000';
+  (* Ethertype 0x0800, IPv4 version/IHL, UDP stubs — enough to look like a
+     frame in hexdumps; ids carry the routing information. *)
+  Bytes.set buf (off + 12) '\x08';
+  Bytes.set buf (off + 14) '\x45';
+  set_u32 buf (off + src_off) src;
+  set_u32 buf (off + dst_off) dst
+
+let parse_header s =
+  if String.length s < header_len then
+    invalid_arg "Packet.parse_header: truncated";
+  (get_u32 s src_off, get_u32 s dst_off)

@@ -1,0 +1,17 @@
+(** Raw packet framing for the kernel-bypass UDP datapath.
+
+    A fixed 42-byte Ethernet/IPv4/UDP header precedes every payload; endpoint
+    ids stand in for MAC/IP/port tuples. The stack writes this header into
+    the first scatter-gather entry of every send (§3.2.3). *)
+
+val header_len : int
+
+(** Jumbo frame payload budget (paper assumes ~9000-byte frames). *)
+val max_payload : int
+
+(** [write_header buf ~off ~src ~dst] writes the 42-byte header. *)
+val write_header : Bytes.t -> off:int -> src:int -> dst:int -> unit
+
+(** [parse_header s] reads [(src, dst)] from a wire packet.
+    Raises [Invalid_argument] if [s] is shorter than a header. *)
+val parse_header : string -> int * int

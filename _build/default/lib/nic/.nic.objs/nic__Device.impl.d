@@ -1,0 +1,1 @@
+lib/nic/device.ml: Bytes Float List Mem Model Sim String

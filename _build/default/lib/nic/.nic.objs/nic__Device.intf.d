@@ -1,0 +1,1 @@
+lib/nic/device.mli: Mem Model Sim

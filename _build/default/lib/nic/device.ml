@@ -1,0 +1,88 @@
+type segment = { buf : Mem.Pinned.Buf.t }
+
+type descriptor = {
+  segments : segment list;
+  on_complete : unit -> unit;
+}
+
+exception Too_many_segments of { requested : int; limit : int }
+
+exception Ring_full
+
+type t = {
+  engine : Sim.Engine.t;
+  model : Model.t;
+  mutable on_wire : string -> unit;
+  mutable busy_until : int; (* when the DMA/wire pipeline frees up *)
+  mutable in_flight : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+}
+
+let create engine ~model =
+  {
+    engine;
+    model;
+    on_wire = (fun _ -> ());
+    busy_until = 0;
+    in_flight = 0;
+    tx_packets = 0;
+    tx_bytes = 0;
+  }
+
+let model t = t.model
+
+let set_on_wire t f = t.on_wire <- f
+
+let gather segments =
+  let total =
+    List.fold_left (fun acc s -> acc + Mem.Pinned.Buf.len s.buf) 0 segments
+  in
+  let out = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun s ->
+      let v = Mem.Pinned.Buf.view s.buf in
+      Mem.View.blit v ~dst:out ~dst_off:!off;
+      off := !off + v.Mem.View.len)
+    segments;
+  Bytes.unsafe_to_string out
+
+let post t desc =
+  let nsge = List.length desc.segments in
+  if nsge = 0 then invalid_arg "Device.post: empty gather list";
+  if nsge > t.model.Model.max_sge then
+    raise (Too_many_segments { requested = nsge; limit = t.model.Model.max_sge });
+  if t.in_flight >= t.model.Model.tx_ring_entries then raise Ring_full;
+  t.in_flight <- t.in_flight + 1;
+  let now = Sim.Engine.now t.engine in
+  let start = max now t.busy_until in
+  let payload_bytes =
+    List.fold_left (fun acc s -> acc + Mem.Pinned.Buf.len s.buf) 0 desc.segments
+  in
+  (* PCIe descriptor + gather fetches overlap wire serialization; the
+     pipeline occupancy per packet is whichever is longer. *)
+  let dma_ns =
+    t.model.Model.pcie_per_descriptor_ns
+    +. (float_of_int nsge *. t.model.Model.pcie_per_sge_ns)
+  in
+  let wire_ns = Model.wire_time_ns t.model ~bytes:payload_bytes in
+  let occupancy = int_of_float (ceil (Float.max dma_ns wire_ns)) in
+  let finish = start + occupancy in
+  t.busy_until <- finish;
+  (* Snapshot bytes at post time: the zero-copy contract says the app must
+     not mutate in place during sends, and refcounts keep buffers alive, so
+     gathering now is equivalent to gathering at DMA time. *)
+  let payload = gather desc.segments in
+  Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      t.tx_packets <- t.tx_packets + 1;
+      t.tx_bytes <- t.tx_bytes + String.length payload;
+      t.on_wire payload;
+      desc.on_complete ())
+
+let in_flight t = t.in_flight
+
+let tx_packets t = t.tx_packets
+
+let tx_bytes t = t.tx_bytes

@@ -1,0 +1,45 @@
+(** Simulated NIC device: TX descriptor ring + DMA/wire engine.
+
+    The CPU-side cost of *posting* a send (writing ring entries, ringing the
+    doorbell) is charged by the networking stack; this module models the
+    device side: per-descriptor and per-gather-entry PCIe time, line-rate
+    serialization, and completion delivery. Completions run the descriptor's
+    callback, which is where the stack releases buffer references — i.e. the
+    point until which zero-copy memory must stay alive. *)
+
+type segment = {
+  buf : Mem.Pinned.Buf.t; (* holds a reference until completion *)
+}
+
+type descriptor = {
+  segments : segment list; (* in wire order; length <= model.max_sge *)
+  on_complete : unit -> unit;
+}
+
+exception Too_many_segments of { requested : int; limit : int }
+
+exception Ring_full
+
+type t
+
+val create : Sim.Engine.t -> model:Model.t -> t
+
+val model : t -> Model.t
+
+(** [set_on_wire t f] registers the fabric hook: [f payload] is called when a
+    packet's last bit leaves the NIC, with the gathered wire bytes. *)
+val set_on_wire : t -> (string -> unit) -> unit
+
+(** [post t desc] enqueues a send. Raises [Too_many_segments] if the gather
+    list exceeds the model's SGE limit, [Ring_full] if the device backlog
+    exceeds the ring size. Gathers the segment bytes (device DMA — not CPU
+    time), transmits at line rate, then schedules [on_complete]. *)
+val post : t -> descriptor -> unit
+
+(** Number of descriptors queued but not yet completed. *)
+val in_flight : t -> int
+
+(** Total packets and payload bytes transmitted. *)
+val tx_packets : t -> int
+
+val tx_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/replication/replicated_kv.ml: Apps Cornflakes Hashtbl Int64 Kvstore List Loadgen Mem Memmodel Net Option Printf Schema Sim Wire Workload

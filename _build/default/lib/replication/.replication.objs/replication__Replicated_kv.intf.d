@@ -1,0 +1,1 @@
+lib/replication/replicated_kv.mli: Apps Kvstore Mem Net Schema Workload

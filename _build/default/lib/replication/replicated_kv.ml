@@ -1,0 +1,358 @@
+let schema =
+  Schema.Parser.parse
+    {|
+    message RepOp {
+      uint64 seq = 1;
+      uint32 kind = 2;
+      bytes key = 3;
+      repeated bytes vals = 4;
+    }
+    message RepMsg {
+      uint64 id = 1;
+      uint32 role = 2;
+      RepOp op = 3;
+      repeated bytes vals = 4;
+    }
+    |}
+
+let rep_msg = Schema.Desc.message schema "RepMsg"
+
+let rep_op = Schema.Desc.message schema "RepOp"
+
+(* Roles. *)
+let role_request = 0L
+
+let role_replicate = 1L
+
+let role_ack = 2L
+
+let role_reply = 3L
+
+(* Op kinds. *)
+let kind_get = 0L
+
+let kind_put = 1L
+
+let config = Cornflakes.Config.default
+
+type replica = {
+  ep : Net.Endpoint.t;
+  cpu : Memmodel.Cpu.t;
+  server : Loadgen.Server.t;
+  store : Kvstore.Store.t;
+  pool : Mem.Pinned.Pool.t;
+  mutable expected_seq : int64; (* next sequence a backup will apply *)
+  ooo : (int64, Wire.Dyn.t * Mem.Pinned.Buf.t) Hashtbl.t;
+}
+
+type pending_put = {
+  client_src : int;
+  client_id : int64;
+  mutable awaiting : int;
+}
+
+type cluster = {
+  rig : Apps.Rig.t;
+  primary : replica;
+  backups : replica list;
+  pending : (int64, pending_put) Hashtbl.t;
+  mutable next_seq : int64;
+  mutable committed : int;
+  workload : Workload.Spec.t;
+  client_rng : Sim.Rng.t;
+}
+
+let primary_store t = t.primary.store
+
+let backup_stores t = List.map (fun b -> b.store) t.backups
+
+let committed t = t.committed
+
+(* --- Shared helpers ----------------------------------------------------- *)
+
+let payload_string ?cpu (p : Wire.Payload.t) =
+  let v = Wire.Payload.view p in
+  (match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:v.Mem.View.addr
+        ~len:v.Mem.View.len);
+  Mem.View.to_string v
+
+(* Copy request/op payloads into a replica's own pinned pool and install
+   (allocate-and-swap put). *)
+let apply_put ~cpu replica ~key vals =
+  let bufs =
+    List.filter_map
+      (fun v ->
+        match v with
+        | Wire.Dyn.Payload p -> (
+            let src = Wire.Payload.view p in
+            match Mem.Pinned.Buf.alloc ~cpu replica.pool ~len:src.Mem.View.len with
+            | buf ->
+                Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
+                Some buf
+            | exception Mem.Pinned.Out_of_memory _ -> None)
+        | _ -> None)
+      vals
+  in
+  match bufs with
+  | [] -> ()
+  | [ one ] -> Kvstore.Store.put ~cpu replica.store ~key (Kvstore.Store.Single one)
+  | many -> Kvstore.Store.put ~cpu replica.store ~key (Kvstore.Store.Linked many)
+
+let reply ~cpu replica ~dst ~id ~vals =
+  let msg = Wire.Dyn.create rep_msg in
+  Wire.Dyn.set_int msg "id" id;
+  Wire.Dyn.set_int msg "role" role_reply;
+  List.iter (fun p -> Wire.Dyn.append msg "vals" (Wire.Dyn.Payload p)) vals;
+  Cornflakes.Send.send_object ~cpu config replica.ep ~dst msg
+
+(* --- Backup side --------------------------------------------------------- *)
+
+let rec backup_apply_in_order replica ~src =
+  match Hashtbl.find_opt replica.ooo replica.expected_seq with
+  | None -> ()
+  | Some (op, buf) ->
+      Hashtbl.remove replica.ooo replica.expected_seq;
+      let cpu = replica.cpu in
+      let key =
+        match Wire.Dyn.get_payload op "key" with
+        | Some p -> payload_string ~cpu p
+        | None -> ""
+      in
+      apply_put ~cpu replica ~key (Wire.Dyn.get_list op "vals");
+      let seq = replica.expected_seq in
+      replica.expected_seq <- Int64.add replica.expected_seq 1L;
+      Wire.Dyn.release ~cpu op;
+      Mem.Pinned.Buf.decr_ref ~cpu buf;
+      (* Cumulative-style ack for this sequence number. *)
+      let ack = Wire.Dyn.create rep_msg in
+      Wire.Dyn.set_int ack "id" seq;
+      Wire.Dyn.set_int ack "role" role_ack;
+      Cornflakes.Send.send_object ~cpu config replica.ep ~dst:src ack;
+      backup_apply_in_order replica ~src
+
+let backup_handler replica ~src buf =
+  let cpu = replica.cpu in
+  match Cornflakes.Send.deserialize ~cpu schema rep_msg buf with
+  | exception Cornflakes.Format_.Malformed _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
+  | msg -> (
+      match (Wire.Dyn.get_int msg "role", Wire.Dyn.get msg "op") with
+      | Some role, Some (Wire.Dyn.Nested op) when role = role_replicate ->
+          let seq =
+            Option.value ~default:(-1L) (Wire.Dyn.get_int op "seq")
+          in
+          if seq >= replica.expected_seq && not (Hashtbl.mem replica.ooo seq)
+          then begin
+            (* Park the op (it references the rx buffer) until its turn. *)
+            Hashtbl.replace replica.ooo seq (op, buf);
+            backup_apply_in_order replica ~src
+          end
+          else begin
+            (* Duplicate or already applied: re-ack idempotently. *)
+            let ack = Wire.Dyn.create rep_msg in
+            Wire.Dyn.set_int ack "id" seq;
+            Wire.Dyn.set_int ack "role" role_ack;
+            Cornflakes.Send.send_object ~cpu config replica.ep ~dst:src ack;
+            Wire.Dyn.release ~cpu msg;
+            Mem.Pinned.Buf.decr_ref ~cpu buf
+          end
+      | _ ->
+          Wire.Dyn.release ~cpu msg;
+          Mem.Pinned.Buf.decr_ref ~cpu buf)
+
+(* --- Primary side --------------------------------------------------------- *)
+
+let replicate t ~cpu ~seq ~key vals =
+  List.iter
+    (fun backup ->
+      let env = Wire.Dyn.create rep_msg in
+      Wire.Dyn.set_int env "id" seq;
+      Wire.Dyn.set_int env "role" role_replicate;
+      let op = Wire.Dyn.create rep_op in
+      Wire.Dyn.set_int op "seq" seq;
+      Wire.Dyn.set_int op "kind" kind_put;
+      Wire.Dyn.set_payload op "key"
+        (Cornflakes.Cf_ptr.make ~cpu config t.primary.ep
+           (Mem.View.of_string t.rig.Apps.Rig.space key));
+      (* Values go out of the primary's freshly installed store value —
+         zero-copy for fields past the threshold. *)
+      List.iter
+        (fun buf ->
+          Wire.Dyn.append op "vals"
+            (Wire.Dyn.Payload
+               (Cornflakes.Cf_ptr.make ~cpu config t.primary.ep
+                  (Mem.Pinned.Buf.view buf))))
+        vals;
+      Wire.Dyn.set env "op" (Wire.Dyn.Nested op);
+      Cornflakes.Send.send_object ~cpu config t.primary.ep
+        ~dst:(Net.Endpoint.id backup.ep)
+        env)
+    t.backups
+
+let handle_client_request t ~cpu ~src msg =
+  let id = Option.value ~default:0L (Wire.Dyn.get_int msg "id") in
+  match Wire.Dyn.get msg "op" with
+  | Some (Wire.Dyn.Nested op) -> (
+      let key =
+        match Wire.Dyn.get_payload op "key" with
+        | Some p -> payload_string ~cpu p
+        | None -> ""
+      in
+      match Wire.Dyn.get_int op "kind" with
+      | Some k when k = kind_get ->
+          let vals =
+            match Kvstore.Store.get ~cpu t.primary.store ~key with
+            | Some value ->
+                List.map
+                  (fun buf ->
+                    Cornflakes.Cf_ptr.make ~cpu config t.primary.ep
+                      (Mem.Pinned.Buf.view buf))
+                  (Kvstore.Store.buffers value)
+            | None -> []
+          in
+          reply ~cpu t.primary ~dst:src ~id ~vals
+      | Some k when k = kind_put ->
+          apply_put ~cpu t.primary ~key (Wire.Dyn.get_list op "vals");
+          let seq = t.next_seq in
+          t.next_seq <- Int64.add t.next_seq 1L;
+          if t.backups = [] then begin
+            t.committed <- t.committed + 1;
+            reply ~cpu t.primary ~dst:src ~id ~vals:[]
+          end
+          else begin
+            Hashtbl.replace t.pending seq
+              { client_src = src; client_id = id; awaiting = List.length t.backups };
+            let vals =
+              match Kvstore.Store.get ~cpu t.primary.store ~key with
+              | Some value -> Kvstore.Store.buffers value
+              | None -> []
+            in
+            replicate t ~cpu ~seq ~key vals
+          end
+      | _ -> reply ~cpu t.primary ~dst:src ~id ~vals:[])
+  | _ -> reply ~cpu t.primary ~dst:src ~id ~vals:[]
+
+let handle_ack t ~cpu msg =
+  match Wire.Dyn.get_int msg "id" with
+  | None -> ()
+  | Some seq -> (
+      match Hashtbl.find_opt t.pending seq with
+      | None -> () (* duplicate ack *)
+      | Some p ->
+          p.awaiting <- p.awaiting - 1;
+          if p.awaiting = 0 then begin
+            Hashtbl.remove t.pending seq;
+            t.committed <- t.committed + 1;
+            reply ~cpu t.primary ~dst:p.client_src ~id:p.client_id ~vals:[]
+          end)
+
+let primary_handler t ~src buf =
+  let cpu = t.primary.cpu in
+  match Cornflakes.Send.deserialize ~cpu schema rep_msg buf with
+  | exception Cornflakes.Format_.Malformed _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
+  | msg ->
+      (match Wire.Dyn.get_int msg "role" with
+      | Some role when role = role_request -> handle_client_request t ~cpu ~src msg
+      | Some role when role = role_ack -> handle_ack t ~cpu msg
+      | _ -> ());
+      Wire.Dyn.release ~cpu msg;
+      Mem.Pinned.Buf.decr_ref ~cpu buf
+
+(* --- Construction --------------------------------------------------------- *)
+
+let backup_id i = 11 + i
+
+let make_replica rig ~ep ~cpu ~server ~workload ~name =
+  let pool =
+    Apps.Rig.data_pool rig ~name ~classes:workload.Workload.Spec.pool_classes
+  in
+  let store =
+    Kvstore.Store.create rig.Apps.Rig.space ~name
+      ~capacity:workload.Workload.Spec.store_capacity
+  in
+  workload.Workload.Spec.populate store ~pool;
+  { ep; cpu; server; store; pool; expected_seq = 1L; ooo = Hashtbl.create 32 }
+
+let create rig ~backups ~workload =
+  let primary =
+    make_replica rig ~ep:rig.Apps.Rig.server_ep ~cpu:rig.Apps.Rig.cpu
+      ~server:rig.Apps.Rig.server ~workload ~name:"primary"
+  in
+  let backup_replicas =
+    List.init backups (fun i ->
+        let cpu = Memmodel.Cpu.create (Memmodel.Cpu.params rig.Apps.Rig.cpu) in
+        let ep =
+          Net.Endpoint.create ~cpu rig.Apps.Rig.fabric rig.Apps.Rig.registry
+            ~id:(backup_id i)
+        in
+        let server = Loadgen.Server.create ep cpu in
+        make_replica rig ~ep ~cpu ~server ~workload
+          ~name:(Printf.sprintf "backup%d" i))
+  in
+  let t =
+    {
+      rig;
+      primary;
+      backups = backup_replicas;
+      pending = Hashtbl.create 64;
+      next_seq = 1L;
+      committed = 0;
+      workload;
+      client_rng = Sim.Rng.split rig.Apps.Rig.rng;
+    }
+  in
+  Loadgen.Server.set_handler rig.Apps.Rig.server (fun ~src buf ->
+      primary_handler t ~src buf);
+  List.iter
+    (fun replica ->
+      Loadgen.Server.set_handler replica.server (fun ~src buf ->
+          backup_handler replica ~src buf))
+    backup_replicas;
+  t
+
+(* --- Client side ---------------------------------------------------------- *)
+
+let send_op t op client ~dst ~id =
+  let space = t.rig.Apps.Rig.space in
+  let msg = Wire.Dyn.create rep_msg in
+  Wire.Dyn.set_int msg "id" (Int64.of_int id);
+  Wire.Dyn.set_int msg "role" role_request;
+  let o = Wire.Dyn.create rep_op in
+  (match op with
+  | Workload.Spec.Get { keys } ->
+      Wire.Dyn.set_int o "kind" kind_get;
+      (match keys with
+      | key :: _ ->
+          Wire.Dyn.set_payload o "key" (Wire.Payload.of_string space key)
+      | [] -> ())
+  | Workload.Spec.Get_index { key; _ } ->
+      Wire.Dyn.set_int o "kind" kind_get;
+      Wire.Dyn.set_payload o "key" (Wire.Payload.of_string space key)
+  | Workload.Spec.Put { key; sizes } ->
+      Wire.Dyn.set_int o "kind" kind_put;
+      Wire.Dyn.set_payload o "key" (Wire.Payload.of_string space key);
+      List.iter
+        (fun n ->
+          Wire.Dyn.append o "vals"
+            (Wire.Dyn.Payload
+               (Wire.Payload.of_string space (Workload.Spec.filler (max 1 n)))))
+        sizes);
+  Wire.Dyn.set msg "op" (Wire.Dyn.Nested o);
+  Cornflakes.Send.send_object config client ~dst msg;
+  Mem.Arena.reset (Net.Endpoint.arena client)
+
+let send_next t client ~dst ~id =
+  send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id
+
+let parse_id t buf =
+  ignore t;
+  match Cornflakes.Send.deserialize schema rep_msg buf with
+  | exception Cornflakes.Format_.Malformed _ -> -1
+  | msg ->
+      let id =
+        match Wire.Dyn.get_int msg "id" with Some v -> Int64.to_int v | None -> -1
+      in
+      Wire.Dyn.release msg;
+      id

@@ -1,0 +1,1 @@
+lib/schema/desc.ml: Array Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/schema/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/schema/parser.ml: Array Desc Lexer List Printf

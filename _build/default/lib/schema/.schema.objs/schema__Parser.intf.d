@@ -1,0 +1,1 @@
+lib/schema/parser.mli: Desc

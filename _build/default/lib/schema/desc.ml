@@ -1,0 +1,109 @@
+type scalar = Bool | Int32 | Int64 | UInt32 | UInt64 | Float64
+
+type field_type =
+  | Scalar of scalar
+  | Str
+  | Bytes
+  | Message of string
+
+type label = Singular | Repeated
+
+type field = {
+  field_name : string;
+  number : int;
+  label : label;
+  ty : field_type;
+}
+
+type message = { msg_name : string; fields : field array }
+
+type t = { messages : message list }
+
+let scalar_to_string = function
+  | Bool -> "bool"
+  | Int32 -> "int32"
+  | Int64 -> "int64"
+  | UInt32 -> "uint32"
+  | UInt64 -> "uint64"
+  | Float64 -> "double"
+
+let field_type_to_string = function
+  | Scalar s -> scalar_to_string s
+  | Str -> "string"
+  | Bytes -> "bytes"
+  | Message m -> m
+
+let find_message t name =
+  List.find_opt (fun m -> m.msg_name = name) t.messages
+
+let message t name =
+  match find_message t name with
+  | Some m -> m
+  | None -> raise Not_found
+
+let field_index msg name =
+  let n = Array.length msg.fields in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if msg.fields.(i).field_name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let field msg name = msg.fields.(field_index msg name)
+
+let validate t =
+  let module SS = Set.Make (String) in
+  let module IS = Set.Make (Int) in
+  let names = ref SS.empty in
+  let check_message m =
+    if SS.mem m.msg_name !names then
+      Error (Printf.sprintf "duplicate message %s" m.msg_name)
+    else begin
+      names := SS.add m.msg_name !names;
+      let fnames = ref SS.empty and fnums = ref IS.empty in
+      let check_field acc f =
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+            if SS.mem f.field_name !fnames then
+              Error
+                (Printf.sprintf "duplicate field %s.%s" m.msg_name f.field_name)
+            else if IS.mem f.number !fnums then
+              Error
+                (Printf.sprintf "duplicate field number %d in %s" f.number
+                   m.msg_name)
+            else if f.number <= 0 then
+              Error
+                (Printf.sprintf "non-positive field number in %s.%s" m.msg_name
+                   f.field_name)
+            else begin
+              fnames := SS.add f.field_name !fnames;
+              fnums := IS.add f.number !fnums;
+              match f.ty with
+              | Message target when find_message t target = None ->
+                  Error
+                    (Printf.sprintf "unresolved message type %s in %s.%s"
+                       target m.msg_name f.field_name)
+              | _ -> Ok ()
+            end
+      in
+      Array.fold_left check_field (Ok ()) m.fields
+    end
+  in
+  let check_sorted m =
+    let ok = ref (Ok ()) in
+    Array.iteri
+      (fun i f ->
+        if i > 0 && m.fields.(i - 1).number >= f.number then
+          ok :=
+            Error (Printf.sprintf "fields of %s not sorted by number" m.msg_name))
+      m.fields;
+    !ok
+  in
+  List.fold_left
+    (fun acc m ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> ( match check_message m with Ok () -> check_sorted m | e -> e))
+    (Ok ()) t.messages

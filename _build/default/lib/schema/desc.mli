@@ -1,0 +1,50 @@
+(** Message descriptors — the compiled form of a schema file.
+
+    Cornflakes reuses Protobuf's schema language (§3): a schema is a set of
+    messages; each message has numbered fields that are scalars, strings,
+    bytes, or (possibly repeated) nested messages. *)
+
+type scalar = Bool | Int32 | Int64 | UInt32 | UInt64 | Float64
+
+type field_type =
+  | Scalar of scalar
+  | Str
+  | Bytes
+  | Message of string (* referenced message, resolved via the schema *)
+
+type label = Singular | Repeated
+
+type field = {
+  field_name : string;
+  number : int; (* wire tag, unique within the message *)
+  label : label;
+  ty : field_type;
+}
+
+type message = {
+  msg_name : string;
+  fields : field array; (* sorted by [number] *)
+}
+
+type t = { messages : message list }
+
+val scalar_to_string : scalar -> string
+
+val field_type_to_string : field_type -> string
+
+(** [message t name] finds a message by name. Raises [Not_found]. *)
+val message : t -> string -> message
+
+val find_message : t -> string -> message option
+
+(** [field msg name] finds a field by name. Raises [Not_found]. *)
+val field : message -> string -> field
+
+(** [field_index msg name] is the index into [msg.fields].
+    Raises [Not_found]. *)
+val field_index : message -> string -> int
+
+(** [validate t] checks field-number uniqueness, name uniqueness, and that
+    every [Message] reference resolves. Returns an error description on
+    failure. *)
+val validate : t -> (unit, string) result

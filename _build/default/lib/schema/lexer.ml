@@ -1,0 +1,86 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Lbrace
+  | Rbrace
+  | Equals
+  | Semi
+  | Eof
+
+exception Lex_error of { pos : int; message : string }
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Equals -> "'='"
+  | Semi -> "';'"
+  | Eof -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let i = ref 0 in
+  let fail message = raise (Lex_error { pos = !i; message }) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if c = '{' then (emit Lbrace; incr i)
+    else if c = '}' then (emit Rbrace; incr i)
+    else if c = '=' then (emit Equals; incr i)
+    else if c = ';' then (emit Semi; incr i)
+    else if c = '"' then begin
+      let start = !i + 1 in
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        incr i
+      done;
+      if !i >= n then fail "unterminated string literal";
+      emit (Str_lit (String.sub src start (!i - start)));
+      incr i
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (Int_lit (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (Ident (String.sub src start (!i - start)))
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (Eof :: !tokens)

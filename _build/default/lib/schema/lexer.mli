@@ -1,0 +1,19 @@
+(** Tokenizer for the schema language. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Lbrace
+  | Rbrace
+  | Equals
+  | Semi
+  | Eof
+
+exception Lex_error of { pos : int; message : string }
+
+val token_to_string : token -> string
+
+(** [tokenize src] produces the token stream (comments and whitespace
+    skipped). Raises [Lex_error]. *)
+val tokenize : string -> token list

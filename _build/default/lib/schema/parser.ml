@@ -1,0 +1,109 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+            (Lexer.token_to_string got)))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | got ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected an identifier but found %s"
+              (Lexer.token_to_string got)))
+
+let expect_int st =
+  match peek st with
+  | Lexer.Int_lit i ->
+      advance st;
+      i
+  | got ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected an integer but found %s"
+              (Lexer.token_to_string got)))
+
+let field_type_of_name = function
+  | "bool" -> Desc.Scalar Desc.Bool
+  | "int32" -> Desc.Scalar Desc.Int32
+  | "int64" -> Desc.Scalar Desc.Int64
+  | "uint32" -> Desc.Scalar Desc.UInt32
+  | "uint64" -> Desc.Scalar Desc.UInt64
+  | "double" -> Desc.Scalar Desc.Float64
+  | "string" -> Desc.Str
+  | "bytes" -> Desc.Bytes
+  | other -> Desc.Message other
+
+let parse_field st =
+  let label =
+    match peek st with
+    | Lexer.Ident "repeated" ->
+        advance st;
+        Desc.Repeated
+    | _ -> Desc.Singular
+  in
+  let ty = field_type_of_name (expect_ident st) in
+  let field_name = expect_ident st in
+  expect st Lexer.Equals;
+  let number = expect_int st in
+  expect st Lexer.Semi;
+  { Desc.field_name; number; label; ty }
+
+let parse_message st =
+  expect st (Lexer.Ident "message");
+  let msg_name = expect_ident st in
+  expect st Lexer.Lbrace;
+  let fields = ref [] in
+  while peek st <> Lexer.Rbrace do
+    fields := parse_field st :: !fields
+  done;
+  expect st Lexer.Rbrace;
+  let fields =
+    List.sort (fun a b -> compare a.Desc.number b.Desc.number) (List.rev !fields)
+  in
+  { Desc.msg_name; fields = Array.of_list fields }
+
+let parse_syntax st =
+  match peek st with
+  | Lexer.Ident "syntax" ->
+      advance st;
+      expect st Lexer.Equals;
+      (match peek st with
+      | Lexer.Str_lit s ->
+          advance st;
+          if s <> "proto3" && s <> "proto2" then
+            raise (Parse_error (Printf.sprintf "unsupported syntax %S" s))
+      | got ->
+          raise
+            (Parse_error
+               (Printf.sprintf "expected a string after syntax = but found %s"
+                  (Lexer.token_to_string got))));
+      expect st Lexer.Semi
+  | _ -> ()
+
+let parse src =
+  let st = { tokens = Lexer.tokenize src } in
+  parse_syntax st;
+  let messages = ref [] in
+  while peek st <> Lexer.Eof do
+    messages := parse_message st :: !messages
+  done;
+  let t = { Desc.messages = List.rev !messages } in
+  match Desc.validate t with
+  | Ok () -> t
+  | Error e -> raise (Parse_error e)

@@ -1,0 +1,19 @@
+(** Parser for the schema language.
+
+    Grammar (proto3-flavoured, the subset Cornflakes supports — base integer
+    types, strings, bytes, nested messages, and repeated fields, §4):
+
+    {v
+    schema  ::= [syntax] message*
+    syntax  ::= "syntax" "=" STRING ";"
+    message ::= "message" IDENT "{" field* "}"
+    field   ::= ["repeated"] type IDENT "=" INT ";"
+    type    ::= "bool" | "int32" | "int64" | "uint32" | "uint64"
+              | "double" | "string" | "bytes" | IDENT
+    v} *)
+
+exception Parse_error of string
+
+(** [parse src] lexes and parses a schema, sorts fields by number, and
+    validates the result. Raises [Parse_error] (or [Lexer.Lex_error]). *)
+val parse : string -> Desc.t

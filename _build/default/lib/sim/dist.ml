@@ -1,0 +1,99 @@
+let exponential rng ~mean =
+  let u = Rng.float rng in
+  -.mean *. log1p (-.u)
+
+let normal rng ~mean ~std =
+  (* Box–Muller; one value per call keeps the generator stateless. *)
+  let u1 = 1.0 -. Rng.float rng in
+  let u2 = Rng.float rng in
+  mean +. (std *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
+
+module Zipf = struct
+  (* Rejection-inversion sampling for Zipf distributions (Hörmann &
+     Derflinger 1996), following the Apache Commons formulation. O(1) setup
+     and expected O(1) sampling for any n, unlike CDF-table inversion. *)
+  type t = {
+    n : int;
+    exponent : float;
+    h_x1 : float; (* hIntegral(1.5) - 1 *)
+    h_n : float; (* hIntegral(n + 0.5) *)
+    threshold : float; (* acceptance shortcut: 2 - hInv(hIntegral(2.5) - h(2)) *)
+  }
+
+  let h_integral exponent x =
+    if exponent = 1.0 then log x
+    else (x ** (1.0 -. exponent) -. 1.0) /. (1.0 -. exponent)
+
+  let h exponent x = x ** -.exponent
+
+  let h_integral_inverse exponent x =
+    if exponent = 1.0 then exp x
+    else begin
+      let t = x *. (1.0 -. exponent) in
+      (* Guard against t slightly below -1 from floating point error. *)
+      let t = if t < -1.0 then -1.0 else t in
+      (1.0 +. t) ** (1.0 /. (1.0 -. exponent))
+    end
+
+  let create ~n ~s =
+    assert (n >= 1);
+    assert (s > 0.0);
+    {
+      n;
+      exponent = s;
+      h_x1 = h_integral s 1.5 -. 1.0;
+      h_n = h_integral s (float_of_int n +. 0.5);
+      threshold =
+        2.0 -. h_integral_inverse s (h_integral s 2.5 -. h s 2.0);
+    }
+
+  let n t = t.n
+
+  let sample t rng =
+    if t.n = 1 then 1
+    else begin
+      let rec loop () =
+        let u = t.h_n +. (Rng.float rng *. (t.h_x1 -. t.h_n)) in
+        let x = h_integral_inverse t.exponent u in
+        let k = int_of_float (x +. 0.5) in
+        let k = if k < 1 then 1 else if k > t.n then t.n else k in
+        if float_of_int k -. x <= t.threshold then k
+        else if
+          u >= h_integral t.exponent (float_of_int k +. 0.5) -. h t.exponent (float_of_int k)
+        then k
+        else loop ()
+      in
+      loop ()
+    end
+end
+
+module Discrete = struct
+  type 'a t = { values : 'a array; cumulative : float array }
+
+  let create points =
+    assert (Array.length points > 0);
+    let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 points in
+    assert (total > 0.0);
+    let values = Array.map fst points in
+    let cumulative = Array.make (Array.length points) 0.0 in
+    let running = ref 0.0 in
+    Array.iteri
+      (fun i (_, w) ->
+        running := !running +. (w /. total);
+        cumulative.(i) <- !running)
+      points;
+    cumulative.(Array.length points - 1) <- 1.0;
+    { values; cumulative }
+
+  let sample t rng =
+    let u = Rng.float rng in
+    (* Binary search for the first cumulative weight >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    t.values.(!lo)
+end

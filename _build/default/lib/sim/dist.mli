@@ -1,0 +1,36 @@
+(** Random samplers used by workload generators and arrival processes. *)
+
+(** [exponential rng ~mean] samples an exponential with the given mean.
+    Interarrival times of a Poisson process with rate [1 /. mean]. *)
+val exponential : Rng.t -> mean:float -> float
+
+(** [lognormal rng ~mu ~sigma] samples exp(N(mu, sigma^2)). *)
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+(** [normal rng ~mean ~std] samples a Gaussian (Box–Muller). *)
+val normal : Rng.t -> mean:float -> std:float -> float
+
+(** Zipf sampler over [{1, …, n}] with exponent [s], using Hörmann's
+    rejection-inversion method so construction is O(1) even for millions of
+    keys. Probability of rank [k] is proportional to [1 / k^s]. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+
+  (** [sample t rng] draws a rank in [{1, …, n}]. *)
+  val sample : t -> Rng.t -> int
+
+  val n : t -> int
+end
+
+(** Discrete distribution given by explicit (value, weight) points; sampling
+    is by binary search over the cumulative weights. Used for the Google
+    field-size histogram and trace size mixtures. *)
+module Discrete : sig
+  type 'a t
+
+  val create : ('a * float) array -> 'a t
+
+  val sample : 'a t -> Rng.t -> 'a
+end

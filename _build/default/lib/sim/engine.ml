@@ -1,0 +1,47 @@
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+}
+
+let create () = { now = 0; seq = 0; heap = Heap.create () }
+
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time t.now);
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time ~seq:t.seq f
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now + after) f
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.heap with
+    | Some time when time <= until -> begin
+        match Heap.pop_min t.heap with
+        | Some (time, _, f) ->
+            t.now <- time;
+            f ()
+        | None -> continue := false
+      end
+    | Some _ | None -> continue := false
+  done;
+  if t.now < until then t.now <- until
+
+let run_all t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min t.heap with
+    | Some (time, _, f) ->
+        t.now <- time;
+        f ()
+    | None -> continue := false
+  done
+
+let pending t = Heap.length t.heap

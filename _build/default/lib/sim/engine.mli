@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    Time is an [int] count of nanoseconds since simulation start. Events are
+    closures executed at their scheduled instant; events scheduled for the
+    same instant run in scheduling order. The whole reproduction — NIC DMA,
+    packet flight, CPU service completion, client arrivals — is driven by one
+    engine instance, which makes every experiment deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current simulated time in nanoseconds. *)
+val now : t -> int
+
+(** [schedule t ~after f] runs [f ()] at [now t + after] ns. [after] must be
+    non-negative. *)
+val schedule : t -> after:int -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f ()] at absolute [time], which must not be
+    in the past. *)
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** [run t ~until] executes events in timestamp order until the queue is
+    empty or the next event is after [until]; the clock finishes at [until]
+    or at the last event time, whichever is larger. *)
+val run : t -> until:int -> unit
+
+(** [run_all t] drains the event queue completely. *)
+val run_all : t -> unit
+
+(** [pending t] is the number of queued events. *)
+val pending : t -> int

@@ -1,0 +1,70 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let narr = Array.make ncap e in
+    Array.blit t.arr 0 narr 0 t.len;
+    t.arr <- narr
+  end
+
+let push t ~time ~seq payload =
+  let e = { time; seq; payload } in
+  grow t e;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* Sift the new element up until the parent is smaller. *)
+  let i = ref (t.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt t.arr.(!i) t.arr.(parent) then begin
+      let tmp = t.arr.(parent) in
+      t.arr.(parent) <- t.arr.(!i);
+      t.arr.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let min = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      (* Sift the relocated root down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.len && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.arr.(!smallest) in
+          t.arr.(!smallest) <- t.arr.(!i);
+          t.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (min.time, min.seq, min.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time
+
+let clear t = t.len <- 0

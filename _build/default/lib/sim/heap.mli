@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap keyed by [(time, seq)].
+
+    The event engine needs a stable priority queue: two events scheduled for
+    the same instant must fire in scheduling order, so the key is the pair of
+    the event time and a monotonically increasing sequence number. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push heap ~time ~seq payload] inserts an element. *)
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+(** [pop_min heap] removes and returns the smallest element as
+    [(time, seq, payload)], or [None] when the heap is empty. *)
+val pop_min : 'a t -> (int * int * 'a) option
+
+(** [peek_time heap] is the time of the minimum element, if any. *)
+val peek_time : 'a t -> int option
+
+val clear : 'a t -> unit

@@ -1,0 +1,25 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every stochastic component of the simulation (arrival processes, key
+    popularity, trace synthesis) draws from an explicitly seeded [Rng.t] so
+    experiments are reproducible run to run. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent generator; used to give each client /
+    workload component its own stream. *)
+val split : t -> t
+
+(** [next_int64 t] is a uniform 64-bit value. *)
+val next_int64 : t -> int64
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bool t p] is [true] with probability [p]. *)
+val bool : t -> float -> bool

@@ -1,0 +1,1 @@
+lib/stats/curve.ml: Float Format List

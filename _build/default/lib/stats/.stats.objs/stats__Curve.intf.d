@@ -1,0 +1,1 @@
+lib/stats/curve.mli: Format

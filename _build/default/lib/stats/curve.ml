@@ -1,0 +1,40 @@
+type point = {
+  offered : float;
+  achieved : float;
+  p50_ns : int;
+  p99_ns : int;
+  mean_ns : float;
+}
+
+type t = { name : string; mutable points : point list }
+
+let create ~name = { name; points = [] }
+
+let name t = t.name
+
+let add t p = t.points <- p :: t.points
+
+let points t = List.rev t.points
+
+let valid_points t =
+  List.filter (fun p -> p.achieved >= 0.95 *. p.offered) (points t)
+
+let max_achieved t =
+  List.fold_left (fun acc p -> Float.max acc p.achieved) 0.0 t.points
+
+let throughput_at_slo t ~p99_slo_ns =
+  let ok = List.filter (fun p -> p.p99_ns <= p99_slo_ns) (valid_points t) in
+  match ok with
+  | [] -> None
+  | ps -> Some (List.fold_left (fun acc p -> Float.max acc p.achieved) 0.0 ps)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:@," t.name;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  offered=%10.0f achieved=%10.0f p50=%6.1fus p99=%6.1fus@,"
+        p.offered p.achieved
+        (float_of_int p.p50_ns /. 1e3)
+        (float_of_int p.p99_ns /. 1e3))
+    (points t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Throughput–latency curve recorder.
+
+    One point per offered load: the achieved load and a latency quantile.
+    Provides the paper's comparison rules (§6.1): points count only when
+    achieved load is within 95% of offered load; systems are compared at a
+    latency SLO by taking the best achieved load whose p99 is under the SLO. *)
+
+type point = {
+  offered : float; (* requests/sec *)
+  achieved : float; (* requests/sec *)
+  p50_ns : int;
+  p99_ns : int;
+  mean_ns : float;
+}
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val add : t -> point -> unit
+
+val points : t -> point list
+
+(** Points where achieved >= 95% of offered (the paper's plotting rule). *)
+val valid_points : t -> point list
+
+(** Highest achieved load across all offered loads (valid or not). *)
+val max_achieved : t -> float
+
+(** [throughput_at_slo t ~p99_slo_ns] is the best achieved load among valid
+    points whose p99 is within the SLO, if any. *)
+val throughput_at_slo : t -> p99_slo_ns:int -> float option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let widths t =
+  let all = t.columns :: List.rev t.rows in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    (List.map (fun _ -> 0) t.columns)
+    all
+
+let to_string t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let emit_row row =
+    Buffer.add_string buf "  ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad cell (List.nth ws i));
+        if i < List.length row - 1 then Buffer.add_string buf "  ")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  emit_row t.columns;
+  emit_row (List.map (fun w -> String.make w '-') ws);
+  List.iter emit_row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,76 @@
+(** Simplified Demikernel-style TCP over the kernel-bypass endpoint (§6.2.3).
+
+    What matters for the paper's Figure 9 and for zero-copy safety:
+
+    - {b Byte stream with record framing}: [Conn.send_message] writes a
+      [u32 length]-prefixed record; the receiver delivers complete messages.
+      A message that arrives in order within one frame is delivered as a
+      zero-copy window into the receive buffer; otherwise it is reassembled.
+    - {b Zero-copy transmission holds references until ACK}: unlike UDP,
+      where buffers are released at DMA completion, TCP must be able to
+      retransmit, so every in-flight frame keeps its own reference on each
+      gather segment until the cumulative ACK covers it.
+    - {b Retransmission}: adaptive RTO from a smoothed RTT estimate
+      (RFC 6298 style, Karn's rule, exponential backoff), fast retransmit
+      on three duplicate ACKs, cumulative ACKs, out-of-order reassembly.
+      A three-way handshake establishes sequence numbers.
+
+    One [Stack.t] owns an endpoint's receive path and demultiplexes
+    connections by peer id. ACK processing and reassembly are protocol
+    work outside any request's service window and are not CPU-charged;
+    serialization costs on the send path are charged as usual. *)
+
+type source =
+  | Copy of Mem.View.t (* copied into the frame's staging buffer *)
+  | Zc of Mem.Pinned.Buf.t (* rides as its own gather entry; ref consumed *)
+
+module Conn : sig
+  type t
+
+  val peer : t -> int
+
+  val is_established : t -> bool
+
+  (** [send_message ?cpu t sources] frames the concatenated sources as one
+      record and transmits it (segmenting at the MSS if needed). Takes
+      ownership of one reference on each [Zc] source. *)
+  val send_message : ?cpu:Memmodel.Cpu.t -> t -> source list -> unit
+
+  (** Bytes sent but not yet acknowledged. *)
+  val unacked_bytes : t -> int
+
+  val retransmissions : t -> int
+
+  (** Current retransmission timeout (adapts to measured RTT, RFC 6298
+      style, with exponential backoff on loss). *)
+  val rto_ns : t -> int
+
+  (** Smoothed RTT estimate in ns (0 until the first sample). *)
+  val srtt_ns : t -> float
+end
+
+module Stack : sig
+  type t
+
+  (** [attach ep] takes over [ep]'s receive path. *)
+  val attach : Net.Endpoint.t -> t
+
+  (** [connect t ~peer] initiates a handshake; the connection becomes
+      established once the SYN-ACK returns. Idempotent per peer. *)
+  val connect : t -> peer:int -> Conn.t
+
+  (** Handler for complete received messages. The buffer carries one
+      reference owned by the handler. *)
+  val set_on_message : t -> (Conn.t -> Mem.Pinned.Buf.t -> unit) -> unit
+
+  val conn : t -> peer:int -> Conn.t option
+
+  val endpoint : t -> Net.Endpoint.t
+end
+
+(** Protocol constants, exposed for tests. *)
+val header_len : int
+
+val mss : int
+
+val initial_rto_ns : int

@@ -1,0 +1,1 @@
+lib/wire/cursor.ml: Bytes Char Int64 Mem Memmodel String

@@ -1,0 +1,1 @@
+lib/wire/cursor.mli: Mem Memmodel

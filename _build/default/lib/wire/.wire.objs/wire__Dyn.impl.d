@@ -1,0 +1,1 @@
+lib/wire/dyn.ml: Array Float Format Int64 List Payload Printf Schema String

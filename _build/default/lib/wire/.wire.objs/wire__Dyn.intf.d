@@ -1,0 +1,1 @@
+lib/wire/dyn.mli: Format Mem Memmodel Payload Schema

@@ -1,0 +1,1 @@
+lib/wire/payload.mli: Mem Memmodel

@@ -1,0 +1,208 @@
+exception Overflow = Invalid_argument
+
+let varint_len v =
+  let rec go v n =
+    let v = Int64.shift_right_logical v 7 in
+    if Int64.equal v 0L then n else go v (n + 1)
+  in
+  go v 1
+
+module Writer = struct
+  type t = {
+    view : Mem.View.t;
+    cpu : Memmodel.Cpu.t option;
+    cat : Memmodel.Cpu.category;
+    mutable pos : int;
+  }
+
+  let create ?cpu ?(cat = Memmodel.Cpu.Tx) view = { view; cpu; cat; pos = 0 }
+
+  let pos t = t.pos
+
+  let remaining t = t.view.Mem.View.len - t.pos
+
+  let seek t pos =
+    if pos < 0 || pos > t.view.Mem.View.len then
+      raise (Overflow "Cursor.Writer.seek");
+    t.pos <- pos
+
+  let charge t ~len =
+    match t.cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.stream cpu t.cat
+          ~addr:(t.view.Mem.View.addr + t.pos)
+          ~len
+
+  let need t n =
+    if t.pos + n > t.view.Mem.View.len then
+      raise (Overflow "Cursor.Writer: window overflow")
+
+  let byte t v =
+    Bytes.set t.view.Mem.View.data
+      (t.view.Mem.View.off + t.pos)
+      (Char.chr (v land 0xff));
+    t.pos <- t.pos + 1
+
+  let u8 t v =
+    need t 1;
+    charge t ~len:1;
+    byte t v
+
+  let u16 t v =
+    need t 2;
+    charge t ~len:2;
+    byte t (v land 0xff);
+    byte t ((v lsr 8) land 0xff)
+
+  let u32 t v =
+    need t 4;
+    charge t ~len:4;
+    byte t (v land 0xff);
+    byte t ((v lsr 8) land 0xff);
+    byte t ((v lsr 16) land 0xff);
+    byte t ((v lsr 24) land 0xff)
+
+  let u64 t v =
+    need t 8;
+    charge t ~len:8;
+    for i = 0 to 7 do
+      byte t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+  let varint t v =
+    let n = varint_len v in
+    need t n;
+    charge t ~len:n;
+    let v = ref v in
+    let continue = ref true in
+    while !continue do
+      let low = Int64.to_int (Int64.logand !v 0x7fL) in
+      v := Int64.shift_right_logical !v 7;
+      if Int64.equal !v 0L then begin
+        byte t low;
+        continue := false
+      end
+      else byte t (low lor 0x80)
+    done
+
+  let string t s =
+    let n = String.length s in
+    need t n;
+    charge t ~len:n;
+    Bytes.blit_string s 0 t.view.Mem.View.data
+      (t.view.Mem.View.off + t.pos)
+      n;
+    t.pos <- t.pos + n
+
+  let view_bytes t src =
+    let n = src.Mem.View.len in
+    need t n;
+    (match t.cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.stream cpu t.cat ~addr:src.Mem.View.addr ~len:n);
+    charge t ~len:n;
+    Mem.View.blit src ~dst:t.view.Mem.View.data
+      ~dst_off:(t.view.Mem.View.off + t.pos);
+    t.pos <- t.pos + n
+end
+
+module Reader = struct
+  type t = {
+    view : Mem.View.t;
+    cpu : Memmodel.Cpu.t option;
+    cat : Memmodel.Cpu.category;
+    mutable pos : int;
+  }
+
+  let create ?cpu ?(cat = Memmodel.Cpu.Deser) view = { view; cpu; cat; pos = 0 }
+
+  let pos t = t.pos
+
+  let remaining t = t.view.Mem.View.len - t.pos
+
+  let seek t pos =
+    if pos < 0 || pos > t.view.Mem.View.len then
+      raise (Overflow "Cursor.Reader.seek");
+    t.pos <- pos
+
+  let charge t ~len =
+    match t.cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.stream cpu t.cat
+          ~addr:(t.view.Mem.View.addr + t.pos)
+          ~len
+
+  let need t n =
+    if t.pos + n > t.view.Mem.View.len then
+      raise (Overflow "Cursor.Reader: window underflow")
+
+  let byte t =
+    let c =
+      Char.code (Bytes.get t.view.Mem.View.data (t.view.Mem.View.off + t.pos))
+    in
+    t.pos <- t.pos + 1;
+    c
+
+  let u8 t =
+    need t 1;
+    charge t ~len:1;
+    byte t
+
+  let u16 t =
+    need t 2;
+    charge t ~len:2;
+    let a = byte t in
+    let b = byte t in
+    a lor (b lsl 8)
+
+  let u32 t =
+    need t 4;
+    charge t ~len:4;
+    let a = byte t in
+    let b = byte t in
+    let c = byte t in
+    let d = byte t in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let u64 t =
+    need t 8;
+    charge t ~len:8;
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte t)) (8 * i))
+    done;
+    !v
+
+  let varint t =
+    let v = ref 0L in
+    let shift = ref 0 in
+    let continue = ref true in
+    while !continue do
+      need t 1;
+      charge t ~len:1;
+      let b = byte t in
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (b land 0x7f)) !shift);
+      shift := !shift + 7;
+      if b land 0x80 = 0 then continue := false
+      else if !shift > 63 then raise (Overflow "Cursor.Reader: varint too long")
+    done;
+    !v
+
+  let string t ~len =
+    need t len;
+    charge t ~len;
+    let s =
+      Bytes.sub_string t.view.Mem.View.data (t.view.Mem.View.off + t.pos) len
+    in
+    t.pos <- t.pos + len;
+    s
+
+  let sub t ~len =
+    need t len;
+    let v = Mem.View.sub t.view ~off:t.pos ~len in
+    t.pos <- t.pos + len;
+    v
+end

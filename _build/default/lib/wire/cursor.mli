@@ -1,0 +1,69 @@
+(** Charged byte cursors.
+
+    Writers/readers over a {!Mem.View.t} window that perform the real byte
+    moves and charge the cache model for each access. Serializers use these
+    for headers, varints, and field tables; bulk field copies go through
+    {!Mem.Pinned.Buf.blit_from} / {!Mem.Arena.copy_in}. *)
+
+module Writer : sig
+  type t
+
+  (** [create ?cpu ?cat view] writes into [view] starting at offset 0.
+      Charges go to category [cat] (default [Tx]). *)
+  val create : ?cpu:Memmodel.Cpu.t -> ?cat:Memmodel.Cpu.category -> Mem.View.t -> t
+
+  val pos : t -> int
+
+  val remaining : t -> int
+
+  (** [seek t pos] repositions (for backpatching offsets). *)
+  val seek : t -> int -> unit
+
+  val u8 : t -> int -> unit
+
+  val u16 : t -> int -> unit
+
+  val u32 : t -> int -> unit
+
+  val u64 : t -> int64 -> unit
+
+  (** LEB128, as in Protobuf. Returns nothing; use {!varint_len} to size. *)
+  val varint : t -> int64 -> unit
+
+  val string : t -> string -> unit
+
+  (** [view_bytes t src] copies [src]'s bytes at the cursor, charging a
+      streaming read of the source and write of the destination. *)
+  val view_bytes : t -> Mem.View.t -> unit
+end
+
+module Reader : sig
+  type t
+
+  val create : ?cpu:Memmodel.Cpu.t -> ?cat:Memmodel.Cpu.category -> Mem.View.t -> t
+
+  val pos : t -> int
+
+  val remaining : t -> int
+
+  val seek : t -> int -> unit
+
+  val u8 : t -> int
+
+  val u16 : t -> int
+
+  val u32 : t -> int
+
+  val u64 : t -> int64
+
+  val varint : t -> int64
+
+  val string : t -> len:int -> string
+
+  (** [sub t ~len] returns a view of the next [len] bytes (no copy, no
+      charge beyond the header touch) and advances. *)
+  val sub : t -> len:int -> Mem.View.t
+end
+
+(** Encoded size of a LEB128 varint. *)
+val varint_len : int64 -> int

@@ -1,0 +1,208 @@
+type value =
+  | Int of int64
+  | Float of float
+  | Payload of Payload.t
+  | Nested of t
+  | List of value list
+
+and t = { desc : Schema.Desc.message; values : value option array }
+
+exception Type_error of string
+
+let create desc =
+  { desc; values = Array.make (Array.length desc.Schema.Desc.fields) None }
+
+let desc t = t.desc
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec check_kind (f : Schema.Desc.field) v =
+  match (f.ty, v) with
+  | Schema.Desc.Scalar _, Int _ -> ()
+  | Schema.Desc.Scalar Schema.Desc.Float64, Float _ -> ()
+  | (Schema.Desc.Str | Schema.Desc.Bytes), Payload _ -> ()
+  | Schema.Desc.Message name, Nested m ->
+      if m.desc.Schema.Desc.msg_name <> name then
+        type_error "field %s expects message %s, got %s" f.field_name name
+          m.desc.Schema.Desc.msg_name
+  | _, List _ ->
+      type_error "field %s: nested List values are not allowed" f.field_name
+  | _, _ ->
+      type_error "field %s: value does not match type %s" f.field_name
+        (Schema.Desc.field_type_to_string f.ty)
+
+and check_value (f : Schema.Desc.field) v =
+  match (f.label, v) with
+  | Schema.Desc.Repeated, List elems -> List.iter (check_kind f) elems
+  | Schema.Desc.Repeated, _ ->
+      type_error "repeated field %s requires a List value" f.field_name
+  | Schema.Desc.Singular, List _ ->
+      type_error "singular field %s cannot hold a List" f.field_name
+  | Schema.Desc.Singular, _ -> check_kind f v
+
+let index t name = Schema.Desc.field_index t.desc name
+
+let set t name v =
+  let i = index t name in
+  check_value t.desc.Schema.Desc.fields.(i) v;
+  t.values.(i) <- Some v
+
+let get t name = t.values.(index t name)
+
+let clear_field t name = t.values.(index t name) <- None
+
+let append t name v =
+  let i = index t name in
+  let f = t.desc.Schema.Desc.fields.(i) in
+  if f.label <> Schema.Desc.Repeated then
+    type_error "append on non-repeated field %s" name;
+  check_kind f v;
+  match t.values.(i) with
+  | None -> t.values.(i) <- Some (List [ v ])
+  | Some (List elems) -> t.values.(i) <- Some (List (elems @ [ v ]))
+  | Some _ -> type_error "repeated field %s holds a non-List value" name
+
+let set_int t name v = set t name (Int v)
+
+let get_int t name =
+  match get t name with
+  | Some (Int v) -> Some v
+  | Some _ -> type_error "field %s is not an integer" name
+  | None -> None
+
+let set_payload t name p = set t name (Payload p)
+
+let get_payload t name =
+  match get t name with
+  | Some (Payload p) -> Some p
+  | Some _ -> type_error "field %s is not a payload" name
+  | None -> None
+
+let set_string t space name s = set_payload t name (Payload.of_string space s)
+
+let get_list t name =
+  match get t name with
+  | Some (List elems) -> elems
+  | Some v -> [ v ]
+  | None -> []
+
+let iter_present t f =
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Some v -> f i t.desc.Schema.Desc.fields.(i) v
+      | None -> ())
+    t.values
+
+let present_count t =
+  Array.fold_left
+    (fun acc v -> match v with Some _ -> acc + 1 | None -> acc)
+    0 t.values
+
+let rec value_payload_bytes = function
+  | Int _ | Float _ -> 0
+  | Payload p -> Payload.len p
+  | Nested m -> payload_bytes m
+  | List elems -> List.fold_left (fun a v -> a + value_payload_bytes v) 0 elems
+
+and payload_bytes t =
+  let acc = ref 0 in
+  iter_present t (fun _ _ v -> acc := !acc + value_payload_bytes v);
+  !acc
+
+let rec release_value ?cpu = function
+  | Int _ | Float _ -> ()
+  | Payload p -> Payload.release ?cpu p
+  | Nested m -> release ?cpu m
+  | List elems -> List.iter (release_value ?cpu) elems
+
+and release ?cpu t = iter_present t (fun _ _ v -> release_value ?cpu v)
+
+let rec map_payloads_value f = function
+  | Int _ | Float _ -> None
+  | Payload p ->
+      let p' = f p in
+      if p' == p then None else Some (Payload p')
+  | Nested m ->
+      map_payloads m f;
+      None
+  | List elems ->
+      let changed = ref false in
+      let elems' =
+        List.map
+          (fun v ->
+            match map_payloads_value f v with
+            | Some v' ->
+                changed := true;
+                v'
+            | None -> v)
+          elems
+      in
+      if !changed then Some (List elems') else None
+
+and map_payloads t f =
+  Array.iteri
+    (fun i v ->
+      match v with
+      | None -> ()
+      | Some v -> (
+          match map_payloads_value f v with
+          | Some v' -> t.values.(i) <- Some v'
+          | None -> ()))
+    t.values
+
+let rec fold_payloads_value acc f = function
+  | Int _ | Float _ -> acc
+  | Payload p -> f acc p
+  | Nested m -> fold_payloads m ~init:acc ~f
+  | List elems -> List.fold_left (fun acc v -> fold_payloads_value acc f v) acc elems
+
+and fold_payloads t ~init ~f =
+  let acc = ref init in
+  iter_present t (fun _ _ v -> acc := fold_payloads_value !acc f v);
+  !acc
+
+let rec equal_value a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Payload x, Payload y -> String.equal (Payload.to_string x) (Payload.to_string y)
+  | Nested x, Nested y -> equal x y
+  | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal_value xs ys
+  | _, _ -> false
+
+and equal a b =
+  a.desc.Schema.Desc.msg_name = b.desc.Schema.Desc.msg_name
+  && Array.length a.values = Array.length b.values
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i va ->
+      match (va, b.values.(i)) with
+      | None, None -> ()
+      | Some x, Some y -> if not (equal_value x y) then ok := false
+      | _, _ -> ok := false)
+    a.values;
+  !ok
+
+let rec pp_value ppf = function
+  | Int v -> Format.fprintf ppf "%Ld" v
+  | Float v -> Format.fprintf ppf "%g" v
+  | Payload p ->
+      let s = Payload.to_string p in
+      if String.length s <= 16 then Format.fprintf ppf "%S" s
+      else Format.fprintf ppf "<%d bytes>" (String.length s)
+  | Nested m -> pp ppf m
+  | List elems ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_value)
+        elems
+
+and pp ppf t =
+  Format.fprintf ppf "@[<hv 2>%s {" t.desc.Schema.Desc.msg_name;
+  iter_present t (fun _ f v ->
+      Format.fprintf ppf "@ %s = %a;" f.Schema.Desc.field_name pp_value v);
+  Format.fprintf ppf "@;<1 -2>}@]"

@@ -1,0 +1,1 @@
+lib/workload/cdn.ml: Hashtbl Kvstore List Printf Sim Spec

@@ -1,0 +1,1 @@
+lib/workload/cdn.mli: Sim Spec

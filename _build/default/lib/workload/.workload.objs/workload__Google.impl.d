@@ -1,0 +1,1 @@
+lib/workload/google.ml: Array Hashtbl Kvstore List Printf Sim Spec

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Buffer Bytes Char Kvstore List Mem Sim String

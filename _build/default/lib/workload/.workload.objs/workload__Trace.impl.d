@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Fun List Printf Sim Spec String

@@ -1,0 +1,1 @@
+lib/workload/twitter.ml: Float Kvstore List Printf Sim Spec

@@ -1,0 +1,26 @@
+(** Synthetic CDN object-size workload modelled on the Tragen "image" trace
+    class (§6.1.4): object sizes from 1 KB up, lognormal with mean ≈ 20 KB,
+    64-byte keys. Large objects are stored as vectors of jumbo-frame-sized
+    sub-objects; a request fetches one sub-object, and clients walk the
+    sub-objects of an object sequentially, so reported throughput is in full
+    objects (handled by the experiment harness via [segments_of]).
+
+    Objects are clipped at [max_object_bytes] (the paper goes to 116 MB; a
+    multi-megabyte tail adds nothing once every segment request misses L3 —
+    noted in EXPERIMENTS.md). *)
+
+val make : ?n_objects:int -> ?zipf_s:float -> unit -> Spec.t
+
+val segment_bytes : int
+
+val max_object_bytes : int
+
+(** Number of segments of the object behind a key, per the generated
+    population (deterministic in the object rank). *)
+val segments_of : rank:int -> int
+
+val key_of : rank:int -> string
+
+val n_objects_default : int
+
+val sample_object_size : Sim.Rng.t -> int

@@ -1,0 +1,13 @@
+(** Google fleetwide Protobuf bytes-field size distribution (§6.1.4).
+
+    Field sizes are sampled from a discretisation of Figure 4c of the
+    Protobuf fleet study as the paper summarises it: 34% of sampled sizes
+    are ≤ 8 bytes and 94.9% are ≤ 512 bytes. Objects are linked lists of
+    1..[max_vals] fields (length uniform), resampled if the total exceeds an
+    MTU; keys are 64 bytes. Read-only. *)
+
+val make : ?n_keys:int -> ?zipf_s:float -> max_vals:int -> unit -> Spec.t
+
+(** The (size, probability) points used by the sampler — exposed for tests
+    and for the trace-dump tool. *)
+val size_points : (int * float) array

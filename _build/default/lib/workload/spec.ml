@@ -1,0 +1,53 @@
+type op =
+  | Get of { keys : string list }
+  | Get_index of { key : string; index : int }
+  | Put of { key : string; sizes : int list }
+
+type t = {
+  name : string;
+  store_capacity : int;
+  pool_classes : (int * int) list;
+  populate : Kvstore.Store.t -> pool:Mem.Pinned.Pool.t -> unit;
+  next : Sim.Rng.t -> op;
+  mean_response_bytes : float;
+}
+
+let pattern =
+  let b = Buffer.create 256 in
+  for i = 0 to 255 do
+    Buffer.add_char b (Char.chr (32 + (i mod 95)))
+  done;
+  Buffer.contents b
+
+let filler n =
+  if n <= 0 then ""
+  else begin
+    let b = Bytes.create n in
+    let plen = String.length pattern in
+    let rec fill off =
+      if off < n then begin
+        let chunk = min plen (n - off) in
+        Bytes.blit_string pattern 0 b off chunk;
+        fill (off + chunk)
+      end
+    in
+    fill 0;
+    Bytes.unsafe_to_string b
+  end
+
+let class_of n =
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 64
+
+let alloc_buf pool n =
+  let buf = Mem.Pinned.Buf.alloc pool ~len:(max 1 n) in
+  Mem.Pinned.Buf.fill buf (filler (max 1 n));
+  buf
+
+let alloc_value pool ~repr sizes =
+  match (repr, sizes) with
+  | `Single, [ n ] -> Kvstore.Store.Single (alloc_buf pool n)
+  | `Single, _ -> invalid_arg "Spec.alloc_value: Single needs one size"
+  | `Linked, sizes -> Kvstore.Store.Linked (List.map (alloc_buf pool) sizes)
+  | `Vector, sizes ->
+      Kvstore.Store.Vector (Array.of_list (List.map (alloc_buf pool) sizes))

@@ -1,0 +1,63 @@
+let op_to_line = function
+  | Spec.Get { keys } -> "G " ^ String.concat " " keys
+  | Spec.Get_index { key; index } -> Printf.sprintf "I %s %d" key index
+  | Spec.Put { key; sizes } ->
+      Printf.sprintf "P %s %s" key
+        (String.concat "+" (List.map string_of_int sizes))
+
+let op_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | "G" :: (_ :: _ as keys) -> Spec.Get { keys }
+  | [ "I"; key; index ] -> (
+      match int_of_string_opt index with
+      | Some index when index >= 0 -> Spec.Get_index { key; index }
+      | _ -> failwith ("Trace: bad index in " ^ line))
+  | [ "P"; key; sizes ] ->
+      let sizes =
+        List.map
+          (fun s ->
+            match int_of_string_opt s with
+            | Some n when n > 0 -> n
+            | _ -> failwith ("Trace: bad size in " ^ line))
+          (String.split_on_char '+' sizes)
+      in
+      Spec.Put { key; sizes }
+  | _ -> failwith ("Trace: unparseable line " ^ line)
+
+let record (workload : Spec.t) ~seed ~n path =
+  let rng = Sim.Rng.create ~seed in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      for _ = 1 to n do
+        output_string oc (op_to_line (workload.Spec.next rng));
+        output_char oc '\n'
+      done)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line when String.trim line = "" -> go acc
+        | line -> go (op_of_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let replayed ~(base : Spec.t) path =
+  let ops = Array.of_list (load path) in
+  if Array.length ops = 0 then invalid_arg "Trace.replayed: empty trace";
+  let cursor = ref 0 in
+  {
+    base with
+    Spec.name = base.Spec.name ^ "-replay";
+    next =
+      (fun _rng ->
+        let op = ops.(!cursor) in
+        cursor := (!cursor + 1) mod Array.length ops;
+        op);
+  }

@@ -1,0 +1,31 @@
+(** Trace files: record a workload's operation stream to a text file and
+    replay it later.
+
+    The paper's methodology is trace-driven (Twitter cache trace #4, the
+    Tragen-generated CDN trace); this module gives our synthetic generators
+    the same property — a run can be captured once and replayed bit-for-bit
+    across systems, machines, or code versions.
+
+    Line format (one op per line):
+    {v
+    G <key> [<key> ...]        multiget
+    I <key> <index>            vector sub-object get
+    P <key> <size>[+<size>..]  put with the given buffer sizes
+    v} *)
+
+val op_to_line : Spec.op -> string
+
+(** Raises [Failure] on a malformed line. *)
+val op_of_line : string -> Spec.op
+
+(** [record workload ~seed ~n path] draws [n] ops and writes them. *)
+val record : Spec.t -> seed:int -> n:int -> string -> unit
+
+(** [load path] reads all ops. *)
+val load : string -> Spec.op list
+
+(** [replayed ~base path] — a workload with [base]'s store population and
+    pool layout whose [next] replays the file's ops in order, looping at the
+    end (like the paper's CDN methodology, which loops its 1M-request
+    trace). *)
+val replayed : base:Spec.t -> string -> Spec.t

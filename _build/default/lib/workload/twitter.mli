@@ -1,0 +1,12 @@
+(** Synthetic stand-in for Twitter cache trace #4 (§6.1.4).
+
+    The paper reports the two properties the experiments depend on: about
+    32% of get requests touch objects of 512 bytes or more, and about 8% of
+    requests are puts. We reproduce them with a lognormal value-size
+    distribution clipped to one jumbo frame and Zipf-0.99 key popularity;
+    tests assert both summary statistics. Values are single buffers. *)
+
+val make : ?n_keys:int -> ?zipf_s:float -> ?put_fraction:float -> unit -> Spec.t
+
+(** Sample one value size (exposed for tests). *)
+val sample_size : Sim.Rng.t -> int

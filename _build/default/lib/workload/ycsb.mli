@@ -1,0 +1,16 @@
+(** YCSB-C-style workload (§5.1, §6.1.4): read-only, Zipf-0.99 popularity,
+    constant-size values shaped as linked lists of [entries] buffers of
+    [entry_size] bytes each. Used for the measurement study (the
+    size × entry-count grid of Figure 5) and the Redis command tests. *)
+
+(** [make ?n_keys ?zipf_s ?multiget ~entries ~entry_size ()] — [multiget]
+    (default 1) keys per request (for Redis mget). Keys are 30 bytes, as in
+    the paper's generated trace. *)
+val make :
+  ?n_keys:int ->
+  ?zipf_s:float ->
+  ?multiget:int ->
+  entries:int ->
+  entry_size:int ->
+  unit ->
+  Spec.t

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Kvstore List Loadgen Mem Net Printf Sim Wire Workload

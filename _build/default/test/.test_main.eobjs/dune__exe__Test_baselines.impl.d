@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Int64 List Mem Net QCheck QCheck_alcotest Schema Sim String Test_env Test_format Wire

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Cornflakes Filename List Mem Printf Schema String Sys Wire

@@ -1,0 +1,1 @@
+test/test_cornflakes.ml: Alcotest Cornflakes List Mem Memmodel Net Nic Sim String Test_env Test_format Wire

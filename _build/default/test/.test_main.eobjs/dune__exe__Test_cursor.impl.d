@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Bytes Gen Int64 Mem QCheck QCheck_alcotest String Wire

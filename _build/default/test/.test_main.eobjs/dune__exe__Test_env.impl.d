@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Mem Net Queue Sim String

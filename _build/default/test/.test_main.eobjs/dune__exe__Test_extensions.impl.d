@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cornflakes Mem Memmodel Net Sim String Wire Workload

@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Bytes Char Cornflakes Int64 List Mem QCheck QCheck_alcotest Schema Sim String Wire

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Baselines Bytes Char Cornflakes Mem Mini_redis Net QCheck QCheck_alcotest Sim String Test_format Workload

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Array Hashtbl Kvstore List Mem Memmodel Printf QCheck QCheck_alcotest String

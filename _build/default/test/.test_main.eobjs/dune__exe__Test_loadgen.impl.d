@@ -1,0 +1,1 @@
+test/test_loadgen.ml: Alcotest Apps Bytes List Loadgen Mem Memmodel Net Printf Sim Stats String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Baselines List Mem Net Nic Sim String Test_env

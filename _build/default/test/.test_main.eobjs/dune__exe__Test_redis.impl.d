@@ -1,0 +1,1 @@
+test/test_redis.ml: Alcotest Apps Cornflakes Kvstore List Loadgen Mem Mini_redis Net Printf QCheck QCheck_alcotest Sim String Wire Workload

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Apps Cornflakes Kvstore List Loadgen Mem Net Printf Replication Schema Sim String Wire Workload

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Bytes Char Cornflakes List Mem Net Sim String Test_format Wire

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Char List Mem Net Printf QCheck QCheck_alcotest Queue Sim String Tcp

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Filename Fun Kvstore List Mem Sim String Sys Workload

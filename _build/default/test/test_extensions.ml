@@ -1,0 +1,142 @@
+(* Tests for the section-7 extensions: copy-on-write smart pointers and the
+   adaptive zero-copy threshold. *)
+
+let make_pool () =
+  let space = Mem.Addr_space.create () in
+  let pool =
+    Mem.Pinned.Pool.create space ~name:"cow" ~classes:[ (1024, 32) ]
+  in
+  (space, pool)
+
+let test_cow_write_in_place_when_exclusive () =
+  let _space, pool = make_pool () in
+  let c = Cornflakes.Cow_buf.create pool ~len:100 in
+  let before = Mem.Pinned.Buf.addr (Cornflakes.Cow_buf.buf c) in
+  Cornflakes.Cow_buf.write c ~off:0 "exclusive";
+  Alcotest.(check int) "no clone" 0 (Cornflakes.Cow_buf.cow_count c);
+  Alcotest.(check int) "same buffer" before
+    (Mem.Pinned.Buf.addr (Cornflakes.Cow_buf.buf c));
+  Cornflakes.Cow_buf.release c
+
+let test_cow_clones_when_shared () =
+  let _space, pool = make_pool () in
+  let c = Cornflakes.Cow_buf.create pool ~len:64 in
+  Cornflakes.Cow_buf.write c ~off:0 "original-bytes!!";
+  (* A pending zero-copy send takes its reference... *)
+  let in_flight = Cornflakes.Cow_buf.buf c in
+  Mem.Pinned.Buf.incr_ref in_flight;
+  Alcotest.(check bool) "shared" true (Cornflakes.Cow_buf.shared c);
+  (* ... and the application overwrites the value. *)
+  Cornflakes.Cow_buf.write c ~off:0 "updated-bytes!!!";
+  Alcotest.(check int) "one clone" 1 (Cornflakes.Cow_buf.cow_count c);
+  (* The DMA still sees the original bytes, untouched. *)
+  Alcotest.(check string) "in-flight bytes intact" "original-bytes!!"
+    (String.sub (Mem.View.to_string (Mem.Pinned.Buf.view in_flight)) 0 16);
+  (* The application sees the new value. *)
+  Alcotest.(check string) "new value visible" "updated-bytes!!!"
+    (String.sub
+       (Mem.View.to_string (Mem.Pinned.Buf.view (Cornflakes.Cow_buf.buf c)))
+       0 16);
+  Mem.Pinned.Buf.decr_ref in_flight;
+  Cornflakes.Cow_buf.release c;
+  Alcotest.(check int) "all returned" 0 (Mem.Pinned.Pool.live pool)
+
+let test_cow_write_after_completion_is_in_place () =
+  let _space, pool = make_pool () in
+  let c = Cornflakes.Cow_buf.create pool ~len:64 in
+  let b = Cornflakes.Cow_buf.buf c in
+  Mem.Pinned.Buf.incr_ref b;
+  Mem.Pinned.Buf.decr_ref b;
+  (* transmission completed *)
+  Cornflakes.Cow_buf.write c ~off:0 "x";
+  Alcotest.(check int) "no clone needed" 0 (Cornflakes.Cow_buf.cow_count c);
+  Cornflakes.Cow_buf.release c
+
+let test_cow_bounds () =
+  let _space, pool = make_pool () in
+  let c = Cornflakes.Cow_buf.create pool ~len:8 in
+  Alcotest.check_raises "oob" (Invalid_argument "Cow_buf.write: out of bounds")
+    (fun () -> Cornflakes.Cow_buf.write c ~off:4 "too-long");
+  Cornflakes.Cow_buf.release c
+
+(* Adaptive threshold: drive constructions through a real endpoint and
+   check the estimate converges near the static calibration (512 B). *)
+let adaptive_converges ~params ()=
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let space = Mem.Addr_space.create () in
+  let registry = Mem.Registry.create space in
+  let cpu = Memmodel.Cpu.create params in
+  let ep = Net.Endpoint.create ~cpu fabric registry ~id:1 in
+  let pool =
+    Mem.Pinned.Pool.create space ~name:"adapt"
+      ~classes:[ (1024, 4096); (8192, 512) ]
+  in
+  Mem.Registry.register registry pool;
+  (* A working set larger than L3, like the measurement study. *)
+  let values =
+    Array.init 4000 (fun i ->
+        let buf = Mem.Pinned.Buf.alloc pool ~len:(if i mod 2 = 0 then 700 else 300) in
+        Mem.Pinned.Buf.fill buf (Workload.Spec.filler (Mem.Pinned.Buf.len buf));
+        buf)
+  in
+  let adaptive = Cornflakes.Adaptive.create () in
+  let rng = Sim.Rng.create ~seed:99 in
+  for _ = 1 to 20_000 do
+    let buf = values.(Sim.Rng.int rng (Array.length values)) in
+    let p =
+      Cornflakes.Adaptive.make ~cpu adaptive ep (Mem.Pinned.Buf.view buf)
+    in
+    Wire.Payload.release p;
+    Mem.Arena.reset (Net.Endpoint.arena ep)
+  done;
+  Cornflakes.Adaptive.threshold adaptive
+
+let test_adaptive_converges_near_static () =
+  let t = adaptive_converges ~params:Memmodel.Params.default () in
+  if t < 192 || t > 1024 then
+    Alcotest.failf "adaptive threshold %d far from the static 512" t
+
+let test_adaptive_tracks_memory_pressure () =
+  (* With memory bandwidth pressure (slower streaming copies), copies get
+     more expensive per byte, so the threshold must drop (paper section 7:
+     the crossover moves with bandwidth pressure). *)
+  let slow =
+    {
+      Memmodel.Params.default with
+      Memmodel.Params.stream_dram =
+        3.0 *. Memmodel.Params.default.Memmodel.Params.stream_dram;
+    }
+  in
+  let base = adaptive_converges ~params:Memmodel.Params.default () in
+  let pressured = adaptive_converges ~params:slow () in
+  if pressured >= base then
+    Alcotest.failf "threshold should drop under pressure: %d -> %d" base
+      pressured
+
+let test_adaptive_without_cpu_is_static () =
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let space = Mem.Addr_space.create () in
+  let registry = Mem.Registry.create space in
+  let ep = Net.Endpoint.create fabric registry ~id:1 in
+  let adaptive = Cornflakes.Adaptive.create ~initial:512 () in
+  let v = Mem.View.of_string space "hello" in
+  let (_ : Wire.Payload.t) = Cornflakes.Adaptive.make adaptive ep v in
+  Alcotest.(check int) "unchanged" 512 (Cornflakes.Adaptive.threshold adaptive);
+  Alcotest.(check int) "no observations recorded" 0
+    (Cornflakes.Adaptive.observations adaptive)
+
+let suite =
+  [
+    Alcotest.test_case "cow write in place" `Quick
+      test_cow_write_in_place_when_exclusive;
+    Alcotest.test_case "cow clones when shared" `Quick test_cow_clones_when_shared;
+    Alcotest.test_case "cow after completion" `Quick
+      test_cow_write_after_completion_is_in_place;
+    Alcotest.test_case "cow bounds" `Quick test_cow_bounds;
+    Alcotest.test_case "adaptive converges" `Slow test_adaptive_converges_near_static;
+    Alcotest.test_case "adaptive tracks pressure" `Slow
+      test_adaptive_tracks_memory_pressure;
+    Alcotest.test_case "adaptive without cpu" `Quick test_adaptive_without_cpu_is_static;
+  ]

@@ -1,0 +1,134 @@
+(* Direct tests of the load drivers and the server harness's send-hold
+   semantics. *)
+
+(* A trivial echo fixture with a controllable artificial service cost. *)
+let make_fixture ~service_cycles =
+  let rig = Apps.Rig.create ~n_clients:2 () in
+  Loadgen.Server.set_handler rig.Apps.Rig.server (fun ~src buf ->
+      Memmodel.Cpu.charge rig.Apps.Rig.cpu Memmodel.Cpu.App service_cycles;
+      let v = Mem.Pinned.Buf.view buf in
+      let s = Mem.View.to_string v in
+      let staging =
+        Net.Endpoint.alloc_tx ~cpu:rig.Apps.Rig.cpu rig.Apps.Rig.server_ep
+          ~len:(Net.Packet.header_len + String.length s)
+      in
+      let sv = Mem.Pinned.Buf.view staging in
+      Bytes.blit_string s 0 sv.Mem.View.data
+        (sv.Mem.View.off + Net.Packet.header_len)
+        (String.length s);
+      Net.Endpoint.send_inline_header ~cpu:rig.Apps.Rig.cpu
+        rig.Apps.Rig.server_ep ~dst:src ~segments:[ staging ];
+      Mem.Pinned.Buf.decr_ref buf);
+  rig
+
+let send_fn ep ~dst ~id =
+  Net.Endpoint.send_string ep ~dst (Printf.sprintf "%08d-request" id)
+
+let parse_fn buf =
+  let s = Mem.View.to_string (Mem.Pinned.Buf.view buf) in
+  int_of_string (String.sub s 0 8)
+
+let test_closed_loop_tracks_service_time () =
+  (* Artificial service of 30k cycles = 10 us dominates the stack's fixed
+     per-request costs (~0.35 us) -> capacity just under 100 krps. *)
+  let rig = make_fixture ~service_cycles:30_000.0 in
+  let r =
+    Loadgen.Driver.closed_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~outstanding:4 ~duration_ns:8_000_000
+      ~warmup_ns:1_000_000 ~rng:rig.Apps.Rig.rng ~send:send_fn
+      ~parse_id:(Some parse_fn)
+  in
+  let rps = r.Loadgen.Driver.achieved_rps in
+  if rps < 85_000.0 || rps > 101_000.0 then
+    Alcotest.failf "capacity %.0f should be just under 100k for 10 us service"
+      rps
+
+let test_open_loop_matches_offered_below_capacity () =
+  let rig = make_fixture ~service_cycles:3000.0 in
+  let r =
+    Loadgen.Driver.open_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~rate_rps:300_000.0 ~duration_ns:5_000_000
+      ~warmup_ns:1_000_000 ~rng:rig.Apps.Rig.rng ~send:send_fn
+      ~parse_id:(Some parse_fn)
+  in
+  let a = r.Loadgen.Driver.achieved_rps in
+  if a < 270_000.0 || a > 330_000.0 then
+    Alcotest.failf "achieved %.0f should track offered 300k" a
+
+let test_latency_includes_service_time () =
+  (* At very low load, RTT ~ 2x one-way delay + NIC + service. Doubling the
+     service cost must raise the p50 by about the difference — proving the
+     response is held until the service time elapses. *)
+  let measure service_cycles =
+    let rig = make_fixture ~service_cycles in
+    let r =
+      Loadgen.Driver.open_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+        ~server:Apps.Rig.server_id ~rate_rps:10_000.0 ~duration_ns:5_000_000
+        ~warmup_ns:500_000 ~rng:rig.Apps.Rig.rng ~send:send_fn
+        ~parse_id:(Some parse_fn)
+    in
+    Stats.Histogram.mean r.Loadgen.Driver.hist
+  in
+  let fast = measure 3_000.0 (* 1 us *) in
+  let slow = measure 18_000.0 (* 6 us *) in
+  let delta = slow -. fast in
+  if delta < 4_000.0 || delta > 7_000.0 then
+    Alcotest.failf "mean rtt delta %.0f ns should be ~5000 (service held)" delta
+
+let test_fifo_matching_mode () =
+  let rig = make_fixture ~service_cycles:3000.0 in
+  let r =
+    Loadgen.Driver.closed_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~outstanding:2 ~duration_ns:2_000_000
+      ~warmup_ns:0 ~rng:rig.Apps.Rig.rng ~send:send_fn ~parse_id:None
+  in
+  Alcotest.(check bool) "fifo mode completes" true
+    (r.Loadgen.Driver.completed > 500);
+  Alcotest.(check bool) "latencies recorded" true
+    (Stats.Histogram.count r.Loadgen.Driver.hist > 500)
+
+let test_hold_rejects_nesting () =
+  let rig = Apps.Rig.create ~n_clients:1 () in
+  Net.Endpoint.begin_hold rig.Apps.Rig.server_ep;
+  Alcotest.check_raises "double hold"
+    (Invalid_argument "Endpoint.begin_hold: already holding") (fun () ->
+      Net.Endpoint.begin_hold rig.Apps.Rig.server_ep);
+  Net.Endpoint.release_hold rig.Apps.Rig.server_ep ~after:0;
+  Alcotest.check_raises "release without hold"
+    (Invalid_argument "Endpoint.release_hold: not holding") (fun () ->
+      Net.Endpoint.release_hold rig.Apps.Rig.server_ep ~after:0)
+
+let test_held_sends_are_delayed () =
+  let rig = Apps.Rig.create ~n_clients:1 () in
+  let engine = rig.Apps.Rig.engine in
+  let client = List.hd rig.Apps.Rig.clients in
+  let arrival = ref (-1) in
+  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+      arrival := Sim.Engine.now engine;
+      Mem.Pinned.Buf.decr_ref buf);
+  Net.Endpoint.begin_hold rig.Apps.Rig.server_ep;
+  let staging =
+    Net.Endpoint.alloc_tx rig.Apps.Rig.server_ep ~len:(Net.Packet.header_len + 4)
+  in
+  Net.Endpoint.send_inline_header rig.Apps.Rig.server_ep ~dst:100
+    ~segments:[ staging ];
+  Net.Endpoint.release_hold rig.Apps.Rig.server_ep ~after:5_000;
+  Sim.Engine.run_all engine;
+  (* One-way fabric delay is 850 ns; with the 5 us hold the packet cannot
+     arrive before 5850. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "arrival %d after hold" !arrival)
+    true (!arrival >= 5_850)
+
+let suite =
+  [
+    Alcotest.test_case "closed loop tracks service time" `Quick
+      test_closed_loop_tracks_service_time;
+    Alcotest.test_case "open loop below capacity" `Quick
+      test_open_loop_matches_offered_below_capacity;
+    Alcotest.test_case "latency includes service" `Quick
+      test_latency_includes_service_time;
+    Alcotest.test_case "fifo matching" `Quick test_fifo_matching_mode;
+    Alcotest.test_case "hold rejects nesting" `Quick test_hold_rejects_nesting;
+    Alcotest.test_case "held sends delayed" `Quick test_held_sends_are_delayed;
+  ]

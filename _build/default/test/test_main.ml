@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "cornflakes"
+    [
+      ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("memmodel", Test_memmodel.suite);
+      ("mem", Test_mem.suite);
+      ("schema", Test_schema.suite);
+      ("format", Test_format.suite);
+      ("cursor", Test_cursor.suite);
+      ("net", Test_net.suite);
+      ("baselines", Test_baselines.suite);
+      ("cornflakes", Test_cornflakes.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("workload", Test_workload.suite);
+      ("apps", Test_apps.suite);
+      ("redis", Test_redis.suite);
+      ("tcp", Test_tcp.suite);
+      ("codegen", Test_codegen.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("extensions", Test_extensions.suite);
+      ("segment", Test_segment.suite);
+      ("replication", Test_replication.suite);
+      ("loadgen", Test_loadgen.suite);
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the cache simulator and cost meter. *)
+
+let params = Memmodel.Params.default
+
+let small_geometry =
+  { Memmodel.Params.size_bytes = 1024; ways = 2; line_bytes = 64 }
+
+let test_hit_after_access () =
+  let c = Memmodel.Cache.create small_geometry in
+  Alcotest.(check bool) "cold miss" false (Memmodel.Cache.access c ~line:5);
+  Alcotest.(check bool) "warm hit" true (Memmodel.Cache.access c ~line:5)
+
+let test_lru_eviction () =
+  (* 1024 B / 64 B = 16 lines, 2 ways -> 8 sets. Lines 0, 8, 16 map to set 0. *)
+  let c = Memmodel.Cache.create small_geometry in
+  ignore (Memmodel.Cache.access c ~line:0);
+  ignore (Memmodel.Cache.access c ~line:8);
+  (* Re-touch 0 so 8 becomes LRU. *)
+  ignore (Memmodel.Cache.access c ~line:0);
+  ignore (Memmodel.Cache.access c ~line:16);
+  Alcotest.(check bool) "0 survives" true (Memmodel.Cache.probe c ~line:0);
+  Alcotest.(check bool) "8 evicted" false (Memmodel.Cache.probe c ~line:8);
+  Alcotest.(check bool) "16 resident" true (Memmodel.Cache.probe c ~line:16)
+
+let test_probe_no_side_effect () =
+  let c = Memmodel.Cache.create small_geometry in
+  Alcotest.(check bool) "probe misses" false (Memmodel.Cache.probe c ~line:3);
+  Alcotest.(check bool) "still cold" false (Memmodel.Cache.access c ~line:3)
+
+let test_hierarchy_levels () =
+  let cpu = Memmodel.Cpu.create params in
+  (* First latency access: DRAM cost. Second: L1 cost. *)
+  let before = Memmodel.Cpu.cycles cpu in
+  Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Other ~addr:4096;
+  let cold = Memmodel.Cpu.cycles cpu -. before in
+  Alcotest.(check (float 0.001)) "cold = dram" params.Memmodel.Params.lat_dram cold;
+  let before = Memmodel.Cpu.cycles cpu in
+  Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Other ~addr:4096;
+  let warm = Memmodel.Cpu.cycles cpu -. before in
+  Alcotest.(check (float 0.001)) "warm = l1" params.Memmodel.Params.lat_l1 warm
+
+let test_stream_cost_per_line () =
+  let cpu = Memmodel.Cpu.create params in
+  let before = Memmodel.Cpu.cycles cpu in
+  (* 256 bytes = 4 lines, all cold. *)
+  Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(1 lsl 22) ~len:256;
+  let cost = Memmodel.Cpu.cycles cpu -. before in
+  Alcotest.(check (float 0.001)) "4 dram lines"
+    (4.0 *. params.Memmodel.Params.stream_dram)
+    cost;
+  let before = Memmodel.Cpu.cycles cpu in
+  Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(1 lsl 22) ~len:256;
+  let warm = Memmodel.Cpu.cycles cpu -. before in
+  Alcotest.(check (float 0.001)) "4 l1 lines"
+    (4.0 *. params.Memmodel.Params.stream_l1)
+    warm
+
+let test_stream_straddles_lines () =
+  let cpu = Memmodel.Cpu.create params in
+  let before = Memmodel.Cpu.cycles cpu in
+  (* 2 bytes starting at the last byte of a line touch two lines. *)
+  Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:((1 lsl 23) + 63) ~len:2;
+  let cost = Memmodel.Cpu.cycles cpu -. before in
+  Alcotest.(check (float 0.001)) "2 dram lines"
+    (2.0 *. params.Memmodel.Params.stream_dram)
+    cost
+
+let test_install_dma_lands_in_l3 () =
+  let cpu = Memmodel.Cpu.create params in
+  Memmodel.Cpu.install_dma cpu ~addr:(1 lsl 24) ~len:64;
+  let before = Memmodel.Cpu.cycles cpu in
+  Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Other ~addr:(1 lsl 24);
+  let cost = Memmodel.Cpu.cycles cpu -. before in
+  Alcotest.(check (float 0.001)) "ddio -> l3 hit"
+    params.Memmodel.Params.lat_l3 cost
+
+let test_breakdown_categories () =
+  let cpu = Memmodel.Cpu.create params in
+  Memmodel.Cpu.charge cpu Memmodel.Cpu.Deser 10.0;
+  Memmodel.Cpu.charge cpu Memmodel.Cpu.Copy 20.0;
+  Memmodel.Cpu.charge cpu Memmodel.Cpu.Copy 5.0;
+  let get cat = List.assoc cat (Memmodel.Cpu.breakdown cpu) in
+  Alcotest.(check (float 0.001)) "deser" 10.0 (get Memmodel.Cpu.Deser);
+  Alcotest.(check (float 0.001)) "copy" 25.0 (get Memmodel.Cpu.Copy);
+  Alcotest.(check (float 0.001)) "total" 35.0 (Memmodel.Cpu.cycles cpu);
+  Memmodel.Cpu.reset_breakdown cpu;
+  Alcotest.(check (float 0.001)) "reset" 0.0 (get Memmodel.Cpu.Copy);
+  (* Total cycle counter is monotonic across breakdown resets. *)
+  Alcotest.(check (float 0.001)) "cycles kept" 35.0 (Memmodel.Cpu.cycles cpu)
+
+let test_shared_l3 () =
+  let l3 = Memmodel.Cache.create params.Memmodel.Params.l3 in
+  let a = Memmodel.Cpu.create ~shared_l3:l3 params in
+  let b = Memmodel.Cpu.create ~shared_l3:l3 params in
+  (* Core A faults a line in; core B should then hit in the shared L3. *)
+  Memmodel.Cpu.latency_access a Memmodel.Cpu.Other ~addr:(1 lsl 25);
+  let before = Memmodel.Cpu.cycles b in
+  Memmodel.Cpu.latency_access b Memmodel.Cpu.Other ~addr:(1 lsl 25);
+  let cost = Memmodel.Cpu.cycles b -. before in
+  Alcotest.(check (float 0.001)) "b hits shared l3"
+    params.Memmodel.Params.lat_l3 cost
+
+let test_cycles_to_ns () =
+  Alcotest.(check (float 0.001)) "3GHz" 100.0
+    (Memmodel.Params.cycles_to_ns params 300.0);
+  Alcotest.(check (float 0.001)) "roundtrip" 300.0
+    (Memmodel.Params.ns_to_cycles params 100.0)
+
+let qcheck_cache_never_grows =
+  (* Property: after any access sequence, a set holds at most [ways]
+     distinct resident lines that map to it. *)
+  QCheck.Test.make ~name:"cache set occupancy bounded" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun lines ->
+      let c = Memmodel.Cache.create small_geometry in
+      List.iter (fun l -> ignore (Memmodel.Cache.access c ~line:l)) lines;
+      (* 8 sets, 2 ways: of lines 0..1000 mapping to set 0, at most 2 are
+         resident. *)
+      let resident =
+        List.length
+          (List.filter
+             (fun l -> Memmodel.Cache.probe c ~line:l)
+             (List.init 126 (fun i -> i * 8)))
+      in
+      resident <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "hit after access" `Quick test_hit_after_access;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "probe has no side effect" `Quick test_probe_no_side_effect;
+    Alcotest.test_case "hierarchy level costs" `Quick test_hierarchy_levels;
+    Alcotest.test_case "stream cost per line" `Quick test_stream_cost_per_line;
+    Alcotest.test_case "stream straddles lines" `Quick test_stream_straddles_lines;
+    Alcotest.test_case "ddio install" `Quick test_install_dma_lands_in_l3;
+    Alcotest.test_case "breakdown categories" `Quick test_breakdown_categories;
+    Alcotest.test_case "shared l3" `Quick test_shared_l3;
+    Alcotest.test_case "cycles to ns" `Quick test_cycles_to_ns;
+    QCheck_alcotest.to_alcotest qcheck_cache_never_grows;
+  ]

@@ -1,0 +1,154 @@
+(* Tests for the replicated key-value store (nested-object application,
+   paper §4). *)
+
+let small_workload () = Workload.Ycsb.make ~n_keys:128 ~entries:1 ~entry_size:600 ()
+
+let make ?(backups = 2) () =
+  let rig = Apps.Rig.create ~n_clients:2 () in
+  let cluster = Replication.Replicated_kv.create rig ~backups ~workload:(small_workload ()) in
+  (rig, cluster)
+
+let run_op rig cluster ?(id = 1) op =
+  let client = List.hd rig.Apps.Rig.clients in
+  let got = ref None in
+  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+      got := Some (Replication.Replicated_kv.parse_id cluster buf);
+      Mem.Pinned.Buf.decr_ref buf);
+  Replication.Replicated_kv.send_op cluster op client ~dst:Apps.Rig.server_id ~id;
+  Sim.Engine.run_all rig.Apps.Rig.engine;
+  !got
+
+let value_string store key =
+  match Kvstore.Store.get store ~key with
+  | Some v ->
+      String.concat ""
+        (List.map
+           (fun b -> Mem.View.to_string (Mem.Pinned.Buf.view b))
+           (Kvstore.Store.buffers v))
+  | None -> "<missing>"
+
+let test_put_replicates_to_all_backups () =
+  let rig, cluster = make () in
+  let key = "replicated-key" in
+  (match run_op rig cluster ~id:7 (Workload.Spec.Put { key; sizes = [ 900 ] }) with
+  | Some 7 -> ()
+  | other -> Alcotest.failf "bad ack id %s" (match other with Some i -> string_of_int i | None -> "none"));
+  Alcotest.(check int) "committed" 1 (Replication.Replicated_kv.committed cluster);
+  let expect =
+    value_string (Replication.Replicated_kv.primary_store cluster) key
+  in
+  Alcotest.(check int) "value size" 900 (String.length expect);
+  List.iteri
+    (fun i store ->
+      Alcotest.(check string)
+        (Printf.sprintf "backup %d converged" i)
+        expect (value_string store key))
+    (Replication.Replicated_kv.backup_stores cluster)
+
+let test_ack_only_after_all_backups () =
+  let rig, cluster = make ~backups:3 () in
+  let client = List.hd rig.Apps.Rig.clients in
+  let acked = ref false in
+  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+      acked := true;
+      Mem.Pinned.Buf.decr_ref buf);
+  Replication.Replicated_kv.send_op cluster
+    (Workload.Spec.Put { key = "k"; sizes = [ 100 ] })
+    client ~dst:Apps.Rig.server_id ~id:1;
+  (* Before the engine runs, nothing can have been acknowledged. *)
+  Alcotest.(check bool) "not acked yet" false !acked;
+  Sim.Engine.run_all rig.Apps.Rig.engine;
+  Alcotest.(check bool) "acked after replication" true !acked;
+  Alcotest.(check int) "committed once" 1
+    (Replication.Replicated_kv.committed cluster)
+
+let test_get_after_put_sees_new_value () =
+  let rig, cluster = make () in
+  let key = Printf.sprintf "user%026d" 1 in
+  ignore (run_op rig cluster ~id:1 (Workload.Spec.Put { key; sizes = [ 800 ] }));
+  let client = List.hd rig.Apps.Rig.clients in
+  let got_len = ref (-1) in
+  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+      (match
+         Cornflakes.Send.deserialize Replication.Replicated_kv.schema
+           (Schema.Desc.message Replication.Replicated_kv.schema "RepMsg")
+           buf
+       with
+      | msg ->
+          got_len :=
+            List.fold_left
+              (fun acc v ->
+                match v with
+                | Wire.Dyn.Payload p -> acc + Wire.Payload.len p
+                | _ -> acc)
+              0 (Wire.Dyn.get_list msg "vals");
+          Wire.Dyn.release msg
+      | exception Cornflakes.Format_.Malformed _ -> ());
+      Mem.Pinned.Buf.decr_ref buf);
+  Replication.Replicated_kv.send_op cluster
+    (Workload.Spec.Get { keys = [ key ] })
+    client ~dst:Apps.Rig.server_id ~id:2;
+  Sim.Engine.run_all rig.Apps.Rig.engine;
+  Alcotest.(check int) "read back updated size" 800 !got_len
+
+let test_many_random_puts_converge () =
+  let rig, cluster = make ~backups:2 () in
+  let client = List.hd rig.Apps.Rig.clients in
+  Net.Endpoint.set_rx client (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
+  let rng = Sim.Rng.create ~seed:5 in
+  let n = 60 in
+  for id = 1 to n do
+    let key = Printf.sprintf "user%026d" (1 + Sim.Rng.int rng 32) in
+    let size = 50 + Sim.Rng.int rng 1500 in
+    Sim.Engine.schedule rig.Apps.Rig.engine ~after:(id * 2_000) (fun () ->
+        Replication.Replicated_kv.send_op cluster
+          (Workload.Spec.Put { key; sizes = [ size ] })
+          client ~dst:Apps.Rig.server_id ~id)
+  done;
+  Sim.Engine.run_all rig.Apps.Rig.engine;
+  Alcotest.(check int) "all committed" n
+    (Replication.Replicated_kv.committed cluster);
+  (* Every touched key agrees across the primary and all backups. *)
+  for k = 1 to 32 do
+    let key = Printf.sprintf "user%026d" k in
+    let expect =
+      value_string (Replication.Replicated_kv.primary_store cluster) key
+    in
+    List.iter
+      (fun store ->
+        Alcotest.(check string) (Printf.sprintf "key %d" k) expect
+          (value_string store key))
+      (Replication.Replicated_kv.backup_stores cluster)
+  done
+
+let test_zero_backups_degenerates_to_plain_kv () =
+  let rig, cluster = make ~backups:0 () in
+  match run_op rig cluster ~id:9 (Workload.Spec.Put { key = "solo"; sizes = [ 64 ] }) with
+  | Some 9 ->
+      Alcotest.(check int) "committed" 1
+        (Replication.Replicated_kv.committed cluster)
+  | _ -> Alcotest.fail "no ack"
+
+let test_sustained_replicated_load () =
+  let rig, cluster = make ~backups:2 () in
+  let send ep ~dst ~id = Replication.Replicated_kv.send_next cluster ep ~dst ~id in
+  let parse_id = Some (fun buf -> Replication.Replicated_kv.parse_id cluster buf) in
+  let r =
+    Loadgen.Driver.closed_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~outstanding:2 ~duration_ns:2_000_000
+      ~warmup_ns:0 ~rng:rig.Apps.Rig.rng ~send ~parse_id
+  in
+  Alcotest.(check bool) "sustains load" true (r.Loadgen.Driver.completed > 200)
+
+let suite =
+  [
+    Alcotest.test_case "put replicates to backups" `Quick
+      test_put_replicates_to_all_backups;
+    Alcotest.test_case "ack only after all backups" `Quick
+      test_ack_only_after_all_backups;
+    Alcotest.test_case "get after put" `Quick test_get_after_put_sees_new_value;
+    Alcotest.test_case "random puts converge" `Quick test_many_random_puts_converge;
+    Alcotest.test_case "zero backups" `Quick test_zero_backups_degenerates_to_plain_kv;
+    Alcotest.test_case "sustained replicated load" `Slow
+      test_sustained_replicated_load;
+  ]

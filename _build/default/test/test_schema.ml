@@ -1,0 +1,109 @@
+(* Tests for the schema language: lexer, parser, descriptors, validation. *)
+
+let kv_schema =
+  {|
+  // The paper's Listing 1 message.
+  syntax = "proto3";
+  message GetM {
+    uint32 id = 1;
+    repeated bytes keys = 2;
+    repeated bytes vals = 3;
+  }
+  message Meta {
+    string note = 1;
+  }
+  message Get {
+    uint32 id = 1;
+    bytes key = 2;
+    bytes val = 3;
+    Meta meta = 4;
+  }
+  |}
+
+let test_parse_messages () =
+  let s = Schema.Parser.parse kv_schema in
+  Alcotest.(check int) "three messages" 3 (List.length s.Schema.Desc.messages);
+  let getm = Schema.Desc.message s "GetM" in
+  Alcotest.(check int) "fields" 3 (Array.length getm.Schema.Desc.fields);
+  let keys = Schema.Desc.field getm "keys" in
+  Alcotest.(check bool) "repeated" true
+    (keys.Schema.Desc.label = Schema.Desc.Repeated);
+  Alcotest.(check bool) "bytes" true (keys.Schema.Desc.ty = Schema.Desc.Bytes);
+  let get = Schema.Desc.message s "Get" in
+  let meta = Schema.Desc.field get "meta" in
+  Alcotest.(check bool) "nested type" true
+    (meta.Schema.Desc.ty = Schema.Desc.Message "Meta")
+
+let test_fields_sorted_by_number () =
+  let s = Schema.Parser.parse "message M { int32 b = 5; int32 a = 2; }" in
+  let m = Schema.Desc.message s "M" in
+  Alcotest.(check string) "first by number" "a"
+    m.Schema.Desc.fields.(0).Schema.Desc.field_name
+
+let test_comments_skipped () =
+  let s =
+    Schema.Parser.parse
+      "/* block */ message M { // line\n int64 x = 1; /* mid */ }"
+  in
+  let m = Schema.Desc.message s "M" in
+  Alcotest.(check int) "one field" 1 (Array.length m.Schema.Desc.fields)
+
+let expect_parse_error src =
+  match Schema.Parser.parse src with
+  | _ -> Alcotest.failf "expected parse failure for %S" src
+  | exception Schema.Parser.Parse_error _ -> ()
+  | exception Schema.Lexer.Lex_error _ -> ()
+
+let test_rejects_duplicate_numbers () =
+  expect_parse_error "message M { int32 a = 1; int32 b = 1; }"
+
+let test_rejects_duplicate_names () =
+  expect_parse_error "message M { int32 a = 1; int32 a = 2; }"
+
+let test_rejects_unresolved_nested () =
+  expect_parse_error "message M { Missing x = 1; }"
+
+let test_rejects_zero_field_number () =
+  expect_parse_error "message M { int32 a = 0; }"
+
+let test_rejects_garbage () =
+  expect_parse_error "message M { int32 a = }";
+  expect_parse_error "message { }";
+  expect_parse_error "message M { int32 a = 1 ";
+  expect_parse_error "mess@ge M {}"
+
+let test_field_index () =
+  let s = Schema.Parser.parse kv_schema in
+  let getm = Schema.Desc.message s "GetM" in
+  Alcotest.(check int) "vals at 2" 2 (Schema.Desc.field_index getm "vals");
+  Alcotest.check_raises "missing field" Not_found (fun () ->
+      ignore (Schema.Desc.field_index getm "nope"))
+
+let test_all_scalar_types () =
+  let s =
+    Schema.Parser.parse
+      {|message S {
+         bool b = 1; int32 i32 = 2; int64 i64 = 3;
+         uint32 u32 = 4; uint64 u64 = 5; double d = 6;
+         string s = 7; bytes by = 8;
+       }|}
+  in
+  let m = Schema.Desc.message s "S" in
+  Alcotest.(check int) "eight fields" 8 (Array.length m.Schema.Desc.fields);
+  Alcotest.(check bool) "double" true
+    ((Schema.Desc.field m "d").Schema.Desc.ty
+    = Schema.Desc.Scalar Schema.Desc.Float64)
+
+let suite =
+  [
+    Alcotest.test_case "parse messages" `Quick test_parse_messages;
+    Alcotest.test_case "fields sorted" `Quick test_fields_sorted_by_number;
+    Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+    Alcotest.test_case "rejects duplicate numbers" `Quick test_rejects_duplicate_numbers;
+    Alcotest.test_case "rejects duplicate names" `Quick test_rejects_duplicate_names;
+    Alcotest.test_case "rejects unresolved nested" `Quick test_rejects_unresolved_nested;
+    Alcotest.test_case "rejects zero field number" `Quick test_rejects_zero_field_number;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "field index" `Quick test_field_index;
+    Alcotest.test_case "all scalar types" `Quick test_all_scalar_types;
+  ]

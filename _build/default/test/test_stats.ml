@@ -1,0 +1,95 @@
+(* Tests for histograms, curves, and tables. *)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create ~resolution_ns:1000 ~max_ns:1_000_000 () in
+  for i = 1 to 100 do
+    Stats.Histogram.record h (i * 1000)
+  done;
+  Alcotest.(check int) "count" 100 (Stats.Histogram.count h);
+  Alcotest.(check int) "p50" 50_000 (Stats.Histogram.percentile h 0.50);
+  Alcotest.(check int) "p99" 99_000 (Stats.Histogram.percentile h 0.99);
+  Alcotest.(check int) "p100" 100_000 (Stats.Histogram.percentile h 1.0);
+  Alcotest.(check int) "min" 1000 (Stats.Histogram.min_ns h);
+  Alcotest.(check int) "max" 100_000 (Stats.Histogram.max_ns h);
+  Alcotest.(check (float 1.0)) "mean" 50_500.0 (Stats.Histogram.mean h)
+
+let test_histogram_overflow_bucket () =
+  let h = Stats.Histogram.create ~resolution_ns:1000 ~max_ns:10_000 () in
+  Stats.Histogram.record h 500_000;
+  Alcotest.(check bool) "overflow recorded" true (Stats.Histogram.count h = 1);
+  Alcotest.(check bool) "p99 at cap" true (Stats.Histogram.percentile h 0.99 >= 10_000)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Stats.Histogram.percentile h 0.5))
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.record a 1_000;
+  Stats.Histogram.record b 9_000;
+  Stats.Histogram.merge_into ~dst:a ~src:b;
+  Alcotest.(check int) "merged count" 2 (Stats.Histogram.count a);
+  Alcotest.(check int) "merged max" 9_000 (Stats.Histogram.max_ns a)
+
+let point ~offered ~achieved ~p99_us =
+  {
+    Stats.Curve.offered;
+    achieved;
+    p50_ns = p99_us * 300;
+    p99_ns = p99_us * 1000;
+    mean_ns = 0.0;
+  }
+
+let test_curve_slo_selection () =
+  let c = Stats.Curve.create ~name:"sys" in
+  Stats.Curve.add c (point ~offered:100.0 ~achieved:100.0 ~p99_us:10);
+  Stats.Curve.add c (point ~offered:200.0 ~achieved:198.0 ~p99_us:30);
+  Stats.Curve.add c (point ~offered:300.0 ~achieved:260.0 ~p99_us:900);
+  (* The 300-offered point violates the 95% validity rule (260 < 285). *)
+  Alcotest.(check int) "valid points" 2 (List.length (Stats.Curve.valid_points c));
+  Alcotest.(check (float 0.01)) "max achieved includes invalid" 260.0
+    (Stats.Curve.max_achieved c);
+  (match Stats.Curve.throughput_at_slo c ~p99_slo_ns:50_000 with
+  | Some t -> Alcotest.(check (float 0.01)) "slo pick" 198.0 t
+  | None -> Alcotest.fail "expected an SLO point");
+  Alcotest.(check bool) "tight slo excludes all" true
+    (Stats.Curve.throughput_at_slo c ~p99_slo_ns:5_000 = None)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_renders () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ "xxx"; "y" ];
+  let s = Stats.Table.to_string t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 6 = "== T =");
+  Alcotest.(check bool) "has row" true (contains s "xxx");
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Stats.Table.add_row t [ "only-one" ])
+
+let qcheck_percentile_monotonic =
+  QCheck.Test.make ~name:"percentiles are monotonic" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 100_000))
+    (fun samples ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.record h) samples;
+      let p25 = Stats.Histogram.percentile h 0.25 in
+      let p50 = Stats.Histogram.percentile h 0.50 in
+      let p99 = Stats.Histogram.percentile h 0.99 in
+      p25 <= p50 && p50 <= p99)
+
+let suite =
+  [
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow_bucket;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "curve slo selection" `Quick test_curve_slo_selection;
+    Alcotest.test_case "table renders" `Quick test_table_renders;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotonic;
+  ]
