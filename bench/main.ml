@@ -6,6 +6,7 @@
      dune exec bench/main.exe                 # all experiments
      dune exec bench/main.exe -- fig2 tab1    # a subset
      dune exec bench/main.exe -- --quick      # smaller run budgets
+     dune exec bench/main.exe -- --sanitize   # run under the RefSan ledger
      dune exec bench/main.exe -- micro        # Bechamel section only *)
 
 let hr () = print_endline (String.make 78 '=')
@@ -60,8 +61,10 @@ let micro () =
   let proto_pool =
     Mem.Pinned.Pool.create space ~name:"bench" ~classes:[ (16384, 64) ]
   in
-  let proto_buf = Mem.Pinned.Buf.alloc proto_pool ~len:proto_len in
-  Mem.Pinned.Buf.fill proto_buf (Bytes.to_string proto_bytes);
+  let proto_buf =
+    Mem.Pinned.Buf.alloc ~site:"bench.micro" proto_pool ~len:proto_len
+  in
+  Mem.Pinned.Buf.fill ~site:"bench.micro" proto_buf (Bytes.to_string proto_bytes);
   (* Deserialization needs an endpoint arena; build a tiny rig. *)
   let engine = Sim.Engine.create () in
   let fabric = Net.Fabric.create engine in
@@ -105,13 +108,20 @@ let micro () =
       match Analyze.OLS.estimates ols_result with
       | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/op\n" name est
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
-    results
+    results;
+  Mem.Pinned.Buf.decr_ref ~site:"bench.micro" proto_buf
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   Experiments.Util.set_quick quick;
-  let selected = List.filter (fun a -> a <> "--quick" && a <> "micro") args in
+  let sanitize = List.mem "--sanitize" args in
+  if sanitize then Cornflakes.Config.set_sanitize true;
+  let selected =
+    List.filter
+      (fun a -> a <> "--quick" && a <> "--sanitize" && a <> "micro")
+      args
+  in
   let want_micro = List.mem "micro" args in
   let entries =
     match selected with
@@ -130,4 +140,6 @@ let () =
   let t0 = Unix.gettimeofday () in
   if not (want_micro && selected = []) then List.iter run_experiment entries;
   if want_micro || selected = [] then micro ();
+  if Cornflakes.Config.sanitize () then
+    print_endline ("\n" ^ Sanitizer.Report.grand_total_line ());
   Printf.printf "\nAll done in %.1fs.\n" (Unix.gettimeofday () -. t0)

@@ -125,6 +125,44 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Parse and validate a schema")
     Term.(const run $ input)
 
+let lint_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA"
+           ~doc:"Schema file to lint.")
+  in
+  let threshold =
+    Arg.(value & opt int 512 & info [ "threshold" ] ~docv:"BYTES"
+           ~doc:"Zero-copy threshold used for the eligibility report.")
+  in
+  let run input threshold =
+    (* parse_raw: the lint wants to see duplicate field numbers etc. rather
+       than have the parser's validation reject the schema first. *)
+    match Schema.Parser.parse_raw (read_file input) with
+    | exception Schema.Parser.Parse_error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | exception Schema.Lexer.Lex_error { pos; message } ->
+        Printf.eprintf "lex error at offset %d: %s\n" pos message;
+        exit 1
+    | schema ->
+        let findings = Sanitizer.Lint.check ~threshold schema in
+        List.iter
+          (fun f -> print_endline (Sanitizer.Lint.to_string f))
+          findings;
+        let errs = Sanitizer.Lint.errors findings in
+        if errs <> [] then begin
+          Printf.printf "%d error%s found\n" (List.length errs)
+            (if List.length errs = 1 then "" else "s");
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint a schema: duplicate/out-of-range field numbers, bitmap waste, \
+          and per-field zero-copy eligibility")
+    Term.(const run $ input $ threshold)
+
 (* --- trace inspection --------------------------------------------------- *)
 
 let trace_cmd =
@@ -174,4 +212,7 @@ let trace_cmd =
 let () =
   let doc = "Cornflakes reproduction: experiments, schema compiler, traces" in
   let info = Cmd.info "cornflakes" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; compile_cmd; check_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiments_cmd; compile_cmd; check_cmd; lint_cmd; trace_cmd ]))

@@ -71,9 +71,13 @@ let handle_put t ~cpu req resp =
             match v with
             | Wire.Dyn.Payload p -> (
                 let src = Wire.Payload.view p in
-                match Mem.Pinned.Buf.alloc ~cpu t.pool ~len:src.Mem.View.len with
+                match
+                  Mem.Pinned.Buf.alloc ~cpu ~site:"Kv_app.put_value" t.pool
+                    ~len:src.Mem.View.len
+                with
                 | buf ->
-                    Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
+                    Mem.Pinned.Buf.blit_from ~cpu ~site:"Kv_app.put_value" buf
+                      ~src ~dst_off:0;
                     Some buf
                 | exception Mem.Pinned.Out_of_memory _ ->
                     (* Pool churn exhausted the class: drop the put, as a
@@ -103,7 +107,7 @@ let handler t ~src buf =
   | Some _ | None -> ());
   t.backend.Backend.send ~cpu ep ~dst:src resp;
   Wire.Dyn.release ~cpu req;
-  Mem.Pinned.Buf.decr_ref ~cpu buf
+  Mem.Pinned.Buf.decr_ref ~cpu ~site:"Kv_app.handler_done" buf
 
 let activate t =
   Loadgen.Server.set_handler t.rig.Rig.server (fun ~src buf -> handler t ~src buf);

@@ -15,6 +15,10 @@ let server_id = 1
 let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     ?(n_clients = 16) ?(seed = 0xc0ffee) ?server_config () =
   let engine = Sim.Engine.create () in
+  (* Under RefSan, every rig reports leaks when its event queue drains. *)
+  if Sanitizer.Refsan.is_enabled () then
+    Sim.Engine.add_quiesce_hook engine (fun () ->
+        Sanitizer.Report.print_quiesce ());
   let fabric = Net.Fabric.create engine in
   let space = Mem.Addr_space.create () in
   let registry = Mem.Registry.create space in

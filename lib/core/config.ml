@@ -11,6 +11,12 @@ let all_copy = { default with zero_copy_threshold = max_int }
 
 let with_threshold n = { default with zero_copy_threshold = n }
 
+(* The RefSan toggle rides on the runtime config: [CF_SANITIZE=1] in the
+   environment enables it at startup, and harnesses flip it per run. *)
+let sanitize () = Sanitizer.Refsan.is_enabled ()
+
+let set_sanitize on = Sanitizer.Refsan.set_enabled on
+
 let pp ppf t =
   let threshold =
     if t.zero_copy_threshold = max_int then "inf"

@@ -28,4 +28,11 @@ val all_copy : t
 
 val with_threshold : int -> t
 
+(** Whether the RefSan zero-copy safety sanitizer is recording (set by
+    [CF_SANITIZE=1] in the environment, {!set_sanitize}, or
+    [bench --sanitize]). *)
+val sanitize : unit -> bool
+
+val set_sanitize : bool -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -12,7 +12,15 @@ let with_apps ?rig ~workload backends f =
     (fun backend ->
       let rig = match rig with Some r -> r | None -> Apps.Rig.create () in
       let app = Apps.Kv_app.install rig ~backend ~workload in
-      (backend.Apps.Backend.name, f backend.Apps.Backend.name rig app))
+      let result = f backend.Apps.Backend.name rig app in
+      if Sanitizer.Refsan.is_enabled () then begin
+        (* Drain the event queue and run the RefSan quiesce hook (leak
+           report), then fold this run's counts into the bench totals and
+           drop the ledger so long multi-experiment runs stay bounded. *)
+        Sim.Engine.quiesce rig.Apps.Rig.engine;
+        Sanitizer.Refsan.checkpoint ()
+      end;
+      (backend.Apps.Backend.name, result))
     backends
 
 let capacities ?rig ~workload backends =

@@ -48,8 +48,17 @@ let buffers = function
 let value_len v =
   List.fold_left (fun acc b -> acc + Mem.Pinned.Buf.len b) 0 (buffers v)
 
+(* Store-owned references are legitimate long-lived state, not leaks:
+   declare them to RefSan as roots while the entry holds them. *)
+let root_value v =
+  List.iter (fun b -> Mem.Pinned.Buf.root ~site:"Store.put" b) (buffers v)
+
 let release_value ?cpu v =
-  List.iter (fun b -> Mem.Pinned.Buf.decr_ref ?cpu b) (buffers v)
+  List.iter
+    (fun b ->
+      Mem.Pinned.Buf.unroot ~site:"Store.release" b;
+      Mem.Pinned.Buf.decr_ref ?cpu ~site:"Store.release" b)
+    (buffers v)
 
 let bucket_addr t key =
   t.bucket_base + (8 * (Hashtbl.hash key land (t.nbuckets - 1)))
@@ -72,6 +81,7 @@ let alloc_entry_addr t =
   t.entry_base + off
 
 let put ?cpu t ~key v =
+  root_value v;
   match Hashtbl.find_opt t.table key with
   | Some entry ->
       charge_lookup ?cpu t key entry.meta_addr;

@@ -61,7 +61,7 @@ let install_rx ctx client ~parse_id ~fifo ~on_complete =
           ctx.resp_bytes <- ctx.resp_bytes + Mem.Pinned.Buf.len buf;
           Stats.Histogram.record ctx.hist (now - t)
       | Some _ | None -> ());
-      Mem.Pinned.Buf.decr_ref buf;
+      Mem.Pinned.Buf.decr_ref ~site:"Driver.response_done" buf;
       on_complete ())
 
 let issue ctx client ~server ~send ~parse_id ~fifo =

@@ -39,7 +39,7 @@ let rec service t =
 let on_rx t ~src buf =
   if Queue.length t.queue >= t.queue_limit then begin
     t.dropped <- t.dropped + 1;
-    Mem.Pinned.Buf.decr_ref buf
+    Mem.Pinned.Buf.decr_ref ~site:"Server.queue_drop" buf
   end
   else begin
     Queue.add (src, buf) t.queue;
@@ -55,7 +55,8 @@ let create ?(queue_limit = 4096) ep cpu =
       queue = Queue.create ();
       queue_limit;
       busy = false;
-      handler = (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
+      handler =
+        (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref ~site:"Server.no_handler" buf);
       served = 0;
       dropped = 0;
       service_ns_total = 0.0;

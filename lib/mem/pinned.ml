@@ -1,4 +1,10 @@
-exception Use_after_free
+exception
+  Use_after_free of {
+    pool : string;
+    slot : int;
+    gen : int;
+    history : string list; (* RefSan event history, oldest first; [] when off *)
+  }
 
 exception Out_of_memory of string
 
@@ -16,6 +22,7 @@ type size_class = {
 
 type pool = {
   name : string;
+  uid : int; (* process-unique, for the RefSan ledger *)
   classes : size_class array; (* sorted by size *)
   base : int;
   limit : int;
@@ -64,7 +71,14 @@ module Pool = struct
       }
     in
     let classes = Array.of_list (List.map mk classes) in
-    { name; classes; base = !base; limit = !limit; freelist_addr }
+    {
+      name;
+      uid = Sanitizer.Refsan.register_pool ();
+      classes;
+      base = !base;
+      limit = !limit;
+      freelist_addr;
+    }
 
   let name t = t.name
 
@@ -120,10 +134,34 @@ module Buf = struct
 
   let sc t = t.pool.classes.(t.cls)
 
-  let check_live t =
+  (* RefSan plumbing: the ledger check costs one boolean read when off. *)
+
+  let san_on () = Sanitizer.Refsan.is_enabled ()
+
+  let san_id t =
     let c = sc t in
-    if c.gens.(t.slot) <> t.gen || c.refcounts.(t.slot) = 0 then
-      raise Use_after_free
+    {
+      Sanitizer.Refsan.pool_uid = t.pool.uid;
+      pool = t.pool.name;
+      size = c.size;
+      slot = t.slot;
+      gen = t.gen;
+      base = c.data_base + (t.slot * c.size);
+    }
+
+  let check_live ?(site = "Pinned.access") ?(op = `Read) t =
+    let c = sc t in
+    if c.gens.(t.slot) <> t.gen || c.refcounts.(t.slot) = 0 then begin
+      let history =
+        if san_on () then begin
+          let id = san_id t in
+          Sanitizer.Refsan.stale_access ~id ~op ~site;
+          Sanitizer.Refsan.history id
+        end
+        else []
+      in
+      raise (Use_after_free { pool = t.pool.name; slot = t.slot; gen = t.gen; history })
+    end
 
   let meta_addr t = (sc t).meta_base + (t.slot * 8)
 
@@ -151,7 +189,7 @@ module Buf = struct
         Memmodel.Cpu.charge cpu Memmodel.Cpu.Safety
           (Memmodel.Cpu.params cpu).Memmodel.Params.cost_refcount_op
 
-  let alloc ?cpu pool ~len =
+  let alloc ?cpu ?(site = "Pinned.alloc") pool ~len =
     match Pool.class_for pool ~len with
     | None ->
         raise
@@ -167,6 +205,7 @@ module Buf = struct
         let slot = c.free.(c.free_top) in
         c.refcounts.(slot) <- 1;
         let t = { pool; cls; slot; gen = c.gens.(slot); off = 0; len } in
+        if san_on () then Sanitizer.Refsan.on_alloc ~id:(san_id t) ~site;
         (match cpu with
         | None -> ()
         | Some cpu ->
@@ -181,11 +220,13 @@ module Buf = struct
               ~addr:(meta_addr t));
         t
 
-  let incr_ref ?cpu t =
-    check_live t;
+  let incr_ref ?cpu ?(site = "Pinned.incr_ref") t =
+    check_live ~site ~op:`Ref t;
     charge_meta ?cpu t;
     let c = sc t in
-    c.refcounts.(t.slot) <- c.refcounts.(t.slot) + 1
+    c.refcounts.(t.slot) <- c.refcounts.(t.slot) + 1;
+    if san_on () then
+      Sanitizer.Refsan.on_incref ~id:(san_id t) ~refs:c.refcounts.(t.slot) ~site
 
   let free_slot t =
     let c = sc t in
@@ -193,45 +234,97 @@ module Buf = struct
     c.free.(c.free_top) <- t.slot;
     c.free_top <- c.free_top + 1
 
-  let decr_ref ?cpu t =
-    check_live t;
+  let decr_ref ?cpu ?(site = "Pinned.decr_ref") t =
+    check_live ~site ~op:`Release t;
     charge_meta ?cpu t;
     let c = sc t in
     c.refcounts.(t.slot) <- c.refcounts.(t.slot) - 1;
-    if c.refcounts.(t.slot) = 0 then free_slot t
+    if san_on () then
+      Sanitizer.Refsan.on_decref ~id:(san_id t) ~refs:c.refcounts.(t.slot) ~site;
+    if c.refcounts.(t.slot) = 0 then begin
+      if san_on () then Sanitizer.Refsan.on_free ~id:(san_id t) ~site;
+      free_slot t
+    end
 
   let view t =
-    check_live t;
+    check_live ~site:"Pinned.view" ~op:`Read t;
     let c = sc t in
     View.make ~addr:(addr t) ~data:c.backing
       ~off:((t.slot * c.size) + t.off)
       ~len:t.len
 
-  let sub t ~off ~len =
-    check_live t;
+  let sub ?(site = "Pinned.sub") t ~off ~len =
+    check_live ~site ~op:`Read t;
     if off < 0 || len < 0 || t.off + off + len > slot_size t then
       invalid_arg "Pinned.Buf.sub: window out of bounds";
-    { t with off = t.off + off; len }
+    let t' = { t with off = t.off + off; len } in
+    if san_on () then
+      Sanitizer.Refsan.on_sub ~id:(san_id t') ~refs:(refcount t') ~site;
+    t'
 
-  let fill ?cpu t s =
-    check_live t;
+  (* Record a write that bypassed [fill]/[blit_from] (e.g. direct view
+     mutation by a protocol header writer, or [Cow_buf.write]) so the
+     write-after-post detector still sees it. *)
+  let note_write ?(site = "Pinned.write") ?(via_cow = false) t ~off ~len =
+    if san_on () then
+      Sanitizer.Refsan.on_write ~id:(san_id t) ~refs:(refcount t)
+        ~addr:(addr t + off) ~len ~via_cow ~site
+
+  let note_cow_clone ?(site = "Cow_buf.write") t =
+    if san_on () then
+      Sanitizer.Refsan.on_cow_clone ~id:(san_id t) ~refs:(refcount t) ~site
+
+  (* Declare (and retract) long-lived ownership — e.g. a KV store holding a
+     value buffer across requests. Rooted references are not leaks. *)
+  let root ?(site = "root") t =
+    if san_on () then
+      Sanitizer.Refsan.on_root ~id:(san_id t) ~refs:(refcount t) ~site
+
+  let unroot ?(site = "unroot") t =
+    if san_on () then
+      Sanitizer.Refsan.on_unroot ~id:(san_id t) ~refs:(refcount t) ~site
+
+  (* Declare the buffer's visible window in flight (NIC ring / rtx queue). *)
+  let hold ?(site = "dma") ?skip t =
+    if san_on () then begin
+      let skip = match skip with Some n -> min n t.len | None -> 0 in
+      if t.len - skip <= 0 then None
+      else
+        Some
+          (Sanitizer.Refsan.hold ~id:(san_id t) ~refs:(refcount t)
+             ~addr:(addr t + skip) ~len:(t.len - skip) ~site)
+    end
+    else None
+
+  let release_hold = function
+    | None -> ()
+    | Some token -> Sanitizer.Refsan.release_hold token
+
+  let fill ?cpu ?(site = "Pinned.fill") t s =
+    check_live ~site ~op:`Write t;
     if String.length s > slot_size t - t.off then
       invalid_arg "Pinned.Buf.fill: string too long";
     let c = sc t in
     Bytes.blit_string s 0 c.backing ((t.slot * c.size) + t.off)
       (String.length s);
+    if san_on () then
+      Sanitizer.Refsan.on_write ~id:(san_id t) ~refs:(refcount t)
+        ~addr:(addr t) ~len:(String.length s) ~via_cow:false ~site;
     match cpu with
     | None -> ()
     | Some cpu ->
         Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(addr t)
           ~len:(String.length s)
 
-  let blit_from ?cpu t ~src ~dst_off =
-    check_live t;
+  let blit_from ?cpu ?(site = "Pinned.blit_from") t ~src ~dst_off =
+    check_live ~site ~op:`Write t;
     if dst_off < 0 || t.off + dst_off + src.View.len > slot_size t then
       invalid_arg "Pinned.Buf.blit_from: out of bounds";
     let c = sc t in
     View.blit src ~dst:c.backing ~dst_off:((t.slot * c.size) + t.off + dst_off);
+    if san_on () then
+      Sanitizer.Refsan.on_write ~id:(san_id t) ~refs:(refcount t)
+        ~addr:(addr t + dst_off) ~len:src.View.len ~via_cow:false ~site;
     match cpu with
     | None -> ()
     | Some cpu ->
@@ -240,7 +333,7 @@ module Buf = struct
         Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy
           ~addr:(addr t + dst_off) ~len:src.View.len
 
-  let recover ?cpu pool ~addr:a ~len =
+  let recover ?cpu ?(site = "Pinned.recover") pool ~addr:a ~len =
     (match cpu with
     | None -> ()
     | Some cpu ->
@@ -260,6 +353,9 @@ module Buf = struct
           (* Zero-copy safety: recovering a pointer takes a reference. *)
           charge_meta ?cpu t;
           c.refcounts.(slot) <- c.refcounts.(slot) + 1;
+          if san_on () then
+            Sanitizer.Refsan.on_incref ~id:(san_id t)
+              ~refs:c.refcounts.(slot) ~site;
           Some t
         end
 end

@@ -9,9 +9,25 @@
     - a reference count living in a separate metadata range (so refcount
       updates produce the metadata cache misses the paper measures),
     - a generation counter: any access through a stale handle raises
-      [Use_after_free], which is how tests prove the safety property. *)
+      [Use_after_free], which is how tests prove the safety property.
 
-exception Use_after_free
+    Every mutating entry point takes an optional [?site] label. When the
+    RefSan sanitizer is enabled ([CF_SANITIZE=1] or
+    [Sanitizer.Refsan.set_enabled true]), each operation is mirrored into a
+    shadow ledger tagged with that label, powering leak, double-free,
+    use-after-free, and write-after-post diagnostics. With the sanitizer
+    off the hooks cost one boolean load. *)
+
+(** Raised on any access through a stale handle (freed slot or reused
+    generation). [history] carries the buffer's RefSan event log, oldest
+    first, when the sanitizer is enabled; [[]] otherwise. *)
+exception
+  Use_after_free of {
+    pool : string;
+    slot : int;
+    gen : int;
+    history : string list;
+  }
 
 exception Out_of_memory of string
 
@@ -42,10 +58,10 @@ end
 module Buf : sig
   type t
 
-  (** [alloc ?cpu pool ~len] takes a buffer from the smallest class with
-      size >= [len]; its visible window is [len] bytes; refcount starts at 1.
-      Raises [Out_of_memory] when the class is exhausted. *)
-  val alloc : ?cpu:Memmodel.Cpu.t -> Pool.t -> len:int -> t
+  (** [alloc ?cpu ?site pool ~len] takes a buffer from the smallest class
+      with size >= [len]; its visible window is [len] bytes; refcount starts
+      at 1. Raises [Out_of_memory] when the class is exhausted. *)
+  val alloc : ?cpu:Memmodel.Cpu.t -> ?site:string -> Pool.t -> len:int -> t
 
   val addr : t -> int
 
@@ -62,13 +78,17 @@ module Buf : sig
 
   val is_live : t -> bool
 
-  (** [incr_ref ?cpu t] charges a metadata access (the zero-copy safety
-      cost) and bumps the count. Raises [Use_after_free] on a stale handle. *)
-  val incr_ref : ?cpu:Memmodel.Cpu.t -> t -> unit
+  (** RefSan identity of this handle (pool uid, slot, generation, window). *)
+  val san_id : t -> Sanitizer.Refsan.buf_id
 
-  (** [decr_ref ?cpu t] releases one reference; at zero the slot returns to
-      the free list and the generation advances. *)
-  val decr_ref : ?cpu:Memmodel.Cpu.t -> t -> unit
+  (** [incr_ref ?cpu ?site t] charges a metadata access (the zero-copy
+      safety cost) and bumps the count. Raises [Use_after_free] on a stale
+      handle. *)
+  val incr_ref : ?cpu:Memmodel.Cpu.t -> ?site:string -> t -> unit
+
+  (** [decr_ref ?cpu ?site t] releases one reference; at zero the slot
+      returns to the free list and the generation advances. *)
+  val decr_ref : ?cpu:Memmodel.Cpu.t -> ?site:string -> t -> unit
 
   (** [view t] is a read window over the visible bytes.
       Raises [Use_after_free] on a stale handle. *)
@@ -76,18 +96,45 @@ module Buf : sig
 
   (** [sub t ~off ~len] narrows the handle (shares the refcount; does not
       bump it). *)
-  val sub : t -> off:int -> len:int -> t
+  val sub : ?site:string -> t -> off:int -> len:int -> t
 
-  (** [fill ?cpu t s] writes [s] at the start of the visible window
+  (** [fill ?cpu ?site t s] writes [s] at the start of the visible window
       (setup/application writes). *)
-  val fill : ?cpu:Memmodel.Cpu.t -> t -> string -> unit
+  val fill : ?cpu:Memmodel.Cpu.t -> ?site:string -> t -> string -> unit
 
-  (** [blit_from ?cpu t ~src ~dst_off] copies [src]'s visible bytes into the
-      buffer, charging a streaming read of [src] and write of the target. *)
-  val blit_from : ?cpu:Memmodel.Cpu.t -> t -> src:View.t -> dst_off:int -> unit
+  (** [blit_from ?cpu ?site t ~src ~dst_off] copies [src]'s visible bytes
+      into the buffer, charging a streaming read of [src] and write of the
+      target. *)
+  val blit_from :
+    ?cpu:Memmodel.Cpu.t -> ?site:string -> t -> src:View.t -> dst_off:int -> unit
+
+  (** Report a write that mutated the buffer's bytes without going through
+      [fill]/[blit_from] (direct view mutation, e.g. a header writer or
+      [Cow_buf]) so the write-after-post detector sees it. [via_cow] marks
+      the write as CoW-mediated and therefore race-free. *)
+  val note_write : ?site:string -> ?via_cow:bool -> t -> off:int -> len:int -> unit
+
+  (** Record that a CoW clone replaced this buffer for a writer. *)
+  val note_cow_clone : ?site:string -> t -> unit
+
+  (** Declare (or retract) long-lived ownership of one reference — e.g. a KV
+      store keeping a value buffer across requests. Rooted references are
+      not reported as leaks. *)
+  val root : ?site:string -> t -> unit
+
+  val unroot : ?site:string -> t -> unit
+
+  (** [hold ?site ?skip t] declares the handle's visible window (minus the
+      first [skip] bytes) in flight — posted to a NIC ring or parked for
+      retransmission. Returns a token for [release_hold]; [None] when the
+      sanitizer is off or the window is empty. *)
+  val hold : ?site:string -> ?skip:int -> t -> int option
+
+  val release_hold : int option -> unit
 
   (** [recover pool ~addr ~len] implements the stack's [recover_ptr]: if
       [addr, addr+len) lies within a live allocation of [pool], bump its
       refcount and return a handle windowed to that slice. *)
-  val recover : ?cpu:Memmodel.Cpu.t -> Pool.t -> addr:int -> len:int -> t option
+  val recover :
+    ?cpu:Memmodel.Cpu.t -> ?site:string -> Pool.t -> addr:int -> len:int -> t option
 end

@@ -27,4 +27,4 @@ let recover_ptr ?cpu t ~addr ~len =
       Memmodel.Cpu.latency_access cpu Memmodel.Cpu.Safety ~addr:t.table_addr);
   match find t ~addr with
   | None -> None
-  | Some pool -> Pinned.Buf.recover ?cpu pool ~addr ~len
+  | Some pool -> Pinned.Buf.recover ?cpu ~site:"Registry.recover_ptr" pool ~addr ~len

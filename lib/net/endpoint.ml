@@ -37,9 +37,9 @@ let handle_wire t packet =
   if payload_len > 0 then begin
     (* NIC DMA writes the frame into a posted receive buffer: real bytes
        move, but no CPU cycles are charged here. *)
-    match Mem.Pinned.Buf.alloc t.rx_pool ~len:payload_len with
+    match Mem.Pinned.Buf.alloc ~site:"Endpoint.rx_dma" t.rx_pool ~len:payload_len with
     | buf ->
-        Mem.Pinned.Buf.fill buf
+        Mem.Pinned.Buf.fill ~site:"Endpoint.rx_dma" buf
           (String.sub packet Packet.header_len payload_len);
         (* DDIO: the DMA write leaves the frame in the LLC. *)
         (match t.cpu with
@@ -88,7 +88,9 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       tx_pool;
       rx_pool;
       arena = Mem.Arena.create space ~capacity:config.arena_capacity;
-      rx_handler = (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
+      rx_handler =
+        (fun ~src:_ buf ->
+          Mem.Pinned.Buf.decr_ref ~site:"Endpoint.rx_default_drop" buf);
       rx_packets = 0;
       rx_bytes = 0;
       rx_dropped = 0;
@@ -109,7 +111,8 @@ let nic t = t.nic
 
 let arena t = t.arena
 
-let alloc_tx ?cpu t ~len = Mem.Pinned.Buf.alloc ?cpu t.tx_pool ~len
+let alloc_tx ?cpu ?(site = "Endpoint.alloc_tx") t ~len =
+  Mem.Pinned.Buf.alloc ?cpu ~site t.tx_pool ~len
 
 let charge_post ?cpu t ~nsge =
   match cpu with
@@ -137,7 +140,9 @@ and post_now t ~segments =
       on_complete =
         (fun () ->
           (* Release the stack's references; charged at post time. *)
-          List.iter (fun buf -> Mem.Pinned.Buf.decr_ref buf) segments);
+          List.iter
+            (fun buf -> Mem.Pinned.Buf.decr_ref ~site:"Nic.complete" buf)
+            segments);
     }
   in
   Nic.Device.post t.nic desc
@@ -147,6 +152,8 @@ let write_header ?cpu t ~dst buf =
   Packet.write_header v.Mem.View.data
     ~off:(v.Mem.View.off - 0)
     ~src:t.id ~dst;
+  Mem.Pinned.Buf.note_write ~site:"Endpoint.write_header" buf ~off:0
+    ~len:Packet.header_len;
   match cpu with
   | None -> ()
   | Some cpu ->
@@ -164,19 +171,25 @@ let send_inline_header ?cpu t ~dst ~segments =
       post t ~segments
 
 let send_extra_header ?cpu t ~dst ~segments =
-  let hdr = Mem.Pinned.Buf.alloc ?cpu t.tx_pool ~len:Packet.header_len in
+  let hdr =
+    Mem.Pinned.Buf.alloc ?cpu ~site:"Endpoint.send_extra_header" t.tx_pool
+      ~len:Packet.header_len
+  in
   write_header ?cpu t ~dst hdr;
   charge_post ?cpu t ~nsge:(1 + List.length segments);
   post t ~segments:(hdr :: segments)
 
 let send_string t ~dst s =
   let buf =
-    Mem.Pinned.Buf.alloc t.tx_pool ~len:(Packet.header_len + String.length s)
+    Mem.Pinned.Buf.alloc ~site:"Endpoint.send_string" t.tx_pool
+      ~len:(Packet.header_len + String.length s)
   in
   let v = Mem.Pinned.Buf.view buf in
   Bytes.blit_string s 0 v.Mem.View.data
     (v.Mem.View.off + Packet.header_len)
     (String.length s);
+  Mem.Pinned.Buf.note_write ~site:"Endpoint.send_string" buf
+    ~off:Packet.header_len ~len:(String.length s);
   send_inline_header t ~dst ~segments:[ buf ]
 
 let set_rx t f = t.rx_handler <- f

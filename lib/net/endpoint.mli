@@ -55,8 +55,10 @@ val nic : t -> Nic.Device.t
     resets it between requests. *)
 val arena : t -> Mem.Arena.t
 
-(** [alloc_tx ?cpu t ~len] takes a staging buffer from the TX pool. *)
-val alloc_tx : ?cpu:Memmodel.Cpu.t -> t -> len:int -> Mem.Pinned.Buf.t
+(** [alloc_tx ?cpu ?site t ~len] takes a staging buffer from the TX pool.
+    [site] labels the allocation in RefSan reports. *)
+val alloc_tx :
+  ?cpu:Memmodel.Cpu.t -> ?site:string -> t -> len:int -> Mem.Pinned.Buf.t
 
 (** [send_inline_header ?cpu t ~dst ~segments] — see module doc. The first
     segment's initial [Packet.header_len] bytes are overwritten. *)

@@ -72,12 +72,21 @@ let post t desc =
   t.busy_until <- finish;
   (* Snapshot bytes at post time: the zero-copy contract says the app must
      not mutate in place during sends, and refcounts keep buffers alive, so
-     gathering now is equivalent to gathering at DMA time. *)
+     gathering now is equivalent to gathering at DMA time. RefSan holds
+     write-protect each segment until the completion fires, turning any
+     in-place mutation of posted bytes into a write-after-post diagnostic. *)
+  let holds =
+    if Sanitizer.Refsan.is_enabled () then
+      List.map (fun s -> Mem.Pinned.Buf.hold ~site:"Nic.post" s.buf)
+        desc.segments
+    else []
+  in
   let payload = gather desc.segments in
   Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
       t.in_flight <- t.in_flight - 1;
       t.tx_packets <- t.tx_packets + 1;
       t.tx_bytes <- t.tx_bytes + String.length payload;
+      List.iter Mem.Pinned.Buf.release_hold holds;
       t.on_wire payload;
       desc.on_complete ())
 

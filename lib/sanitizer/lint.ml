@@ -1,0 +1,184 @@
+(* Static schema lint: catches schema mistakes before codegen and reports,
+   per field, whether the zero-copy path can ever apply to it. Works on a
+   raw (unvalidated) descriptor so that broken schemas — the ones worth
+   linting — can be analysed instead of rejected at parse time. *)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  severity : severity;
+  message_name : string;
+  field_name : string option;
+  text : string;
+}
+
+(* proto3 limits: field numbers are 1..2^29-1, with 19000-19999 reserved
+   for the wire-format implementation. *)
+let max_field_number = 536_870_911
+
+let reserved_lo, reserved_hi = (19_000, 19_999)
+
+let finding severity message_name ?field_name fmt =
+  Printf.ksprintf (fun text -> { severity; message_name; field_name; text }) fmt
+
+(* Every slot of the presence bitmap is allocated up to the largest field
+   number, so sparse numbering buys dead header bytes on every message. *)
+let bitmap_waste_findings (m : Schema.Desc.message) =
+  let numbers =
+    Array.to_list (Array.map (fun f -> f.Schema.Desc.number) m.Schema.Desc.fields)
+  in
+  match List.filter (fun n -> n > 0) numbers with
+  | [] -> []
+  | positive ->
+      let span = List.fold_left max 0 positive in
+      let used = List.length (List.sort_uniq compare positive) in
+      let words = (span + 31) / 32 in
+      let slots = 32 * words in
+      if span > 32 && span > 2 * used then
+        [
+          finding Warning m.Schema.Desc.msg_name
+            "sparse field numbering: max number %d over %d field%s wastes %d \
+             of %d bitmap slots (%d word%s per header); renumber densely \
+             from 1"
+            span used
+            (if used = 1 then "" else "s")
+            (slots - used) slots words
+            (if words = 1 then "" else "s");
+        ]
+      else []
+
+let number_findings (m : Schema.Desc.message) =
+  let seen = Hashtbl.create 16 in
+  let fs = Array.to_list (Array.map Fun.id m.Schema.Desc.fields) in
+  List.concat_map
+    (fun (f : Schema.Desc.field) ->
+      let dup =
+        match Hashtbl.find_opt seen f.Schema.Desc.number with
+        | Some first ->
+            [
+              finding Error m.Schema.Desc.msg_name
+                ~field_name:f.Schema.Desc.field_name
+                "duplicate field number %d (also used by field %s)"
+                f.Schema.Desc.number first;
+            ]
+        | None ->
+            Hashtbl.replace seen f.Schema.Desc.number f.Schema.Desc.field_name;
+            []
+      in
+      let range =
+        if f.Schema.Desc.number <= 0 then
+          [
+            finding Error m.Schema.Desc.msg_name
+              ~field_name:f.Schema.Desc.field_name
+              "field number %d out of range (must be >= 1)"
+              f.Schema.Desc.number;
+          ]
+        else if f.Schema.Desc.number > max_field_number then
+          [
+            finding Error m.Schema.Desc.msg_name
+              ~field_name:f.Schema.Desc.field_name
+              "field number %d out of range (max %d)" f.Schema.Desc.number
+              max_field_number;
+          ]
+        else if
+          f.Schema.Desc.number >= reserved_lo
+          && f.Schema.Desc.number <= reserved_hi
+        then
+          [
+            finding Warning m.Schema.Desc.msg_name
+              ~field_name:f.Schema.Desc.field_name
+              "field number %d lies in the reserved range %d-%d"
+              f.Schema.Desc.number reserved_lo reserved_hi;
+          ]
+        else []
+      in
+      dup @ range)
+    fs
+
+let name_findings (m : Schema.Desc.message) =
+  let seen = Hashtbl.create 16 in
+  Array.to_list m.Schema.Desc.fields
+  |> List.filter_map (fun (f : Schema.Desc.field) ->
+         if Hashtbl.mem seen f.Schema.Desc.field_name then
+           Some
+             (finding Error m.Schema.Desc.msg_name
+                ~field_name:f.Schema.Desc.field_name "duplicate field name")
+         else begin
+           Hashtbl.replace seen f.Schema.Desc.field_name ();
+           None
+         end)
+
+let resolution_findings (t : Schema.Desc.t) (m : Schema.Desc.message) =
+  Array.to_list m.Schema.Desc.fields
+  |> List.filter_map (fun (f : Schema.Desc.field) ->
+         match f.Schema.Desc.ty with
+         | Schema.Desc.Message target
+           when Schema.Desc.find_message t target = None ->
+             Some
+               (finding Error m.Schema.Desc.msg_name
+                  ~field_name:f.Schema.Desc.field_name
+                  "unresolved message type %s" target)
+         | _ -> None)
+
+(* Per-field zero-copy eligibility: only variable-length bytes/string
+   payloads can ride the scatter-gather path, and only when the payload is
+   at least the configured threshold and lives in pinned memory. Scalars are
+   fixed 8-byte header entries — statically ineligible. *)
+let eligibility_findings ~threshold (m : Schema.Desc.message) =
+  Array.to_list m.Schema.Desc.fields
+  |> List.map (fun (f : Schema.Desc.field) ->
+         let name = f.Schema.Desc.field_name in
+         match f.Schema.Desc.ty with
+         | Schema.Desc.Bytes | Schema.Desc.Str ->
+             finding Info m.Schema.Desc.msg_name ~field_name:name
+               "zero-copy eligible: %s payloads >= %d B in pinned memory go \
+                scatter-gather; smaller ones are copied"
+               (Schema.Desc.field_type_to_string f.Schema.Desc.ty)
+               threshold
+         | Schema.Desc.Scalar s ->
+             finding Info m.Schema.Desc.msg_name ~field_name:name
+               "zero-copy ineligible: fixed-size %s (8 B < %d B threshold) is \
+                always copied into the header"
+               (Schema.Desc.scalar_to_string s) threshold
+         | Schema.Desc.Message target ->
+             finding Info m.Schema.Desc.msg_name ~field_name:name
+               "zero-copy ineligible at this level: nested %s header is \
+                serialized inline (its own bytes fields are checked \
+                separately)"
+               target)
+
+let check ?(threshold = 512) (t : Schema.Desc.t) =
+  let dup_messages =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (m : Schema.Desc.message) ->
+        if Hashtbl.mem seen m.Schema.Desc.msg_name then
+          Some (finding Error m.Schema.Desc.msg_name "duplicate message name")
+        else begin
+          Hashtbl.replace seen m.Schema.Desc.msg_name ();
+          None
+        end)
+      t.Schema.Desc.messages
+  in
+  dup_messages
+  @ List.concat_map
+      (fun m ->
+        number_findings m @ name_findings m @ resolution_findings t m
+        @ bitmap_waste_findings m
+        @ eligibility_findings ~threshold m)
+      t.Schema.Desc.messages
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+let to_string f =
+  let where =
+    match f.field_name with
+    | Some field -> Printf.sprintf "%s.%s" f.message_name field
+    | None -> f.message_name
+  in
+  Printf.sprintf "%-7s %-24s %s" (severity_to_string f.severity) where f.text

@@ -1,0 +1,30 @@
+(** Static schema lint: schema mistakes caught before codegen, plus a
+    per-field zero-copy-eligibility report.
+
+    Checks: duplicate message names, duplicate field names, duplicate and
+    out-of-range field numbers (including the reserved 19000-19999 band),
+    unresolved nested-message types, bitmap-slot waste from sparse field
+    numbering, and — per field — whether the scatter-gather path can ever
+    apply (variable-length [bytes]/[string] at or above the configured
+    threshold) or the field is statically copy-only. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type finding = {
+  severity : severity;
+  message_name : string;
+  field_name : string option;
+  text : string;
+}
+
+(** [check ?threshold desc] lints a (possibly invalid) descriptor.
+    [threshold] is the zero-copy threshold in bytes (default 512, the
+    paper's crossover). Findings appear in schema order, eligibility lines
+    last within each message. *)
+val check : ?threshold:int -> Schema.Desc.t -> finding list
+
+val errors : finding list -> finding list
+
+val to_string : finding -> string

@@ -1,0 +1,138 @@
+(** RefSan: shadow ledger + detectors for zero-copy memory safety.
+
+    Mirrors every pinned-buffer lifecycle event (alloc, incref, decref, sub,
+    free, DMA post/completion, CoW clone, write), each tagged with a
+    caller-supplied site label, and diagnoses:
+
+    - reference leaks at quiesce ({!leaks}),
+    - double-free and refcount underflow with alloc/free provenance,
+    - use-after-free with full event history ({!history}),
+    - the write-after-post race: mutating bytes covered by an in-flight
+      scatter-gather hold without going through [Cow_buf.write].
+
+    Enabled by [CF_SANITIZE=1] in the environment or {!set_enabled}. All
+    hooks are no-ops unless the caller checks {!is_enabled} first (the
+    instrumentation sites in [Mem.Pinned] etc. do); state is process-global
+    and single-threaded, like the simulator. *)
+
+(** Stable identity of one allocation (the generation makes slot reuse
+    distinguishable). [pool_uid] comes from {!register_pool}. *)
+type buf_id = {
+  pool_uid : int;
+  pool : string;
+  size : int;
+  slot : int;
+  gen : int;
+  base : int;
+}
+
+val describe : buf_id -> string
+
+type diag_kind = Leak | Double_free | Underflow | Use_after_free | Write_hazard
+
+val diag_kind_to_string : diag_kind -> string
+
+type diag = {
+  d_kind : diag_kind;
+  d_site : string;
+  d_buffer : string;
+  d_message : string;
+}
+
+(** {1 Switch} *)
+
+val is_enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** Drop all ledger state (records, holds, diagnostics). Does not change the
+    enabled flag. *)
+val reset : unit -> unit
+
+(** Allocate a process-unique pool id (called by [Mem.Pinned.Pool.create]). *)
+val register_pool : unit -> int
+
+(** {1 Lifecycle hooks}
+
+    [refs] is the buffer's real reference count after the operation; it is
+    used to adopt buffers first seen mid-life (sanitizer enabled late). *)
+
+val on_alloc : id:buf_id -> site:string -> unit
+
+val on_incref : id:buf_id -> refs:int -> site:string -> unit
+
+val on_decref : id:buf_id -> refs:int -> site:string -> unit
+
+val on_free : id:buf_id -> site:string -> unit
+
+val on_sub : id:buf_id -> refs:int -> site:string -> unit
+
+val on_cow_clone : id:buf_id -> refs:int -> site:string -> unit
+
+val on_root : id:buf_id -> refs:int -> site:string -> unit
+
+val on_unroot : id:buf_id -> refs:int -> site:string -> unit
+
+(** Record a write of [len] bytes at simulated address [addr] and check it
+    against active in-flight holds of the same pool; a non-CoW overlap is a
+    write-after-post hazard. *)
+val on_write :
+  id:buf_id -> refs:int -> addr:int -> len:int -> via_cow:bool -> site:string -> unit
+
+(** Record and classify an access through a stale handle (double-free when
+    [op] is [`Release] on a freed buffer, use-after-free otherwise). *)
+val stale_access :
+  id:buf_id -> op:[ `Read | `Write | `Ref | `Release ] -> site:string -> unit
+
+(** Event history of a buffer, oldest first, human-readable. *)
+val history : buf_id -> string list
+
+(** {1 In-flight holds} *)
+
+(** [hold ~id ~refs ~addr ~len ~site] declares [addr, addr+len) in flight
+    (posted to a NIC ring, or parked in a TCP retransmission queue) and
+    returns a token for {!release_hold}. While active, the range is
+    write-protected and the hold excuses one outstanding reference at leak
+    check. *)
+val hold : id:buf_id -> refs:int -> addr:int -> len:int -> site:string -> int
+
+val release_hold : int -> unit
+
+(** {1 Reports} *)
+
+type leak = {
+  l_id : buf_id;
+  l_refs : int;
+  l_alloc_site : string;
+  l_ref_sites : (string * int) list;
+}
+
+(** Buffers still referenced now, excluding declared roots and active
+    holds — call at engine quiesce. *)
+val leaks : unit -> leak list
+
+val diagnostics : unit -> diag list
+
+val count_diags : diag_kind -> int
+
+val hazard_count : unit -> int
+
+val tracked_buffers : unit -> int
+
+val active_holds : unit -> int
+
+(** {1 Cross-run accumulation}
+
+    Harnesses that {!reset} the ledger between experiments (to bound its
+    memory) call {!checkpoint} first; the totals below then cover every run
+    since startup, including the live ledger. *)
+
+(** Fold the current leak/diagnostic counts into the running totals, then
+    {!reset} the ledger. *)
+val checkpoint : unit -> unit
+
+val total_leaks : unit -> int
+
+val total_hazards : unit -> int
+
+val total_other_diags : unit -> int

@@ -1,0 +1,78 @@
+(* Human-readable rendering of the RefSan ledger: leak reports at engine
+   quiesce and the roll-up summary line the bench harness prints. *)
+
+let leak_lines () =
+  List.concat_map
+    (fun (l : Refsan.leak) ->
+      let sites =
+        String.concat ", "
+          (List.map
+             (fun (s, n) -> if n = 1 then s else Printf.sprintf "%s (x%d)" s n)
+             l.Refsan.l_ref_sites)
+      in
+      [
+        Printf.sprintf "leak: %s holds %d unexcused ref%s (alloc at %s)"
+          (Refsan.describe l.Refsan.l_id)
+          l.Refsan.l_refs
+          (if l.Refsan.l_refs = 1 then "" else "s")
+          l.Refsan.l_alloc_site;
+        Printf.sprintf "      refs taken at: %s" sites;
+      ])
+    (Refsan.leaks ())
+
+let diag_lines () =
+  List.map
+    (fun (d : Refsan.diag) ->
+      Printf.sprintf "%s: %s"
+        (Refsan.diag_kind_to_string d.Refsan.d_kind)
+        d.Refsan.d_message)
+    (Refsan.diagnostics ())
+
+let summary_line () =
+  let n_leaks = List.length (Refsan.leaks ()) in
+  let n_hazards = Refsan.hazard_count () in
+  let extra =
+    let parts =
+      List.filter_map
+        (fun (kind, label) ->
+          let n = Refsan.count_diags kind in
+          if n = 0 then None else Some (Printf.sprintf "%d %s" n label))
+        [
+          (Refsan.Double_free, "double-frees");
+          (Refsan.Underflow, "underflows");
+          (Refsan.Use_after_free, "use-after-frees");
+        ]
+    in
+    if parts = [] then "" else ", " ^ String.concat ", " parts
+  in
+  Printf.sprintf "refsan: %d leak%s, %d hazard%s%s (%d buffers tracked, %d holds active)"
+    n_leaks
+    (if n_leaks = 1 then "" else "s")
+    n_hazards
+    (if n_hazards = 1 then "" else "s")
+    extra (Refsan.tracked_buffers ()) (Refsan.active_holds ())
+
+(* Engine-quiesce hook body: dump leaks (and any other diagnostics) when
+   present; stay quiet on a clean ledger unless [verbose]. *)
+let print_quiesce ?(verbose = false) () =
+  let leaks = leak_lines () in
+  let diags = diag_lines () in
+  if leaks <> [] || diags <> [] || verbose then begin
+    print_endline ("  " ^ summary_line ());
+    List.iter (fun l -> print_endline ("    " ^ l)) diags;
+    List.iter (fun l -> print_endline ("    " ^ l)) leaks
+  end
+
+let clean () = Refsan.leaks () = [] && Refsan.diagnostics () = []
+
+(* End-of-bench roll-up across every checkpointed run plus the live ledger. *)
+let grand_total_line () =
+  let leaks = Refsan.total_leaks () and hazards = Refsan.total_hazards () in
+  let other = Refsan.total_other_diags () in
+  Printf.sprintf "refsan: %d leak%s, %d hazard%s%s" leaks
+    (if leaks = 1 then "" else "s")
+    hazards
+    (if hazards = 1 then "" else "s")
+    (if other = 0 then ""
+     else Printf.sprintf ", %d other diagnostic%s" other
+            (if other = 1 then "" else "s"))

@@ -1,0 +1,24 @@
+(** Rendering of RefSan results: per-buffer leak lines, diagnostic lines,
+    and the "[N] leaks, [M] hazards" roll-up. *)
+
+(** Two lines per leaked buffer: what leaked (with alloc provenance) and the
+    sites that took the unbalanced references. *)
+val leak_lines : unit -> string list
+
+(** One line per recorded diagnostic (double-free, underflow, use-after-free,
+    write-after-post), chronological. *)
+val diag_lines : unit -> string list
+
+(** e.g. ["refsan: 0 leaks, 0 hazards (1024 buffers tracked, 0 holds active)"] *)
+val summary_line : unit -> string
+
+(** Engine-quiesce hook body: prints the summary plus details when anything
+    was found (or when [verbose]). *)
+val print_quiesce : ?verbose:bool -> unit -> unit
+
+(** No leaks and no diagnostics recorded. *)
+val clean : unit -> bool
+
+(** Roll-up over every checkpointed run plus the live ledger, e.g.
+    ["refsan: 0 leaks, 0 hazards"]. *)
+val grand_total_line : unit -> string

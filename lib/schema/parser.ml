@@ -96,14 +96,17 @@ let parse_syntax st =
       expect st Lexer.Semi
   | _ -> ()
 
-let parse src =
+let parse_raw src =
   let st = { tokens = Lexer.tokenize src } in
   parse_syntax st;
   let messages = ref [] in
   while peek st <> Lexer.Eof do
     messages := parse_message st :: !messages
   done;
-  let t = { Desc.messages = List.rev !messages } in
+  { Desc.messages = List.rev !messages }
+
+let parse src =
+  let t = parse_raw src in
   match Desc.validate t with
   | Ok () -> t
   | Error e -> raise (Parse_error e)

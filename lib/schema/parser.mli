@@ -17,3 +17,9 @@ exception Parse_error of string
 (** [parse src] lexes and parses a schema, sorts fields by number, and
     validates the result. Raises [Parse_error] (or [Lexer.Lex_error]). *)
 val parse : string -> Desc.t
+
+(** [parse_raw src] parses without running [Desc.validate]: lint passes want
+    to see duplicate field numbers and friends rather than have parsing
+    reject them. Raises [Parse_error]/[Lexer.Lex_error] on syntax errors
+    only. *)
+val parse_raw : string -> Desc.t

@@ -2,9 +2,10 @@ type t = {
   mutable now : int;
   mutable seq : int;
   heap : (unit -> unit) Heap.t;
+  mutable quiesce_hooks : (unit -> unit) list; (* run when the queue drains *)
 }
 
-let create () = { now = 0; seq = 0; heap = Heap.create () }
+let create () = { now = 0; seq = 0; heap = Heap.create (); quiesce_hooks = [] }
 
 let now t = t.now
 
@@ -45,3 +46,9 @@ let run_all t =
   done
 
 let pending t = Heap.length t.heap
+
+let add_quiesce_hook t f = t.quiesce_hooks <- t.quiesce_hooks @ [ f ]
+
+let quiesce t =
+  run_all t;
+  List.iter (fun f -> f ()) t.quiesce_hooks

@@ -31,3 +31,12 @@ val run_all : t -> unit
 
 (** [pending t] is the number of queued events. *)
 val pending : t -> int
+
+(** [add_quiesce_hook t f] registers [f] to run at {!quiesce}, after the
+    event queue has drained — e.g. end-of-run invariant checks such as the
+    RefSan leak report. Hooks run in registration order. *)
+val add_quiesce_hook : t -> (unit -> unit) -> unit
+
+(** [quiesce t] drains the queue ({!run_all}) and then runs the registered
+    quiesce hooks. *)
+val quiesce : t -> unit

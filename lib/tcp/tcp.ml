@@ -34,6 +34,9 @@ type frame = {
   f_segments : Mem.Pinned.Buf.t list; (* one connection-owned ref each *)
   mutable sent_at : int;
   mutable retries : int;
+  (* RefSan holds covering the payload while the frame sits in the
+     retransmission queue: the NIC may re-read these bytes until the ACK. *)
+  mutable f_holds : int option list;
 }
 
 type conn = {
@@ -82,7 +85,27 @@ let write_tcp_header buf ~off ~flags ~seq ~ack ~len =
   in
   u32 4 seq;
   u32 8 ack;
-  u32 12 len
+  u32 12 len;
+  Mem.Pinned.Buf.note_write ~site:"Tcp.write_header" buf ~off ~len:header_len
+
+(* Retransmission-queue holds exempt the header prefix of the first
+   segment: the stack legitimately rewrites the packet and TCP headers on
+   every (re)transmission, and only payload bytes must stay frozen. *)
+let rtx_header_skip = Net.Packet.header_len + header_len
+
+let take_frame_holds frame =
+  if Sanitizer.Refsan.is_enabled () && frame.f_holds = [] then
+    frame.f_holds <-
+      List.mapi
+        (fun i seg ->
+          Mem.Pinned.Buf.hold ~site:"Tcp.rtx_queue"
+            ~skip:(if i = 0 then rtx_header_skip else 0)
+            seg)
+        frame.f_segments
+
+let release_frame_holds frame =
+  List.iter Mem.Pinned.Buf.release_hold frame.f_holds;
+  frame.f_holds <- []
 
 let read_u32 (v : Mem.View.t) off =
   let b = v.Mem.View.data and base = v.Mem.View.off + off in
@@ -100,14 +123,16 @@ let post_frame ?cpu conn frame ~flags =
       write_tcp_header first ~off:Net.Packet.header_len ~flags ~seq:frame.f_seq
         ~ack:conn.rcv_nxt ~len:frame.f_len
   | [] -> assert false);
-  List.iter (fun seg -> Mem.Pinned.Buf.incr_ref ?cpu seg) frame.f_segments;
+  List.iter
+    (fun seg -> Mem.Pinned.Buf.incr_ref ?cpu ~site:"Tcp.post_frame" seg)
+    frame.f_segments;
   frame.sent_at <- Sim.Engine.now conn.stack.engine;
   Net.Endpoint.send_inline_header ?cpu conn.stack.ep ~dst:conn.peer
     ~segments:frame.f_segments
 
 let send_control conn ~flags ~seq =
   let staging =
-    Net.Endpoint.alloc_tx conn.stack.ep
+    Net.Endpoint.alloc_tx ~site:"Tcp.send_control" conn.stack.ep
       ~len:(Net.Packet.header_len + header_len)
   in
   write_tcp_header staging ~off:Net.Packet.header_len ~flags ~seq
@@ -134,7 +159,11 @@ and check_rto conn =
         if oldest.retries >= max_retries then begin
           conn.state <- Closed;
           List.iter
-            (fun f -> List.iter Mem.Pinned.Buf.decr_ref f.f_segments)
+            (fun f ->
+              release_frame_holds f;
+              List.iter
+                (fun seg -> Mem.Pinned.Buf.decr_ref ~site:"Tcp.abort" seg)
+                f.f_segments)
             conn.inflight;
           conn.inflight <- []
         end
@@ -208,7 +237,7 @@ let frames_of_runs ?cpu conn runs =
         | R_zc b :: tl ->
             let segments = flush segments current_copies ~first:(segments = []) in
             (* The connection owns one reference per zero-copy slice. *)
-            Mem.Pinned.Buf.incr_ref ?cpu b;
+            Mem.Pinned.Buf.incr_ref ?cpu ~site:"Tcp.frame_ref" b;
             build (b :: segments) [] tl
         | [] -> flush segments current_copies ~first:(segments = [])
       and flush segments copies ~first =
@@ -220,19 +249,30 @@ let frames_of_runs ?cpu conn runs =
             if first then Net.Packet.header_len + header_len else 0
           in
           let staging =
-            Net.Endpoint.alloc_tx ?cpu conn.stack.ep ~len:(headroom + data_len)
+            Net.Endpoint.alloc_tx ?cpu ~site:"Tcp.staging" conn.stack.ep
+              ~len:(headroom + data_len)
           in
           let off = ref headroom in
           List.iter
             (fun v ->
-              Mem.Pinned.Buf.blit_from ?cpu staging ~src:v ~dst_off:!off;
+              Mem.Pinned.Buf.blit_from ?cpu ~site:"Tcp.staging" staging ~src:v
+                ~dst_off:!off;
               off := !off + v.Mem.View.len)
             copies;
           staging :: segments
         end
       in
       let segments = List.rev (build [] [] frame_runs) in
-      let f = { f_seq = conn.snd_nxt; f_len; f_segments = segments; sent_at = 0; retries = 0 } in
+      let f =
+        {
+          f_seq = conn.snd_nxt;
+          f_len;
+          f_segments = segments;
+          sent_at = 0;
+          retries = 0;
+          f_holds = [];
+        }
+      in
       conn.snd_nxt <- conn.snd_nxt + f_len;
       f)
     frames
@@ -266,9 +306,12 @@ let transmit_message ?cpu conn sources =
   (* The frames hold their own references on every zero-copy slice, so the
      ownership passed in by the caller can be dropped now. *)
   List.iter
-    (function Zc b -> Mem.Pinned.Buf.decr_ref ?cpu b | Copy _ -> ())
+    (function
+      | Zc b -> Mem.Pinned.Buf.decr_ref ?cpu ~site:"Tcp.transmit" b
+      | Copy _ -> ())
     sources;
   conn.inflight <- conn.inflight @ frames;
+  List.iter take_frame_holds frames;
   List.iter (fun f -> post_frame ?cpu conn f ~flags:(flag_data lor flag_ack)) frames;
   arm_timer conn
 
@@ -291,8 +334,11 @@ let rec drain_assembly conn =
       let record = String.sub s 4 len in
       Buffer.clear a;
       Buffer.add_substring a s (4 + len) (String.length s - 4 - len);
-      let buf = Mem.Pinned.Buf.alloc conn.stack.pool ~len:(max 1 len) in
-      Mem.Pinned.Buf.fill buf record;
+      let buf =
+        Mem.Pinned.Buf.alloc ~site:"Tcp.reassemble" conn.stack.pool
+          ~len:(max 1 len)
+      in
+      Mem.Pinned.Buf.fill ~site:"Tcp.reassemble" buf record;
       let buf =
         if len = Mem.Pinned.Buf.len buf then buf
         else Mem.Pinned.Buf.sub buf ~off:0 ~len
@@ -313,7 +359,7 @@ let rec accept_in_order conn =
       accept_in_order conn
 
 let handle_data conn buf ~seq ~payload_off ~payload_len =
-  if payload_len = 0 then Mem.Pinned.Buf.decr_ref buf
+  if payload_len = 0 then Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
   else if seq = conn.rcv_nxt then begin
     conn.rcv_nxt <- conn.rcv_nxt + payload_len;
     (* Fast path: the frame holds exactly one whole record and the stream
@@ -335,7 +381,7 @@ let handle_data conn buf ~seq ~payload_off ~payload_len =
         Mem.View.sub (Mem.Pinned.Buf.view buf) ~off:payload_off ~len:payload_len
       in
       Buffer.add_string conn.assembly (Mem.View.to_string v);
-      Mem.Pinned.Buf.decr_ref buf;
+      Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf;
       drain_assembly conn
     end;
     accept_in_order conn;
@@ -349,7 +395,7 @@ let handle_data conn buf ~seq ~payload_off ~payload_len =
       in
       Hashtbl.replace conn.ooo seq (Mem.View.to_string v)
     end;
-    Mem.Pinned.Buf.decr_ref buf;
+    Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf;
     send_control conn ~flags:flag_ack ~seq:conn.snd_nxt
   end
 
@@ -385,7 +431,10 @@ let handle_ack conn ~ack ~pure =
     List.iter
       (fun f ->
         sample_rtt conn f;
-        List.iter Mem.Pinned.Buf.decr_ref f.f_segments)
+        release_frame_holds f;
+        List.iter
+          (fun seg -> Mem.Pinned.Buf.decr_ref ~site:"Tcp.acked" seg)
+          f.f_segments)
       acked;
     if remaining <> [] then arm_timer conn
   end
@@ -436,7 +485,7 @@ let new_conn stack ~peer ~state ~isn =
 
 let handle_frame stack ~src buf =
   let v = Mem.Pinned.Buf.view buf in
-  if v.Mem.View.len < header_len then Mem.Pinned.Buf.decr_ref buf
+  if v.Mem.View.len < header_len then Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
   else begin
     let flags = Char.code (Bytes.get v.Mem.View.data v.Mem.View.off) in
     let seq = read_u32 v 4 in
@@ -459,11 +508,11 @@ let handle_frame stack ~src buf =
       conn.state <- Established;
       conn.rcv_nxt <- seq + 1;
       send_control conn ~flags:(flag_syn lor flag_ack) ~seq:(conn.snd_nxt - 1);
-      Mem.Pinned.Buf.decr_ref buf
+      Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
     end
     else
       match Hashtbl.find_opt stack.conns src with
-      | None -> Mem.Pinned.Buf.decr_ref buf
+      | None -> Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
       | Some conn ->
           if flags land flag_syn <> 0 && flags land flag_ack <> 0 then begin
             (* SYN-ACK completes the active open. *)
@@ -474,7 +523,7 @@ let handle_frame stack ~src buf =
               send_control conn ~flags:flag_ack ~seq:conn.snd_nxt;
               flush_pending conn
             end;
-            Mem.Pinned.Buf.decr_ref buf
+            Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
           end
           else begin
             if flags land flag_ack <> 0 then
@@ -482,11 +531,11 @@ let handle_frame stack ~src buf =
                 ~pure:(flags land flag_data = 0 || payload_len = 0);
             if flags land flag_data <> 0 && payload_len > 0 then begin
               if header_len + payload_len > v.Mem.View.len then
-                Mem.Pinned.Buf.decr_ref buf
+                Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
               else
                 handle_data conn buf ~seq ~payload_off:header_len ~payload_len
             end
-            else Mem.Pinned.Buf.decr_ref buf
+            else Mem.Pinned.Buf.decr_ref ~site:"Tcp.rx" buf
           end
   end
 
@@ -532,7 +581,8 @@ module Stack = struct
         engine = Net.Endpoint.engine ep;
         conns = Hashtbl.create 16;
         pool;
-        on_message = (fun _ buf -> Mem.Pinned.Buf.decr_ref buf);
+        on_message =
+          (fun _ buf -> Mem.Pinned.Buf.decr_ref ~site:"Tcp.drop_message" buf);
       }
     in
     Net.Endpoint.set_rx ep (fun ~src buf -> handle_frame stack ~src buf);

@@ -17,6 +17,6 @@ let of_string space s = Literal (Mem.View.of_string space s)
 
 let release ?cpu = function
   | Copied _ | Literal _ -> ()
-  | Zero_copy b -> Mem.Pinned.Buf.decr_ref ?cpu b
+  | Zero_copy b -> Mem.Pinned.Buf.decr_ref ?cpu ~site:"Payload.release" b
 
 let is_zero_copy = function Zero_copy _ -> true | Copied _ | Literal _ -> false

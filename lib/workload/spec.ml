@@ -40,8 +40,8 @@ let class_of n =
   go 64
 
 let alloc_buf pool n =
-  let buf = Mem.Pinned.Buf.alloc pool ~len:(max 1 n) in
-  Mem.Pinned.Buf.fill buf (filler (max 1 n));
+  let buf = Mem.Pinned.Buf.alloc ~site:"Workload.populate" pool ~len:(max 1 n) in
+  Mem.Pinned.Buf.fill ~site:"Workload.populate" buf (filler (max 1 n));
   buf
 
 let alloc_value pool ~repr sizes =

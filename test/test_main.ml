@@ -22,4 +22,5 @@ let () =
       ("segment", Test_segment.suite);
       ("replication", Test_replication.suite);
       ("loadgen", Test_loadgen.suite);
+      ("sanitizer", Test_sanitizer.suite);
     ]
