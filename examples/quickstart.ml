@@ -55,7 +55,7 @@ let () =
   Printf.printf "object: %d bytes total, %d gather entries (1 header+copied + %d zero-copy)\n"
     plan.Cornflakes.Format_.total_len
     (Cornflakes.Format_.num_entries plan)
-    (List.length plan.Cornflakes.Format_.zc_bufs);
+    (Cornflakes.Format_.zc_count plan);
 
   (* 5. Send. The stack holds references on the zero-copy fields until the
         NIC completion fires — freeing [big_value] early would be caught. *)

@@ -14,13 +14,22 @@ let mode_name = function
   | One_copy -> "one-copy"
   | Two_copy -> "two-copy"
 
-type t = { rig : Rig.t; mode : mode }
+type t = {
+  rig : Rig.t;
+  mode : mode;
+  (* Pooled per-app message objects; the stack owns any zero-copy refs
+     after send, so [Dyn.clear] between uses, never [reset]. *)
+  resp_scratch : Wire.Dyn.t;
+  req_scratch : Wire.Dyn.t;
+}
 
-let lib_handler rig backend ~src buf =
+let lib_handler t backend ~src buf =
+  let rig = t.rig in
   let cpu = rig.Rig.cpu in
   let ep = rig.Rig.server_ep in
   let req = backend.Backend.recv ~cpu ep Proto.resp buf in
-  let resp = Wire.Dyn.create Proto.resp in
+  let resp = t.resp_scratch in
+  Wire.Dyn.clear resp;
   (match Wire.Dyn.get_int req "id" with
   | Some id -> Wire.Dyn.set_int resp "id" id
   | None -> ());
@@ -56,20 +65,29 @@ let manual_handler rig mode ~src buf =
       Mem.Pinned.Buf.decr_ref ~cpu buf
 
 let install rig mode =
+  let t =
+    {
+      rig;
+      mode;
+      resp_scratch = Wire.Dyn.create Proto.resp;
+      req_scratch = Wire.Dyn.create Proto.resp;
+    }
+  in
   (match mode with
   | Lib backend ->
       Loadgen.Server.set_handler rig.Rig.server (fun ~src buf ->
-          lib_handler rig backend ~src buf)
+          lib_handler t backend ~src buf)
   | _ ->
       Loadgen.Server.set_handler rig.Rig.server (fun ~src buf ->
           manual_handler rig mode ~src buf));
-  { rig; mode }
+  t
 
 let send_request t ~sizes client ~dst ~id =
   match t.mode with
   | Lib backend ->
       let space = t.rig.Rig.space in
-      let msg = Wire.Dyn.create Proto.resp in
+      let msg = t.req_scratch in
+      Wire.Dyn.clear msg;
       Wire.Dyn.set_int msg "id" (Int64.of_int id);
       List.iter
         (fun n ->

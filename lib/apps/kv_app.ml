@@ -5,6 +5,11 @@ type t = {
   store : Kvstore.Store.t;
   pool : Mem.Pinned.Pool.t;
   client_rng : Sim.Rng.t;
+  (* Pooled request/response objects, rebuilt in place per message. The
+     stack takes over any zero-copy references at send, so a [Dyn.clear]
+     (not [reset]) between uses is the correct ownership move. *)
+  resp_scratch : Wire.Dyn.t;
+  req_scratch : Wire.Dyn.t;
 }
 
 let store t = t.store
@@ -96,7 +101,8 @@ let handler t ~src buf =
   let cpu = t.rig.Rig.cpu in
   let ep = t.rig.Rig.server_ep in
   let req = t.backend.Backend.recv ~cpu ep Proto.req buf in
-  let resp = Wire.Dyn.create Proto.resp in
+  let resp = t.resp_scratch in
+  Wire.Dyn.clear resp;
   (match Wire.Dyn.get_int req "id" with
   | Some id -> Wire.Dyn.set_int resp "id" id
   | None -> ());
@@ -131,6 +137,8 @@ let install rig ~backend ~workload =
       store;
       pool;
       client_rng = Sim.Rng.split rig.Rig.rng;
+      resp_scratch = Wire.Dyn.create Proto.resp;
+      req_scratch = Wire.Dyn.create Proto.req;
     }
 
 let switch_backend t backend = activate { t with backend }
@@ -139,7 +147,8 @@ let switch_backend t backend = activate { t with backend }
 
 let send_op t op client ~dst ~id =
   let space = t.rig.Rig.space in
-  let msg = Wire.Dyn.create Proto.req in
+  let msg = t.req_scratch in
+  Wire.Dyn.clear msg;
   Wire.Dyn.set_int msg "id" (Int64.of_int id);
   (match op with
   | Workload.Spec.Get { keys } ->

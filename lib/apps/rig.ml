@@ -12,8 +12,15 @@ type t = {
 
 let server_id = 1
 
+(* Process-wide seed used when [create] is not given ?seed explicitly; the
+   bench harness's --seed flag sets it so whole experiment runs replay. *)
+let default_seed = ref 0xc0ffee
+
+let set_default_seed s = default_seed := s
+
 let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
-    ?(n_clients = 16) ?(seed = 0xc0ffee) ?server_config () =
+    ?(n_clients = 16) ?seed ?server_config () =
+  let seed = match seed with Some s -> s | None -> !default_seed in
   let engine = Sim.Engine.create () in
   (* Under RefSan, every rig reports leaks when its event queue drains. *)
   if Sanitizer.Refsan.is_enabled () then

@@ -16,7 +16,12 @@ type t = {
 
 val server_id : int
 
-(** [create ()] builds the rig. [n_clients] defaults to 16. *)
+(** Seed used by [create] when [?seed] is absent (default [0xc0ffee]); the
+    bench harness's [--seed] flag sets it for reproducible runs. *)
+val set_default_seed : int -> unit
+
+(** [create ()] builds the rig. [n_clients] defaults to 16; [seed] defaults
+    to the [set_default_seed] value. *)
 val create :
   ?params:Memmodel.Params.t ->
   ?shared_l3:Memmodel.Cache.t ->

@@ -1,11 +1,20 @@
 exception Malformed of string
 
+(* A reusable serialization plan: region sizes plus a growable array of
+   zero-copy gather entries (first [zc_count] slots live). [measure_into]
+   refills an existing plan in place, so the steady-state send path reuses
+   one plan (and its array) per endpoint instead of building a fresh list
+   per message. The write cursors live in the plan too, for the same
+   reason. *)
 type plan = {
-  header_len : int;
-  stream_len : int;
-  zc_bufs : Mem.Pinned.Buf.t list;
-  zc_len : int;
-  total_len : int;
+  mutable header_len : int;
+  mutable stream_len : int;
+  mutable zc : Mem.Pinned.Buf.t array;
+  mutable zc_count : int;
+  mutable zc_len : int;
+  mutable total_len : int;
+  mutable stream_pos : int; (* write cursor: copied region *)
+  mutable zc_pos : int; (* write cursor: zero-copy region *)
 }
 
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
@@ -20,53 +29,85 @@ let header_block_len (msg : Wire.Dyn.t) =
 
 (* --- Measuring ------------------------------------------------------- *)
 
-type sizes = {
-  mutable stream : int;
-  mutable zc : int;
-  mutable zc_rev : Mem.Pinned.Buf.t list;
-}
+let create_plan () =
+  {
+    header_len = 0;
+    stream_len = 0;
+    zc = [||];
+    zc_count = 0;
+    zc_len = 0;
+    total_len = 0;
+    stream_pos = 0;
+    zc_pos = 0;
+  }
 
-let rec measure_payload sz (p : Wire.Payload.t) =
+(* Buf.t has no dummy value, so a growing array is seeded with the pushed
+   element; stale entries beyond [zc_count] are never read. *)
+let push_zc plan buf =
+  let cap = Array.length plan.zc in
+  if plan.zc_count >= cap then begin
+    let arr = Array.make (max 8 (2 * cap)) buf in
+    Array.blit plan.zc 0 arr 0 plan.zc_count;
+    plan.zc <- arr
+  end;
+  plan.zc.(plan.zc_count) <- buf;
+  plan.zc_count <- plan.zc_count + 1
+
+let rec measure_payload plan (p : Wire.Payload.t) =
   match p with
   | Wire.Payload.Zero_copy buf ->
-      sz.zc <- sz.zc + Mem.Pinned.Buf.len buf;
-      sz.zc_rev <- buf :: sz.zc_rev
+      plan.zc_len <- plan.zc_len + Mem.Pinned.Buf.len buf;
+      push_zc plan buf
   | Wire.Payload.Copied v | Wire.Payload.Literal v ->
-      sz.stream <- sz.stream + v.Mem.View.len
+      plan.stream_len <- plan.stream_len + v.Mem.View.len
 
-and measure_msg sz (msg : Wire.Dyn.t) =
-  Wire.Dyn.iter_present msg (fun _ _field v -> measure_value sz v)
+and measure_msg plan (msg : Wire.Dyn.t) =
+  Wire.Dyn.iter_present msg (fun _ _field v -> measure_value plan v)
 
-and measure_value sz (v : Wire.Dyn.value) =
+and measure_value plan (v : Wire.Dyn.value) =
   match v with
   | Wire.Dyn.Int _ | Wire.Dyn.Float _ -> ()
-  | Wire.Dyn.Payload p -> measure_payload sz p
+  | Wire.Dyn.Payload p -> measure_payload plan p
   | Wire.Dyn.Nested m ->
-      sz.stream <- sz.stream + header_block_len m;
-      measure_msg sz m
+      plan.stream_len <- plan.stream_len + header_block_len m;
+      measure_msg plan m
   | Wire.Dyn.List elems ->
-      sz.stream <- sz.stream + (8 * List.length elems);
-      List.iter (measure_value sz) elems
+      plan.stream_len <- plan.stream_len + (8 * List.length elems);
+      List.iter (measure_value plan) elems
+
+let measure_into plan msg =
+  plan.stream_len <- 0;
+  plan.zc_count <- 0;
+  plan.zc_len <- 0;
+  measure_msg plan msg;
+  plan.header_len <- header_block_len msg;
+  plan.total_len <- plan.header_len + plan.stream_len + plan.zc_len
 
 let measure msg =
-  let sz = { stream = 0; zc = 0; zc_rev = [] } in
-  measure_msg sz msg;
-  let header_len = header_block_len msg in
-  {
-    header_len;
-    stream_len = sz.stream;
-    zc_bufs = List.rev sz.zc_rev;
-    zc_len = sz.zc;
-    total_len = header_len + sz.stream + sz.zc;
-  }
+  let plan = create_plan () in
+  measure_into plan msg;
+  plan
+
+let zc_count plan = plan.zc_count
+
+let iter_zc plan f =
+  for i = 0 to plan.zc_count - 1 do
+    f plan.zc.(i)
+  done
+
+let zc_bufs plan = Array.to_list (Array.sub plan.zc 0 plan.zc_count)
+
+(* Prepend [plan]'s zero-copy entries (in order) onto [tail] — the shape the
+   stack's segment-list API wants. *)
+let zc_segments plan ~head ~tail =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (plan.zc.(i) :: acc) in
+  head :: go (plan.zc_count - 1) tail
 
 let object_len msg = (measure msg).total_len
 
-let num_entries plan = 1 + List.length plan.zc_bufs
+let num_entries plan = 1 + plan.zc_count
 
 (* --- Writing ---------------------------------------------------------- *)
-
-type cursors = { mutable stream_pos : int; mutable zc_pos : int }
 
 let rec write_msg ?cpu w cur (msg : Wire.Dyn.t) ~hpos =
   let module W = Wire.Cursor.Writer in
@@ -138,15 +179,11 @@ and write_payload ?cpu w cur (p : Wire.Payload.t) ~slot =
       W.u32 w v.Mem.View.len
 
 let write ?cpu plan w msg =
-  let cur =
-    {
-      stream_pos = plan.header_len;
-      zc_pos = plan.header_len + plan.stream_len;
-    }
-  in
-  write_msg ?cpu w cur msg ~hpos:0;
-  assert (cur.stream_pos = plan.header_len + plan.stream_len);
-  assert (cur.zc_pos = plan.total_len)
+  plan.stream_pos <- plan.header_len;
+  plan.zc_pos <- plan.header_len + plan.stream_len;
+  write_msg ?cpu w plan msg ~hpos:0;
+  assert (plan.stream_pos = plan.header_len + plan.stream_len);
+  assert (plan.zc_pos = plan.total_len)
 
 (* --- Deserializing ---------------------------------------------------- *)
 

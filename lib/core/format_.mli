@@ -30,19 +30,53 @@
 
 exception Malformed of string
 
-(** The serialization plan: region sizes and the ordered zero-copy entries.
-    Produced by one traversal; [write] replays the identical traversal. *)
-type plan = {
-  header_len : int;
-  stream_len : int;
-  zc_bufs : Mem.Pinned.Buf.t list; (* in traversal order *)
-  zc_len : int;
-  total_len : int;
+(** The serialization plan: region sizes and the ordered zero-copy entries,
+    produced by one traversal; [write] replays the identical traversal.
+
+    The record is reusable: {!measure_into} refills it in place (the gather
+    array grows once and is then recycled), so steady-state senders keep one
+    plan per endpoint and allocate nothing per message. Only the first
+    [zc_count] entries of [zc] are live. *)
+type plan = private {
+  mutable header_len : int;
+  mutable stream_len : int;
+  mutable zc : Mem.Pinned.Buf.t array; (* in traversal order *)
+  mutable zc_count : int;
+  mutable zc_len : int;
+  mutable total_len : int;
+  mutable stream_pos : int; (* write cursors, valid during [write] *)
+  mutable zc_pos : int;
 }
 
+(** An empty plan for reuse with {!measure_into}. *)
+val create_plan : unit -> plan
+
+(** [measure_into plan msg] re-measures [msg] into [plan], reusing its
+    gather array. *)
+val measure_into : plan -> Wire.Dyn.t -> unit
+
+(** [measure msg] = [create_plan] + [measure_into] (fresh plan per call). *)
 val measure : Wire.Dyn.t -> plan
 
-(** [object_len msg] without building the entry list. *)
+(** Live zero-copy entry count ([plan.zc_count]). *)
+val zc_count : plan -> int
+
+(** Iterate the live zero-copy entries in traversal order, without
+    allocating. *)
+val iter_zc : plan -> (Mem.Pinned.Buf.t -> unit) -> unit
+
+(** The live zero-copy entries as a fresh list (tests / cold paths). *)
+val zc_bufs : plan -> Mem.Pinned.Buf.t list
+
+(** [zc_segments plan ~head ~tail] = [head :: live zc entries @ tail] — the
+    segment list handed to the stack. *)
+val zc_segments :
+  plan ->
+  head:Mem.Pinned.Buf.t ->
+  tail:Mem.Pinned.Buf.t list ->
+  Mem.Pinned.Buf.t list
+
+(** [object_len msg] without keeping the plan. *)
 val object_len : Wire.Dyn.t -> int
 
 (** Number of scatter-gather data entries the object needs:

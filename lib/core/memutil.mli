@@ -2,3 +2,7 @@
     buffers' metadata occupies (completion releases pay one miss per line,
     not per buffer). *)
 val distinct_meta_lines : Mem.Pinned.Buf.t list -> int
+
+(** Same count over the first [n] entries of an array — allocation-free for
+    the hot send path (SGE counts are small, so the O(n²) scan is cheap). *)
+val distinct_meta_lines_arr : Mem.Pinned.Buf.t array -> n:int -> int

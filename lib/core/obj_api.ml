@@ -4,8 +4,7 @@ let num_copy_bytes msg =
   let plan = Format_.measure msg in
   plan.Format_.header_len + plan.Format_.stream_len
 
-let num_zero_copy_entries msg =
-  List.length (Format_.measure msg).Format_.zc_bufs
+let num_zero_copy_entries msg = Format_.zc_count (Format_.measure msg)
 
 let write_object_header ?cpu msg w =
   let plan = Format_.measure msg in
@@ -30,11 +29,9 @@ let iterate_over_zero_copy_entries msg ~start ~stop f =
   let copy_len = plan.Format_.header_len + plan.Format_.stream_len in
   (* Zero-copy entries occupy [copy_len, total) in wire order. *)
   let pos = ref copy_len in
-  List.iter
-    (fun buf ->
+  Format_.iter_zc plan (fun buf ->
       let len = Mem.Pinned.Buf.len buf in
       let lo = max start !pos and hi = min stop (!pos + len) in
       if lo < hi then
         f (Mem.Pinned.Buf.sub buf ~off:(lo - !pos) ~len:(hi - lo));
       pos := !pos + len)
-    plan.Format_.zc_bufs

@@ -107,9 +107,7 @@ module Segmenter = struct
     in
     frames 0;
     (* The frames hold slice references; drop the message's own. *)
-    List.iter
-      (fun buf -> Mem.Pinned.Buf.decr_ref ?cpu buf)
-      plan.Format_.zc_bufs
+    Format_.iter_zc plan (fun buf -> Mem.Pinned.Buf.decr_ref ?cpu buf)
 end
 
 module Reassembler = struct

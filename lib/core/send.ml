@@ -15,7 +15,12 @@ let demote_excess ?cpu ep msg ~keep =
   if count > keep then begin
     let sorted = List.sort (fun a b -> compare b a) zc_lens in
     let cutoff = List.nth sorted (keep - 1) in
-    let strictly_larger = List.length (List.filter (fun l -> l > cutoff) sorted) in
+    let strictly_larger =
+      List.length (List.filter (fun l -> l > cutoff) sorted)
+    in
+    (* Keep everything strictly larger than the cutoff length, plus the
+       first [keep - strictly_larger] payloads of exactly the cutoff length
+       in traversal order; demote every other zero-copy payload. *)
     let allow_at_cutoff = ref (keep - strictly_larger) in
     let arena = Net.Endpoint.arena ep in
     Wire.Dyn.map_payloads msg (fun p ->
@@ -24,36 +29,50 @@ let demote_excess ?cpu ep msg ~keep =
         | Wire.Payload.Zero_copy buf ->
             let len = Mem.Pinned.Buf.len buf in
             let keep_this =
-              len > cutoff
-              || (len = cutoff && !allow_at_cutoff > 0
-                 &&
-                 (decr allow_at_cutoff;
-                  true))
+              if len > cutoff then true
+              else if len < cutoff then false
+              else if !allow_at_cutoff > 0 then begin
+                decr allow_at_cutoff;
+                true
+              end
+              else false
             in
             if keep_this then p
             else begin
-              let copied = Mem.Arena.copy_in ?cpu arena (Mem.Pinned.Buf.view buf) in
-              Mem.Pinned.Buf.decr_ref ?cpu buf;
+              let copied =
+                Mem.Arena.copy_in ?cpu ~site:"Send.demote" arena
+                  (Mem.Pinned.Buf.view buf)
+              in
+              Mem.Pinned.Buf.decr_ref ?cpu ~site:"Send.demote" buf;
               Wire.Payload.Copied copied
             end)
   end
 
+(* One reusable plan for the whole process: the simulator is single-threaded
+   and [send_object] never re-enters itself (segmented sends go through
+   [Segment], which measures independently), so the measured plan is always
+   consumed before the next send starts. *)
+let scratch_plan = Format_.create_plan ()
+
+(* Likewise one reusable writer, retargeted ([Writer.reset]) at each send's
+   staging window instead of allocated per message. *)
+let scratch_writer =
+  Wire.Cursor.Writer.create
+    (Mem.View.make ~addr:0 ~data:Bytes.empty ~off:0 ~len:0)
+
 let send_object ?cpu (config : Config.t) ep ~dst msg =
-  let plan = Format_.measure msg in
+  let plan = scratch_plan in
+  Format_.measure_into plan msg;
   if plan.Format_.total_len > Net.Packet.max_payload then
     raise
       (Message_too_large
          { len = plan.Format_.total_len; max = Net.Packet.max_payload });
   let limit = (Nic.Device.model (Net.Endpoint.nic ep)).Nic.Model.max_sge in
   let max_zc = limit - if config.serialize_and_send then 1 else 2 in
-  let nzc = List.length plan.Format_.zc_bufs in
-  let plan =
-    if nzc > max_zc then begin
-      demote_excess ?cpu ep msg ~keep:max_zc;
-      Format_.measure msg
-    end
-    else plan
-  in
+  if plan.Format_.zc_count > max_zc then begin
+    demote_excess ?cpu ep msg ~keep:max_zc;
+    Format_.measure_into plan msg
+  end;
   let contiguous_len = plan.Format_.header_len + plan.Format_.stream_len in
   (* Completion-side reference release: by the time the CQE arrives the
      refcount metadata has typically been evicted again, so the release
@@ -66,7 +85,9 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
   | Some cpu ->
       let p = Memmodel.Cpu.params cpu in
       Memmodel.Cpu.charge cpu Memmodel.Cpu.Safety
-        (float_of_int (Memutil.distinct_meta_lines plan.Format_.zc_bufs)
+        (float_of_int
+           (Memutil.distinct_meta_lines_arr plan.Format_.zc
+              ~n:plan.Format_.zc_count)
         *. p.Memmodel.Params.cost_completion_per_sge));
   if config.serialize_and_send then begin
     (* One staging buffer: packet header headroom + object header + copied
@@ -75,23 +96,25 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
       Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + contiguous_len)
     in
     let window =
-      Mem.View.sub
-        (Mem.Pinned.Buf.view staging)
+      Mem.Pinned.Buf.sub_view ~site:"Send.staging" staging
         ~off:Net.Packet.header_len ~len:contiguous_len
     in
-    let w = Wire.Cursor.Writer.create ?cpu window in
+    let w = scratch_writer in
+    Wire.Cursor.Writer.reset ?cpu w window;
     Format_.write ?cpu plan w msg;
     Net.Endpoint.send_inline_header ?cpu ep ~dst
-      ~segments:(staging :: plan.Format_.zc_bufs)
+      ~segments:(Format_.zc_segments plan ~head:staging ~tail:[])
   end
   else begin
     (* Layered path: object buffer, then an explicit scatter-gather array
        handed to the stack, which prepends a header-only entry. *)
     let obj = Net.Endpoint.alloc_tx ?cpu ep ~len:contiguous_len in
-    let w = Wire.Cursor.Writer.create ?cpu (Mem.Pinned.Buf.view obj) in
+    let w = scratch_writer in
+    Wire.Cursor.Writer.reset ?cpu w (Mem.Pinned.Buf.view obj);
     Format_.write ?cpu plan w msg;
-    let nsge = 1 + List.length plan.Format_.zc_bufs in
-    let sga = Mem.Arena.alloc ?cpu (Net.Endpoint.arena ep) ~len:(16 * nsge) in
+    let nsge = 1 + plan.Format_.zc_count in
+    let arena = Net.Endpoint.arena ep in
+    let sga = Mem.Arena.alloc ?cpu ~site:"Send.sga" arena ~len:(16 * nsge) in
     (match cpu with
     | None -> ()
     | Some cpu ->
@@ -109,7 +132,10 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
         Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:sga.Mem.View.addr
           ~len:(16 * nsge));
     Net.Endpoint.send_extra_header ?cpu ep ~dst
-      ~segments:(obj :: plan.Format_.zc_bufs)
+      ~segments:(Format_.zc_segments plan ~head:obj ~tail:[]);
+    (* The stack has consumed the scatter-gather array; hand the chunk back
+       so the next layered send reuses it. *)
+    Mem.Arena.recycle ~site:"Send.sga" arena sga
   end
 
 let deserialize = Format_.deserialize

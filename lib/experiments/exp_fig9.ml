@@ -24,7 +24,7 @@ let cf_sources ?cpu pool msg =
   let w = Wire.Cursor.Writer.create ?cpu (Mem.Pinned.Buf.view hdr) in
   Cornflakes.Format_.write ?cpu plan w msg;
   Tcp.Zc hdr
-  :: List.map (fun b -> Tcp.Zc b) plan.Cornflakes.Format_.zc_bufs
+  :: List.map (fun b -> Tcp.Zc b) (Cornflakes.Format_.zc_bufs plan)
 
 (* A minimal single-core TCP request server: FIFO queue, service time from
    the cost meter, responses held until the service time elapses. *)
@@ -174,7 +174,9 @@ let run_mode ?rate_rps mode =
             Cornflakes.Format_.write plan w msg;
             Tcp.Conn.send_message conn
               (Tcp.Zc buf
-              :: List.map (fun b -> Tcp.Zc b) plan.Cornflakes.Format_.zc_bufs)
+              :: List.map
+                   (fun b -> Tcp.Zc b)
+                   (Cornflakes.Format_.zc_bufs plan))
         | Cf -> Tcp.Conn.send_message conn (cf_sources obj_pool msg)
         | Flat ->
             let built = Baselines.Flatbuf.build client_ep msg in

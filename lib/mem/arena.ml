@@ -1,9 +1,45 @@
 exception Out_of_memory = Pinned.Out_of_memory
 
+(* Size-classed free lists: recycled chunks are parked per power-of-two
+   class and handed back out before the bump pointer is advanced, so a
+   steady-state request loop reuses the same few cache-hot chunks instead
+   of marching through the arena. Every allocation reserves its class size
+   (16 B .. 128 KB); larger requests fall back to exact-size bump
+   allocations that are not recyclable. *)
+
+let min_class_log = 4 (* 16 B *)
+
+let max_class_log = 17 (* 128 KB *)
+
+let n_classes = max_class_log - min_class_log + 1
+
+let class_of_len len =
+  if len > 1 lsl max_class_log then None
+  else begin
+    let rec go l = if 1 lsl l >= len then l else go (l + 1) in
+    Some (go min_class_log - min_class_log)
+  end
+
+let class_size cls = 1 lsl (cls + min_class_log)
+
+(* Per-class stack of recycled chunk offsets; grows by doubling so the
+   steady state pushes and pops without allocating. *)
+type free_stack = { mutable offs : int array; mutable top : int }
+
 type t = {
   base_addr : int;
   backing : Bytes.t;
   mutable used : int;
+  free : free_stack array;
+  mutable recycle_hits : int; (* allocations served from a free list *)
+  mutable parked : int; (* chunks currently on free lists *)
+  (* RefSan: recycling is modeled as free + alloc-with-a-reuse-label, so
+     the ledger shows the chunk's lifecycle. Chunks only enter the ledger
+     once they have been recycled; plain bump allocations stay untracked
+     (exactly the pre-free-list behaviour). *)
+  san_uid : int;
+  san_gens : (int, int) Hashtbl.t; (* chunk offset -> generation *)
+  san_live : (int, Sanitizer.Refsan.buf_id) Hashtbl.t;
 }
 
 let create space ~capacity =
@@ -11,11 +47,21 @@ let create space ~capacity =
     base_addr = Addr_space.reserve space ~bytes:capacity;
     backing = Bytes.create capacity;
     used = 0;
+    free = Array.init n_classes (fun _ -> { offs = [||]; top = 0 });
+    recycle_hits = 0;
+    parked = 0;
+    san_uid = Sanitizer.Refsan.register_pool ();
+    san_gens = Hashtbl.create 64;
+    san_live = Hashtbl.create 64;
   }
 
 let used t = t.used
 
 let capacity t = Bytes.length t.backing
+
+let recycle_hits t = t.recycle_hits
+
+let parked t = t.parked
 
 let charge_alloc cpu =
   match cpu with
@@ -24,16 +70,60 @@ let charge_alloc cpu =
       Memmodel.Cpu.charge cpu Memmodel.Cpu.Alloc
         (Memmodel.Cpu.params cpu).Memmodel.Params.cost_arena_alloc
 
-let alloc ?cpu t ~len =
-  if t.used + len > Bytes.length t.backing then
-    raise (Out_of_memory "arena exhausted");
-  charge_alloc cpu;
-  let off = t.used in
-  t.used <- t.used + len;
-  View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+let push stack off =
+  let cap = Array.length stack.offs in
+  if stack.top >= cap then begin
+    let arr = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit stack.offs 0 arr 0 stack.top;
+    stack.offs <- arr
+  end;
+  stack.offs.(stack.top) <- off;
+  stack.top <- stack.top + 1
 
-let copy_in ?cpu t src =
-  let dst = alloc ?cpu t ~len:src.View.len in
+let san_gen t off =
+  match Hashtbl.find_opt t.san_gens off with Some g -> g | None -> 0
+
+let san_id t ~off ~cls =
+  {
+    Sanitizer.Refsan.pool_uid = t.san_uid;
+    pool = "arena";
+    size = class_size cls;
+    slot = off lsr min_class_log;
+    gen = san_gen t off;
+    base = t.base_addr + off;
+  }
+
+let alloc ?cpu ?(site = "Arena.alloc") t ~len =
+  charge_alloc cpu;
+  match class_of_len len with
+  | Some cls when t.free.(cls).top > 0 ->
+      (* Recycled chunk: modeled for RefSan as a fresh allocation with a
+         reuse label; rooted so a chunk held across the quiesce point is
+         not misreported as a leak (the arena owns it until recycle/reset). *)
+      let stack = t.free.(cls) in
+      stack.top <- stack.top - 1;
+      let off = stack.offs.(stack.top) in
+      t.recycle_hits <- t.recycle_hits + 1;
+      t.parked <- t.parked - 1;
+      if Sanitizer.Refsan.is_enabled () then begin
+        let id = san_id t ~off ~cls in
+        Sanitizer.Refsan.on_alloc ~id ~site:("Arena.reuse:" ^ site);
+        Sanitizer.Refsan.on_root ~id ~refs:1 ~site:("Arena.reuse:" ^ site);
+        Hashtbl.replace t.san_live off id
+      end;
+      View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+  | cls ->
+      let chunk =
+        match cls with Some cls -> class_size cls | None -> len
+      in
+      if t.used + chunk > Bytes.length t.backing then
+        raise (Out_of_memory "arena exhausted");
+      let off = t.used in
+      t.used <- t.used + chunk;
+      View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+
+let copy_in ?cpu ?site t src =
+  let dst = alloc ?cpu ?site t ~len:src.View.len in
   View.blit src ~dst:t.backing ~dst_off:dst.View.off;
   (match cpu with
   | None -> ()
@@ -44,4 +134,36 @@ let copy_in ?cpu t src =
         ~len:src.View.len);
   dst
 
-let reset t = t.used <- 0
+let san_free t ~off ~cls ~site =
+  if Sanitizer.Refsan.is_enabled () then begin
+    let id = san_id t ~off ~cls in
+    (match Hashtbl.find_opt t.san_live off with
+    | Some live ->
+        Sanitizer.Refsan.on_unroot ~id:live ~refs:1 ~site;
+        Hashtbl.remove t.san_live off
+    | None -> ());
+    Sanitizer.Refsan.on_free ~id ~site
+  end;
+  Hashtbl.replace t.san_gens off (san_gen t off + 1)
+
+let recycle ?(site = "Arena.recycle") t (v : View.t) =
+  if v.View.data != t.backing then
+    invalid_arg "Arena.recycle: view is not from this arena";
+  match class_of_len v.View.len with
+  | None -> () (* oversized chunks are bump-only; reclaimed at reset *)
+  | Some cls ->
+      san_free t ~off:v.View.off ~cls ~site;
+      push t.free.(cls) v.View.off;
+      t.parked <- t.parked + 1
+
+let reset t =
+  if Sanitizer.Refsan.is_enabled () then
+    Hashtbl.iter
+      (fun _off id ->
+        Sanitizer.Refsan.on_unroot ~id ~refs:1 ~site:"Arena.reset";
+        Sanitizer.Refsan.on_free ~id ~site:"Arena.reset")
+      t.san_live;
+  Hashtbl.reset t.san_live;
+  t.used <- 0;
+  t.parked <- 0;
+  Array.iter (fun s -> s.top <- 0) t.free

@@ -253,6 +253,31 @@ module Buf = struct
       ~off:((t.slot * c.size) + t.off)
       ~len:t.len
 
+  (* Allocation-free window access for per-send hot paths: the backing bytes
+     plus the window's start offset within them, without materialising a
+     [View]. Callers must stay within [len t] bytes from [backing_off]. *)
+  let backing t =
+    check_live ~site:"Pinned.backing" ~op:`Read t;
+    (sc t).backing
+
+  let backing_off t = (t.slot * (sc t).size) + t.off
+
+  let sub_view ?(site = "Pinned.sub_view") t ~off ~len =
+    check_live ~site ~op:`Read t;
+    if off < 0 || len < 0 || t.off + off + len > slot_size t then
+      invalid_arg "Pinned.Buf.sub_view: window out of bounds";
+    let c = sc t in
+    View.make ~addr:(addr t + off) ~data:c.backing
+      ~off:((t.slot * c.size) + t.off + off)
+      ~len
+
+  (* Copy the window out into [dst] (device DMA gather): a read, so no
+     RefSan write event, and no intermediate [View]. *)
+  let blit_to ?(site = "Pinned.blit_to") t ~dst ~dst_off =
+    check_live ~site ~op:`Read t;
+    let c = sc t in
+    Bytes.blit c.backing ((t.slot * c.size) + t.off) dst dst_off t.len
+
   let sub ?(site = "Pinned.sub") t ~off ~len =
     check_live ~site ~op:`Read t;
     if off < 0 || len < 0 || t.off + off + len > slot_size t then
@@ -315,6 +340,21 @@ module Buf = struct
     | Some cpu ->
         Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(addr t)
           ~len:(String.length s)
+
+  let fill_substring ?cpu ?(site = "Pinned.fill_substring") t s ~src_off ~len =
+    check_live ~site ~op:`Write t;
+    if src_off < 0 || len < 0 || src_off + len > String.length s then
+      invalid_arg "Pinned.Buf.fill_substring: source out of bounds";
+    if len > slot_size t - t.off then
+      invalid_arg "Pinned.Buf.fill_substring: string too long";
+    let c = sc t in
+    Bytes.blit_string s src_off c.backing ((t.slot * c.size) + t.off) len;
+    if san_on () then
+      Sanitizer.Refsan.on_write ~id:(san_id t) ~refs:(refcount t)
+        ~addr:(addr t) ~len ~via_cow:false ~site;
+    match cpu with
+    | None -> ()
+    | Some cpu -> Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(addr t) ~len
 
   let blit_from ?cpu ?(site = "Pinned.blit_from") t ~src ~dst_off =
     check_live ~site ~op:`Write t;

@@ -94,6 +94,23 @@ module Buf : sig
       Raises [Use_after_free] on a stale handle. *)
   val view : t -> View.t
 
+  (** Allocation-free window access for per-send hot paths: the backing
+      bytes plus the window's start offset within them, without
+      materialising a [View]. Callers must stay within [len t] bytes from
+      [backing_off t]. [backing] raises [Use_after_free] on a stale
+      handle. *)
+  val backing : t -> Bytes.t
+
+  val backing_off : t -> int
+
+  (** [sub_view t ~off ~len] is [View.sub (view t) ~off ~len] in a single
+      allocation. *)
+  val sub_view : ?site:string -> t -> off:int -> len:int -> View.t
+
+  (** [blit_to t ~dst ~dst_off] copies the visible window into [dst]
+      (device DMA gather) without materialising a [View]. *)
+  val blit_to : ?site:string -> t -> dst:Bytes.t -> dst_off:int -> unit
+
   (** [sub t ~off ~len] narrows the handle (shares the refcount; does not
       bump it). *)
   val sub : ?site:string -> t -> off:int -> len:int -> t
@@ -101,6 +118,18 @@ module Buf : sig
   (** [fill ?cpu ?site t s] writes [s] at the start of the visible window
       (setup/application writes). *)
   val fill : ?cpu:Memmodel.Cpu.t -> ?site:string -> t -> string -> unit
+
+  (** [fill_substring ?cpu ?site t s ~src_off ~len] writes
+      [s[src_off, src_off+len)] at the start of the visible window without
+      materializing an intermediate substring (hot receive path). *)
+  val fill_substring :
+    ?cpu:Memmodel.Cpu.t ->
+    ?site:string ->
+    t ->
+    string ->
+    src_off:int ->
+    len:int ->
+    unit
 
   (** [blit_from ?cpu ?site t ~src ~dst_off] copies [src]'s visible bytes
       into the buffer, charging a streaming read of [src] and write of the

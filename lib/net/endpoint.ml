@@ -3,6 +3,8 @@ type config = {
   tx_class_capacity : int;
   rx_capacity : int;
   arena_capacity : int;
+  tx_batch : int;
+  tx_batch_timeout_ns : int;
 }
 
 let default_config =
@@ -11,7 +13,16 @@ let default_config =
     tx_class_capacity = 2048;
     rx_capacity = 4096;
     arena_capacity = 1 lsl 20;
+    tx_batch = 0;
+    tx_batch_timeout_ns = 500;
   }
+
+(* Consulted when [config.tx_batch = 0]; the bench harness flips it to turn
+   doorbell coalescing on fleet-wide without threading a config through
+   every rig constructor. *)
+let default_tx_batch = ref 1
+
+let set_default_tx_batch n = default_tx_batch := max 1 n
 
 type t = {
   id : int;
@@ -19,6 +30,7 @@ type t = {
   registry : Mem.Registry.t;
   cpu : Memmodel.Cpu.t option;
   nic : Nic.Device.t;
+  config : config;
   tx_pool : Mem.Pinned.Pool.t;
   rx_pool : Mem.Pinned.Pool.t;
   arena : Mem.Arena.t;
@@ -27,7 +39,11 @@ type t = {
   mutable rx_bytes : int;
   mutable rx_dropped : int;
   mutable held : Mem.Pinned.Buf.t list list option; (* queued posts, reversed *)
+  mutable pending_tx : Mem.Pinned.Buf.t list list; (* coalesced posts, reversed *)
+  mutable flush_scheduled : bool;
 }
+
+let tx_batch t = if t.config.tx_batch > 0 then t.config.tx_batch else !default_tx_batch
 
 let engine t = Fabric.engine t.fabric
 
@@ -39,8 +55,8 @@ let handle_wire t packet =
        move, but no CPU cycles are charged here. *)
     match Mem.Pinned.Buf.alloc ~site:"Endpoint.rx_dma" t.rx_pool ~len:payload_len with
     | buf ->
-        Mem.Pinned.Buf.fill ~site:"Endpoint.rx_dma" buf
-          (String.sub packet Packet.header_len payload_len);
+        Mem.Pinned.Buf.fill_substring ~site:"Endpoint.rx_dma" buf packet
+          ~src_off:Packet.header_len ~len:payload_len;
         (* DDIO: the DMA write leaves the frame in the LLC. *)
         (match t.cpu with
         | Some cpu ->
@@ -85,6 +101,7 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       registry;
       cpu;
       nic;
+      config;
       tx_pool;
       rx_pool;
       arena = Mem.Arena.create space ~capacity:config.arena_capacity;
@@ -95,6 +112,8 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       rx_bytes = 0;
       rx_dropped = 0;
       held = None;
+      pending_tx = [];
+      flush_scheduled = false;
     }
   in
   Nic.Device.set_on_wire nic (fun packet -> Fabric.inject fabric packet);
@@ -120,44 +139,65 @@ let charge_post ?cpu t ~nsge =
   | Some cpu ->
       let p = Memmodel.Cpu.params cpu in
       (* Ring-entry writes, doorbell, and the completion-side processing
-         (descriptor reap + reference releases) pre-charged per packet. *)
+         (descriptor reap + reference releases) pre-charged per packet.
+         With doorbell coalescing the MMIO write is shared by the whole
+         batch, so each send is charged its amortized share. *)
       Memmodel.Cpu.charge cpu Memmodel.Cpu.Tx
         ((float_of_int nsge *. p.Memmodel.Params.cost_sg_post)
-        +. p.Memmodel.Params.cost_doorbell
-        +. p.Memmodel.Params.cost_tx_packet);
-      ignore t
+        +. (p.Memmodel.Params.cost_doorbell /. float_of_int (tx_batch t))
+        +. p.Memmodel.Params.cost_tx_packet)
 
-let rec post t ~segments =
+let release_segments segments =
+  (* Release the stack's references; charged at post time. *)
+  List.iter
+    (fun buf -> Mem.Pinned.Buf.decr_ref ~site:"Nic.complete" buf)
+    segments
+
+let make_desc segments =
+  { Nic.Device.segments; on_complete = (fun () -> release_segments segments) }
+
+let flush_tx t =
+  match t.pending_tx with
+  | [] -> ()
+  | pending ->
+      t.pending_tx <- [];
+      Nic.Device.post_batch t.nic (List.rev_map make_desc pending)
+
+(* Route one descriptor to the NIC: straight through when unbatched (the
+   pre-coalescing behavior, event-for-event), else park it until the batch
+   fills or the flush timer fires — so a lone send on an idle endpoint still
+   leaves within [tx_batch_timeout_ns]. *)
+let submit t ~segments =
+  if tx_batch t <= 1 then Nic.Device.post t.nic (make_desc segments)
+  else begin
+    t.pending_tx <- segments :: t.pending_tx;
+    if List.length t.pending_tx >= tx_batch t then flush_tx t
+    else if not t.flush_scheduled then begin
+      t.flush_scheduled <- true;
+      Sim.Engine.schedule (engine t) ~after:t.config.tx_batch_timeout_ns
+        (fun () ->
+          t.flush_scheduled <- false;
+          flush_tx t)
+    end
+  end
+
+let post t ~segments =
   match t.held with
   | Some queued -> t.held <- Some (segments :: queued)
-  | None -> post_now t ~segments
-
-and post_now t ~segments =
-  let desc =
-    {
-      Nic.Device.segments =
-        List.map (fun buf -> { Nic.Device.buf }) segments;
-      on_complete =
-        (fun () ->
-          (* Release the stack's references; charged at post time. *)
-          List.iter
-            (fun buf -> Mem.Pinned.Buf.decr_ref ~site:"Nic.complete" buf)
-            segments);
-    }
-  in
-  Nic.Device.post t.nic desc
+  | None -> submit t ~segments
 
 let write_header ?cpu t ~dst buf =
-  let v = Mem.Pinned.Buf.view buf in
-  Packet.write_header v.Mem.View.data
-    ~off:(v.Mem.View.off - 0)
+  Packet.write_header
+    (Mem.Pinned.Buf.backing buf)
+    ~off:(Mem.Pinned.Buf.backing_off buf)
     ~src:t.id ~dst;
   Mem.Pinned.Buf.note_write ~site:"Endpoint.write_header" buf ~off:0
     ~len:Packet.header_len;
   match cpu with
   | None -> ()
   | Some cpu ->
-      Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:v.Mem.View.addr
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx
+        ~addr:(Mem.Pinned.Buf.addr buf)
         ~len:Packet.header_len
 
 let send_inline_header ?cpu t ~dst ~segments =
@@ -206,7 +246,7 @@ let release_hold t ~after =
       let batches = List.rev queued in
       if batches <> [] then
         Sim.Engine.schedule (engine t) ~after (fun () ->
-            List.iter (fun segments -> post_now t ~segments) batches)
+            List.iter (fun segments -> submit t ~segments) batches)
 
 let charge_rx ?cpu _t ~len =
   match cpu with
@@ -225,3 +265,5 @@ let rx_bytes t = t.rx_bytes
 let tx_packets t = Nic.Device.tx_packets t.nic
 
 let tx_bytes t = Nic.Device.tx_bytes t.nic
+
+let doorbells t = Nic.Device.doorbells t.nic

@@ -25,9 +25,19 @@ type config = {
   tx_class_capacity : int; (* staging buffers per power-of-two class *)
   rx_capacity : int; (* jumbo receive buffers *)
   arena_capacity : int;
+  tx_batch : int;
+      (* TX doorbell coalescing: descriptors per doorbell. 1 = ring per
+         send (the classic behavior); 0 = follow [set_default_tx_batch]'s
+         process-wide default (itself 1 unless changed). *)
+  tx_batch_timeout_ns : int;
+      (* flush-on-idle: a partial batch leaves after this long *)
 }
 
 val default_config : config
+
+(** Process-wide default batch size used by endpoints whose config says
+    [tx_batch = 0]; clamped to >= 1. Set before driving traffic. *)
+val set_default_tx_batch : int -> unit
 
 (** [create ?cpu ?nic ?config fabric registry ~id] — pass [nic] to share one
     NIC device between several endpoints (multicore experiments: cores share
@@ -91,6 +101,10 @@ val release_hold : t -> after:int -> unit
     harness when it dequeues a packet. *)
 val charge_rx : ?cpu:Memmodel.Cpu.t -> t -> len:int -> unit
 
+(** Post any coalesced TX descriptors waiting for a full batch now, without
+    waiting for the flush timer. No-op when nothing is pending. *)
+val flush_tx : t -> unit
+
 val rx_packets : t -> int
 
 (** Frames dropped because no receive buffer was available (host overload). *)
@@ -101,3 +115,7 @@ val rx_bytes : t -> int
 val tx_packets : t -> int
 
 val tx_bytes : t -> int
+
+(** Doorbell rings on this endpoint's NIC (shared-NIC setups count all
+    endpoints on the device). *)
+val doorbells : t -> int

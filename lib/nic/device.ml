@@ -1,7 +1,5 @@
-type segment = { buf : Mem.Pinned.Buf.t }
-
 type descriptor = {
-  segments : segment list;
+  segments : Mem.Pinned.Buf.t list;
   on_complete : unit -> unit;
 }
 
@@ -17,6 +15,7 @@ type t = {
   mutable in_flight : int;
   mutable tx_packets : int;
   mutable tx_bytes : int;
+  mutable doorbells : int;
 }
 
 let create engine ~model =
@@ -28,6 +27,7 @@ let create engine ~model =
     in_flight = 0;
     tx_packets = 0;
     tx_bytes = 0;
+    doorbells = 0;
   }
 
 let model t = t.model
@@ -36,15 +36,14 @@ let set_on_wire t f = t.on_wire <- f
 
 let gather segments =
   let total =
-    List.fold_left (fun acc s -> acc + Mem.Pinned.Buf.len s.buf) 0 segments
+    List.fold_left (fun acc buf -> acc + Mem.Pinned.Buf.len buf) 0 segments
   in
   let out = Bytes.create total in
   let off = ref 0 in
   List.iter
-    (fun s ->
-      let v = Mem.Pinned.Buf.view s.buf in
-      Mem.View.blit v ~dst:out ~dst_off:!off;
-      off := !off + v.Mem.View.len)
+    (fun buf ->
+      Mem.Pinned.Buf.blit_to buf ~dst:out ~dst_off:!off;
+      off := !off + Mem.Pinned.Buf.len buf)
     segments;
   Bytes.unsafe_to_string out
 
@@ -54,11 +53,12 @@ let post t desc =
   if nsge > t.model.Model.max_sge then
     raise (Too_many_segments { requested = nsge; limit = t.model.Model.max_sge });
   if t.in_flight >= t.model.Model.tx_ring_entries then raise Ring_full;
+  t.doorbells <- t.doorbells + 1;
   t.in_flight <- t.in_flight + 1;
   let now = Sim.Engine.now t.engine in
   let start = max now t.busy_until in
   let payload_bytes =
-    List.fold_left (fun acc s -> acc + Mem.Pinned.Buf.len s.buf) 0 desc.segments
+    List.fold_left (fun acc buf -> acc + Mem.Pinned.Buf.len buf) 0 desc.segments
   in
   (* PCIe descriptor + gather fetches overlap wire serialization; the
      pipeline occupancy per packet is whichever is longer. *)
@@ -77,7 +77,7 @@ let post t desc =
      in-place mutation of posted bytes into a write-after-post diagnostic. *)
   let holds =
     if Sanitizer.Refsan.is_enabled () then
-      List.map (fun s -> Mem.Pinned.Buf.hold ~site:"Nic.post" s.buf)
+      List.map (fun buf -> Mem.Pinned.Buf.hold ~site:"Nic.post" buf)
         desc.segments
     else []
   in
@@ -90,8 +90,71 @@ let post t desc =
       t.on_wire payload;
       desc.on_complete ())
 
+(* Batched post: one doorbell covers every descriptor. The first descriptor
+   pays the full per-descriptor PCIe fetch; the rest ride the same burst and
+   pay only their per-SGE fetches. Packets still leave the wire one by one
+   (each gets its own egress event at its own finish time, so fabric arrival
+   times match back-to-back unbatched posts), but completion delivery is
+   coalesced into a single CQE event at the last packet's finish — which is
+   when every segment reference is released. *)
+let post_batch t descs =
+  if descs = [] then invalid_arg "Device.post_batch: empty batch";
+  let n = List.length descs in
+  if t.in_flight + n > t.model.Model.tx_ring_entries then raise Ring_full;
+  t.doorbells <- t.doorbells + 1;
+  let last_finish = ref 0 in
+  let completions =
+    List.mapi
+      (fun i desc ->
+        let nsge = List.length desc.segments in
+        if nsge = 0 then invalid_arg "Device.post_batch: empty gather list";
+        if nsge > t.model.Model.max_sge then
+          raise
+            (Too_many_segments { requested = nsge; limit = t.model.Model.max_sge });
+        t.in_flight <- t.in_flight + 1;
+        let now = Sim.Engine.now t.engine in
+        let start = max now t.busy_until in
+        let payload_bytes =
+          List.fold_left
+            (fun acc buf -> acc + Mem.Pinned.Buf.len buf)
+            0 desc.segments
+        in
+        let dma_ns =
+          (if i = 0 then t.model.Model.pcie_per_descriptor_ns else 0.0)
+          +. (float_of_int nsge *. t.model.Model.pcie_per_sge_ns)
+        in
+        let wire_ns = Model.wire_time_ns t.model ~bytes:payload_bytes in
+        let occupancy = int_of_float (ceil (Float.max dma_ns wire_ns)) in
+        let finish = start + occupancy in
+        t.busy_until <- finish;
+        if finish > !last_finish then last_finish := finish;
+        let holds =
+          if Sanitizer.Refsan.is_enabled () then
+            List.map
+              (fun buf -> Mem.Pinned.Buf.hold ~site:"Nic.post_batch" buf)
+              desc.segments
+          else []
+        in
+        let payload = gather desc.segments in
+        Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
+            t.tx_packets <- t.tx_packets + 1;
+            t.tx_bytes <- t.tx_bytes + String.length payload;
+            t.on_wire payload);
+        (holds, desc.on_complete))
+      descs
+  in
+  Sim.Engine.schedule_at t.engine ~time:!last_finish (fun () ->
+      List.iter
+        (fun (holds, on_complete) ->
+          t.in_flight <- t.in_flight - 1;
+          List.iter Mem.Pinned.Buf.release_hold holds;
+          on_complete ())
+        completions)
+
 let in_flight t = t.in_flight
 
 let tx_packets t = t.tx_packets
 
 let tx_bytes t = t.tx_bytes
+
+let doorbells t = t.doorbells

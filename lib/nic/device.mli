@@ -7,12 +7,12 @@
     callback, which is where the stack releases buffer references — i.e. the
     point until which zero-copy memory must stay alive. *)
 
-type segment = {
-  buf : Mem.Pinned.Buf.t; (* holds a reference until completion *)
-}
-
 type descriptor = {
-  segments : segment list; (* in wire order; length <= model.max_sge *)
+  (* Gather list in wire order (length <= model.max_sge); each buffer holds
+     a reference until completion. A bare buffer list — not a wrapper record
+     per entry — so the stack's per-send descriptor build is allocation-free
+     beyond the list itself. *)
+  segments : Mem.Pinned.Buf.t list;
   on_complete : unit -> unit;
 }
 
@@ -36,6 +36,14 @@ val set_on_wire : t -> (string -> unit) -> unit
     time), transmits at line rate, then schedules [on_complete]. *)
 val post : t -> descriptor -> unit
 
+(** [post_batch t descs] enqueues the descriptors under a single doorbell:
+    the first pays the full per-descriptor PCIe fetch, the rest only their
+    per-SGE fetches, and completion callbacks are coalesced into one CQE
+    event at the last packet's finish time. Packets still egress (and reach
+    the fabric) at their individual finish times. Raises [Ring_full] if the
+    whole batch does not fit. *)
+val post_batch : t -> descriptor list -> unit
+
 (** Number of descriptors queued but not yet completed. *)
 val in_flight : t -> int
 
@@ -43,3 +51,7 @@ val in_flight : t -> int
 val tx_packets : t -> int
 
 val tx_bytes : t -> int
+
+(** Doorbell rings so far ([post] counts one each; [post_batch] one per
+    batch). *)
+val doorbells : t -> int

@@ -9,13 +9,22 @@ let varint_len v =
 
 module Writer = struct
   type t = {
-    view : Mem.View.t;
-    cpu : Memmodel.Cpu.t option;
+    mutable view : Mem.View.t;
+    mutable cpu : Memmodel.Cpu.t option;
     cat : Memmodel.Cpu.category;
     mutable pos : int;
   }
 
   let create ?cpu ?(cat = Memmodel.Cpu.Tx) view = { view; cpu; cat; pos = 0 }
+
+  (* Retarget a long-lived writer at a fresh window (same category), so
+     per-send paths reuse one writer instead of allocating one per message.
+     The charging cpu is rebound too: the scratch writer serves whichever
+     endpoint is currently sending. *)
+  let reset ?cpu t view =
+    t.view <- view;
+    t.cpu <- cpu;
+    t.pos <- 0
 
   let pos t = t.pos
 
@@ -66,9 +75,14 @@ module Writer = struct
   let u64 t v =
     need t 8;
     charge t ~len:8;
-    for i = 0 to 7 do
-      byte t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
-    done
+    (* Native-int byte extraction: [Int64.to_int] keeps the low 63 bits, so
+       only bit 63 needs the sign test — no boxed Int64 intermediates on
+       this per-field hot path. *)
+    let lo = Int64.to_int v in
+    for i = 0 to 6 do
+      byte t ((lo lsr (8 * i)) land 0xff)
+    done;
+    byte t (((lo lsr 56) land 0x7f) lor (if Int64.compare v 0L < 0 then 0x80 else 0))
 
   let varint t v =
     let n = varint_len v in
@@ -170,11 +184,19 @@ module Reader = struct
   let u64 t =
     need t 8;
     charge t ~len:8;
-    let v = ref 0L in
-    for i = 0 to 7 do
-      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte t)) (8 * i))
+    (* Accumulate bits 0..62 in a native int; only bit 63 needs Int64
+       arithmetic, and only when actually set. *)
+    let lo = ref 0 in
+    for i = 0 to 6 do
+      lo := !lo lor (byte t lsl (8 * i))
     done;
-    !v
+    let b7 = byte t in
+    (* Bit 62 of the value sits on the native int's sign bit, so
+       [Int64.of_int] sign-extends it into bit 63 — mask bit 63 back to
+       what byte 7 actually carried. *)
+    let acc = !lo lor ((b7 land 0x7f) lsl 56) in
+    if b7 land 0x80 = 0 then Int64.logand (Int64.of_int acc) Int64.max_int
+    else Int64.logor (Int64.of_int acc) Int64.min_int
 
   let varint t =
     let v = ref 0L in

@@ -12,6 +12,11 @@ module Writer : sig
       Charges go to category [cat] (default [Tx]). *)
   val create : ?cpu:Memmodel.Cpu.t -> ?cat:Memmodel.Cpu.category -> Mem.View.t -> t
 
+  (** [reset ?cpu t view] retargets the writer at [view], position 0,
+      rebinding the charging cpu and keeping the category — so hot paths
+      reuse one writer across messages (and across endpoints). *)
+  val reset : ?cpu:Memmodel.Cpu.t -> t -> Mem.View.t -> unit
+
   val pos : t -> int
 
   val remaining : t -> int

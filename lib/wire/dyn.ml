@@ -118,6 +118,15 @@ let rec release_value ?cpu = function
 
 and release ?cpu t = iter_present t (fun _ _ v -> release_value ?cpu v)
 
+(* Reusable-message API: a pooled request/response object is [clear]ed (or
+   [reset] when it may still own zero-copy references) and rebuilt in place,
+   so steady-state request loops do not allocate a Dyn per message. *)
+let clear t = Array.fill t.values 0 (Array.length t.values) None
+
+let reset ?cpu t =
+  release ?cpu t;
+  clear t
+
 let rec map_payloads_value f = function
   | Int _ | Float _ -> None
   | Payload p ->

@@ -58,6 +58,16 @@ val payload_bytes : t -> int
     stack, which holds its own references). *)
 val release : ?cpu:Memmodel.Cpu.t -> t -> unit
 
+(** [clear t] blanks every field so the object can be rebuilt in place
+    (pooled per endpoint instead of allocated per request). Does NOT release
+    payload references — use it when ownership already moved (e.g. the stack
+    took the zero-copy refs at send). *)
+val clear : t -> unit
+
+(** [reset ?cpu t] = [release] then [clear]: drop any payload references the
+    message still owns, then blank it for reuse. *)
+val reset : ?cpu:Memmodel.Cpu.t -> t -> unit
+
 (** [map_payloads t f] rewrites every payload in place (depth-first, field
     order) — used to demote zero-copy entries when a message exceeds the
     NIC's gather limit. *)

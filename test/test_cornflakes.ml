@@ -160,22 +160,69 @@ let test_sge_limit_demotes_smallest () =
               (Mem.Pinned.Buf.view buf))))
     sizes;
   let before = Cornflakes.Format_.measure msg in
-  Alcotest.(check int) "10 zc before" 10
-    (List.length before.Cornflakes.Format_.zc_bufs);
+  Alcotest.(check int) "10 zc before" 10 (Cornflakes.Format_.zc_count before);
   let buf, back = roundtrip_config env default msg in
   (* After send, the message was demoted in place to fit the NIC. *)
   let after = Cornflakes.Format_.measure msg in
   Alcotest.(check int) "7 zc after demotion" 7
-    (List.length after.Cornflakes.Format_.zc_bufs);
+    (Cornflakes.Format_.zc_count after);
   (* The three smallest (520, 530, 540) were demoted. *)
   let zc_lens =
-    List.map Mem.Pinned.Buf.len after.Cornflakes.Format_.zc_bufs
+    List.map Mem.Pinned.Buf.len (Cornflakes.Format_.zc_bufs after)
     |> List.sort compare
   in
   Alcotest.(check (list int)) "largest kept"
     [ 550; 560; 570; 580; 590; 600; 610 ]
     zc_lens;
   if not (Wire.Dyn.equal msg back) then Alcotest.fail "demoted roundtrip";
+  Wire.Dyn.release back;
+  Mem.Pinned.Buf.decr_ref buf
+
+let test_demote_tie_break_at_cutoff () =
+  (* Equal-length payloads exactly at the demotion cutoff: the keep set is
+     every payload strictly larger, plus the first [keep - strictly_larger]
+     cutoff-length payloads in traversal order — never more, never fewer. *)
+  let config =
+    {
+      Net.Endpoint.default_config with
+      Net.Endpoint.nic_model = Nic.Model.intel_e810;
+    }
+  in
+  let env = Test_env.make ~config () in
+  let pool =
+    Test_env.data_pool
+      ~classes:[ (64, 256); (256, 256); (1024, 128); (4096, 64) ]
+      env
+  in
+  let msg = Wire.Dyn.create everything in
+  (* e810: 8 SGEs -> 7 zc + staging. Three strictly-larger 1024 B payloads
+     plus seven payloads of exactly 600 B: the cutoff is 600, so the first
+     four 600 B payloads (traversal order) stay zero-copy and the last
+     three are demoted to copies. *)
+  let sizes = [ 1024; 1024; 1024; 600; 600; 600; 600; 600; 600; 600 ] in
+  List.iter
+    (fun n ->
+      let buf = make_value pool (String.make n 't') in
+      Wire.Dyn.append msg "tags"
+        (Wire.Dyn.Payload
+           (Cornflakes.Cf_ptr.make default env.Test_env.b
+              (Mem.Pinned.Buf.view buf))))
+    sizes;
+  let before = Cornflakes.Format_.measure msg in
+  Alcotest.(check int) "10 zc before" 10 (Cornflakes.Format_.zc_count before);
+  let buf, back = roundtrip_config env default msg in
+  let kinds =
+    Wire.Dyn.fold_payloads msg ~init:[] ~f:(fun acc p ->
+        (match p with
+        | Wire.Payload.Zero_copy _ -> 'z'
+        | Wire.Payload.Copied _ | Wire.Payload.Literal _ -> 'c')
+        :: acc)
+    |> List.rev |> List.to_seq |> String.of_seq
+  in
+  Alcotest.(check string)
+    "first four at-cutoff payloads kept, last three demoted" "zzzzzzzccc"
+    kinds;
+  if not (Wire.Dyn.equal msg back) then Alcotest.fail "tie-break roundtrip";
   Wire.Dyn.release back;
   Mem.Pinned.Buf.decr_ref buf
 
@@ -270,6 +317,8 @@ let suite =
     Alcotest.test_case "zero-copy safety (completion)" `Quick
       test_zero_copy_safety_through_completion;
     Alcotest.test_case "sge limit demotion" `Quick test_sge_limit_demotes_smallest;
+    Alcotest.test_case "demotion tie-break at cutoff" `Quick
+      test_demote_tie_break_at_cutoff;
     Alcotest.test_case "message too large" `Quick test_message_too_large_rejected;
     Alcotest.test_case "echo reserialize zero-copy" `Quick
       test_echo_reserialize_zero_copy;

@@ -66,11 +66,9 @@ let serialize env msg =
   in
   Cornflakes.Format_.write plan w msg;
   let off = ref contiguous in
-  List.iter
-    (fun zb ->
+  Cornflakes.Format_.iter_zc plan (fun zb ->
       Mem.Pinned.Buf.blit_from buf ~src:(Mem.Pinned.Buf.view zb) ~dst_off:!off;
-      off := !off + Mem.Pinned.Buf.len zb)
-    plan.Cornflakes.Format_.zc_bufs;
+      off := !off + Mem.Pinned.Buf.len zb);
   (plan, buf)
 
 let roundtrip env msg =

@@ -136,7 +136,9 @@ let test_arena_copy_and_reset () =
   let src = Mem.View.of_string space "arena data" in
   let copy = Mem.Arena.copy_in arena src in
   Alcotest.(check string) "copied" "arena data" (Mem.View.to_string copy);
-  Alcotest.(check int) "used" 10 (Mem.Arena.used arena);
+  (* Allocations reserve their size class (10 B rounds up to the 16 B
+     class) so the chunk can be recycled. *)
+  Alcotest.(check int) "used" 16 (Mem.Arena.used arena);
   Mem.Arena.reset arena;
   Alcotest.(check int) "reset" 0 (Mem.Arena.used arena)
 
@@ -215,6 +217,56 @@ let qcheck_recover_roundtrip =
           let want = String.init len (fun i -> Char.chr ((i + off) land 0xff)) in
           String.equal got want)
 
+let test_arena_recycle_reuses_and_counts () =
+  let space = Mem.Addr_space.create () in
+  let arena = Mem.Arena.create space ~capacity:1024 in
+  let src = Mem.View.of_string space (String.make 100 'r') in
+  let first = Mem.Arena.copy_in arena src in
+  Mem.Arena.recycle arena first;
+  Alcotest.(check int) "parked after recycle" 1 (Mem.Arena.parked arena);
+  let second = Mem.Arena.copy_in arena src in
+  (* Same class (128 B), so the recycled chunk is reused in place. *)
+  Alcotest.(check int) "chunk reused" first.Mem.View.addr
+    second.Mem.View.addr;
+  Alcotest.(check int) "recycle hit counted" 1 (Mem.Arena.recycle_hits arena);
+  Alcotest.(check int) "bump pointer did not advance" 128
+    (Mem.Arena.used arena)
+
+let qcheck_arena_recycle_never_live =
+  (* Property: across any interleaving of allocs and recycles, an
+     allocation never returns a chunk that is still live (handed out and
+     not yet recycled), and the RefSan ledger — which tracks recycled
+     chunks as free + alloc — raises no diagnostic for the interleaving. *)
+  QCheck.Test.make ~name:"arena recycling never hands out a live chunk"
+    ~count:50
+    QCheck.(list (pair (int_range 1 300) bool))
+    (fun ops ->
+      let was = Sanitizer.Refsan.is_enabled () in
+      Sanitizer.Refsan.reset ();
+      Sanitizer.Refsan.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Sanitizer.Refsan.set_enabled was;
+          Sanitizer.Refsan.reset ())
+        (fun () ->
+          let space = Mem.Addr_space.create () in
+          let arena = Mem.Arena.create space ~capacity:(1 lsl 16) in
+          let live = Hashtbl.create 16 in
+          let ok = ref true in
+          List.iter
+            (fun (len, do_recycle) ->
+              match Mem.Arena.alloc ~site:"prop.alloc" arena ~len with
+              | v ->
+                  (* Free-list reuse hands back a previous chunk's exact
+                     start address; a live one must never reappear. *)
+                  if Hashtbl.mem live v.Mem.View.addr then ok := false;
+                  if do_recycle then
+                    Mem.Arena.recycle ~site:"prop.recycle" arena v
+                  else Hashtbl.replace live v.Mem.View.addr ()
+              | exception Mem.Pinned.Out_of_memory _ -> ())
+            ops;
+          !ok && Sanitizer.Refsan.diagnostics () = []))
+
 let suite =
   [
     Alcotest.test_case "alloc and fill" `Quick test_alloc_and_fill;
@@ -230,6 +282,9 @@ let suite =
     Alcotest.test_case "recover_ptr rejects straddle" `Quick test_recover_ptr_straddle_fails;
     Alcotest.test_case "arena copy and reset" `Quick test_arena_copy_and_reset;
     Alcotest.test_case "arena exhaustion" `Quick test_arena_exhaustion;
+    Alcotest.test_case "arena recycle reuses chunk" `Quick
+      test_arena_recycle_reuses_and_counts;
+    QCheck_alcotest.to_alcotest qcheck_arena_recycle_never_live;
     Alcotest.test_case "view sub and blit" `Quick test_view_sub_and_blit;
     Alcotest.test_case "addr space disjoint" `Quick test_addr_space_disjoint;
     QCheck_alcotest.to_alcotest qcheck_alloc_free_capacity;

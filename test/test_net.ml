@@ -143,6 +143,65 @@ let test_nic_line_rate_backpressure () =
   Alcotest.(check bool) "at least wire time" true (elapsed >= 10_000);
   Alcotest.(check int) "all delivered" n (Net.Endpoint.rx_packets env.Test_env.b)
 
+let test_doorbell_coalescing () =
+  let config =
+    { Net.Endpoint.default_config with Net.Endpoint.tx_batch = 4 }
+  in
+  let env = Test_env.make ~config () in
+  for _ = 1 to 8 do
+    Net.Endpoint.send_string env.Test_env.a ~dst:2 "batched"
+  done;
+  Sim.Engine.run_all env.Test_env.engine;
+  Alcotest.(check int) "two doorbells for eight sends" 2
+    (Net.Endpoint.doorbells env.Test_env.a);
+  Alcotest.(check int) "all delivered" 8
+    (Net.Endpoint.rx_packets env.Test_env.b)
+
+let test_doorbell_timeout_flush () =
+  (* Batch never fills: the idle-flush timer must ring the doorbell. *)
+  let config =
+    { Net.Endpoint.default_config with Net.Endpoint.tx_batch = 8 }
+  in
+  let env = Test_env.make ~config () in
+  for _ = 1 to 3 do
+    Net.Endpoint.send_string env.Test_env.a ~dst:2 "tick"
+  done;
+  Alcotest.(check int) "no doorbell before timeout" 0
+    (Net.Endpoint.doorbells env.Test_env.a);
+  Sim.Engine.run_all env.Test_env.engine;
+  Alcotest.(check int) "one doorbell after timeout" 1
+    (Net.Endpoint.doorbells env.Test_env.a);
+  Alcotest.(check int) "all delivered" 3
+    (Net.Endpoint.rx_packets env.Test_env.b)
+
+let test_batched_completion_releases_segments () =
+  let config =
+    { Net.Endpoint.default_config with Net.Endpoint.tx_batch = 4 }
+  in
+  let env = Test_env.make ~config () in
+  let pool = Test_env.data_pool env in
+  let v1 = Test_env.pinned_of_string pool (String.make 512 'p') in
+  let v2 = Test_env.pinned_of_string pool (String.make 512 'q') in
+  Mem.Pinned.Buf.incr_ref v1 (* our handle + the stack's *);
+  Mem.Pinned.Buf.incr_ref v2;
+  let s1 = Net.Endpoint.alloc_tx env.Test_env.a ~len:Net.Packet.header_len in
+  let s2 = Net.Endpoint.alloc_tx env.Test_env.a ~len:Net.Packet.header_len in
+  Net.Endpoint.send_inline_header env.Test_env.a ~dst:2 ~segments:[ s1; v1 ];
+  Net.Endpoint.send_inline_header env.Test_env.a ~dst:2 ~segments:[ s2; v2 ];
+  Alcotest.(check int) "held while parked in the batch" 2
+    (Mem.Pinned.Buf.refcount v1);
+  Sim.Engine.run_all env.Test_env.engine;
+  Alcotest.(check int) "one doorbell for the pair" 1
+    (Net.Endpoint.doorbells env.Test_env.a);
+  Alcotest.(check int) "v1 released after batched completion" 1
+    (Mem.Pinned.Buf.refcount v1);
+  Alcotest.(check int) "v2 released after batched completion" 1
+    (Mem.Pinned.Buf.refcount v2);
+  Alcotest.(check int) "both delivered" 2
+    (Net.Endpoint.rx_packets env.Test_env.b);
+  Mem.Pinned.Buf.decr_ref v1;
+  Mem.Pinned.Buf.decr_ref v2
+
 let suite =
   [
     Alcotest.test_case "send/recv string" `Quick test_send_string_delivery;
@@ -156,4 +215,9 @@ let suite =
     Alcotest.test_case "unknown destination" `Quick test_unknown_destination_dropped;
     Alcotest.test_case "staging recycled" `Quick test_staging_recycled_after_completion;
     Alcotest.test_case "line-rate pacing" `Quick test_nic_line_rate_backpressure;
+    Alcotest.test_case "doorbell coalescing" `Quick test_doorbell_coalescing;
+    Alcotest.test_case "doorbell timeout flush" `Quick
+      test_doorbell_timeout_flush;
+    Alcotest.test_case "batched completion releases refs" `Quick
+      test_batched_completion_releases_segments;
   ]
