@@ -1,5 +1,6 @@
 (* Command-line interface: run experiments, compile schemas (codegen),
-   validate schemas, and inspect workload generators. *)
+   validate schemas, inspect workload generators, and pretty-print /
+   replay Faultline fault plans. *)
 
 open Cmdliner
 
@@ -209,10 +210,99 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Sample or record operations from a workload generator")
     Term.(const run $ which $ count $ output $ seed)
 
+(* --- fault plans -------------------------------------------------------- *)
+
+let faults_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: a builtin name (see --list) or a plan file (one \
+             rule per line, optional 'seed N' line, '#' comments).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ]
+           ~doc:"Override the plan seed (replays the same rules under a \
+                 different fault schedule).")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List builtin plans and exit.")
+  in
+  let replay =
+    Arg.(value & flag & info [ "replay" ]
+           ~doc:"Run a short kv scenario under the plan twice and verify the \
+                 two counter summaries are byte-identical (deterministic \
+                 replay by seed).")
+  in
+  let run plan_arg seed list replay =
+    if list then
+      List.iter
+        (fun name ->
+          match Faults.Plan.builtin name with
+          | Some p ->
+              Printf.printf "%s:\n%s\n" name (Faults.Plan.to_string p)
+          | None -> ())
+        Faults.Plan.builtin_names
+    else begin
+      let plan =
+        match plan_arg with
+        | None ->
+            Printf.eprintf "no plan given; try --list for builtins\n";
+            exit 1
+        | Some name -> (
+            match Faults.Plan.builtin ?seed name with
+            | Some p -> p
+            | None -> (
+                if not (Sys.file_exists name) then begin
+                  Printf.eprintf
+                    "unknown builtin %S and no such file (builtins: %s)\n" name
+                    (String.concat ", " Faults.Plan.builtin_names);
+                  exit 1
+                end;
+                match Faults.Plan.parse (read_file name) with
+                | exception Faults.Plan.Parse_error e ->
+                    Printf.eprintf "plan parse error: %s\n" e;
+                    exit 1
+                | p -> (
+                    match seed with
+                    | None -> p
+                    | Some seed -> { p with Faults.Plan.seed })))
+      in
+      print_endline (Faults.Plan.to_string plan);
+      if replay then begin
+        Printf.printf "\nreplaying (seed %d)...\n%!" plan.Faults.Plan.seed;
+        let a = Experiments.Exp_faults.replay_summary ~plan in
+        let b = Experiments.Exp_faults.replay_summary ~plan in
+        print_string a;
+        if a = b then print_endline "replay: byte-identical across two runs"
+        else begin
+          print_endline "replay: MISMATCH between two runs";
+          exit 1
+        end
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Pretty-print a Faultline fault plan; --replay verifies \
+             deterministic replay by seed")
+    Term.(const run $ plan_arg $ seed $ list $ replay)
+
 let () =
-  let doc = "Cornflakes reproduction: experiments, schema compiler, traces" in
+  let doc =
+    "Cornflakes reproduction toolkit. Subcommands: experiments (run \
+     paper-reproduction experiments), compile (generate OCaml accessors \
+     from a schema), check (validate a schema), lint (schema lint + \
+     zero-copy eligibility), trace (sample/record workload ops), faults \
+     (pretty-print/replay Faultline fault plans)."
+  in
   let info = Cmd.info "cornflakes" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiments_cmd; compile_cmd; check_cmd; lint_cmd; trace_cmd ]))
+          [
+            experiments_cmd; compile_cmd; check_cmd; lint_cmd; trace_cmd;
+            faults_cmd;
+          ]))

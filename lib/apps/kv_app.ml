@@ -10,6 +10,15 @@ type t = {
      (not [reset]) between uses is the correct ownership move. *)
   resp_scratch : Wire.Dyn.t;
   req_scratch : Wire.Dyn.t;
+  (* Resilience mode (set by [enable_resilience]; shared across
+     [switch_backend] copies via the ref/tables). With a dedup window
+     installed, duplicate puts are suppressed (gets are idempotent and
+     re-executed), retried ids replay the same cached op, and per-id put
+     applications are recorded for exactly-once assertions. *)
+  mutable dedup : Net.Dedup.t option;
+  puts_suppressed : int ref;
+  put_applies : (int, int) Hashtbl.t; (* request id -> put applications *)
+  retry_cache : (int, Workload.Spec.op) Hashtbl.t; (* in-flight id -> op *)
 }
 
 let store t = t.store
@@ -103,13 +112,32 @@ let handler t ~src buf =
   let req = t.backend.Backend.recv ~cpu ep Proto.req buf in
   let resp = t.resp_scratch in
   Wire.Dyn.clear resp;
-  (match Wire.Dyn.get_int req "id" with
+  let id_opt = Wire.Dyn.get_int req "id" in
+  (match id_opt with
   | Some id -> Wire.Dyn.set_int resp "id" id
   | None -> ());
+  let duplicate =
+    match (t.dedup, id_opt) with
+    | Some d, Some id -> Net.Dedup.witness d ~src ~id:(Int64.to_int id) = `Duplicate
+    | _ -> false
+  in
   (match Wire.Dyn.get_int req "op" with
+  (* Gets are idempotent: re-executing a duplicate regenerates the (lost)
+     response. Puts are not — a duplicate put is suppressed and answered
+     with the id-only ack the retry layer needs. *)
   | Some op when op = Proto.op_get -> handle_get t ~cpu req resp
   | Some op when op = Proto.op_get_index -> handle_get_index t ~cpu req resp
-  | Some op when op = Proto.op_put -> handle_put t ~cpu req resp
+  | Some op when op = Proto.op_put ->
+      if duplicate then incr t.puts_suppressed
+      else begin
+        (match (t.dedup, id_opt) with
+        | Some _, Some id ->
+            let id = Int64.to_int id in
+            Hashtbl.replace t.put_applies id
+              (1 + Option.value (Hashtbl.find_opt t.put_applies id) ~default:0)
+        | _ -> ());
+        handle_put t ~cpu req resp
+      end
   | Some _ | None -> ());
   t.backend.Backend.send ~cpu ep ~dst:src resp;
   Wire.Dyn.release ~cpu req;
@@ -139,9 +167,23 @@ let install rig ~backend ~workload =
       client_rng = Sim.Rng.split rig.Rig.rng;
       resp_scratch = Wire.Dyn.create Proto.resp;
       req_scratch = Wire.Dyn.create Proto.req;
+      dedup = None;
+      puts_suppressed = ref 0;
+      put_applies = Hashtbl.create 256;
+      retry_cache = Hashtbl.create 256;
     }
 
 let switch_backend t backend = activate { t with backend }
+
+let enable_resilience t ~dedup = t.dedup <- Some dedup
+
+let dedup t = t.dedup
+
+let puts_suppressed t = !(t.puts_suppressed)
+
+let put_apply_counts t =
+  Hashtbl.fold (fun id n acc -> (id, n) :: acc) t.put_applies []
+  |> List.sort compare
 
 (* --- Client side (uncharged) ------------------------------------------ *)
 
@@ -178,7 +220,20 @@ let send_op t op client ~dst ~id =
   Mem.Arena.reset (Net.Endpoint.arena client)
 
 let send_next t client ~dst ~id =
-  send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id
+  match t.dedup with
+  | None -> send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id
+  | Some _ ->
+      (* Resilience mode: a retransmission must replay the same op the id
+         was first sent with, not draw a fresh one from the workload. *)
+      let op =
+        match Hashtbl.find_opt t.retry_cache id with
+        | Some op -> op
+        | None ->
+            let op = t.workload.Workload.Spec.next t.client_rng in
+            Hashtbl.replace t.retry_cache id op;
+            op
+      in
+      send_op t op client ~dst ~id
 
 let parse_id t buf =
   let msg = t.backend.Backend.recv (List.hd t.rig.Rig.clients) Proto.resp buf in
@@ -191,4 +246,5 @@ let parse_id t buf =
   List.iter
     (fun c -> Mem.Arena.reset (Net.Endpoint.arena c))
     t.rig.Rig.clients;
+  Hashtbl.remove t.retry_cache id;
   id

@@ -18,6 +18,23 @@ val install : Rig.t -> backend:Backend.t -> workload:Workload.Spec.t -> t
     different serializer (avoids re-populating between systems). *)
 val switch_backend : t -> Backend.t -> t
 
+(** Turn on resilience mode: duplicate requests (retransmissions,
+    fabric-duplicated frames) are witnessed against [dedup]; duplicate
+    puts are suppressed (answered with an id-only ack) while gets — being
+    idempotent — are re-executed to regenerate a lost response. Client
+    side, [send_next] replays the cached op for a retried id instead of
+    drawing a fresh one. *)
+val enable_resilience : t -> dedup:Net.Dedup.t -> unit
+
+val dedup : t -> Net.Dedup.t option
+
+(** Duplicate puts suppressed by the dedup window. *)
+val puts_suppressed : t -> int
+
+(** Per-request-id put application counts (resilience mode only), sorted
+    by id — every count must be 1 for exactly-once semantics. *)
+val put_apply_counts : t -> (int * int) list
+
 val store : t -> Kvstore.Store.t
 
 (** Client-side request sender for a workload op. *)

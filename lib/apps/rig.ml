@@ -14,13 +14,15 @@ let server_id = 1
 
 (* Process-wide seed used when [create] is not given ?seed explicitly; the
    bench harness's --seed flag sets it so whole experiment runs replay. *)
-let default_seed = ref 0xc0ffee
+let seed_ref = ref 0xc0ffee
 
-let set_default_seed s = default_seed := s
+let set_default_seed s = seed_ref := s
+
+let default_seed () = !seed_ref
 
 let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     ?(n_clients = 16) ?seed ?server_config () =
-  let seed = match seed with Some s -> s | None -> !default_seed in
+  let seed = match seed with Some s -> s | None -> !seed_ref in
   let engine = Sim.Engine.create () in
   (* Under RefSan, every rig reports leaks when its event queue drains. *)
   if Sanitizer.Refsan.is_enabled () then
@@ -56,6 +58,64 @@ let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     clients;
     rng = Sim.Rng.create ~seed;
   }
+
+let endpoints t = t.server_ep :: t.clients
+
+(* Recover every NIC's lost completions (releasing stuck ring slots,
+   segment references, and RefSan holds); returns descriptors recovered.
+   The reliability layer calls this periodically while requests are
+   outstanding; harnesses call it once more before quiescing — the
+   "driver shutdown reaps the TX ring" step. *)
+let reap_lost t =
+  List.fold_left
+    (fun acc ep -> acc + Nic.Device.reap_lost (Net.Endpoint.nic ep))
+    0 (endpoints t)
+
+(* Wire a Faultline injector into every layer of the rig: the fabric
+   consults it per packet, each NIC per CQE (scoped by endpoint id), the
+   server per request slot, and arena-exhaustion windows are scheduled
+   against the matching endpoints' arenas. *)
+let inject_faults t inj =
+  Net.Fabric.set_injector t.fabric (Some inj);
+  List.iter
+    (fun ep ->
+      Nic.Device.set_completion_fault (Net.Endpoint.nic ep)
+        (Some
+           (fun ~now ->
+             Faults.Injector.completion_decision inj ~now ~ep:(Net.Endpoint.id ep))))
+    (endpoints t);
+  Loadgen.Server.set_service_fault t.server
+    (Some (fun ~now -> Faults.Injector.service_stall inj ~now ~ep:server_id));
+  let now = Sim.Engine.now t.engine in
+  List.iter
+    (fun (scope, soft, from_ns, until_ns) ->
+      let targets =
+        List.filter
+          (fun ep ->
+            match scope with
+            | Faults.Plan.Anywhere -> true
+            | Faults.Plan.Endpoint e -> Net.Endpoint.id ep = e)
+          (endpoints t)
+      in
+      List.iter
+        (fun ep ->
+          let arena = Net.Endpoint.arena ep in
+          Sim.Engine.schedule t.engine ~after:(max 0 (from_ns - now)) (fun () ->
+              Mem.Arena.set_soft_capacity arena (Some soft));
+          if until_ns < max_int then
+            Sim.Engine.schedule t.engine ~after:(max 0 (until_ns - now)) (fun () ->
+                Mem.Arena.set_soft_capacity arena None))
+        targets)
+    (Faults.Injector.arena_windows inj)
+
+let clear_faults t =
+  Net.Fabric.set_injector t.fabric None;
+  List.iter
+    (fun ep ->
+      Nic.Device.set_completion_fault (Net.Endpoint.nic ep) None;
+      Mem.Arena.set_soft_capacity (Net.Endpoint.arena ep) None)
+    (endpoints t);
+  Loadgen.Server.set_service_fault t.server None
 
 let data_pool t ~name ~classes =
   let pool = Mem.Pinned.Pool.create t.space ~name ~classes in

@@ -20,6 +20,8 @@ val server_id : int
     bench harness's [--seed] flag sets it for reproducible runs. *)
 val set_default_seed : int -> unit
 
+val default_seed : unit -> int
+
 (** [create ()] builds the rig. [n_clients] defaults to 16; [seed] defaults
     to the [set_default_seed] value. *)
 val create :
@@ -31,6 +33,22 @@ val create :
   ?server_config:Net.Endpoint.config ->
   unit ->
   t
+
+(** Server endpoint followed by every client endpoint. *)
+val endpoints : t -> Net.Endpoint.t list
+
+(** Wire a Faultline injector into every layer: fabric packets, NIC
+    completions (scoped by endpoint id), server service slots, and
+    arena-exhaustion windows. *)
+val inject_faults : t -> Faults.Injector.t -> unit
+
+(** Detach the injector and restore arenas/NICs/server to fault-free
+    behaviour (does not reap already-lost completions). *)
+val clear_faults : t -> unit
+
+(** Recover lost completions on every NIC ([Nic.Device.reap_lost]);
+    returns descriptors recovered. Call before quiescing a faulted run. *)
+val reap_lost : t -> int
 
 (** [data_pool t ~name ~classes] makes a registered pinned pool for
     application data. *)

@@ -1,22 +1,46 @@
+(* Copies refused by an exhausted arena fall back to zero-copy when the
+   bytes are DMA-safe — the inverse of the usual demotion, trading a
+   pinned reference for not failing the request. Counted so faulted runs
+   can report how often the allocator forced the trade. *)
+let oom_fallbacks_ctr = ref 0
+
+let oom_fallbacks () = !oom_fallbacks_ctr
+
+let reset_counters () = oom_fallbacks_ctr := 0
+
 let copy ?cpu ep view =
   Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) view)
 
 let make ?cpu (config : Config.t) ep (view : Mem.View.t) =
+  let recover () =
+    Mem.Registry.recover_ptr ?cpu
+      (Net.Endpoint.registry ep)
+      ~addr:view.Mem.View.addr ~len:view.Mem.View.len
+  in
   if view.Mem.View.len >= config.zero_copy_threshold then
-    match
-      Mem.Registry.recover_ptr ?cpu
-        (Net.Endpoint.registry ep)
-        ~addr:view.Mem.View.addr ~len:view.Mem.View.len
-    with
+    match recover () with
     | Some buf -> Wire.Payload.Zero_copy buf
     | None -> copy ?cpu ep view
-  else copy ?cpu ep view
+  else
+    match copy ?cpu ep view with
+    | p -> p
+    | exception (Mem.Pinned.Out_of_memory _ as oom) -> (
+        match recover () with
+        | Some buf ->
+            incr oom_fallbacks_ctr;
+            Wire.Payload.Zero_copy buf
+        | None -> raise oom)
 
 let of_buf ?cpu (config : Config.t) ep buf =
   if Mem.Pinned.Buf.len buf >= config.zero_copy_threshold then
     Wire.Payload.Zero_copy buf
-  else begin
-    let p = copy ?cpu ep (Mem.Pinned.Buf.view buf) in
-    Mem.Pinned.Buf.decr_ref ?cpu buf;
-    p
-  end
+  else
+    match copy ?cpu ep (Mem.Pinned.Buf.view buf) with
+    | p ->
+        Mem.Pinned.Buf.decr_ref ?cpu buf;
+        p
+    | exception Mem.Pinned.Out_of_memory _ ->
+        (* Already-referenced pinned bytes: keep the reference and ship
+           zero-copy instead of failing. *)
+        incr oom_fallbacks_ctr;
+        Wire.Payload.Zero_copy buf

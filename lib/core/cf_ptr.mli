@@ -10,7 +10,12 @@
     - size at/above threshold → [recover_ptr]; if the bytes lie in a live
       pinned allocation, take a reference ([Zero_copy]);
     - otherwise (non-DMA-safe memory) → copy. Memory transparency: the
-      caller never needs to know. *)
+      caller never needs to know.
+
+    Resilience: when the arena refuses a copy ([Out_of_memory]) but the
+    bytes are DMA-safe, the constructor falls back to zero-copy instead of
+    failing the request — the inverse of the usual demotion. Only a
+    sub-threshold copy of non-pinned bytes still raises. *)
 
 (** [make ?cpu config ep view] builds a payload from arbitrary bytes. *)
 val make :
@@ -32,3 +37,9 @@ val of_buf :
   Net.Endpoint.t ->
   Mem.Pinned.Buf.t ->
   Wire.Payload.t
+
+(** Copies refused by an exhausted arena that fell back to zero-copy
+    (process-wide counter; harnesses snapshot deltas). *)
+val oom_fallbacks : unit -> int
+
+val reset_counters : unit -> unit

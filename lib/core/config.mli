@@ -10,11 +10,18 @@
     - [serialize_and_send]: when on, the object header and copied fields
       share the gather entry carrying the packet header (§3.2.3); when off,
       Cornflakes materialises a scatter-gather array and the stack prepends
-      a separate header entry (Table 5). *)
+      a separate header entry (Table 5).
+
+    Plus one resilience knob: [demote_on_pressure] lets the send path
+    demote zero-copy fields to arena copies when the endpoint reports
+    memory pressure (TX ring backing up, completions pinned) — graceful
+    degradation instead of unbounded reference pinning. Healthy runs
+    never trigger it. *)
 
 type t = {
   zero_copy_threshold : int;
   serialize_and_send : bool;
+  demote_on_pressure : bool;
 }
 
 (** Threshold 512, serialize-and-send on. *)

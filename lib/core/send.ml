@@ -1,10 +1,29 @@
 exception Message_too_large of { len : int; max : int }
 
+(* Degradation counters (process-wide, like the scratch plan below):
+   zero-copy payloads demoted because the endpoint reported memory
+   pressure, and demotions skipped because the arena itself was out of
+   space. Harnesses snapshot deltas per run. *)
+let pressure_demotions_ctr = ref 0
+
+let pressure_demotion_skips_ctr = ref 0
+
+let pressure_demotions () = !pressure_demotions_ctr
+
+let pressure_demotion_skips () = !pressure_demotion_skips_ctr
+
+let reset_counters () =
+  pressure_demotions_ctr := 0;
+  pressure_demotion_skips_ctr := 0
+
 (* Demote the smallest zero-copy payloads to copies until at most [keep]
-   remain. Demotion pays both the metadata touch (the refcount was already
-   taken) and the data copy — the double-cost case §3.2.1 warns about, which
-   is why it only happens on SGE-limit overflow. *)
-let demote_excess ?cpu ep msg ~keep =
+   remain ([keep = 0] demotes every one). Demotion pays both the metadata
+   touch (the refcount was already taken) and the data copy — the
+   double-cost case §3.2.1 warns about, which is why it only happens on
+   SGE-limit overflow or under memory pressure. With [best_effort] an
+   arena-exhausted copy keeps the zero-copy reference instead of raising;
+   returns (demoted, kept-for-lack-of-arena). *)
+let demote_excess ?cpu ?(site = "Send.demote") ?(best_effort = false) ep msg ~keep =
   let zc_lens =
     Wire.Dyn.fold_payloads msg ~init:[] ~f:(fun acc p ->
         match p with
@@ -12,9 +31,11 @@ let demote_excess ?cpu ep msg ~keep =
         | Wire.Payload.Copied _ | Wire.Payload.Literal _ -> acc)
   in
   let count = List.length zc_lens in
+  let demoted = ref 0 in
+  let skipped = ref 0 in
   if count > keep then begin
     let sorted = List.sort (fun a b -> compare b a) zc_lens in
-    let cutoff = List.nth sorted (keep - 1) in
+    let cutoff = if keep = 0 then max_int else List.nth sorted (keep - 1) in
     let strictly_larger =
       List.length (List.filter (fun l -> l > cutoff) sorted)
     in
@@ -39,14 +60,19 @@ let demote_excess ?cpu ep msg ~keep =
             in
             if keep_this then p
             else begin
-              let copied =
-                Mem.Arena.copy_in ?cpu ~site:"Send.demote" arena
-                  (Mem.Pinned.Buf.view buf)
-              in
-              Mem.Pinned.Buf.decr_ref ?cpu ~site:"Send.demote" buf;
-              Wire.Payload.Copied copied
+              match
+                Mem.Arena.copy_in ?cpu ~site arena (Mem.Pinned.Buf.view buf)
+              with
+              | copied ->
+                  Mem.Pinned.Buf.decr_ref ?cpu ~site buf;
+                  incr demoted;
+                  Wire.Payload.Copied copied
+              | exception Mem.Pinned.Out_of_memory _ when best_effort ->
+                  incr skipped;
+                  p
             end)
-  end
+  end;
+  (!demoted, !skipped)
 
 (* One reusable plan for the whole process: the simulator is single-threaded
    and [send_object] never re-enters itself (segmented sends go through
@@ -70,8 +96,24 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
   let limit = (Nic.Device.model (Net.Endpoint.nic ep)).Nic.Model.max_sge in
   let max_zc = limit - if config.serialize_and_send then 1 else 2 in
   if plan.Format_.zc_count > max_zc then begin
-    demote_excess ?cpu ep msg ~keep:max_zc;
+    ignore (demote_excess ?cpu ep msg ~keep:max_zc);
     Format_.measure_into plan msg
+  end;
+  (* Graceful degradation: when completions are backing up (lost/delayed
+     CQEs filling the TX ring), stop pinning new references — demote every
+     zero-copy payload to an arena copy, best-effort if the arena is
+     constrained too. *)
+  if
+    config.demote_on_pressure && plan.Format_.zc_count > 0
+    && Net.Endpoint.under_pressure ep
+  then begin
+    let demoted, skipped =
+      demote_excess ?cpu ~site:"Send.pressure_demote" ~best_effort:true ep msg
+        ~keep:0
+    in
+    pressure_demotions_ctr := !pressure_demotions_ctr + demoted;
+    pressure_demotion_skips_ctr := !pressure_demotion_skips_ctr + skipped;
+    if demoted > 0 then Format_.measure_into plan msg
   end;
   let contiguous_len = plan.Format_.header_len + plan.Format_.stream_len in
   (* Completion-side reference release: by the time the CQE arrives the

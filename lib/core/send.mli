@@ -14,9 +14,21 @@
     are released on TX completion; the caller must not release the message's
     payloads after a successful send. If the gather list would exceed the
     NIC's SGE limit, the smallest zero-copy payloads are transparently
-    demoted to copies first. *)
+    demoted to copies first; and when the endpoint reports memory pressure
+    (TX ring half full — completions lost or delayed) every zero-copy
+    payload is demoted, best-effort, so faulted runs degrade to the copy
+    path instead of pinning unbounded references. *)
 
 exception Message_too_large of { len : int; max : int }
+
+(** Zero-copy payloads demoted because of endpoint memory pressure /
+    demotions skipped because the arena was exhausted too (process-wide;
+    harnesses snapshot deltas). *)
+val pressure_demotions : unit -> int
+
+val pressure_demotion_skips : unit -> int
+
+val reset_counters : unit -> unit
 
 val send_object :
   ?cpu:Memmodel.Cpu.t ->

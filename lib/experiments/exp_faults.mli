@@ -1,0 +1,11 @@
+(** Faultline degradation curve: kv goodput and tail latency vs injected
+    fault rate, with the resilience stack (retry/backoff, dedup, TX-ring
+    reaper, zero-copy demotion) enabled. Writes [BENCH_faults.json] — a
+    fully deterministic artifact used by CI's byte-identity gate. *)
+
+val run : unit -> unit
+
+(** [replay_summary ~plan] runs a short fixed scenario under [plan] (rig
+    seeded from the plan seed) and returns a one-per-line counter summary;
+    byte-identical across replays of the same plan. *)
+val replay_summary : plan:Faults.Plan.t -> string

@@ -72,6 +72,11 @@ let all =
       title = "Replicated store: throughput by backup count";
       run = Exp_replication.run;
     };
+    {
+      id = "faults";
+      title = "Faultline: goodput/p99 degradation under injected faults";
+      run = Exp_faults.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -3,6 +3,8 @@ type budget = {
   point_ns : int;
   warmup_ns : int;
   curve_fractions : float list;
+  fault_point_ns : int;
+  fault_loss_rates : float list;
 }
 
 let default_budget =
@@ -11,6 +13,8 @@ let default_budget =
     point_ns = 15_000_000;
     warmup_ns = 4_000_000;
     curve_fractions = [ 0.2; 0.4; 0.6; 0.75; 0.85; 0.92; 0.98; 1.04 ];
+    fault_point_ns = 10_000_000;
+    fault_loss_rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ];
   }
 
 let quick_budget =
@@ -19,6 +23,8 @@ let quick_budget =
     point_ns = 5_000_000;
     warmup_ns = 1_500_000;
     curve_fractions = [ 0.4; 0.75; 0.95 ];
+    fault_point_ns = 2_500_000;
+    fault_loss_rates = [ 0.0; 0.01; 0.1 ];
   }
 
 let current = ref default_budget

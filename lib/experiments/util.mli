@@ -6,6 +6,8 @@ type budget = {
   point_ns : int; (* one open-loop load point *)
   warmup_ns : int;
   curve_fractions : float list; (* offered load as fraction of capacity *)
+  fault_point_ns : int; (* one faulted closed-loop point (bench faults) *)
+  fault_loss_rates : float list; (* degradation-curve loss rates *)
 }
 
 val default_budget : budget

@@ -1,0 +1,40 @@
+(** Runtime engine for a {!Plan.t}.
+
+    The injector is consulted at each decision point (a packet entering
+    the fabric, a NIC completion firing, a server service slot, an arena
+    window) and answers deterministically: each rule owns a private
+    [Sim.Rng] stream split from the plan seed, and rules are evaluated in
+    plan order with the first firing rule winning. Replaying the same
+    plan against the same workload seed reproduces every fault at the
+    same simulated instant. *)
+
+type t
+
+type fabric_fault = [ `Drop | `Corrupt | `Duplicate | `Delay of int | `Reorder ]
+
+val create : Plan.t -> t
+
+val plan : t -> Plan.t
+
+(** Consulted by [Net.Fabric] for every packet that survived the
+    baseline loss rate; [dst] is the destination endpoint id. *)
+val fabric_decision : t -> now:int -> dst:int -> fabric_fault option
+
+(** Consulted by [Nic.Device] when a (possibly coalesced) completion is
+    about to be delivered; [ep] is the endpoint owning the device. *)
+val completion_decision : t -> now:int -> ep:int -> [ `Lose | `Delay of int ] option
+
+(** Extra service time (ns) to stall the next request on a server
+    endpoint; 0 when no slow-consumer rule fires. *)
+val service_stall : t -> now:int -> ep:int -> int
+
+(** The plan's [Arena_exhaust] windows, for the harness to schedule
+    against endpoint arenas: [(scope, soft_capacity, from_ns, until_ns)]. *)
+val arena_windows : t -> (Plan.scope * int * int * int) list
+
+(** Per-rule [(rule text, events seen, faults fired)] counters, in plan
+    order. *)
+val counters : t -> (string * int * int) list
+
+(** Total faults fired across all rules. *)
+val fired : t -> int

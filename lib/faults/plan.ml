@@ -1,0 +1,222 @@
+type fault =
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Delay of { extra_ns : int }
+  | Reorder
+  | Completion_loss
+  | Completion_delay of { extra_ns : int }
+  | Arena_exhaust of { soft_capacity : int }
+  | Slow_consumer of { stall_ns : int }
+
+type schedule =
+  | Probability of float
+  | Window of { from_ns : int; until_ns : int; p : float }
+  | Every_nth of int
+  | One_shot of { at_event : int }
+
+type scope = Anywhere | Endpoint of int
+
+type rule = { fault : fault; schedule : schedule; scope : scope }
+
+type t = { seed : int; rules : rule list }
+
+exception Parse_error of string
+
+let validate_rule i r =
+  let fail fmt =
+    Format.kasprintf (fun m -> invalid_arg (Printf.sprintf "Faults.Plan.make: rule %d: %s" i m)) fmt
+  in
+  let check_p p = if not (p >= 0.0 && p <= 1.0) then fail "probability %g outside [0,1]" p in
+  (match r.schedule with
+  | Probability p -> check_p p
+  | Window { from_ns; until_ns; p } ->
+      check_p p;
+      if from_ns < 0 then fail "window start %d < 0" from_ns;
+      if until_ns <= from_ns then fail "window [%d,%d) is empty" from_ns until_ns
+  | Every_nth n -> if n < 1 then fail "every-nth period %d < 1" n
+  | One_shot { at_event } -> if at_event < 1 then fail "one-shot event index %d < 1" at_event);
+  (match r.fault with
+  | Delay { extra_ns } | Completion_delay { extra_ns } ->
+      if extra_ns < 0 then fail "delay %dns < 0" extra_ns
+  | Slow_consumer { stall_ns } -> if stall_ns < 0 then fail "stall %dns < 0" stall_ns
+  | Arena_exhaust { soft_capacity } ->
+      if soft_capacity < 0 then fail "soft capacity %d < 0" soft_capacity;
+      (match r.schedule with
+      | Window _ -> ()
+      | _ -> fail "arena-exhaust needs a time window (from=/until=)")
+  | Drop | Corrupt | Duplicate | Reorder | Completion_loss -> ())
+
+let make ~seed rules =
+  List.iteri validate_rule rules;
+  { seed; rules }
+
+let fault_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Duplicate -> "duplicate"
+  | Delay _ -> "delay"
+  | Reorder -> "reorder"
+  | Completion_loss -> "completion-loss"
+  | Completion_delay _ -> "completion-delay"
+  | Arena_exhaust _ -> "arena-exhaust"
+  | Slow_consumer _ -> "slow-consumer"
+
+let rule_to_string r =
+  let b = Buffer.create 48 in
+  Buffer.add_string b (fault_name r.fault);
+  (match r.fault with
+  | Delay { extra_ns } | Completion_delay { extra_ns } ->
+      Buffer.add_string b (Printf.sprintf " extra=%d" extra_ns)
+  | Arena_exhaust { soft_capacity } -> Buffer.add_string b (Printf.sprintf " soft=%d" soft_capacity)
+  | Slow_consumer { stall_ns } -> Buffer.add_string b (Printf.sprintf " stall=%d" stall_ns)
+  | Drop | Corrupt | Duplicate | Reorder | Completion_loss -> ());
+  (match r.schedule with
+  | Probability p -> Buffer.add_string b (Printf.sprintf " p=%g" p)
+  | Window { from_ns; until_ns; p } ->
+      if p <> 1.0 then Buffer.add_string b (Printf.sprintf " p=%g" p);
+      Buffer.add_string b (Printf.sprintf " from=%d until=%d" from_ns until_ns)
+  | Every_nth n -> Buffer.add_string b (Printf.sprintf " every=%d" n)
+  | One_shot { at_event } -> Buffer.add_string b (Printf.sprintf " one-shot=%d" at_event));
+  (match r.scope with
+  | Anywhere -> ()
+  | Endpoint e -> Buffer.add_string b (Printf.sprintf " ep=%d" e));
+  Buffer.contents b
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "seed %d\n" t.seed);
+  List.iter (fun r -> Buffer.add_string b (rule_to_string r ^ "\n")) t.rules;
+  Buffer.contents b
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let parse_kv lineno tok =
+  match String.index_opt tok '=' with
+  | None -> raise (Parse_error (Printf.sprintf "line %d: expected key=value, got %S" lineno tok))
+  | Some i ->
+      (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+
+let int_arg lineno k v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> raise (Parse_error (Printf.sprintf "line %d: %s=%S is not an integer" lineno k v))
+
+let float_arg lineno k v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> raise (Parse_error (Printf.sprintf "line %d: %s=%S is not a number" lineno k v))
+
+let parse_rule lineno name kvs =
+  let find k = List.assoc_opt k kvs in
+  let require k =
+    match find k with
+    | Some v -> v
+    | None ->
+        raise (Parse_error (Printf.sprintf "line %d: %s needs %s=" lineno name k))
+  in
+  let fault =
+    match name with
+    | "drop" -> Drop
+    | "corrupt" -> Corrupt
+    | "duplicate" -> Duplicate
+    | "delay" -> Delay { extra_ns = int_arg lineno "extra" (require "extra") }
+    | "reorder" -> Reorder
+    | "completion-loss" -> Completion_loss
+    | "completion-delay" ->
+        Completion_delay { extra_ns = int_arg lineno "extra" (require "extra") }
+    | "arena-exhaust" -> Arena_exhaust { soft_capacity = int_arg lineno "soft" (require "soft") }
+    | "slow-consumer" -> Slow_consumer { stall_ns = int_arg lineno "stall" (require "stall") }
+    | _ -> raise (Parse_error (Printf.sprintf "line %d: unknown fault %S" lineno name))
+  in
+  let p = Option.map (float_arg lineno "p") (find "p") in
+  let from_ns = Option.map (int_arg lineno "from") (find "from") in
+  let until_ns = Option.map (int_arg lineno "until") (find "until") in
+  let schedule =
+    match (find "every", find "one-shot", p, from_ns, until_ns) with
+    | Some v, None, None, None, None -> Every_nth (int_arg lineno "every" v)
+    | None, Some v, None, None, None -> One_shot { at_event = int_arg lineno "one-shot" v }
+    | None, None, p, (Some _ as f), u | None, None, p, f, (Some _ as u) ->
+        Window
+          {
+            from_ns = Option.value f ~default:0;
+            until_ns = Option.value u ~default:max_int;
+            p = Option.value p ~default:1.0;
+          }
+    | None, None, Some p, None, None -> Probability p
+    | None, None, None, None, None ->
+        raise
+          (Parse_error
+             (Printf.sprintf "line %d: %s needs a schedule (p=, every=, one-shot=, or from=/until=)"
+                lineno name))
+    | _ ->
+        raise
+          (Parse_error
+             (Printf.sprintf "line %d: conflicting schedule keys (pick p/window, every=, or one-shot=)"
+                lineno))
+  in
+  let scope = match find "ep" with Some v -> Endpoint (int_arg lineno "ep" v) | None -> Anywhere in
+  let known = [ "p"; "from"; "until"; "every"; "one-shot"; "ep"; "extra"; "soft"; "stall" ] in
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k known) then
+        raise (Parse_error (Printf.sprintf "line %d: unknown key %S" lineno k)))
+    kvs;
+  { fault; schedule; scope }
+
+let parse text =
+  let seed = ref 0 in
+  let rules = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = match String.index_opt line '#' with Some j -> String.sub line 0 j | None -> line in
+      let toks =
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      in
+      match toks with
+      | [] -> ()
+      | [ "seed"; v ] -> seed := int_arg lineno "seed" v
+      | "seed" :: _ -> raise (Parse_error (Printf.sprintf "line %d: seed takes one integer" lineno))
+      | name :: args ->
+          let kvs = List.map (parse_kv lineno) args in
+          rules := parse_rule lineno name kvs :: !rules)
+    lines;
+  try make ~seed:!seed (List.rev !rules)
+  with Invalid_argument m -> raise (Parse_error m)
+
+(* --- builtin plans ------------------------------------------------------ *)
+
+let builtin_texts =
+  [
+    ( "demo",
+      "seed 42\n\
+       drop p=0.02\n\
+       corrupt p=0.005\n\
+       duplicate p=0.01\n\
+       reorder p=0.01\n\
+       delay extra=4000 p=0.01\n\
+       completion-loss p=0.002 ep=1\n\
+       completion-delay extra=50000 p=0.005 ep=1\n\
+       slow-consumer stall=2000 every=64 ep=1\n" );
+    ("loss-1pct", "seed 42\ndrop p=0.01\ncompletion-loss p=0.001 ep=1\n");
+    ( "stress",
+      "seed 42\n\
+       drop p=0.08\n\
+       duplicate p=0.04\n\
+       reorder p=0.04\n\
+       completion-loss p=0.01 ep=1\n\
+       slow-consumer stall=5000 every=16 ep=1\n" );
+  ]
+
+let builtin_names = List.map fst builtin_texts
+
+let builtin ?seed name =
+  match List.assoc_opt name builtin_texts with
+  | None -> None
+  | Some text ->
+      let plan = parse text in
+      Some (match seed with None -> plan | Some seed -> { plan with seed })

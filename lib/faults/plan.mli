@@ -1,0 +1,73 @@
+(** Faultline plans: a small declarative DSL for deterministic fault
+    injection.
+
+    A plan is a seed plus an ordered list of rules. Each rule names a
+    fault (what goes wrong), an activation schedule (when it fires), and a
+    scope (where it applies). Every stochastic choice a plan makes is
+    drawn from [Sim.Rng] streams derived from the plan seed, so the same
+    plan replayed against the same experiment seed produces byte-identical
+    runs — faulted executions are as reproducible as clean ones.
+
+    Faults by layer:
+    - fabric: {!Drop}, {!Corrupt} (wire corruption, caught and dropped by
+      the receiving NIC's FCS check), {!Duplicate}, {!Delay}, {!Reorder};
+    - NIC: {!Completion_loss} (the CQE never arrives; descriptor
+      references stay pinned until a reaper recovers them),
+      {!Completion_delay};
+    - memory: {!Arena_exhaust} (clamp an endpoint arena to a soft
+      capacity for a time window), {!Slow_consumer} (inflate server
+      service time, holding buffers longer). *)
+
+type fault =
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Delay of { extra_ns : int }
+  | Reorder
+  | Completion_loss
+  | Completion_delay of { extra_ns : int }
+  | Arena_exhaust of { soft_capacity : int }
+  | Slow_consumer of { stall_ns : int }
+
+type schedule =
+  | Probability of float  (** fire on each matching event with probability p *)
+  | Window of { from_ns : int; until_ns : int; p : float }
+      (** like [Probability], but only inside [from_ns, until_ns) *)
+  | Every_nth of int  (** fire on every nth matching event (1-based) *)
+  | One_shot of { at_event : int }  (** fire once, on the nth matching event *)
+
+type scope =
+  | Anywhere
+  | Endpoint of int
+      (** fabric faults: destination endpoint; NIC/mem faults: the
+          endpoint owning the device/arena *)
+
+type rule = { fault : fault; schedule : schedule; scope : scope }
+
+type t = { seed : int; rules : rule list }
+
+exception Parse_error of string
+
+(** [make ~seed rules] validates and builds a plan. Raises
+    [Invalid_argument] on probabilities outside [0,1], non-positive
+    periods/counts, negative delays, inverted windows, or an
+    [Arena_exhaust] rule without a [Window] schedule. *)
+val make : seed:int -> rule list -> t
+
+(** Canonical one-line rendering of a rule, e.g.
+    ["drop p=0.01 ep=1"] — parseable back by {!parse}. *)
+val rule_to_string : rule -> string
+
+(** Multi-line rendering of the whole plan ([seed N] first); the output
+    round-trips through {!parse}. *)
+val to_string : t -> string
+
+(** Parse the textual form: one rule per line, [#] comments, an optional
+    [seed N] line. Raises {!Parse_error} with a line-tagged message. *)
+val parse : string -> t
+
+(** Named example plans shipped with the CLI ([demo], [loss-1pct],
+    [stress]); [?seed] overrides the template's seed. *)
+val builtin : ?seed:int -> string -> t option
+
+val builtin_names : string list

@@ -5,6 +5,8 @@ type result = {
   hist : Stats.Histogram.t;
   sent : int;
   completed : int;
+  retransmits : int;
+  abandoned : int;
 }
 
 let p99_ns r = if Stats.Histogram.count r.hist = 0 then 0 else Stats.Histogram.percentile r.hist 0.99
@@ -30,6 +32,9 @@ type ctx = {
   mutable resp_bytes : int;
   mutable next_id : int;
   pending : (int, int) Hashtbl.t; (* id -> send time, when parse_id given *)
+  reliab : Net.Reliab.t option;
+  retries0 : int; (* reliab counter baselines, for per-run deltas *)
+  give_ups0 : int;
 }
 
 let fresh_id ctx =
@@ -48,6 +53,12 @@ let install_rx ctx client ~parse_id ~fifo ~on_complete =
         | Some parse -> begin
             match parse buf with
             | id ->
+                (* Acknowledge first: a duplicate response (retransmitted
+                   request, fabric-duplicated frame) acks as `Duplicate`
+                   and finds no pending entry, so it is counted once. *)
+                (match ctx.reliab with
+                | Some r -> ignore (Net.Reliab.ack r ~id)
+                | None -> ());
                 let t = Hashtbl.find_opt ctx.pending id in
                 (match t with Some _ -> Hashtbl.remove ctx.pending id | None -> ());
                 t
@@ -64,16 +75,23 @@ let install_rx ctx client ~parse_id ~fifo ~on_complete =
       Mem.Pinned.Buf.decr_ref ~site:"Driver.response_done" buf;
       on_complete ())
 
-let issue ctx client ~server ~send ~parse_id ~fifo =
+let issue ?(on_give_up = fun () -> ()) ctx client ~server ~send ~parse_id ~fifo =
   let id = fresh_id ctx in
   let now = Sim.Engine.now ctx.engine in
   (match parse_id with
   | Some _ -> Hashtbl.replace ctx.pending id now
   | None -> Queue.add now fifo);
   ctx.sent <- ctx.sent + 1;
-  send client ~dst:server ~id
+  match ctx.reliab with
+  | None -> send client ~dst:server ~id
+  | Some r ->
+      Net.Reliab.track r ~id
+        ~send:(fun () -> send client ~dst:server ~id)
+        ~give_up:(fun () ->
+          Hashtbl.remove ctx.pending id;
+          on_give_up ())
 
-let make_ctx engine ~duration_ns ~warmup_ns =
+let make_ctx ?reliab engine ~duration_ns ~warmup_ns =
   let now = Sim.Engine.now engine in
   {
     engine;
@@ -85,6 +103,9 @@ let make_ctx engine ~duration_ns ~warmup_ns =
     resp_bytes = 0;
     next_id = 1;
     pending = Hashtbl.create 4096;
+    reliab;
+    retries0 = (match reliab with Some r -> Net.Reliab.retries r | None -> 0);
+    give_ups0 = (match reliab with Some r -> Net.Reliab.give_ups r | None -> 0);
   }
 
 let finish ctx ~offered_rps =
@@ -97,12 +118,23 @@ let finish ctx ~offered_rps =
     hist = ctx.hist;
     sent = ctx.sent;
     completed = ctx.completed;
+    retransmits =
+      (match ctx.reliab with Some r -> Net.Reliab.retries r - ctx.retries0 | None -> 0);
+    abandoned =
+      (match ctx.reliab with Some r -> Net.Reliab.give_ups r - ctx.give_ups0 | None -> 0);
   }
 
-let open_loop engine ~clients ~server ~rate_rps ~duration_ns ~warmup_ns ~rng
-    ~send ~parse_id =
+let check_reliab ~who ~reliab ~parse_id =
+  match (reliab, parse_id) with
+  | Some _, None ->
+      invalid_arg (who ^ ": retries need id-matched completions (parse_id)")
+  | _ -> ()
+
+let open_loop ?reliab engine ~clients ~server ~rate_rps ~duration_ns ~warmup_ns
+    ~rng ~send ~parse_id =
   if clients = [] then invalid_arg "Driver.open_loop: no clients";
-  let ctx = make_ctx engine ~duration_ns ~warmup_ns in
+  check_reliab ~who:"Driver.open_loop" ~reliab ~parse_id;
+  let ctx = make_ctx ?reliab engine ~duration_ns ~warmup_ns in
   let per_client_mean_ns =
     float_of_int (List.length clients) /. rate_rps *. 1e9
   in
@@ -123,22 +155,25 @@ let open_loop engine ~clients ~server ~rate_rps ~duration_ns ~warmup_ns ~rng
     clients;
   finish ctx ~offered_rps:rate_rps
 
-let closed_loop engine ~clients ~server ~outstanding ~duration_ns ~warmup_ns
-    ~rng ~send ~parse_id =
+let closed_loop ?reliab engine ~clients ~server ~outstanding ~duration_ns
+    ~warmup_ns ~rng ~send ~parse_id =
   if clients = [] then invalid_arg "Driver.closed_loop: no clients";
+  check_reliab ~who:"Driver.closed_loop" ~reliab ~parse_id;
   ignore rng;
-  let ctx = make_ctx engine ~duration_ns ~warmup_ns in
+  let ctx = make_ctx ?reliab engine ~duration_ns ~warmup_ns in
   List.iter
     (fun client ->
       let fifo = Queue.create () in
-      let next () =
+      let rec next () =
         if Sim.Engine.now engine < ctx.end_abs then
-          issue ctx client ~server ~send ~parse_id ~fifo
+          (* An abandoned request still frees its slot, or a lossy run
+             would strangle the closed loop. *)
+          issue ctx client ~server ~send ~parse_id ~fifo ~on_give_up:next
       in
       install_rx ctx client ~parse_id ~fifo ~on_complete:next;
       for k = 1 to outstanding do
         Sim.Engine.schedule engine ~after:(k * 211) (fun () ->
-            issue ctx client ~server ~send ~parse_id ~fifo)
+            issue ctx client ~server ~send ~parse_id ~fifo ~on_give_up:next)
       done)
     clients;
   finish ctx ~offered_rps:Float.infinity

@@ -13,6 +13,8 @@ type result = {
   hist : Stats.Histogram.t; (* RTTs of in-window completions *)
   sent : int;
   completed : int;
+  retransmits : int; (* re-sends issued by the reliability layer *)
+  abandoned : int; (* requests given up after exhausting retries *)
 }
 
 val p99_ns : result -> int
@@ -27,8 +29,16 @@ val to_point : result -> Stats.Curve.point
     count toward the histogram and achieved load.
 
     [send ep ~dst ~id] issues one request; [parse_id] extracts the id from a
-    response payload ([None] = FIFO matching per client endpoint). *)
+    response payload ([None] = FIFO matching per client endpoint).
+
+    [?reliab] routes every request through a reliability layer: [send] is
+    re-invoked with the same id on retransmission, responses are
+    acknowledged on arrival (duplicates counted once — the pending table
+    is keyed by id), and abandoned requests are dropped from the pending
+    table. Requires [parse_id] (raises [Invalid_argument] with FIFO
+    matching — a retransmitted request would desynchronise the queue). *)
 val open_loop :
+  ?reliab:Net.Reliab.t ->
   Sim.Engine.t ->
   clients:Net.Endpoint.t list ->
   server:int ->
@@ -41,8 +51,11 @@ val open_loop :
   result
 
 (** [closed_loop ...] keeps [outstanding] requests in flight per client
-    until [duration_ns]; measures saturation throughput. *)
+    until [duration_ns]; measures saturation throughput. [?reliab] as in
+    {!open_loop}; a given-up request re-issues a fresh one so loss cannot
+    strangle the loop. *)
 val closed_loop :
+  ?reliab:Net.Reliab.t ->
   Sim.Engine.t ->
   clients:Net.Endpoint.t list ->
   server:int ->

@@ -10,6 +10,9 @@ type t = {
   mutable dropped : int;
   mutable service_ns_total : float;
   mutable busy_ns : int;
+  (* Fault injection: extra ns to stall each request (slow consumer). *)
+  mutable service_fault : (now:int -> int) option;
+  mutable stalled_ns : int;
 }
 
 let rec service t =
@@ -29,6 +32,17 @@ let rec service t =
       let dt =
         int_of_float
           (ceil (Memmodel.Params.cycles_to_ns (Memmodel.Cpu.params t.cpu) cycles))
+      in
+      (* A slow-consumer fault stretches the whole slot: the response is
+         held back and the next request starts later, so rx buffers and
+         response references stay pinned for the stall too. *)
+      let dt =
+        match t.service_fault with
+        | None -> dt
+        | Some f ->
+            let stall = f ~now:(Sim.Engine.now t.engine) in
+            t.stalled_ns <- t.stalled_ns + stall;
+            dt + stall
       in
       Net.Endpoint.release_hold t.ep ~after:dt;
       t.served <- t.served + 1;
@@ -61,12 +75,18 @@ let create ?(queue_limit = 4096) ep cpu =
       dropped = 0;
       service_ns_total = 0.0;
       busy_ns = 0;
+      service_fault = None;
+      stalled_ns = 0;
     }
   in
   Net.Endpoint.set_rx ep (fun ~src buf -> on_rx t ~src buf);
   t
 
 let set_handler t f = t.handler <- f
+
+let set_service_fault t f = t.service_fault <- f
+
+let stalled_ns t = t.stalled_ns
 
 let served t = t.served
 

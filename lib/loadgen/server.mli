@@ -17,6 +17,14 @@ val create : ?queue_limit:int -> Net.Endpoint.t -> Memmodel.Cpu.t -> t
 (** [set_handler t f] — [f ~src buf] owns one reference on [buf]. *)
 val set_handler : t -> (src:int -> Mem.Pinned.Buf.t -> unit) -> unit
 
+(** Fault injection: [f ~now] returns extra ns to stall the request being
+    served (0 = no stall). The stall delays the response release and the
+    next request alike — a forced slow consumer holding buffers longer. *)
+val set_service_fault : t -> (now:int -> int) option -> unit
+
+(** Total injected stall time so far. *)
+val stalled_ns : t -> int
+
 val served : t -> int
 
 val dropped : t -> int

@@ -40,6 +40,10 @@ type t = {
   san_uid : int;
   san_gens : (int, int) Hashtbl.t; (* chunk offset -> generation *)
   san_live : (int, Sanitizer.Refsan.buf_id) Hashtbl.t;
+  (* Fault injection: a soft capacity below the backing size makes the
+     arena behave as if it were that small, without reallocating. *)
+  mutable soft_capacity : int option;
+  mutable oom_events : int;
 }
 
 let create space ~capacity =
@@ -53,6 +57,8 @@ let create space ~capacity =
     san_uid = Sanitizer.Refsan.register_pool ();
     san_gens = Hashtbl.create 64;
     san_live = Hashtbl.create 64;
+    soft_capacity = None;
+    oom_events = 0;
   }
 
 let used t = t.used
@@ -62,6 +68,21 @@ let capacity t = Bytes.length t.backing
 let recycle_hits t = t.recycle_hits
 
 let parked t = t.parked
+
+let set_soft_capacity t cap =
+  (match cap with
+  | Some c when c < 0 -> invalid_arg "Arena.set_soft_capacity: negative capacity"
+  | _ -> ());
+  t.soft_capacity <- cap
+
+let soft_capacity t = t.soft_capacity
+
+let effective_capacity t =
+  match t.soft_capacity with
+  | Some c -> min c (Bytes.length t.backing)
+  | None -> Bytes.length t.backing
+
+let oom_events t = t.oom_events
 
 let charge_alloc cpu =
   match cpu with
@@ -116,8 +137,10 @@ let alloc ?cpu ?(site = "Arena.alloc") t ~len =
       let chunk =
         match cls with Some cls -> class_size cls | None -> len
       in
-      if t.used + chunk > Bytes.length t.backing then
-        raise (Out_of_memory "arena exhausted");
+      if t.used + chunk > effective_capacity t then begin
+        t.oom_events <- t.oom_events + 1;
+        raise (Out_of_memory "arena exhausted")
+      end;
       let off = t.used in
       t.used <- t.used + chunk;
       View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len

@@ -35,6 +35,17 @@ val recycle_hits : t -> int
 (** Chunks currently parked on free lists. *)
 val parked : t -> int
 
+(** Clamp the arena to behave as if its backing were [cap] bytes (fault
+    injection for exhaustion testing); [None] restores the real capacity.
+    Recycled chunks are unaffected — they reuse already-reserved space.
+    Raises [Invalid_argument] on a negative capacity. *)
+val set_soft_capacity : t -> int option -> unit
+
+val soft_capacity : t -> int option
+
+(** Allocations refused with [Out_of_memory] since creation. *)
+val oom_events : t -> int
+
 (** [copy_in ?cpu ?site t src] copies [src]'s bytes into the arena (charging
     a streaming read of the source and write of the arena) and returns a view
     of the copy. Raises [Out_of_memory] if the arena is full. *)

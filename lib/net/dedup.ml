@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  seen : (int * int, int) Hashtbl.t; (* (src, id) -> arrivals *)
+  order : (int * int) Queue.t; (* insertion order, for FIFO eviction *)
+  mutable distinct : int;
+  mutable duplicates : int;
+  mutable evicted : int;
+}
+
+let create ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Dedup.create: capacity must be >= 1";
+  {
+    capacity;
+    seen = Hashtbl.create 1024;
+    order = Queue.create ();
+    distinct = 0;
+    duplicates = 0;
+    evicted = 0;
+  }
+
+let witness t ~src ~id =
+  let key = (src, id) in
+  match Hashtbl.find_opt t.seen key with
+  | Some n ->
+      Hashtbl.replace t.seen key (n + 1);
+      t.duplicates <- t.duplicates + 1;
+      `Duplicate
+  | None ->
+      Hashtbl.replace t.seen key 1;
+      Queue.add key t.order;
+      t.distinct <- t.distinct + 1;
+      if Queue.length t.order > t.capacity then begin
+        let oldest = Queue.pop t.order in
+        Hashtbl.remove t.seen oldest;
+        t.evicted <- t.evicted + 1
+      end;
+      `New
+
+let seen_count t ~src ~id =
+  Option.value (Hashtbl.find_opt t.seen (src, id)) ~default:0
+
+let distinct t = t.distinct
+
+let duplicates t = t.duplicates
+
+let evicted t = t.evicted

@@ -130,6 +130,15 @@ let nic t = t.nic
 
 let arena t = t.arena
 
+(* Memory-pressure signal for zero-copy demotion: the TX ring filling up
+   means completions are late (lost, delayed, or the wire is backed up),
+   so zero-copy payload references would be pinned for a long time. A
+   half-full ring never happens in a healthy run (steady-state occupancy
+   is a handful of descriptors), so the signal is quiet unless something
+   is actually wrong. *)
+let under_pressure t =
+  2 * Nic.Device.in_flight t.nic >= (Nic.Device.model t.nic).Nic.Model.tx_ring_entries
+
 let alloc_tx ?cpu ?(site = "Endpoint.alloc_tx") t ~len =
   Mem.Pinned.Buf.alloc ?cpu ~site t.tx_pool ~len
 

@@ -65,6 +65,13 @@ val nic : t -> Nic.Device.t
     resets it between requests. *)
 val arena : t -> Mem.Arena.t
 
+(** True when the TX ring is at least half full — completions are not
+    keeping up (lost/delayed CQEs, wire backlog), so zero-copy payload
+    references would stay pinned for a long time. The send path uses this
+    to demote zero-copy fields to arena copies; healthy runs never
+    trigger it. *)
+val under_pressure : t -> bool
+
 (** [alloc_tx ?cpu ?site t ~len] takes a staging buffer from the TX pool.
     [site] labels the allocation in RefSan reports. *)
 val alloc_tx :

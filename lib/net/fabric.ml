@@ -6,9 +6,20 @@ type t = {
   endpoints : (int, string -> unit) Hashtbl.t;
   mutable delivered : int;
   mutable dropped : int;
+  dropped_by_dst : (int, int) Hashtbl.t;
+  mutable injector : Faults.Injector.t option;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable reordered : int;
 }
 
+let check_loss_rate r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg (Printf.sprintf "Fabric: loss rate %g outside [0,1]" r)
+
 let create ?(one_way_delay_ns = 850) ?(loss_rate = 0.0) engine =
+  check_loss_rate loss_rate;
   {
     engine;
     one_way_delay_ns;
@@ -17,6 +28,12 @@ let create ?(one_way_delay_ns = 850) ?(loss_rate = 0.0) engine =
     endpoints = Hashtbl.create 64;
     delivered = 0;
     dropped = 0;
+    dropped_by_dst = Hashtbl.create 16;
+    injector = None;
+    corrupted = 0;
+    duplicated = 0;
+    delayed = 0;
+    reordered = 0;
   }
 
 let engine t = t.engine
@@ -28,20 +45,75 @@ let attach t ~id ~rx =
     invalid_arg (Printf.sprintf "Fabric.attach: duplicate endpoint %d" id);
   Hashtbl.replace t.endpoints id rx
 
-let set_loss_rate t r = t.loss_rate <- r
+let set_loss_rate t r =
+  check_loss_rate r;
+  t.loss_rate <- r
+
+let set_injector t inj = t.injector <- inj
+
+let injector t = t.injector
+
+let drop t ~dst =
+  t.dropped <- t.dropped + 1;
+  let prev = Option.value (Hashtbl.find_opt t.dropped_by_dst dst) ~default:0 in
+  Hashtbl.replace t.dropped_by_dst dst (prev + 1)
+
+let deliver t ~after rx packet =
+  Sim.Engine.schedule t.engine ~after (fun () ->
+      t.delivered <- t.delivered + 1;
+      rx packet)
 
 let inject t packet =
   let _src, dst = Packet.parse_header packet in
   let lost = t.loss_rate > 0.0 && Sim.Rng.bool t.rng t.loss_rate in
-  if lost then t.dropped <- t.dropped + 1
+  if lost then drop t ~dst
   else
     match Hashtbl.find_opt t.endpoints dst with
-    | None -> t.dropped <- t.dropped + 1
-    | Some rx ->
-        Sim.Engine.schedule t.engine ~after:t.one_way_delay_ns (fun () ->
-            t.delivered <- t.delivered + 1;
-            rx packet)
+    | None -> drop t ~dst
+    | Some rx -> (
+        let fault =
+          match t.injector with
+          | None -> None
+          | Some inj ->
+              Faults.Injector.fabric_decision inj ~now:(Sim.Engine.now t.engine) ~dst
+        in
+        match fault with
+        | Some `Drop -> drop t ~dst
+        | Some `Corrupt ->
+            (* Wire corruption: the receiving NIC's FCS check catches the
+               mangled frame and discards it before the host sees it, so a
+               corrupt packet is a (separately counted) drop. *)
+            t.corrupted <- t.corrupted + 1;
+            drop t ~dst
+        | Some `Duplicate ->
+            t.duplicated <- t.duplicated + 1;
+            deliver t ~after:t.one_way_delay_ns rx packet;
+            deliver t ~after:(2 * t.one_way_delay_ns) rx packet
+        | Some (`Delay extra) ->
+            t.delayed <- t.delayed + 1;
+            deliver t ~after:(t.one_way_delay_ns + extra) rx packet
+        | Some `Reorder ->
+            (* Hold the packet for two extra one-way delays so anything
+               sent in that window overtakes it. *)
+            t.reordered <- t.reordered + 1;
+            deliver t ~after:(3 * t.one_way_delay_ns) rx packet
+        | None -> deliver t ~after:t.one_way_delay_ns rx packet)
 
 let delivered t = t.delivered
 
 let dropped t = t.dropped
+
+let dropped_to t ~dst =
+  Option.value (Hashtbl.find_opt t.dropped_by_dst dst) ~default:0
+
+let drops_by_dst t =
+  Hashtbl.fold (fun dst n acc -> (dst, n) :: acc) t.dropped_by_dst []
+  |> List.sort compare
+
+let corrupted t = t.corrupted
+
+let duplicated t = t.duplicated
+
+let delayed t = t.delayed
+
+let reordered t = t.reordered

@@ -2,10 +2,12 @@
 
     Models the 100 Gbps switch (or back-to-back cable) between the load
     generators and the server: a constant one-way delay, in-order delivery,
-    optional random loss for TCP tests. *)
+    optional random loss for TCP tests, and an optional Faultline injector
+    for deterministic drop / corrupt / duplicate / delay / reorder faults. *)
 
 type t
 
+(** Raises [Invalid_argument] if [loss_rate] is outside [0,1]. *)
 val create : ?one_way_delay_ns:int -> ?loss_rate:float -> Sim.Engine.t -> t
 
 val engine : t -> Sim.Engine.t
@@ -17,12 +19,38 @@ val one_way_delay_ns : t -> int
 val attach : t -> id:int -> rx:(string -> unit) -> unit
 
 (** [inject t packet] routes a wire packet to its destination endpoint after
-    the one-way delay (subject to loss). Unknown destinations are dropped. *)
+    the one-way delay (subject to loss and injected faults). Unknown
+    destinations are dropped. *)
 val inject : t -> string -> unit
 
-(** [set_loss_rate t r] changes the drop probability (failure injection). *)
+(** [set_loss_rate t r] changes the drop probability (failure injection).
+    Raises [Invalid_argument] outside [0,1]. *)
 val set_loss_rate : t -> float -> unit
+
+(** Attach (or clear) a Faultline injector; consulted for every packet
+    that survives the baseline loss rate. *)
+val set_injector : t -> Faults.Injector.t option -> unit
+
+val injector : t -> Faults.Injector.t option
 
 val delivered : t -> int
 
+(** Total packets dropped (baseline loss + injected drops + corrupt
+    frames + unknown destinations). *)
 val dropped : t -> int
+
+(** Drops charged to one destination endpoint. *)
+val dropped_to : t -> dst:int -> int
+
+(** All per-destination drop counts, sorted by endpoint id. *)
+val drops_by_dst : t -> (int * int) list
+
+(** Frames discarded by the receiving NIC's FCS check (injected
+    [Corrupt] faults); also counted in {!dropped}. *)
+val corrupted : t -> int
+
+val duplicated : t -> int
+
+val delayed : t -> int
+
+val reordered : t -> int

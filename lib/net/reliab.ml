@@ -1,0 +1,129 @@
+type config = {
+  timeout_ns : int;
+  max_retries : int;
+  backoff : float;
+  jitter : float;
+  reap_period_ns : int;
+}
+
+let default_config =
+  { timeout_ns = 100_000; max_retries = 4; backoff = 2.0; jitter = 0.1; reap_period_ns = 250_000 }
+
+type entry = {
+  e_send : unit -> unit;
+  e_give_up : unit -> unit;
+  mutable attempts : int; (* sends so far, including the first *)
+  mutable resolved : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  config : config;
+  pending : (int, entry) Hashtbl.t;
+  mutable reaper : (unit -> unit) option;
+  mutable reaper_armed : bool;
+  mutable tracked : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable give_ups : int;
+  mutable acked : int;
+  mutable dup_acks : int;
+}
+
+let check_config c =
+  if c.timeout_ns <= 0 then invalid_arg "Reliab: timeout_ns must be positive";
+  if c.max_retries < 0 then invalid_arg "Reliab: max_retries must be >= 0";
+  if c.backoff < 1.0 then invalid_arg "Reliab: backoff must be >= 1";
+  if not (c.jitter >= 0.0 && c.jitter <= 1.0) then invalid_arg "Reliab: jitter outside [0,1]";
+  if c.reap_period_ns <= 0 then invalid_arg "Reliab: reap_period_ns must be positive"
+
+let create ?(config = default_config) engine ~rng =
+  check_config config;
+  {
+    engine;
+    rng;
+    config;
+    pending = Hashtbl.create 256;
+    reaper = None;
+    reaper_armed = false;
+    tracked = 0;
+    retries = 0;
+    timeouts = 0;
+    give_ups = 0;
+    acked = 0;
+    dup_acks = 0;
+  }
+
+let outstanding t = Hashtbl.length t.pending
+
+(* The reaper self-reschedules only while requests are outstanding, so an
+   idle layer never keeps the engine's event loop alive. *)
+let rec arm_reaper t =
+  if (not t.reaper_armed) && t.reaper <> None && outstanding t > 0 then begin
+    t.reaper_armed <- true;
+    Sim.Engine.schedule t.engine ~after:t.config.reap_period_ns (fun () ->
+        t.reaper_armed <- false;
+        (match t.reaper with Some f -> f () | None -> ());
+        arm_reaper t)
+  end
+
+let set_reaper t f =
+  t.reaper <- Some f;
+  arm_reaper t
+
+let timeout_for t e =
+  let base = float_of_int t.config.timeout_ns *. (t.config.backoff ** float_of_int (e.attempts - 1)) in
+  let jitter = 1.0 +. (t.config.jitter *. ((2.0 *. Sim.Rng.float t.rng) -. 1.0)) in
+  max 1 (int_of_float (base *. jitter))
+
+let rec arm t ~id e =
+  Sim.Engine.schedule t.engine ~after:(timeout_for t e) (fun () ->
+      if not e.resolved then begin
+        t.timeouts <- t.timeouts + 1;
+        if e.attempts > t.config.max_retries then begin
+          e.resolved <- true;
+          Hashtbl.remove t.pending id;
+          t.give_ups <- t.give_ups + 1;
+          e.e_give_up ()
+        end
+        else begin
+          t.retries <- t.retries + 1;
+          e.attempts <- e.attempts + 1;
+          e.e_send ();
+          arm t ~id e
+        end
+      end)
+
+let track t ~id ~send ~give_up =
+  if Hashtbl.mem t.pending id then
+    invalid_arg (Printf.sprintf "Reliab.track: id %d already tracked" id);
+  let e = { e_send = send; e_give_up = give_up; attempts = 1; resolved = false } in
+  Hashtbl.replace t.pending id e;
+  t.tracked <- t.tracked + 1;
+  send ();
+  arm t ~id e;
+  arm_reaper t
+
+let ack t ~id =
+  match Hashtbl.find_opt t.pending id with
+  | Some e when not e.resolved ->
+      e.resolved <- true;
+      Hashtbl.remove t.pending id;
+      t.acked <- t.acked + 1;
+      `Acked
+  | _ ->
+      t.dup_acks <- t.dup_acks + 1;
+      `Duplicate
+
+let tracked t = t.tracked
+
+let retries t = t.retries
+
+let timeouts t = t.timeouts
+
+let give_ups t = t.give_ups
+
+let acked t = t.acked
+
+let dup_acks t = t.dup_acks

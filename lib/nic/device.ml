@@ -7,6 +7,8 @@ exception Too_many_segments of { requested : int; limit : int }
 
 exception Ring_full
 
+type completion_fault = now:int -> [ `Lose | `Delay of int ] option
+
 type t = {
   engine : Sim.Engine.t;
   model : Model.t;
@@ -16,6 +18,15 @@ type t = {
   mutable tx_packets : int;
   mutable tx_bytes : int;
   mutable doorbells : int;
+  (* Fault injection: a lost CQE leaves its descriptors' ring slots
+     occupied and their segment references (and RefSan holds) pinned until
+     [reap_lost] recovers them — exactly the hazard the paper's refcount
+     discussion worries about. *)
+  mutable completion_fault : completion_fault option;
+  mutable lost : (int option list * (unit -> unit)) list;
+  mutable lost_completions : int;
+  mutable delayed_completions : int;
+  mutable reaped_completions : int;
 }
 
 let create engine ~model =
@@ -28,11 +39,58 @@ let create engine ~model =
     tx_packets = 0;
     tx_bytes = 0;
     doorbells = 0;
+    completion_fault = None;
+    lost = [];
+    lost_completions = 0;
+    delayed_completions = 0;
+    reaped_completions = 0;
   }
 
 let model t = t.model
 
 let set_on_wire t f = t.on_wire <- f
+
+let set_completion_fault t f = t.completion_fault <- f
+
+(* Deliver one descriptor's completion: free the ring slot, release the
+   write-protect holds, run the stack's callback. *)
+let finish_completion t (holds, on_complete) =
+  t.in_flight <- t.in_flight - 1;
+  List.iter Mem.Pinned.Buf.release_hold holds;
+  on_complete ()
+
+(* Decide the fate of a CQE that is due now. [`Lose] stashes the
+   completions on the lost list (ring slots stay occupied); [`Delay d]
+   re-schedules delivery [d] ns later. *)
+let deliver_completions t completions =
+  let fate =
+    match t.completion_fault with
+    | None -> None
+    | Some f -> f ~now:(Sim.Engine.now t.engine)
+  in
+  match fate with
+  | Some `Lose ->
+      t.lost_completions <- t.lost_completions + List.length completions;
+      t.lost <- List.rev_append completions t.lost
+  | Some (`Delay extra) ->
+      t.delayed_completions <- t.delayed_completions + List.length completions;
+      Sim.Engine.schedule t.engine ~after:extra (fun () ->
+          List.iter (finish_completion t) completions)
+  | None -> List.iter (finish_completion t) completions
+
+let reap_lost t =
+  let lost = t.lost in
+  t.lost <- [];
+  let n = List.length lost in
+  t.reaped_completions <- t.reaped_completions + n;
+  List.iter (finish_completion t) lost;
+  n
+
+let lost_completions t = t.lost_completions
+
+let delayed_completions t = t.delayed_completions
+
+let reaped_completions t = t.reaped_completions
 
 let gather segments =
   let total =
@@ -83,12 +141,12 @@ let post t desc =
   in
   let payload = gather desc.segments in
   Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
-      t.in_flight <- t.in_flight - 1;
       t.tx_packets <- t.tx_packets + 1;
       t.tx_bytes <- t.tx_bytes + String.length payload;
-      List.iter Mem.Pinned.Buf.release_hold holds;
+      (* Egress happens regardless of the CQE's fate: losing a completion
+         does not claw the packet back off the wire. *)
       t.on_wire payload;
-      desc.on_complete ())
+      deliver_completions t [ (holds, desc.on_complete) ])
 
 (* Batched post: one doorbell covers every descriptor. The first descriptor
    pays the full per-descriptor PCIe fetch; the rest ride the same burst and
@@ -143,13 +201,9 @@ let post_batch t descs =
         (holds, desc.on_complete))
       descs
   in
+  (* One coalesced CQE: a completion fault hits the whole batch at once. *)
   Sim.Engine.schedule_at t.engine ~time:!last_finish (fun () ->
-      List.iter
-        (fun (holds, on_complete) ->
-          t.in_flight <- t.in_flight - 1;
-          List.iter Mem.Pinned.Buf.release_hold holds;
-          on_complete ())
-        completions)
+      deliver_completions t completions)
 
 let in_flight t = t.in_flight
 

@@ -47,6 +47,29 @@ val post_batch : t -> descriptor list -> unit
 (** Number of descriptors queued but not yet completed. *)
 val in_flight : t -> int
 
+(** Fault injection: consulted once per CQE that is due ([post] CQEs
+    cover one descriptor, [post_batch] CQEs the whole batch). [`Lose]
+    stashes the completion — ring slots stay occupied and segment
+    references (and RefSan holds) stay pinned until {!reap_lost};
+    [`Delay d] delivers it [d] ns late. Egress is unaffected: the packet
+    still reaches the fabric. *)
+type completion_fault = now:int -> [ `Lose | `Delay of int ] option
+
+val set_completion_fault : t -> completion_fault option -> unit
+
+(** Deliver every stashed lost completion now (releasing ring slots,
+    holds, and callbacks); returns how many descriptors were recovered.
+    Models a driver's periodic TX-ring reap. *)
+val reap_lost : t -> int
+
+(** Descriptors whose CQE was injected as lost / delayed / later
+    recovered by {!reap_lost}. *)
+val lost_completions : t -> int
+
+val delayed_completions : t -> int
+
+val reaped_completions : t -> int
+
 (** Total packets and payload bytes transmitted. *)
 val tx_packets : t -> int
 

@@ -31,7 +31,13 @@ type buf_id = {
 let describe id =
   Printf.sprintf "%s/%dB slot %d gen %d" id.pool id.size id.slot id.gen
 
-type diag_kind = Leak | Double_free | Underflow | Use_after_free | Write_hazard
+type diag_kind =
+  | Leak
+  | Double_free
+  | Underflow
+  | Use_after_free
+  | Write_hazard
+  | Stuck_hold
 
 let diag_kind_to_string = function
   | Leak -> "leak"
@@ -39,6 +45,7 @@ let diag_kind_to_string = function
   | Underflow -> "refcount-underflow"
   | Use_after_free -> "use-after-free"
   | Write_hazard -> "write-after-post"
+  | Stuck_hold -> "stuck-hold"
 
 type diag = {
   d_kind : diag_kind;
@@ -108,11 +115,16 @@ let n_diags = ref 0
 
 let diags_cap = 10_000
 
+(* Hold tokens already reported as stuck, so repeated quiesces don't
+   duplicate the diagnostic. *)
+let flagged_stuck : (int, unit) Hashtbl.t = Hashtbl.create 64
+
 let reset () =
   Hashtbl.reset records;
   Queue.clear graveyard;
   Hashtbl.reset holds;
   Hashtbl.reset holds_by_pool;
+  Hashtbl.reset flagged_stuck;
   diags_rev := [];
   n_diags := 0;
   seq := 0
@@ -380,7 +392,30 @@ let count_diags kind =
     (fun acc d -> if d.d_kind = kind then acc + 1 else acc)
     0 (diagnostics ())
 
-let hazard_count () = count_diags Write_hazard
+let hazard_count () = count_diags Write_hazard + count_diags Stuck_hold
+
+(* A hold still active when the engine quiesces means a DMA post whose
+   completion never arrived: the buffer's reference is pinned forever
+   unless a reaper or retry layer recovers it. Leak detection deliberately
+   excuses held refs (in-flight is not leaked), so without this check a
+   lost completion would be invisible. Called from the quiesce report. *)
+let flag_stuck_holds () =
+  let fresh = ref 0 in
+  Hashtbl.iter
+    (fun token h ->
+      if not (Hashtbl.mem flagged_stuck token) then begin
+        Hashtbl.replace flagged_stuck token ();
+        incr fresh;
+        let id = Option.map (fun r -> r.r_id) (Hashtbl.find_opt records h.h_key) in
+        let buf = match id with Some id -> describe id | None -> Printf.sprintf "pool %d" h.h_pool in
+        diag Stuck_hold ~id ~site:h.h_site
+          "stuck hold: %s still in flight at quiesce (posted at %s) — a lost \
+           completion pinned its reference; reap the TX ring or let the retry \
+           layer recover it"
+          buf h.h_site
+      end)
+    holds;
+  !fresh
 
 let tracked_buffers () = Hashtbl.length records
 

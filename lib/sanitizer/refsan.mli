@@ -28,7 +28,15 @@ type buf_id = {
 
 val describe : buf_id -> string
 
-type diag_kind = Leak | Double_free | Underflow | Use_after_free | Write_hazard
+type diag_kind =
+  | Leak
+  | Double_free
+  | Underflow
+  | Use_after_free
+  | Write_hazard
+  | Stuck_hold
+      (** a DMA-post hold still active at quiesce: the completion was lost
+          and nothing reaped it, so the buffer reference is pinned forever *)
 
 val diag_kind_to_string : diag_kind -> string
 
@@ -115,7 +123,15 @@ val diagnostics : unit -> diag list
 
 val count_diags : diag_kind -> int
 
+(** Write-after-post plus stuck-hold diagnostics. *)
 val hazard_count : unit -> int
+
+(** Report every still-active hold as a {!Stuck_hold} diagnostic (once per
+    hold token across repeated calls); returns how many were newly
+    flagged. Leak detection excuses held references — in-flight is not
+    leaked — so this is how a lost completion surfaces in the ledger.
+    Called by [Report.print_quiesce]. *)
+val flag_stuck_holds : unit -> int
 
 val tracked_buffers : unit -> int
 

@@ -53,8 +53,11 @@ let summary_line () =
     extra (Refsan.tracked_buffers ()) (Refsan.active_holds ())
 
 (* Engine-quiesce hook body: dump leaks (and any other diagnostics) when
-   present; stay quiet on a clean ledger unless [verbose]. *)
+   present; stay quiet on a clean ledger unless [verbose]. Quiesce is also
+   the point where a still-active hold means a completion was lost and
+   never recovered, so flag those first. *)
 let print_quiesce ?(verbose = false) () =
+  ignore (Refsan.flag_stuck_holds ());
   let leaks = leak_lines () in
   let diags = diag_lines () in
   if leaks <> [] || diags <> [] || verbose then begin

@@ -23,4 +23,5 @@ let () =
       ("replication", Test_replication.suite);
       ("loadgen", Test_loadgen.suite);
       ("sanitizer", Test_sanitizer.suite);
+      ("faults", Test_faults.suite);
     ]
