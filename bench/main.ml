@@ -11,6 +11,10 @@
      dune exec bench/main.exe -- --seed 42      # seed every Sim.Rng (rigs +
                                                 #   micro) for reproducible
                                                 #   runs across machines
+     dune exec bench/main.exe -- --jobs 4       # run each experiment's
+                                                #   independent configs on 4
+                                                #   worker domains (results
+                                                #   byte-identical to serial)
      dune exec bench/main.exe -- --tx-batch 8   # coalesce TX doorbells
                                                 #   fleet-wide (default 1)
      dune exec bench/main.exe -- --json         # write BENCH_micro.json
@@ -31,438 +35,13 @@ let run_experiment (e : Experiments.Registry.entry) =
   Printf.printf "  (%s finished in %.1fs)\n\n%!" e.Experiments.Registry.id
     (Unix.gettimeofday () -. t0)
 
-(* --- Bechamel microbenchmarks ----------------------------------------- *)
-
-(* One benchmark = a thunk measured two ways: wall-clock ns/op by Bechamel,
-   and minor-heap words/op by a plain counted loop around Gc.minor_words.
-   [tracked] marks benchmarks whose words/op are gated against the committed
-   baseline (words/op is deterministic; ns/op varies by machine and is
-   informational only). *)
-type mb = { name : string; tracked : bool; fn : unit -> unit }
-
-type result = {
-  r_name : string;
-  r_tracked : bool;
-  mutable ns_per_op : float;
-  words_per_op : float;
-}
-
-let words_per_op ~iters fn =
-  for _ = 1 to max 100 (iters / 10) do
-    fn ()
-  done;
-  let w0 = Gc.minor_words () in
-  for _ = 1 to iters do
-    fn ()
-  done;
-  (Gc.minor_words () -. w0) /. float_of_int iters
-
-(* The serialize-and-send loop: the paper's steady-state hot path. One
-   pooled response object is cleared and rebuilt per op (one copied 64 B
-   field, two zero-copy fields), sent through [Send.send_object], and the
-   engine drained so NIC completions release the stack's references. *)
-let make_send_loop ~pooled () =
-  let engine = Sim.Engine.create () in
-  let fabric = Net.Fabric.create engine in
-  let space = Mem.Addr_space.create () in
-  let registry = Mem.Registry.create space in
-  let ep = Net.Endpoint.create fabric registry ~id:1 in
-  let _peer = Net.Endpoint.create fabric registry ~id:2 in
-  let pool =
-    Mem.Pinned.Pool.create space ~name:"bench-send"
-      ~classes:[ (64, 64); (512, 64); (2048, 64) ]
-  in
-  let value len =
-    let b = Mem.Pinned.Buf.alloc ~site:"bench.value" pool ~len in
-    Mem.Pinned.Buf.fill ~site:"bench.value" b (String.make len 'v');
-    b
-  in
-  let b64 = value 64 and b512 = value 512 and b2048 = value 2048 in
-  (* Views are stable for the life of the buffers; take them once. *)
-  let v64 = Mem.Pinned.Buf.view b64
-  and v512 = Mem.Pinned.Buf.view b512
-  and v2048 = Mem.Pinned.Buf.view b2048 in
-  let config = Cornflakes.Config.default in
-  let scratch = Wire.Dyn.create Apps.Proto.resp in
-  let build msg =
-    Wire.Dyn.set_int msg "id" 7L;
-    Wire.Dyn.set msg "vals"
-      (Wire.Dyn.List
-         [
-           Wire.Dyn.Payload (Cornflakes.Cf_ptr.make config ep v64);
-           Wire.Dyn.Payload (Cornflakes.Cf_ptr.make config ep v512);
-           Wire.Dyn.Payload (Cornflakes.Cf_ptr.make config ep v2048);
-         ])
-  in
-  fun () ->
-    let msg =
-      if pooled then begin
-        Wire.Dyn.clear scratch;
-        scratch
-      end
-      else Wire.Dyn.create Apps.Proto.resp
-    in
-    build msg;
-    Cornflakes.Send.send_object config ep ~dst:2 msg;
-    Sim.Engine.run_all engine;
-    Mem.Arena.reset (Net.Endpoint.arena ep)
-
-let make_benchmarks ~seed () =
-  let space = Mem.Addr_space.create () in
-  (* Shared scratch: one Addr_space, payload strings and sample messages
-     built once — so per-op numbers measure the serializer, not setup. *)
-  let scratch = Bytes.create 16384 in
-  let scratch_view =
-    Mem.View.make
-      ~addr:(Mem.Addr_space.reserve space ~bytes:16384)
-      ~data:scratch ~off:0 ~len:16384
-  in
-  let payload_64 = String.make 64 'v'
-  and payload_512 = String.make 512 'v'
-  and payload_2048 = String.make 2048 'v' in
-  let pool =
-    Mem.Pinned.Pool.create space ~name:"bench"
-      ~classes:[ (64, 64); (512, 64); (2048, 64); (16384, 64) ]
-  in
-  let pinned s =
-    let b = Mem.Pinned.Buf.alloc ~site:"bench.micro" pool ~len:(String.length s) in
-    Mem.Pinned.Buf.fill ~site:"bench.micro" b s;
-    b
-  in
-  (* Hybrid message: one copied-size field, two zero-copy fields. *)
-  let msg = Wire.Dyn.create Apps.Proto.resp in
-  Wire.Dyn.set_int msg "id" 7L;
-  Wire.Dyn.append msg "vals"
-    (Wire.Dyn.Payload (Wire.Payload.of_string space payload_64));
-  List.iter
-    (fun s ->
-      Wire.Dyn.append msg "vals"
-        (Wire.Dyn.Payload (Wire.Payload.Zero_copy (pinned s))))
-    [ payload_512; payload_2048 ];
-  let lit_64 = Wire.Payload.of_string space payload_64
-  and lit_512 = Wire.Payload.of_string space payload_512
-  and lit_2048 = Wire.Payload.of_string space payload_2048 in
-  (* protobuf round trip needs an endpoint arena; build a tiny rig. *)
-  let engine = Sim.Engine.create () in
-  let fabric = Net.Fabric.create engine in
-  let registry = Mem.Registry.create space in
-  let ep = Net.Endpoint.create fabric registry ~id:1 in
-  let proto_len = Baselines.Protobuf.encoded_len msg in
-  let proto_buf =
-    let w = Wire.Cursor.Writer.create scratch_view in
-    Baselines.Protobuf.encode w msg;
-    pinned (Bytes.sub_string scratch 0 proto_len)
-  in
-  (* Reused-plan / reused-writer scratch for the "after" pairs. *)
-  let plan = Cornflakes.Format_.create_plan () in
-  let writer = Wire.Cursor.Writer.create scratch_view in
-  let dyn_scratch = Wire.Dyn.create Apps.Proto.resp in
-  let build_dyn m =
-    Wire.Dyn.set_int m "id" 7L;
-    Wire.Dyn.append m "vals" (Wire.Dyn.Payload lit_64);
-    Wire.Dyn.append m "vals" (Wire.Dyn.Payload lit_512);
-    Wire.Dyn.append m "vals" (Wire.Dyn.Payload lit_2048)
-  in
-  (* Arena pair: classic bump-and-mass-reset vs free-list recycling. *)
-  let arena_space = Mem.Addr_space.create () in
-  let arena = Mem.Arena.create arena_space ~capacity:(1 lsl 16) in
-  let arena_src = Mem.View.of_string arena_space payload_512 in
-  (* NIC doorbell pair: 8 single-SGE descriptors, one doorbell each vs one
-     batched doorbell. No fabric: on_wire is dropped. *)
-  let nic_engine = Sim.Engine.create () in
-  let nic = Nic.Device.create nic_engine ~model:Nic.Model.mellanox_cx6 in
-  let nic_descs =
-    List.init 8 (fun _ ->
-        { Nic.Device.segments = [ pinned payload_512 ]; on_complete = ignore })
-  in
-  let zipf = Sim.Dist.Zipf.create ~n:1_000_000 ~s:0.99 in
-  let zipf_rng = Sim.Rng.create ~seed in
-  let cache_cpu = Memmodel.Cpu.create Memmodel.Params.default in
-  [
-    {
-      name = "protobuf-encode";
-      tracked = true;
-      fn =
-        (fun () ->
-          let w = Wire.Cursor.Writer.create scratch_view in
-          Baselines.Protobuf.encode w msg);
-    };
-    {
-      name = "protobuf-decode";
-      tracked = true;
-      fn =
-        (fun () ->
-          let m =
-            Baselines.Protobuf.deserialize ep Apps.Proto.schema Apps.Proto.resp
-              proto_buf
-          in
-          Mem.Arena.reset (Net.Endpoint.arena ep);
-          ignore m);
-    };
-    (* Paired: plan built fresh per message vs refilled in place. *)
-    {
-      name = "cf-measure-fresh-plan";
-      tracked = true;
-      fn = (fun () -> ignore (Cornflakes.Format_.measure msg));
-    };
-    {
-      name = "cf-measure-reused-plan";
-      tracked = true;
-      fn = (fun () -> Cornflakes.Format_.measure_into plan msg);
-    };
-    (* Paired: full header+copied emit, fresh vs reused plan/writer. *)
-    {
-      name = "cf-write-fresh";
-      tracked = true;
-      fn =
-        (fun () ->
-          let p = Cornflakes.Format_.measure msg in
-          let w = Wire.Cursor.Writer.create scratch_view in
-          Cornflakes.Format_.write p w msg);
-    };
-    {
-      name = "cf-write-reused";
-      tracked = true;
-      fn =
-        (fun () ->
-          Cornflakes.Format_.measure_into plan msg;
-          Wire.Cursor.Writer.reset writer scratch_view;
-          Cornflakes.Format_.write plan writer msg);
-    };
-    (* Paired: message object allocated per request vs pooled + cleared. *)
-    {
-      name = "dyn-build-fresh";
-      tracked = true;
-      fn = (fun () -> build_dyn (Wire.Dyn.create Apps.Proto.resp));
-    };
-    {
-      name = "dyn-build-pooled";
-      tracked = true;
-      fn =
-        (fun () ->
-          Wire.Dyn.clear dyn_scratch;
-          build_dyn dyn_scratch);
-    };
-    (* Paired: arena chunk from the bump pointer (mass reset) vs recycled
-       through the size-class free list. *)
-    {
-      name = "arena-copy-bump";
-      tracked = true;
-      fn =
-        (fun () ->
-          ignore (Mem.Arena.copy_in arena arena_src);
-          Mem.Arena.reset arena);
-    };
-    {
-      name = "arena-copy-recycled";
-      tracked = true;
-      fn =
-        (fun () ->
-          let c = Mem.Arena.copy_in arena arena_src in
-          Mem.Arena.recycle arena c);
-    };
-    (* Paired: one doorbell per descriptor vs one per batch of 8. *)
-    {
-      name = "nic-post-per-send";
-      tracked = false;
-      fn =
-        (fun () ->
-          List.iter (fun d -> Nic.Device.post nic d) nic_descs;
-          Sim.Engine.run_all nic_engine);
-    };
-    {
-      name = "nic-post-batched-x8";
-      tracked = false;
-      fn =
-        (fun () ->
-          Nic.Device.post_batch nic nic_descs;
-          Sim.Engine.run_all nic_engine);
-    };
-    (* Paired end-to-end: the acceptance benchmark. *)
-    {
-      name = "cf-serialize+send-unpooled";
-      tracked = true;
-      fn = make_send_loop ~pooled:false ();
-    };
-    {
-      name = "cf-serialize+send";
-      tracked = true;
-      fn = make_send_loop ~pooled:true ();
-    };
-    {
-      name = "zipf-sample";
-      tracked = false;
-      fn = (fun () -> ignore (Sim.Dist.Zipf.sample zipf zipf_rng));
-    };
-    {
-      name = "cache-hierarchy-touch-2KB";
-      tracked = false;
-      fn =
-        (fun () ->
-          Memmodel.Cpu.stream cache_cpu Memmodel.Cpu.Copy ~addr:(1 lsl 22)
-            ~len:2048);
-    };
-  ]
-
-let micro ~quick ~seed () =
-  let open Bechamel in
-  let benchmarks = make_benchmarks ~seed () in
-  let tests =
-    Test.make_grouped ~name:"micro"
-      (List.map
-         (fun b -> Test.make ~name:b.name (Staged.stage b.fn))
-         benchmarks)
-  in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let quota = if quick then 0.25 else 0.5 in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
-  let raw = Benchmark.all cfg instances tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let iters = if quick then 5_000 else 20_000 in
-  let results =
-    List.map
-      (fun b ->
-        {
-          r_name = b.name;
-          r_tracked = b.tracked;
-          ns_per_op = Float.nan;
-          words_per_op = words_per_op ~iters b.fn;
-        })
-      benchmarks
-  in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] ->
-          List.iter
-            (fun r ->
-              (* Bechamel keys are "group/name"; match on the suffix. *)
-              let suffix = "/" ^ r.r_name in
-              let nl = String.length name and sl = String.length suffix in
-              if
-                name = r.r_name
-                || (nl >= sl && String.sub name (nl - sl) sl = suffix)
-              then r.ns_per_op <- est)
-            results
-      | _ -> ())
-    analyzed;
-  print_endline
-    "== Bechamel microbenchmarks (real wall-clock + minor words of this impl) ==";
-  Printf.printf "  %-32s %12s %16s\n" "benchmark" "ns/op" "minor words/op";
-  List.iter
-    (fun r ->
-      Printf.printf "  %-32s %12.1f %16.1f\n" r.r_name r.ns_per_op
-        r.words_per_op)
-    results;
-  results
-
-(* --- BENCH_micro.json + baseline gate ---------------------------------- *)
-
-let json_file = "BENCH_micro.json"
-
-let write_json results =
-  let oc = open_out json_file in
-  Printf.fprintf oc "{\n  \"schema\": \"cornflakes-bench-micro/1\",\n";
-  Printf.fprintf oc "  \"benchmarks\": [\n";
-  let n = List.length results in
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"name\": %S, \"tracked\": %b, \"ns_per_op\": %.1f, \
-         \"minor_words_per_op\": %.1f}%s\n"
-        r.r_name r.r_tracked r.ns_per_op r.words_per_op
-        (if i = n - 1 then "" else ","))
-    results;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s\n" json_file
-
-(* Minimal scanner for the baseline file: pull ("name", minor_words_per_op)
-   pairs out of the benchmark objects without a JSON dependency. *)
-let parse_baseline path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  let pairs = ref [] in
-  let find_from sub pos =
-    let sl = String.length sub in
-    let rec go i =
-      if i + sl > String.length text then None
-      else if String.sub text i sl = sub then Some (i + sl)
-      else go (i + 1)
-    in
-    go pos
-  in
-  let rec scan pos =
-    match find_from "\"name\": \"" pos with
-    | None -> ()
-    | Some nstart -> (
-        let nend = String.index_from text nstart '"' in
-        let name = String.sub text nstart (nend - nstart) in
-        match find_from "\"minor_words_per_op\": " nend with
-        | None -> ()
-        | Some vstart ->
-            let vend = ref vstart in
-            while
-              !vend < String.length text
-              && (match text.[!vend] with
-                 | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
-                 | _ -> false)
-            do
-              incr vend
-            done;
-            let v = float_of_string (String.sub text vstart (!vend - vstart)) in
-            pairs := (name, v) :: !pairs;
-            scan !vend)
-  in
-  scan 0;
-  List.rev !pairs
-
-let gate_against_baseline results ~baseline_path =
-  match parse_baseline baseline_path with
-  | exception Sys_error msg ->
-      Printf.eprintf "baseline %s unreadable: %s\n" baseline_path msg;
-      exit 1
-  | baseline ->
-      let tolerance = 1.20 in
-      let regressions =
-        List.filter_map
-          (fun r ->
-            if not r.r_tracked then None
-            else
-              match List.assoc_opt r.r_name baseline with
-              | None -> None (* new benchmark: nothing to gate against *)
-              | Some base ->
-                  if r.words_per_op > (base *. tolerance) +. 1.0 then
-                    Some (r.r_name, base, r.words_per_op)
-                  else None)
-          results
-      in
-      Printf.printf "\nbaseline gate (%s, minor words/op, +20%% tolerance): "
-        baseline_path;
-      if regressions = [] then print_endline "OK"
-      else begin
-        print_endline "FAIL";
-        List.iter
-          (fun (name, base, now) ->
-            Printf.printf "  %-32s %10.1f -> %10.1f (%+.0f%%)\n" name base now
-              (100.0 *. ((now /. base) -. 1.0)))
-          regressions;
-        exit 1
-      end
-
-(* --- Entry point ------------------------------------------------------- *)
-
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = ref false
   and sanitize = ref false
   and json = ref false
   and seed = ref None
+  and jobs = ref None
   and tx_batch = ref None
   and baseline = ref None
   and selected = ref []
@@ -480,6 +59,9 @@ let () =
         parse rest
     | "--seed" :: n :: rest ->
         seed := Some (int_of_string n);
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := Some (int_of_string n);
         parse rest
     | "--tx-batch" :: n :: rest ->
         tx_batch := Some (int_of_string n);
@@ -503,6 +85,9 @@ let () =
   (match !seed with
   | Some s -> Apps.Rig.set_default_seed s
   | None -> ());
+  (match !jobs with
+  | Some n -> Par.Pool.set_default_jobs (max 1 n)
+  | None -> ());
   (match !tx_batch with
   | Some n -> Net.Endpoint.set_default_tx_batch n
   | None -> ());
@@ -524,11 +109,12 @@ let () =
   if not (!want_micro && !selected = []) then List.iter run_experiment entries;
   if !want_micro || !selected = [] then begin
     let results =
-      micro ~quick:!quick ~seed:(Option.value !seed ~default:1) ()
+      Microbench.Suite.run ~quick:!quick ~seed:(Option.value !seed ~default:1)
+        ()
     in
-    if !json then write_json results;
+    if !json then Microbench.Suite.write_json results;
     match !baseline with
-    | Some path -> gate_against_baseline results ~baseline_path:path
+    | Some path -> Microbench.Suite.gate_against_baseline results ~baseline_path:path
     | None -> ()
   end;
   if Cornflakes.Config.sanitize () then

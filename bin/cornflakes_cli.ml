@@ -17,7 +17,13 @@ let experiments_cmd =
   let list =
     Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
   in
-  let run ids quick list =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for independent experiment configs.")
+  in
+  let run ids quick list jobs =
     if list then
       List.iter
         (fun (e : Experiments.Registry.entry) ->
@@ -26,6 +32,7 @@ let experiments_cmd =
         Experiments.Registry.all
     else begin
       Experiments.Util.set_quick quick;
+      Par.Pool.set_default_jobs (max 1 jobs);
       let entries =
         match ids with
         | [] -> Experiments.Registry.all
@@ -49,7 +56,118 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run paper-reproduction experiments")
-    Term.(const run $ ids $ quick $ list)
+    Term.(const run $ ids $ quick $ list $ jobs)
+
+(* --- parallel harness: all / per-figure / bench ------------------------- *)
+
+(* Shared flags. --jobs defaults to cores-1 (clamped to 1): independent
+   experiment configs fan out over that many worker domains, and the merge
+   is deterministic, so output is byte-identical to --jobs 1. *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Par.Pool.recommended_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent experiment configs (1 = serial; \
+           default: available cores minus one). Results are byte-identical \
+           at any width.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced run budgets.")
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:"Run under the RefSan ledger (forces serial execution).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N" ~doc:"Seed every Sim.Rng for reproducible runs.")
+
+let setup ~quick ~sanitize ~seed ~jobs =
+  Experiments.Util.set_quick quick;
+  if sanitize then Cornflakes.Config.set_sanitize true;
+  (match seed with Some s -> Apps.Rig.set_default_seed s | None -> ());
+  Par.Pool.set_default_jobs (max 1 jobs)
+
+let run_entries entries =
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      Printf.printf "== [%s] %s ==\n%!" e.Experiments.Registry.id
+        e.Experiments.Registry.title;
+      e.Experiments.Registry.run ())
+    entries;
+  if Cornflakes.Config.sanitize () then
+    print_endline ("\n" ^ Sanitizer.Report.grand_total_line ())
+
+let all_cmd =
+  let run quick sanitize seed jobs =
+    setup ~quick ~sanitize ~seed ~jobs;
+    run_entries Experiments.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:"Run every paper-reproduction experiment (honors --jobs)")
+    Term.(const run $ quick_arg $ sanitize_arg $ seed_arg $ jobs_arg)
+
+(* One subcommand per registry entry (`cornflakes fig3 --quick --jobs 4`),
+   except ids that would shadow an existing top-level command — those stay
+   reachable via `experiments <id>`. *)
+let reserved_ids = [ "experiments"; "all"; "bench"; "compile"; "check"; "lint"; "trace"; "faults" ]
+
+let figure_cmds =
+  List.filter_map
+    (fun (e : Experiments.Registry.entry) ->
+      if List.mem e.Experiments.Registry.id reserved_ids then None
+      else
+        let run quick sanitize seed jobs =
+          setup ~quick ~sanitize ~seed ~jobs;
+          run_entries [ e ]
+        in
+        Some
+          (Cmd.v
+             (Cmd.info e.Experiments.Registry.id
+                ~doc:e.Experiments.Registry.title)
+             Term.(const run $ quick_arg $ sanitize_arg $ seed_arg $ jobs_arg)))
+    Experiments.Registry.all
+
+let bench_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Write BENCH_micro.json (ns/op + minor words/op).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare minor words/op to a committed baseline (exit 1 on any \
+             >20% regression) and report ns/op deltas.")
+  in
+  let run quick seed jobs json baseline =
+    Par.Pool.set_default_jobs (max 1 jobs);
+    let results =
+      Microbench.Suite.run ~quick ~seed:(Option.value seed ~default:1) ()
+    in
+    if json then Microbench.Suite.write_json results;
+    match baseline with
+    | Some path -> Microbench.Suite.gate_against_baseline results ~baseline_path:path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Bechamel microbenchmarks of the serializer hot paths (words/op \
+          measured across --jobs worker domains)")
+    Term.(const run $ quick_arg $ seed_arg $ jobs_arg $ json $ baseline)
 
 (* --- schema tools ------------------------------------------------------ *)
 
@@ -292,17 +410,20 @@ let faults_cmd =
 
 let () =
   let doc =
-    "Cornflakes reproduction toolkit. Subcommands: experiments (run \
-     paper-reproduction experiments), compile (generate OCaml accessors \
-     from a schema), check (validate a schema), lint (schema lint + \
-     zero-copy eligibility), trace (sample/record workload ops), faults \
+    "Cornflakes reproduction toolkit. Subcommands: all (every experiment, \
+     parallel via --jobs), per-figure commands (fig2..fig13, tab1..tab5, \
+     ablations, replication), experiments (run by id), bench (Bechamel \
+     microbenchmarks), compile (generate OCaml accessors from a schema), \
+     check (validate a schema), lint (schema lint + zero-copy \
+     eligibility), trace (sample/record workload ops), faults \
      (pretty-print/replay Faultline fault plans)."
   in
   let info = Cmd.info "cornflakes" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [
-            experiments_cmd; compile_cmd; check_cmd; lint_cmd; trace_cmd;
-            faults_cmd;
-          ]))
+          ([
+             experiments_cmd; all_cmd; bench_cmd; compile_cmd; check_cmd;
+             lint_cmd; trace_cmd; faults_cmd;
+           ]
+          @ figure_cmds)))

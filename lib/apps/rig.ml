@@ -14,15 +14,16 @@ let server_id = 1
 
 (* Process-wide seed used when [create] is not given ?seed explicitly; the
    bench harness's --seed flag sets it so whole experiment runs replay. *)
-let seed_ref = ref 0xc0ffee
+(* Atomic: the harness sets it once at startup; worker domains read it. *)
+let seed_ref = Atomic.make 0xc0ffee
 
-let set_default_seed s = seed_ref := s
+let set_default_seed s = Atomic.set seed_ref s
 
-let default_seed () = !seed_ref
+let default_seed () = Atomic.get seed_ref
 
 let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     ?(n_clients = 16) ?seed ?server_config () =
-  let seed = match seed with Some s -> s | None -> !seed_ref in
+  let seed = match seed with Some s -> s | None -> Atomic.get seed_ref in
   let engine = Sim.Engine.create () in
   (* Under RefSan, every rig reports leaks when its event queue drains. *)
   if Sanitizer.Refsan.is_enabled () then

@@ -30,6 +30,22 @@ let refresh t =
   if t.copy_per_byte > 0.0 then
     t.threshold <- clamp (int_of_float (t.zc_fixed /. t.copy_per_byte))
 
+(* Synthetic-observation hooks: the same EWMA/refresh step [make] performs,
+   minus the cycle meter — callers (tests, replayed traces) supply the
+   measured cost directly. *)
+
+let observe_copy t ~bytes ~cycles =
+  if bytes > 0 then begin
+    t.observations <- t.observations + 1;
+    t.copy_per_byte <- ewma t t.copy_per_byte (cycles /. float_of_int bytes);
+    refresh t
+  end
+
+let observe_zc t ~cycles =
+  t.observations <- t.observations + 1;
+  t.zc_fixed <- ewma t t.zc_fixed cycles;
+  refresh t
+
 let make ?cpu t ep (view : Mem.View.t) =
   let config = Config.with_threshold t.threshold in
   match cpu with

@@ -30,6 +30,15 @@ val threshold : t -> int
 val make :
   ?cpu:Memmodel.Cpu.t -> t -> Net.Endpoint.t -> Mem.View.t -> Wire.Payload.t
 
+(** Feed one synthetic copy-path observation ([cycles] spent copying
+    [bytes]) through the same EWMA/refresh step [make] performs. No-op when
+    [bytes <= 0]. For tests and replayed traces. *)
+val observe_copy : t -> bytes:int -> cycles:float -> unit
+
+(** Feed one synthetic zero-copy construction cost (fixed cycles,
+    completion share included) through the EWMA/refresh step. *)
+val observe_zc : t -> cycles:float -> unit
+
 (** Observed estimates, for inspection: (copy cycles/byte, zc fixed cycles). *)
 val estimates : t -> float * float
 

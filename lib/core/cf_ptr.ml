@@ -1,12 +1,16 @@
 (* Copies refused by an exhausted arena fall back to zero-copy when the
    bytes are DMA-safe — the inverse of the usual demotion, trading a
    pinned reference for not failing the request. Counted so faulted runs
-   can report how often the allocator forced the trade. *)
-let oom_fallbacks_ctr = ref 0
+   can report how often the allocator forced the trade. Domain-local so a
+   parallel-harness job's snapshot deltas cover only its own sends. *)
+let oom_fallbacks_dls : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
-let oom_fallbacks () = !oom_fallbacks_ctr
+let oom_fallbacks_ctr () = Domain.DLS.get oom_fallbacks_dls
 
-let reset_counters () = oom_fallbacks_ctr := 0
+let oom_fallbacks () = !(oom_fallbacks_ctr ())
+
+let reset_counters () = oom_fallbacks_ctr () := 0
 
 let copy ?cpu ep view =
   Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) view)
@@ -27,7 +31,7 @@ let make ?cpu (config : Config.t) ep (view : Mem.View.t) =
     | exception (Mem.Pinned.Out_of_memory _ as oom) -> (
         match recover () with
         | Some buf ->
-            incr oom_fallbacks_ctr;
+            incr (oom_fallbacks_ctr ());
             Wire.Payload.Zero_copy buf
         | None -> raise oom)
 
@@ -42,5 +46,5 @@ let of_buf ?cpu (config : Config.t) ep buf =
     | exception Mem.Pinned.Out_of_memory _ ->
         (* Already-referenced pinned bytes: keep the reference and ship
            zero-copy instead of failing. *)
-        incr oom_fallbacks_ctr;
+        incr (oom_fallbacks_ctr ());
         Wire.Payload.Zero_copy buf

@@ -1,20 +1,24 @@
 exception Message_too_large of { len : int; max : int }
 
-(* Degradation counters (process-wide, like the scratch plan below):
-   zero-copy payloads demoted because the endpoint reported memory
-   pressure, and demotions skipped because the arena itself was out of
-   space. Harnesses snapshot deltas per run. *)
-let pressure_demotions_ctr = ref 0
+(* Degradation counters (domain-local, like the scratch plan below): a
+   parallel-harness job runs entirely on one domain, so the harness's
+   snapshot-delta bookkeeping over one job sees exactly that job's
+   demotions — never a concurrent job's. *)
+type counters = { mutable demotions : int; mutable demotion_skips : int }
 
-let pressure_demotion_skips_ctr = ref 0
+let counters_dls : counters Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { demotions = 0; demotion_skips = 0 })
 
-let pressure_demotions () = !pressure_demotions_ctr
+let counters () = Domain.DLS.get counters_dls
 
-let pressure_demotion_skips () = !pressure_demotion_skips_ctr
+let pressure_demotions () = (counters ()).demotions
+
+let pressure_demotion_skips () = (counters ()).demotion_skips
 
 let reset_counters () =
-  pressure_demotions_ctr := 0;
-  pressure_demotion_skips_ctr := 0
+  let c = counters () in
+  c.demotions <- 0;
+  c.demotion_skips <- 0
 
 (* Demote the smallest zero-copy payloads to copies until at most [keep]
    remain ([keep = 0] demotes every one). Demotion pays both the metadata
@@ -74,20 +78,29 @@ let demote_excess ?cpu ?(site = "Send.demote") ?(best_effort = false) ep msg ~ke
   end;
   (!demoted, !skipped)
 
-(* One reusable plan for the whole process: the simulator is single-threaded
-   and [send_object] never re-enters itself (segmented sends go through
+(* One reusable plan per domain: a domain runs one simulation at a time and
+   [send_object] never re-enters itself (segmented sends go through
    [Segment], which measures independently), so the measured plan is always
-   consumed before the next send starts. *)
-let scratch_plan = Format_.create_plan ()
+   consumed before the next send starts. Domain-local rather than global so
+   parallel harness workers never share it. *)
+type scratch = { plan : Format_.plan; writer : Wire.Cursor.Writer.t }
 
-(* Likewise one reusable writer, retargeted ([Writer.reset]) at each send's
-   staging window instead of allocated per message. *)
-let scratch_writer =
-  Wire.Cursor.Writer.create
-    (Mem.View.make ~addr:0 ~data:Bytes.empty ~off:0 ~len:0)
+let scratch_dls : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        plan = Format_.create_plan ();
+        (* One reusable writer, retargeted ([Writer.reset]) at each send's
+           staging window instead of allocated per message. *)
+        writer =
+          Wire.Cursor.Writer.create
+            (Mem.View.make ~addr:0 ~data:Bytes.empty ~off:0 ~len:0);
+      })
+
+let scratch () = Domain.DLS.get scratch_dls
 
 let send_object ?cpu (config : Config.t) ep ~dst msg =
-  let plan = scratch_plan in
+  let scratch = scratch () in
+  let plan = scratch.plan in
   Format_.measure_into plan msg;
   if plan.Format_.total_len > Net.Packet.max_payload then
     raise
@@ -111,8 +124,9 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
       demote_excess ?cpu ~site:"Send.pressure_demote" ~best_effort:true ep msg
         ~keep:0
     in
-    pressure_demotions_ctr := !pressure_demotions_ctr + demoted;
-    pressure_demotion_skips_ctr := !pressure_demotion_skips_ctr + skipped;
+    let c = counters () in
+    c.demotions <- c.demotions + demoted;
+    c.demotion_skips <- c.demotion_skips + skipped;
     if demoted > 0 then Format_.measure_into plan msg
   end;
   let contiguous_len = plan.Format_.header_len + plan.Format_.stream_len in
@@ -141,17 +155,17 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
       Mem.Pinned.Buf.sub_view ~site:"Send.staging" staging
         ~off:Net.Packet.header_len ~len:contiguous_len
     in
-    let w = scratch_writer in
+    let w = scratch.writer in
     Wire.Cursor.Writer.reset ?cpu w window;
     Format_.write ?cpu plan w msg;
-    Net.Endpoint.send_inline_header ?cpu ep ~dst
-      ~segments:(Format_.zc_segments plan ~head:staging ~tail:[])
+    Net.Endpoint.send_inline_zc ?cpu ep ~dst ~head:staging ~zc:plan.Format_.zc
+      ~zc_n:plan.Format_.zc_count
   end
   else begin
     (* Layered path: object buffer, then an explicit scatter-gather array
        handed to the stack, which prepends a header-only entry. *)
     let obj = Net.Endpoint.alloc_tx ?cpu ep ~len:contiguous_len in
-    let w = scratch_writer in
+    let w = scratch.writer in
     Wire.Cursor.Writer.reset ?cpu w (Mem.Pinned.Buf.view obj);
     Format_.write ?cpu plan w msg;
     let nsge = 1 + plan.Format_.zc_count in
@@ -173,8 +187,8 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
           ~len:(16 * nsge);
         Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:sga.Mem.View.addr
           ~len:(16 * nsge));
-    Net.Endpoint.send_extra_header ?cpu ep ~dst
-      ~segments:(Format_.zc_segments plan ~head:obj ~tail:[]);
+    Net.Endpoint.send_extra_zc ?cpu ep ~dst ~head:obj ~zc:plan.Format_.zc
+      ~zc_n:plan.Format_.zc_count;
     (* The stack has consumed the scatter-gather array; hand the chunk back
        so the next layered send reuses it. *)
     Mem.Arena.recycle ~site:"Send.sga" arena sga

@@ -55,13 +55,20 @@ let run_sge_overflow () =
         "Ablation: SGE-limit overflow — 12 x 600 B fields, hybrid Cornflakes"
       ~columns:[ "NIC"; "max SGE"; "krps"; "Gbps" ]
   in
+  let rows =
+    Util.par_map
+      (fun nic_model ->
+        let rig = Apps.Rig.create ~nic_model () in
+        let app =
+          Apps.Kv_app.install rig ~backend:(Apps.Backend.cornflakes ())
+            ~workload
+        in
+        let r = Util.capacity rig (Kv_bench.driver app) in
+        (nic_model, r))
+      [ Nic.Model.mellanox_cx6; Nic.Model.intel_e810 ]
+  in
   List.iter
-    (fun nic_model ->
-      let rig = Apps.Rig.create ~nic_model () in
-      let app =
-        Apps.Kv_app.install rig ~backend:(Apps.Backend.cornflakes ()) ~workload
-      in
-      let r = Util.capacity rig (Kv_bench.driver app) in
+    (fun ((nic_model : Nic.Model.t), (r : Loadgen.Driver.result)) ->
       Stats.Table.add_row t
         [
           nic_model.Nic.Model.name;
@@ -69,7 +76,7 @@ let run_sge_overflow () =
           Util.krps r.Loadgen.Driver.achieved_rps;
           Util.gbps r.Loadgen.Driver.achieved_gbps;
         ])
-    [ Nic.Model.mellanox_cx6; Nic.Model.intel_e810 ];
+    rows;
   Stats.Table.print t;
   print_endline
     "  (demotion keeps the e810 correct at a modest throughput cost — the\n\

@@ -286,7 +286,9 @@ let write_json ~seed points =
 let run () =
   let b = Util.budget () in
   let points =
-    List.mapi (fun idx loss -> run_point ~idx ~loss) b.Util.fault_loss_rates
+    Util.par_map
+      (fun (idx, loss) -> run_point ~idx ~loss)
+      (List.mapi (fun idx loss -> (idx, loss)) b.Util.fault_loss_rates)
   in
   print_points points;
   Printf.printf "goodput monotone non-increasing with loss: %s\n"

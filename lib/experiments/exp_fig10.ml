@@ -10,9 +10,8 @@ let entry_counts = [ 1; 2; 4 ] (* per-entry: 1024, 512, 256 *)
 
 let l3 = Memmodel.Params.default.Memmodel.Params.l3.Memmodel.Params.size_bytes
 
-let run_nic nic_model =
-  List.map
-    (fun entries ->
+let run_cell (nic_model, entries) =
+  (fun entries ->
       let entry_size = totals / entries in
       let n_keys = min 262_144 (max 8_192 (5 * l3 / totals)) in
       let rig = Apps.Rig.create ~nic_model () in
@@ -31,7 +30,7 @@ let run_nic nic_model =
       let sg = measure Cornflakes.Config.all_zero_copy in
       let copy = measure Cornflakes.Config.all_copy in
       (entries, sg, copy))
-    entry_counts
+    entries
 
 let run () =
   let t =
@@ -42,21 +41,27 @@ let run () =
       ~columns:
         [ "NIC"; "entries"; "bytes/entry"; "SG"; "copy"; "SG vs copy" ]
   in
+  let nics = [ Nic.Model.mellanox_cx6; Nic.Model.intel_e810 ] in
+  let cells =
+    Util.par_map
+      (fun (nic_model, entries) ->
+        (nic_model.Nic.Model.name, run_cell (nic_model, entries)))
+      (List.concat_map
+         (fun nic -> List.map (fun e -> (nic, e)) entry_counts)
+         nics)
+  in
   List.iter
-    (fun nic_model ->
-      List.iter
-        (fun (entries, sg, copy) ->
-          Stats.Table.add_row t
-            [
-              nic_model.Nic.Model.name;
-              string_of_int entries;
-              string_of_int (totals / entries);
-              Util.krps sg;
-              Util.krps copy;
-              Util.pct_delta copy sg;
-            ])
-        (run_nic nic_model))
-    [ Nic.Model.mellanox_cx6; Nic.Model.intel_e810 ];
+    (fun (nic_name, (entries, sg, copy)) ->
+      Stats.Table.add_row t
+        [
+          nic_name;
+          string_of_int entries;
+          string_of_int (totals / entries);
+          Util.krps sg;
+          Util.krps copy;
+          Util.pct_delta copy sg;
+        ])
+    cells;
   Stats.Table.print t;
   print_endline
     "  (paper: on both NICs scatter-gather wins for 512 B-or-larger entries)"

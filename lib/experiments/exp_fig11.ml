@@ -37,7 +37,7 @@ let run_backend backend =
 
 let run () =
   let results =
-    List.map (fun b -> (b.Apps.Backend.name, run_backend b)) (backends ())
+    Util.par_map (fun b -> (b.Apps.Backend.name, run_backend b)) (backends ())
   in
   let t =
     Stats.Table.create

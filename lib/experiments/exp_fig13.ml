@@ -42,7 +42,7 @@ let run_config ~cores path =
         server_ep;
         server;
         clients = [];
-        rng = Sim.Rng.create ~seed:(42 + core);
+        rng = Sim.Rng.stream ~seed:42 ~index:core;
       }
     in
     let app =
@@ -81,10 +81,18 @@ let run () =
          + one 100G NIC (Gbps)"
       ~columns:[ "cores"; "copy"; "raw scatter-gather"; "sg/copy" ]
   in
-  List.iter
-    (fun cores ->
-      let copy = run_config ~cores Micro.Copy_once in
-      let sg = run_config ~cores Micro.Raw_sg in
+  let cells =
+    Util.par_map
+      (fun (cores, path) -> run_config ~cores path)
+      (List.concat_map
+         (fun cores ->
+           [ (cores, Micro.Copy_once); (cores, Micro.Raw_sg) ])
+         core_counts)
+  in
+  List.iteri
+    (fun i cores ->
+      let copy = List.nth cells (2 * i) in
+      let sg = List.nth cells ((2 * i) + 1) in
       Stats.Table.add_row t
         [
           string_of_int cores;

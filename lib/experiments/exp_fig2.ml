@@ -41,7 +41,7 @@ let run_mode mode =
   (mode, cap, bytes_per_req, c)
 
 let run () =
-  let results = List.map run_mode (modes ()) in
+  let results = Util.par_map run_mode (modes ()) in
   let slo_ns = 50_000 in
   let t =
     Stats.Table.create

@@ -30,9 +30,11 @@ let run () =
       ~columns:
         [ "buffers"; "bytes/buf"; "copy"; "scatter-gather"; "raw sg"; "sg vs copy" ]
   in
+  let rows =
+    Util.par_map (fun entries -> (entries, run_cell ~entries)) entry_counts
+  in
   List.iter
-    (fun entries ->
-      let results = run_cell ~entries in
+    (fun (entries, results) ->
       let get p = List.assoc p results in
       let copy = get Micro.Copy_once in
       let sg = get Micro.Safe_sg in
@@ -46,7 +48,7 @@ let run () =
           Util.gbps raw;
           Util.pct_delta copy sg;
         ])
-    entry_counts;
+    rows;
   Stats.Table.print t;
   print_endline
     "  (paper: raw scatter-gather beats copy even at 64 B buffers, but with\n\

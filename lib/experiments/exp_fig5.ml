@@ -49,13 +49,22 @@ let run () =
         ("entries \\ total B"
         :: List.map string_of_int totals)
   in
+  let cells =
+    (* Every (entries, total) cell is an isolated job; the flattened list
+       keeps all workers busy even though rows vary in cost. *)
+    Util.par_map
+      (fun (entries, total) -> ((entries, total), run_cell ~total ~entries))
+      (List.concat_map
+         (fun entries -> List.map (fun total -> (entries, total)) totals)
+         entry_counts)
+  in
   let crossover = ref [] in
   List.iter
     (fun entries ->
       let row =
         List.map
           (fun total ->
-            match run_cell ~total ~entries with
+            match List.assoc (entries, total) cells with
             | None -> "-"
             | Some delta ->
                 if delta >= 0.0 && not (List.mem_assoc entries !crossover)

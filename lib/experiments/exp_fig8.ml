@@ -25,7 +25,7 @@ let redis_curve mode ~workload ~list_values =
 let run () =
   let slo_ns = 59_000 in
   let curves =
-    List.map
+    Util.par_map
       (fun mode ->
         redis_curve mode ~workload:(Workload.Twitter.make ()) ~list_values:false)
       modes

@@ -12,31 +12,42 @@ let run () =
          count"
       ~columns:[ "backups"; "krps"; "vs unreplicated"; "committed puts" ]
   in
-  let base = ref 0.0 in
+  let rows =
+    Util.par_map
+      (fun backups ->
+        let rig = Apps.Rig.create () in
+        let workload = Workload.Twitter.make ~n_keys:32768 () in
+        let cluster = Replication.Replicated_kv.create rig ~backups ~workload in
+        let d =
+          {
+            Util.send =
+              (fun ep ~dst ~id ->
+                Replication.Replicated_kv.send_next cluster ep ~dst ~id);
+            parse_id =
+              Some (fun buf -> Replication.Replicated_kv.parse_id cluster buf);
+          }
+        in
+        let r = Util.capacity rig d in
+        ( backups,
+          r.Loadgen.Driver.achieved_rps,
+          Replication.Replicated_kv.committed cluster ))
+      [ 0; 1; 2; 3 ]
+  in
+  (* The "vs unreplicated" column needs the backups=0 row, so the baseline
+     is picked out after the (order-preserving) merge. *)
+  let base =
+    match rows with (0, rps, _) :: _ -> rps | _ -> 0.0
+  in
   List.iter
-    (fun backups ->
-      let rig = Apps.Rig.create () in
-      let workload = Workload.Twitter.make ~n_keys:32768 () in
-      let cluster = Replication.Replicated_kv.create rig ~backups ~workload in
-      let d =
-        {
-          Util.send =
-            (fun ep ~dst ~id ->
-              Replication.Replicated_kv.send_next cluster ep ~dst ~id);
-          parse_id =
-            Some (fun buf -> Replication.Replicated_kv.parse_id cluster buf);
-        }
-      in
-      let r = Util.capacity rig d in
-      if backups = 0 then base := r.Loadgen.Driver.achieved_rps;
+    (fun (backups, rps, committed) ->
       Stats.Table.add_row t
         [
           string_of_int backups;
-          Util.krps r.Loadgen.Driver.achieved_rps;
-          Util.pct_delta !base r.Loadgen.Driver.achieved_rps;
-          string_of_int (Replication.Replicated_kv.committed cluster);
+          Util.krps rps;
+          Util.pct_delta base rps;
+          string_of_int committed;
         ])
-    [ 0; 1; 2; 3 ];
+    rows;
   Stats.Table.print t;
   print_endline
     "  (puts replicate as nested Cornflakes objects, values zero-copy out of\n\

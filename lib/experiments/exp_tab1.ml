@@ -13,7 +13,7 @@ let run () =
         ("system" :: List.map (fun m -> Printf.sprintf "1-%d vals" m) cases)
   in
   let results =
-    List.map
+    Util.par_map
       (fun max_vals ->
         let workload = Workload.Google.make ~max_vals () in
         Kv_bench.capacities ~workload Apps.Backend.all)

@@ -52,13 +52,24 @@ let run () =
       ~title:"Table 3: Redis commands, 4096 B payloads (krps)"
       ~columns:[ "command"; "redis"; "cornflakes"; "gain"; "paper gain" ]
   in
-  List.iter
-    (fun case ->
-      let native = measure Mini_redis.Server.Native case in
-      let cf =
-        measure (Mini_redis.Server.Cornflakes_backed Cornflakes.Config.default)
-          case
-      in
+  let modes =
+    [
+      Mini_redis.Server.Native;
+      Mini_redis.Server.Cornflakes_backed Cornflakes.Config.default;
+    ]
+  in
+  let cells =
+    (* case x mode flattened: six isolated single-measure jobs. *)
+    Util.par_map
+      (fun (case, mode) -> measure mode case)
+      (List.concat_map
+         (fun case -> List.map (fun m -> (case, m)) modes)
+         (cases ()))
+  in
+  List.iteri
+    (fun i case ->
+      let native = List.nth cells (2 * i) in
+      let cf = List.nth cells ((2 * i) + 1) in
       Stats.Table.add_row t
         [
           case.label;

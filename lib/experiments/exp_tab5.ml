@@ -22,22 +22,31 @@ let run () =
   let with_name, without_name =
     match names () with [ a; b ] -> (a, b) | _ -> assert false
   in
-  let row label workload ~unit_gbps paper =
-    let results = Kv_bench.capacities ~workload (sas_backends ()) in
-    let metric name =
-      let r = List.assoc name results in
-      if unit_gbps then r.Loadgen.Driver.achieved_gbps
-      else r.Loadgen.Driver.achieved_rps
-    in
-    let v_with = metric with_name and v_without = metric without_name in
-    let fmt v = if unit_gbps then Util.gbps v ^ " Gbps" else Util.krps v ^ " krps" in
-    Stats.Table.add_row t
-      [ label; fmt v_with; fmt v_without; Util.pct_delta v_without v_with; paper ]
+  let rows =
+    Util.par_map
+      (fun (label, workload, unit_gbps, paper) ->
+        let results = Kv_bench.capacities ~workload (sas_backends ()) in
+        let metric name =
+          let r = List.assoc name results in
+          if unit_gbps then r.Loadgen.Driver.achieved_gbps
+          else r.Loadgen.Driver.achieved_rps
+        in
+        (label, unit_gbps, metric with_name, metric without_name, paper))
+      [
+        ("Google 1-4 vals", Workload.Google.make ~max_vals:4 (), false, "+7.7%");
+        ("Twitter", Workload.Twitter.make (), false, "+10.4%");
+        ( "YCSB 4x1024",
+          Workload.Ycsb.make ~entries:4 ~entry_size:1024 (),
+          true,
+          "+17.4%" );
+      ]
   in
-  row "Google 1-4 vals" (Workload.Google.make ~max_vals:4 ()) ~unit_gbps:false
-    "+7.7%";
-  row "Twitter" (Workload.Twitter.make ()) ~unit_gbps:false "+10.4%";
-  row "YCSB 4x1024"
-    (Workload.Ycsb.make ~entries:4 ~entry_size:1024 ())
-    ~unit_gbps:true "+17.4%";
+  List.iter
+    (fun (label, unit_gbps, v_with, v_without, paper) ->
+      let fmt v =
+        if unit_gbps then Util.gbps v ^ " Gbps" else Util.krps v ^ " krps"
+      in
+      Stats.Table.add_row t
+        [ label; fmt v_with; fmt v_without; Util.pct_delta v_without v_with; paper ])
+    rows;
   Stats.Table.print t

@@ -8,20 +8,25 @@ let driver app =
    systems lets the first system pay every cold miss and hands the later
    ones a warm cache — an order bias we must not have. *)
 let with_apps ?rig ~workload backends f =
-  List.map
-    (fun backend ->
-      let rig = match rig with Some r -> r | None -> Apps.Rig.create () in
-      let app = Apps.Kv_app.install rig ~backend ~workload in
-      let result = f backend.Apps.Backend.name rig app in
-      if Sanitizer.Refsan.is_enabled () then begin
-        (* Drain the event queue and run the RefSan quiesce hook (leak
-           report), then fold this run's counts into the bench totals and
-           drop the ledger so long multi-experiment runs stay bounded. *)
-        Sim.Engine.quiesce rig.Apps.Rig.engine;
-        Sanitizer.Refsan.checkpoint ()
-      end;
-      (backend.Apps.Backend.name, result))
-    backends
+  let run backend =
+    let rig = match rig with Some r -> r | None -> Apps.Rig.create () in
+    let app = Apps.Kv_app.install rig ~backend ~workload in
+    let result = f backend.Apps.Backend.name rig app in
+    if Sanitizer.Refsan.is_enabled () then begin
+      (* Drain the event queue and run the RefSan quiesce hook (leak
+         report), then fold this run's counts into the bench totals and
+         drop the ledger so long multi-experiment runs stay bounded. *)
+      Sim.Engine.quiesce rig.Apps.Rig.engine;
+      Sanitizer.Refsan.checkpoint ()
+    end;
+    (backend.Apps.Backend.name, result)
+  in
+  match rig with
+  | Some _ ->
+      (* A shared rig means shared caches and a shared event queue: the
+         measurement order is part of the experiment, so stay serial. *)
+      List.map run backends
+  | None -> Util.par_map run backends
 
 let capacities ?rig ~workload backends =
   with_apps ?rig ~workload backends (fun _name rig app ->

@@ -27,11 +27,27 @@ let quick_budget =
     fault_loss_rates = [ 0.0; 0.01; 0.1 ];
   }
 
-let current = ref default_budget
+(* Atomic: set once by the harness before any jobs run, read from every
+   worker domain. *)
+let current = Atomic.make default_budget
 
-let budget () = !current
+let budget () = Atomic.get current
 
-let set_quick q = current := if q then quick_budget else default_budget
+let set_quick q = Atomic.set current (if q then quick_budget else default_budget)
+
+(* Parallel harness entry point: experiments hand their independent
+   per-config jobs here and the pool width set from --jobs (see
+   [Par.Pool.set_default_jobs]) decides how many run at once. Each job
+   must build its own rig/engine/space; results come back in submission
+   order, so rendered tables are byte-identical at any width.
+
+   Sanitized runs stay serial: the per-rig quiesce hooks print leak
+   reports as they drain, and interleaving those across domains would
+   make --sanitize output (which CI greps) nondeterministic. Sanitize is
+   a diagnostic mode; wall-clock is not its point. *)
+let par_map f xs =
+  if Sanitizer.Refsan.is_enabled () then List.map f xs
+  else Par.Pool.map_list f xs
 
 type driver = {
   send : Net.Endpoint.t -> dst:int -> id:int -> unit;

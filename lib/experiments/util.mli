@@ -19,6 +19,11 @@ val budget : unit -> budget
 
 val set_quick : bool -> unit
 
+(** [par_map f xs] maps [f] over [xs] on the parallel harness (width =
+    [Par.Pool.default_jobs ()], i.e. the --jobs flag), preserving order.
+    Each call of [f] must be self-contained (own rig/engine/space). *)
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+
 type driver = {
   send : Net.Endpoint.t -> dst:int -> id:int -> unit;
   parse_id : (Mem.Pinned.Buf.t -> int) option;

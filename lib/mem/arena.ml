@@ -13,12 +13,26 @@ let max_class_log = 17 (* 128 KB *)
 
 let n_classes = max_class_log - min_class_log + 1
 
-let class_of_len len =
-  if len > 1 lsl max_class_log then None
-  else begin
-    let rec go l = if 1 lsl l >= len then l else go (l + 1) in
-    Some (go min_class_log - min_class_log)
-  end
+(* Constant-time size-class lookup: [class_table.((len - 1) lsr 4)] is the
+   class index of [len]. Every power-of-two class boundary is a multiple of
+   the 16 B granule, so each table slot covers lengths of exactly one
+   class. One load replaces the old linear search — this is on both the
+   alloc and recycle hot paths. *)
+let class_table =
+  Array.init
+    (1 lsl (max_class_log - min_class_log))
+    (fun i ->
+      let len = (i + 1) lsl min_class_log in
+      let rec go l = if 1 lsl l >= len then l else go (l + 1) in
+      go min_class_log - min_class_log)
+
+(* Class index of [len], or [-1] when [len] exceeds the largest class
+   (bump-only). Returns an immediate int so the hot path allocates
+   nothing. *)
+let class_index len =
+  if len <= 1 lsl min_class_log then 0
+  else if len > 1 lsl max_class_log then -1
+  else Array.unsafe_get class_table ((len - 1) lsr min_class_log)
 
 let class_size cls = 1 lsl (cls + min_class_log)
 
@@ -116,34 +130,34 @@ let san_id t ~off ~cls =
 
 let alloc ?cpu ?(site = "Arena.alloc") t ~len =
   charge_alloc cpu;
-  match class_of_len len with
-  | Some cls when t.free.(cls).top > 0 ->
-      (* Recycled chunk: modeled for RefSan as a fresh allocation with a
-         reuse label; rooted so a chunk held across the quiesce point is
-         not misreported as a leak (the arena owns it until recycle/reset). *)
-      let stack = t.free.(cls) in
-      stack.top <- stack.top - 1;
-      let off = stack.offs.(stack.top) in
-      t.recycle_hits <- t.recycle_hits + 1;
-      t.parked <- t.parked - 1;
-      if Sanitizer.Refsan.is_enabled () then begin
-        let id = san_id t ~off ~cls in
-        Sanitizer.Refsan.on_alloc ~id ~site:("Arena.reuse:" ^ site);
-        Sanitizer.Refsan.on_root ~id ~refs:1 ~site:("Arena.reuse:" ^ site);
-        Hashtbl.replace t.san_live off id
-      end;
-      View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
-  | cls ->
-      let chunk =
-        match cls with Some cls -> class_size cls | None -> len
-      in
-      if t.used + chunk > effective_capacity t then begin
-        t.oom_events <- t.oom_events + 1;
-        raise (Out_of_memory "arena exhausted")
-      end;
-      let off = t.used in
-      t.used <- t.used + chunk;
-      View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+  let cls = class_index len in
+  if cls >= 0 && t.free.(cls).top > 0 then begin
+    (* Recycled chunk: modeled for RefSan as a fresh allocation with a
+       reuse label; rooted so a chunk held across the quiesce point is
+       not misreported as a leak (the arena owns it until recycle/reset). *)
+    let stack = t.free.(cls) in
+    stack.top <- stack.top - 1;
+    let off = stack.offs.(stack.top) in
+    t.recycle_hits <- t.recycle_hits + 1;
+    t.parked <- t.parked - 1;
+    if Sanitizer.Refsan.is_enabled () then begin
+      let id = san_id t ~off ~cls in
+      Sanitizer.Refsan.on_alloc ~id ~site:("Arena.reuse:" ^ site);
+      Sanitizer.Refsan.on_root ~id ~refs:1 ~site:("Arena.reuse:" ^ site);
+      Hashtbl.replace t.san_live off id
+    end;
+    View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+  end
+  else begin
+    let chunk = if cls >= 0 then class_size cls else len in
+    if t.used + chunk > effective_capacity t then begin
+      t.oom_events <- t.oom_events + 1;
+      raise (Out_of_memory "arena exhausted")
+    end;
+    let off = t.used in
+    t.used <- t.used + chunk;
+    View.make ~addr:(t.base_addr + off) ~data:t.backing ~off ~len
+  end
 
 let copy_in ?cpu ?site t src =
   let dst = alloc ?cpu ?site t ~len:src.View.len in
@@ -157,6 +171,10 @@ let copy_in ?cpu ?site t src =
         ~len:src.View.len);
   dst
 
+(* Generation bumps only happen while the sanitizer observes: with it off
+   the gens table is never read, and keeping the recycle hit path free of
+   hashing (and of the [Hashtbl.replace] allocation) is what makes
+   free-list reuse cheaper than the bump path it replaces. *)
 let san_free t ~off ~cls ~site =
   if Sanitizer.Refsan.is_enabled () then begin
     let id = san_id t ~off ~cls in
@@ -165,19 +183,20 @@ let san_free t ~off ~cls ~site =
         Sanitizer.Refsan.on_unroot ~id:live ~refs:1 ~site;
         Hashtbl.remove t.san_live off
     | None -> ());
-    Sanitizer.Refsan.on_free ~id ~site
-  end;
-  Hashtbl.replace t.san_gens off (san_gen t off + 1)
+    Sanitizer.Refsan.on_free ~id ~site;
+    Hashtbl.replace t.san_gens off (san_gen t off + 1)
+  end
 
 let recycle ?(site = "Arena.recycle") t (v : View.t) =
   if v.View.data != t.backing then
     invalid_arg "Arena.recycle: view is not from this arena";
-  match class_of_len v.View.len with
-  | None -> () (* oversized chunks are bump-only; reclaimed at reset *)
-  | Some cls ->
-      san_free t ~off:v.View.off ~cls ~site;
-      push t.free.(cls) v.View.off;
-      t.parked <- t.parked + 1
+  let cls = class_index v.View.len in
+  (* Oversized chunks are bump-only; reclaimed at reset. *)
+  if cls >= 0 then begin
+    san_free t ~off:v.View.off ~cls ~site;
+    push t.free.(cls) v.View.off;
+    t.parked <- t.parked + 1
+  end
 
 let reset t =
   if Sanitizer.Refsan.is_enabled () then

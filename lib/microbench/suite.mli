@@ -1,0 +1,31 @@
+(** Bechamel microbenchmarks of the serializer hot paths, shared by
+    `bench/main.exe` and the `cornflakes bench` subcommand.
+
+    [run] prints the table and returns the results; ns/op comes from
+    Bechamel (always measured serially), minor words/op from a counted
+    [Gc.minor_words] loop (parallelized across pool jobs when the
+    process-wide [Par.Pool.default_jobs] width is > 1 — each job measures
+    one benchmark on a fresh suite instance, so results are identical at
+    any width). *)
+
+type result = {
+  r_name : string;
+  r_tracked : bool;
+  mutable ns_per_op : float;
+  words_per_op : float;
+}
+
+val run : quick:bool -> seed:int -> unit -> result list
+
+val json_file : string
+
+(** Write [json_file] in the committed-baseline schema. *)
+val write_json : result list -> unit
+
+(** [(name, ns_per_op, minor_words_per_op)] triples from a baseline file
+    (dependency-free scanner). *)
+val parse_baseline : string -> (string * float * float) list
+
+(** Report ns/op deltas vs the baseline (informational) and exit 1 if any
+    tracked benchmark's minor words/op regressed more than 20%. *)
+val gate_against_baseline : result list -> baseline_path:string -> unit

@@ -20,9 +20,9 @@ let default_config =
 (* Consulted when [config.tx_batch = 0]; the bench harness flips it to turn
    doorbell coalescing on fleet-wide without threading a config through
    every rig constructor. *)
-let default_tx_batch = ref 1
+let default_tx_batch = Atomic.make 1
 
-let set_default_tx_batch n = default_tx_batch := max 1 n
+let set_default_tx_batch n = Atomic.set default_tx_batch (max 1 n)
 
 type t = {
   id : int;
@@ -38,12 +38,15 @@ type t = {
   mutable rx_packets : int;
   mutable rx_bytes : int;
   mutable rx_dropped : int;
-  mutable held : Mem.Pinned.Buf.t list list option; (* queued posts, reversed *)
-  mutable pending_tx : Mem.Pinned.Buf.t list list; (* coalesced posts, reversed *)
+  mutable held : Nic.Device.txd list option; (* queued posts, reversed *)
+  (* Coalesced posts parked for the next doorbell: a reusable scratch array
+     (first [pending_n] slots live) — no per-batch list is built. *)
+  mutable pending_txds : Nic.Device.txd array;
+  mutable pending_n : int;
   mutable flush_scheduled : bool;
 }
 
-let tx_batch t = if t.config.tx_batch > 0 then t.config.tx_batch else !default_tx_batch
+let tx_batch t = if t.config.tx_batch > 0 then t.config.tx_batch else Atomic.get default_tx_batch
 
 let engine t = Fabric.engine t.fabric
 
@@ -112,7 +115,8 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       rx_bytes = 0;
       rx_dropped = 0;
       held = None;
-      pending_tx = [];
+      pending_txds = [||];
+      pending_n = 0;
       flush_scheduled = false;
     }
   in
@@ -156,31 +160,42 @@ let charge_post ?cpu t ~nsge =
         +. (p.Memmodel.Params.cost_doorbell /. float_of_int (tx_batch t))
         +. p.Memmodel.Params.cost_tx_packet)
 
-let release_segments segments =
-  (* Release the stack's references; charged at post time. *)
-  List.iter
-    (fun buf -> Mem.Pinned.Buf.decr_ref ~site:"Nic.complete" buf)
-    segments
+(* One long-lived release closure shared by every descriptor: the stack's
+   reference on each segment is dropped when the NIC completion fires;
+   charged at post time. *)
+let release_seg buf = Mem.Pinned.Buf.decr_ref ~site:"Nic.complete" buf
 
-let make_desc segments =
-  { Nic.Device.segments; on_complete = (fun () -> release_segments segments) }
+let acquire_txd t =
+  let txd = Nic.Device.txd_acquire t.nic in
+  Nic.Device.txd_set_release txd release_seg;
+  txd
+
+let pending_park t txd =
+  let cap = Array.length t.pending_txds in
+  if t.pending_n >= cap then begin
+    let arr = Array.make (max 8 (2 * cap)) txd in
+    Array.blit t.pending_txds 0 arr 0 t.pending_n;
+    t.pending_txds <- arr
+  end;
+  t.pending_txds.(t.pending_n) <- txd;
+  t.pending_n <- t.pending_n + 1
 
 let flush_tx t =
-  match t.pending_tx with
-  | [] -> ()
-  | pending ->
-      t.pending_tx <- [];
-      Nic.Device.post_batch t.nic (List.rev_map make_desc pending)
+  if t.pending_n > 0 then begin
+    let n = t.pending_n in
+    t.pending_n <- 0;
+    Nic.Device.post_txd_batch t.nic t.pending_txds ~n
+  end
 
 (* Route one descriptor to the NIC: straight through when unbatched (the
    pre-coalescing behavior, event-for-event), else park it until the batch
    fills or the flush timer fires — so a lone send on an idle endpoint still
    leaves within [tx_batch_timeout_ns]. *)
-let submit t ~segments =
-  if tx_batch t <= 1 then Nic.Device.post t.nic (make_desc segments)
+let submit t txd =
+  if tx_batch t <= 1 then Nic.Device.post_txd t.nic txd
   else begin
-    t.pending_tx <- segments :: t.pending_tx;
-    if List.length t.pending_tx >= tx_batch t then flush_tx t
+    pending_park t txd;
+    if t.pending_n >= tx_batch t then flush_tx t
     else if not t.flush_scheduled then begin
       t.flush_scheduled <- true;
       Sim.Engine.schedule (engine t) ~after:t.config.tx_batch_timeout_ns
@@ -190,10 +205,10 @@ let submit t ~segments =
     end
   end
 
-let post t ~segments =
+let post t txd =
   match t.held with
-  | Some queued -> t.held <- Some (segments :: queued)
-  | None -> submit t ~segments
+  | Some queued -> t.held <- Some (txd :: queued)
+  | None -> submit t txd
 
 let write_header ?cpu t ~dst buf =
   Packet.write_header
@@ -217,7 +232,9 @@ let send_inline_header ?cpu t ~dst ~segments =
         invalid_arg "Endpoint.send_inline_header: no header headroom";
       write_header ?cpu t ~dst first;
       charge_post ?cpu t ~nsge:(List.length segments);
-      post t ~segments
+      let txd = acquire_txd t in
+      List.iter (Nic.Device.txd_push txd) segments;
+      post t txd
 
 let send_extra_header ?cpu t ~dst ~segments =
   let hdr =
@@ -226,7 +243,40 @@ let send_extra_header ?cpu t ~dst ~segments =
   in
   write_header ?cpu t ~dst hdr;
   charge_post ?cpu t ~nsge:(1 + List.length segments);
-  post t ~segments:(hdr :: segments)
+  let txd = acquire_txd t in
+  Nic.Device.txd_push txd hdr;
+  List.iter (Nic.Device.txd_push txd) segments;
+  post t txd
+
+(* Array-based serializer fast paths: gather entries come straight from the
+   measured plan's zero-copy array (first [zc_n] slots of [zc]), filling a
+   reusable NIC descriptor in place — no per-send segment list. *)
+let send_inline_zc ?cpu t ~dst ~head ~zc ~zc_n =
+  if Mem.Pinned.Buf.len head < Packet.header_len then
+    invalid_arg "Endpoint.send_inline_zc: no header headroom";
+  write_header ?cpu t ~dst head;
+  charge_post ?cpu t ~nsge:(1 + zc_n);
+  let txd = acquire_txd t in
+  Nic.Device.txd_push txd head;
+  for i = 0 to zc_n - 1 do
+    Nic.Device.txd_push txd zc.(i)
+  done;
+  post t txd
+
+let send_extra_zc ?cpu t ~dst ~head ~zc ~zc_n =
+  let hdr =
+    Mem.Pinned.Buf.alloc ?cpu ~site:"Endpoint.send_extra_header" t.tx_pool
+      ~len:Packet.header_len
+  in
+  write_header ?cpu t ~dst hdr;
+  charge_post ?cpu t ~nsge:(2 + zc_n);
+  let txd = acquire_txd t in
+  Nic.Device.txd_push txd hdr;
+  Nic.Device.txd_push txd head;
+  for i = 0 to zc_n - 1 do
+    Nic.Device.txd_push txd zc.(i)
+  done;
+  post t txd
 
 let send_string t ~dst s =
   let buf =
@@ -255,7 +305,7 @@ let release_hold t ~after =
       let batches = List.rev queued in
       if batches <> [] then
         Sim.Engine.schedule (engine t) ~after (fun () ->
-            List.iter (fun segments -> submit t ~segments) batches)
+            List.iter (fun txd -> submit t txd) batches)
 
 let charge_rx ?cpu _t ~len =
   match cpu with

@@ -86,6 +86,29 @@ val send_inline_header :
 val send_extra_header :
   ?cpu:Memmodel.Cpu.t -> t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit
 
+(** Array-based serializer fast paths: [send_inline_zc] /
+    [send_extra_zc] behave exactly like their [_header] counterparts on
+    [head :: zc.(0) .. zc.(zc_n - 1)], but fill the NIC's reusable
+    descriptor straight from the plan's zero-copy array — no per-send
+    segment list is built. Slots of [zc] at index [>= zc_n] are ignored. *)
+val send_inline_zc :
+  ?cpu:Memmodel.Cpu.t ->
+  t ->
+  dst:int ->
+  head:Mem.Pinned.Buf.t ->
+  zc:Mem.Pinned.Buf.t array ->
+  zc_n:int ->
+  unit
+
+val send_extra_zc :
+  ?cpu:Memmodel.Cpu.t ->
+  t ->
+  dst:int ->
+  head:Mem.Pinned.Buf.t ->
+  zc:Mem.Pinned.Buf.t array ->
+  zc_n:int ->
+  unit
+
 (** [send_string t ~dst s] — uncharged convenience for load generators:
     copies [s] into a staging buffer and sends it. *)
 val send_string : t -> dst:int -> string -> unit

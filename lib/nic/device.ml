@@ -9,6 +9,27 @@ exception Ring_full
 
 type completion_fault = now:int -> [ `Lose | `Delay of int ] option
 
+(* Reusable transmit descriptor: a preallocated gather array refilled in
+   place per send and recycled through the device's free stack once its
+   completion delivers. The steady-state post path builds no per-send
+   lists — segment refs land in [d_segs], RefSan hold tokens in the
+   parallel [d_holds], and [d_release] (one long-lived closure, typically
+   the endpoint's decr_ref) runs per segment at completion. *)
+type txd = {
+  mutable d_segs : Mem.Pinned.Buf.t array; (* first [d_n] slots live *)
+  mutable d_n : int;
+  mutable d_holds : int option array; (* RefSan holds, parallel to d_segs *)
+  mutable d_release : Mem.Pinned.Buf.t -> unit;
+  mutable d_done : unit -> unit;
+}
+
+let noop () = ()
+
+let noop_release (_ : Mem.Pinned.Buf.t) = ()
+
+let new_txd () =
+  { d_segs = [||]; d_n = 0; d_holds = [||]; d_release = noop_release; d_done = noop }
+
 type t = {
   engine : Sim.Engine.t;
   model : Model.t;
@@ -18,12 +39,16 @@ type t = {
   mutable tx_packets : int;
   mutable tx_bytes : int;
   mutable doorbells : int;
+  (* Descriptor free stack (grows by doubling, like the ring a driver
+     preallocates): completed descriptors return here for reuse. *)
+  mutable txd_free : txd array;
+  mutable txd_top : int;
   (* Fault injection: a lost CQE leaves its descriptors' ring slots
      occupied and their segment references (and RefSan holds) pinned until
      [reap_lost] recovers them — exactly the hazard the paper's refcount
      discussion worries about. *)
   mutable completion_fault : completion_fault option;
-  mutable lost : (int option list * (unit -> unit)) list;
+  mutable lost : txd list;
   mutable lost_completions : int;
   mutable delayed_completions : int;
   mutable reaped_completions : int;
@@ -39,6 +64,8 @@ let create engine ~model =
     tx_packets = 0;
     tx_bytes = 0;
     doorbells = 0;
+    txd_free = [||];
+    txd_top = 0;
     completion_fault = None;
     lost = [];
     lost_completions = 0;
@@ -52,38 +79,120 @@ let set_on_wire t f = t.on_wire <- f
 
 let set_completion_fault t f = t.completion_fault <- f
 
+(* --- Reusable descriptors --------------------------------------------- *)
+
+let txd_acquire t =
+  if t.txd_top > 0 then begin
+    t.txd_top <- t.txd_top - 1;
+    t.txd_free.(t.txd_top)
+  end
+  else new_txd ()
+
+let txd_recycle t txd =
+  let cap = Array.length t.txd_free in
+  if t.txd_top >= cap then begin
+    let arr = Array.make (max 8 (2 * cap)) txd in
+    Array.blit t.txd_free 0 arr 0 t.txd_top;
+    t.txd_free <- arr
+  end;
+  t.txd_free.(t.txd_top) <- txd;
+  t.txd_top <- t.txd_top + 1
+
+(* Buf.t has no dummy value, so the gather array is seeded with the pushed
+   element; stale entries beyond [d_n] are never read. *)
+let txd_push txd buf =
+  let cap = Array.length txd.d_segs in
+  if txd.d_n >= cap then begin
+    let arr = Array.make (max 8 (2 * cap)) buf in
+    Array.blit txd.d_segs 0 arr 0 txd.d_n;
+    txd.d_segs <- arr;
+    let holds = Array.make (Array.length arr) None in
+    Array.blit txd.d_holds 0 holds 0 txd.d_n;
+    txd.d_holds <- holds
+  end;
+  txd.d_segs.(txd.d_n) <- buf;
+  txd.d_n <- txd.d_n + 1
+
+let txd_set_release txd f = txd.d_release <- f
+
+let txd_set_done txd f = txd.d_done <- f
+
+let txd_len txd = txd.d_n
+
+let txd_payload_bytes txd =
+  let total = ref 0 in
+  for i = 0 to txd.d_n - 1 do
+    total := !total + Mem.Pinned.Buf.len txd.d_segs.(i)
+  done;
+  !total
+
+let gather txd =
+  let out = Bytes.create (txd_payload_bytes txd) in
+  let off = ref 0 in
+  for i = 0 to txd.d_n - 1 do
+    let buf = txd.d_segs.(i) in
+    Mem.Pinned.Buf.blit_to buf ~dst:out ~dst_off:!off;
+    off := !off + Mem.Pinned.Buf.len buf
+  done;
+  Bytes.unsafe_to_string out
+
 (* Deliver one descriptor's completion: free the ring slot, release the
-   write-protect holds, run the stack's callback. *)
-let finish_completion t (holds, on_complete) =
+   write-protect holds, release the stack's segment references, run the
+   callback, and return the descriptor to the free stack. *)
+let finish_txd t txd =
   t.in_flight <- t.in_flight - 1;
-  List.iter Mem.Pinned.Buf.release_hold holds;
-  on_complete ()
+  for i = 0 to txd.d_n - 1 do
+    (match txd.d_holds.(i) with
+    | None -> ()
+    | some ->
+        Mem.Pinned.Buf.release_hold some;
+        txd.d_holds.(i) <- None);
+    txd.d_release txd.d_segs.(i)
+  done;
+  let cb = txd.d_done in
+  txd.d_n <- 0;
+  txd.d_release <- noop_release;
+  txd.d_done <- noop;
+  txd_recycle t txd;
+  cb ()
 
 (* Decide the fate of a CQE that is due now. [`Lose] stashes the
    completions on the lost list (ring slots stay occupied); [`Delay d]
    re-schedules delivery [d] ns later. *)
-let deliver_completions t completions =
-  let fate =
-    match t.completion_fault with
-    | None -> None
-    | Some f -> f ~now:(Sim.Engine.now t.engine)
-  in
-  match fate with
+let cqe_fate t =
+  match t.completion_fault with
+  | None -> None
+  | Some f -> f ~now:(Sim.Engine.now t.engine)
+
+let deliver_txd t txd =
+  match cqe_fate t with
   | Some `Lose ->
-      t.lost_completions <- t.lost_completions + List.length completions;
-      t.lost <- List.rev_append completions t.lost
+      t.lost_completions <- t.lost_completions + 1;
+      t.lost <- txd :: t.lost
   | Some (`Delay extra) ->
-      t.delayed_completions <- t.delayed_completions + List.length completions;
+      t.delayed_completions <- t.delayed_completions + 1;
+      Sim.Engine.schedule t.engine ~after:extra (fun () -> finish_txd t txd)
+  | None -> finish_txd t txd
+
+(* Coalesced CQE for a batch: one fate decision covers every descriptor. *)
+let deliver_txd_batch t txds =
+  let n = Array.length txds in
+  match cqe_fate t with
+  | Some `Lose ->
+      t.lost_completions <- t.lost_completions + n;
+      Array.iter (fun txd -> t.lost <- txd :: t.lost) txds
+  | Some (`Delay extra) ->
+      t.delayed_completions <- t.delayed_completions + n;
       Sim.Engine.schedule t.engine ~after:extra (fun () ->
-          List.iter (finish_completion t) completions)
-  | None -> List.iter (finish_completion t) completions
+          Array.iter (finish_txd t) txds)
+  | None -> Array.iter (finish_txd t) txds
 
 let reap_lost t =
   let lost = t.lost in
   t.lost <- [];
   let n = List.length lost in
   t.reaped_completions <- t.reaped_completions + n;
-  List.iter (finish_completion t) lost;
+  List.iter (finish_txd t) lost;
   n
 
 let lost_completions t = t.lost_completions
@@ -92,21 +201,16 @@ let delayed_completions t = t.delayed_completions
 
 let reaped_completions t = t.reaped_completions
 
-let gather segments =
-  let total =
-    List.fold_left (fun acc buf -> acc + Mem.Pinned.Buf.len buf) 0 segments
-  in
-  let out = Bytes.create total in
-  let off = ref 0 in
-  List.iter
-    (fun buf ->
-      Mem.Pinned.Buf.blit_to buf ~dst:out ~dst_off:!off;
-      off := !off + Mem.Pinned.Buf.len buf)
-    segments;
-  Bytes.unsafe_to_string out
+(* --- Posting ----------------------------------------------------------- *)
 
-let post t desc =
-  let nsge = List.length desc.segments in
+let take_holds txd ~site =
+  if Sanitizer.Refsan.is_enabled () then
+    for i = 0 to txd.d_n - 1 do
+      txd.d_holds.(i) <- Mem.Pinned.Buf.hold ~site txd.d_segs.(i)
+    done
+
+let post_txd t txd =
+  let nsge = txd.d_n in
   if nsge = 0 then invalid_arg "Device.post: empty gather list";
   if nsge > t.model.Model.max_sge then
     raise (Too_many_segments { requested = nsge; limit = t.model.Model.max_sge });
@@ -115,9 +219,7 @@ let post t desc =
   t.in_flight <- t.in_flight + 1;
   let now = Sim.Engine.now t.engine in
   let start = max now t.busy_until in
-  let payload_bytes =
-    List.fold_left (fun acc buf -> acc + Mem.Pinned.Buf.len buf) 0 desc.segments
-  in
+  let payload_bytes = txd_payload_bytes txd in
   (* PCIe descriptor + gather fetches overlap wire serialization; the
      pipeline occupancy per packet is whichever is longer. *)
   let dma_ns =
@@ -133,20 +235,15 @@ let post t desc =
      gathering now is equivalent to gathering at DMA time. RefSan holds
      write-protect each segment until the completion fires, turning any
      in-place mutation of posted bytes into a write-after-post diagnostic. *)
-  let holds =
-    if Sanitizer.Refsan.is_enabled () then
-      List.map (fun buf -> Mem.Pinned.Buf.hold ~site:"Nic.post" buf)
-        desc.segments
-    else []
-  in
-  let payload = gather desc.segments in
+  take_holds txd ~site:"Nic.post";
+  let payload = gather txd in
   Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
       t.tx_packets <- t.tx_packets + 1;
       t.tx_bytes <- t.tx_bytes + String.length payload;
       (* Egress happens regardless of the CQE's fate: losing a completion
          does not claw the packet back off the wire. *)
       t.on_wire payload;
-      deliver_completions t [ (holds, desc.on_complete) ])
+      deliver_txd t txd)
 
 (* Batched post: one doorbell covers every descriptor. The first descriptor
    pays the full per-descriptor PCIe fetch; the rest ride the same burst and
@@ -154,56 +251,62 @@ let post t desc =
    (each gets its own egress event at its own finish time, so fabric arrival
    times match back-to-back unbatched posts), but completion delivery is
    coalesced into a single CQE event at the last packet's finish — which is
-   when every segment reference is released. *)
-let post_batch t descs =
-  if descs = [] then invalid_arg "Device.post_batch: empty batch";
-  let n = List.length descs in
+   when every segment reference is released. [txds] may be a caller-owned
+   scratch array (only the first [n] slots are read, and they are
+   snapshotted before returning, so the caller can refill it immediately). *)
+let post_txd_batch t txds ~n =
+  if n = 0 then invalid_arg "Device.post_batch: empty batch";
   if t.in_flight + n > t.model.Model.tx_ring_entries then raise Ring_full;
   t.doorbells <- t.doorbells + 1;
   let last_finish = ref 0 in
-  let completions =
-    List.mapi
-      (fun i desc ->
-        let nsge = List.length desc.segments in
-        if nsge = 0 then invalid_arg "Device.post_batch: empty gather list";
-        if nsge > t.model.Model.max_sge then
-          raise
-            (Too_many_segments { requested = nsge; limit = t.model.Model.max_sge });
-        t.in_flight <- t.in_flight + 1;
-        let now = Sim.Engine.now t.engine in
-        let start = max now t.busy_until in
-        let payload_bytes =
-          List.fold_left
-            (fun acc buf -> acc + Mem.Pinned.Buf.len buf)
-            0 desc.segments
-        in
-        let dma_ns =
-          (if i = 0 then t.model.Model.pcie_per_descriptor_ns else 0.0)
-          +. (float_of_int nsge *. t.model.Model.pcie_per_sge_ns)
-        in
-        let wire_ns = Model.wire_time_ns t.model ~bytes:payload_bytes in
-        let occupancy = int_of_float (ceil (Float.max dma_ns wire_ns)) in
-        let finish = start + occupancy in
-        t.busy_until <- finish;
-        if finish > !last_finish then last_finish := finish;
-        let holds =
-          if Sanitizer.Refsan.is_enabled () then
-            List.map
-              (fun buf -> Mem.Pinned.Buf.hold ~site:"Nic.post_batch" buf)
-              desc.segments
-          else []
-        in
-        let payload = gather desc.segments in
-        Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
-            t.tx_packets <- t.tx_packets + 1;
-            t.tx_bytes <- t.tx_bytes + String.length payload;
-            t.on_wire payload);
-        (holds, desc.on_complete))
-      descs
-  in
+  let batch = Array.sub txds 0 n in
+  Array.iteri
+    (fun i txd ->
+      let nsge = txd.d_n in
+      if nsge = 0 then invalid_arg "Device.post_batch: empty gather list";
+      if nsge > t.model.Model.max_sge then
+        raise
+          (Too_many_segments { requested = nsge; limit = t.model.Model.max_sge });
+      t.in_flight <- t.in_flight + 1;
+      let now = Sim.Engine.now t.engine in
+      let start = max now t.busy_until in
+      let payload_bytes = txd_payload_bytes txd in
+      let dma_ns =
+        (if i = 0 then t.model.Model.pcie_per_descriptor_ns else 0.0)
+        +. (float_of_int nsge *. t.model.Model.pcie_per_sge_ns)
+      in
+      let wire_ns = Model.wire_time_ns t.model ~bytes:payload_bytes in
+      let occupancy = int_of_float (ceil (Float.max dma_ns wire_ns)) in
+      let finish = start + occupancy in
+      t.busy_until <- finish;
+      if finish > !last_finish then last_finish := finish;
+      take_holds txd ~site:"Nic.post_batch";
+      let payload = gather txd in
+      Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
+          t.tx_packets <- t.tx_packets + 1;
+          t.tx_bytes <- t.tx_bytes + String.length payload;
+          t.on_wire payload))
+    batch;
   (* One coalesced CQE: a completion fault hits the whole batch at once. *)
   Sim.Engine.schedule_at t.engine ~time:!last_finish (fun () ->
-      deliver_completions t completions)
+      deliver_txd_batch t batch)
+
+(* --- List-descriptor compatibility API --------------------------------- *)
+
+let txd_of_descriptor t desc =
+  let txd = txd_acquire t in
+  List.iter (txd_push txd) desc.segments;
+  (* The callback owns reference release on this path (the reusable-txd
+     path instead sets [d_release] and leaves [d_done] a no-op). *)
+  txd.d_done <- desc.on_complete;
+  txd
+
+let post t desc = post_txd t (txd_of_descriptor t desc)
+
+let post_batch t descs =
+  if descs = [] then invalid_arg "Device.post_batch: empty batch";
+  let batch = Array.of_list (List.map (txd_of_descriptor t) descs) in
+  post_txd_batch t batch ~n:(Array.length batch)
 
 let in_flight t = t.in_flight
 

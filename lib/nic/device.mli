@@ -22,9 +22,45 @@ exception Ring_full
 
 type t
 
+(** Reusable transmit descriptor: a preallocated gather array refilled in
+    place per send. Acquired from the device's free stack, filled with
+    {!txd_push}, posted with {!post_txd} / {!post_txd_batch}, and recycled
+    automatically when its completion delivers — so the steady-state send
+    path builds no per-send segment lists. The poster may set a per-segment
+    release function (one long-lived closure) via {!txd_set_release}; it
+    runs for each segment when the completion fires, before the callback
+    set by {!txd_set_done} (if any). *)
+type txd
+
 val create : Sim.Engine.t -> model:Model.t -> t
 
 val model : t -> Model.t
+
+(** [txd_acquire t] takes a descriptor from the free stack (or allocates a
+    fresh one the first few times). The caller must eventually pass it to
+    {!post_txd} / {!post_txd_batch}; descriptors return to the stack at
+    completion. *)
+val txd_acquire : t -> txd
+
+(** [txd_push txd buf] appends a gather entry. The descriptor owns the
+    caller's reference on [buf] until its release function runs. *)
+val txd_push : txd -> Mem.Pinned.Buf.t -> unit
+
+val txd_set_release : txd -> (Mem.Pinned.Buf.t -> unit) -> unit
+
+val txd_set_done : txd -> (unit -> unit) -> unit
+
+(** Number of gather entries pushed so far. *)
+val txd_len : txd -> int
+
+(** [post_txd t txd] — {!post} for a reusable descriptor. *)
+val post_txd : t -> txd -> unit
+
+(** [post_txd_batch t txds ~n] — {!post_batch} for reusable descriptors:
+    posts the first [n] slots of [txds] under one doorbell. The slots are
+    snapshotted before returning, so the caller may reuse the array for
+    the next batch immediately. *)
+val post_txd_batch : t -> txd array -> n:int -> unit
 
 (** [set_on_wire t f] registers the fabric hook: [f payload] is called when a
     packet's last bit leaves the NIC, with the gathered wire bytes. *)

@@ -1,0 +1,14 @@
+(* A unit of parallel work: a labeled thunk. Jobs carry no shared state —
+   each one is expected to build its own engine / address space / RNG
+   stream from its index, so running them on any worker domain (or inline
+   on the submitting domain) produces identical results. *)
+
+type 'a t = { label : string; run : unit -> 'a }
+
+let make ?(label = "job") run = { label; run }
+
+let label t = t.label
+
+let run t = t.run ()
+
+let of_fun ~label f x = { label; run = (fun () -> f x) }

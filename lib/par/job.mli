@@ -1,0 +1,20 @@
+(** A unit of parallel work: a labeled thunk.
+
+    Jobs must be self-contained — build the engine, address space, and RNG
+    stream inside [run] (seeded from the job's index, see
+    [Sim.Rng.stream]), never captured from the submitting domain. That is
+    what makes [--jobs N] byte-identical to serial execution: the merge
+    order is the submission order, and nothing else about scheduling can
+    leak into the results. *)
+
+type 'a t
+
+val make : ?label:string -> (unit -> 'a) -> 'a t
+
+val label : _ t -> string
+
+(** Execute the job's thunk on the calling domain. *)
+val run : 'a t -> 'a
+
+(** [of_fun ~label f x] = [make ~label (fun () -> f x)]. *)
+val of_fun : label:string -> ('a -> 'b) -> 'a -> 'b t

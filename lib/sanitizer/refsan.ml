@@ -16,8 +16,10 @@
    - write-after-post: mutation of bytes covered by an in-flight hold that
      did not go through [Cow_buf.write].
 
-   The ledger is process-global (the whole simulation is single-threaded)
-   and costs one boolean test per instrumented operation when disabled. *)
+   The ledger is domain-local (each parallel-harness worker observes only
+   the simulations it runs; [checkpoint] folds findings into process-wide
+   totals) and costs one atomic load per instrumented operation when
+   disabled. *)
 
 type buf_id = {
   pool_uid : int;
@@ -74,60 +76,78 @@ type hold = {
   h_site : string;
 }
 
-(* --- Global state ------------------------------------------------------ *)
+(* --- State ------------------------------------------------------------- *)
+
+(* The ledger is domain-local: every worker of the parallel experiment
+   harness gets its own independent instance (a job runs entirely on one
+   domain, so its rig's whole lifecycle lands in one ledger), and nothing
+   here is shared mutable state across jobs. The only cross-domain pieces
+   are the enabled switch, the pool-uid counter (uids must stay process-
+   unique so adopted ids never collide), and the cross-run accumulators —
+   all atomics. *)
 
 let env_enabled =
   match Sys.getenv_opt "CF_SANITIZE" with
   | Some ("1" | "true" | "yes" | "on") -> true
   | Some _ | None -> false
 
-let enabled = ref env_enabled
+let enabled = Atomic.make env_enabled
 
-let is_enabled () = !enabled
+let is_enabled () = Atomic.get enabled
 
-let set_enabled b = enabled := b
+let set_enabled b = Atomic.set enabled b
 
-let seq = ref 0
+let next_pool_uid = Atomic.make 0
 
-let next_pool_uid = ref 0
+let register_pool () = 1 + Atomic.fetch_and_add next_pool_uid 1
 
-let register_pool () =
-  incr next_pool_uid;
-  !next_pool_uid
-
-let records : (int * int * int * int, record) Hashtbl.t = Hashtbl.create 4096
-
-(* Freed records are kept for provenance (double-free / UAF reports) but
-   bounded: the oldest are evicted once the graveyard exceeds its cap. *)
-let graveyard : (int * int * int * int) Queue.t = Queue.create ()
+type state = {
+  mutable seq : int;
+  records : (int * int * int * int, record) Hashtbl.t;
+  (* Freed records are kept for provenance (double-free / UAF reports) but
+     bounded: the oldest are evicted once the graveyard exceeds its cap. *)
+  graveyard : (int * int * int * int) Queue.t;
+  holds : (int, hold) Hashtbl.t;
+  holds_by_pool : (int, (int, hold) Hashtbl.t) Hashtbl.t;
+  mutable next_token : int;
+  mutable diags_rev : diag list;
+  mutable n_diags : int;
+  (* Hold tokens already reported as stuck, so repeated quiesces don't
+     duplicate the diagnostic. *)
+  flagged_stuck : (int, unit) Hashtbl.t;
+}
 
 let graveyard_cap = 8192
 
-let holds : (int, hold) Hashtbl.t = Hashtbl.create 256
-
-let holds_by_pool : (int, (int, hold) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
-
-let next_token = ref 0
-
-let diags_rev = ref []
-
-let n_diags = ref 0
-
 let diags_cap = 10_000
 
-(* Hold tokens already reported as stuck, so repeated quiesces don't
-   duplicate the diagnostic. *)
-let flagged_stuck : (int, unit) Hashtbl.t = Hashtbl.create 64
+let fresh_state () =
+  {
+    seq = 0;
+    records = Hashtbl.create 4096;
+    graveyard = Queue.create ();
+    holds = Hashtbl.create 256;
+    holds_by_pool = Hashtbl.create 16;
+    next_token = 0;
+    diags_rev = [];
+    n_diags = 0;
+    flagged_stuck = Hashtbl.create 64;
+  }
+
+let dls : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+
+let st () = Domain.DLS.get dls
 
 let reset () =
-  Hashtbl.reset records;
-  Queue.clear graveyard;
-  Hashtbl.reset holds;
-  Hashtbl.reset holds_by_pool;
-  Hashtbl.reset flagged_stuck;
-  diags_rev := [];
-  n_diags := 0;
-  seq := 0
+  let s = st () in
+  Hashtbl.reset s.records;
+  Queue.clear s.graveyard;
+  Hashtbl.reset s.holds;
+  Hashtbl.reset s.holds_by_pool;
+  Hashtbl.reset s.flagged_stuck;
+  s.diags_rev <- [];
+  s.n_diags <- 0;
+  s.seq <- 0
 
 (* --- Internals ---------------------------------------------------------- *)
 
@@ -139,8 +159,9 @@ let key_of id = (id.pool_uid, id.size, id.slot, id.gen)
 let max_events = 24
 
 let push_event r kind site =
-  incr seq;
-  r.r_events <- { Event.seq = !seq; kind; site } :: r.r_events;
+  let s = st () in
+  s.seq <- s.seq + 1;
+  r.r_events <- { Event.seq = s.seq; kind; site } :: r.r_events;
   r.r_nevents <- r.r_nevents + 1;
   if r.r_nevents > max_events then begin
     (* Keep the newest two-thirds; the alloc/free provenance survives in
@@ -153,16 +174,17 @@ let push_event r kind site =
 let diag d_kind ~id ~site fmt =
   Printf.ksprintf
     (fun msg ->
-      if !n_diags < diags_cap then begin
-        incr n_diags;
-        diags_rev :=
+      let s = st () in
+      if s.n_diags < diags_cap then begin
+        s.n_diags <- s.n_diags + 1;
+        s.diags_rev <-
           {
             d_kind;
             d_site = site;
             d_buffer = (match id with Some id -> describe id | None -> "?");
             d_message = msg;
           }
-          :: !diags_rev
+          :: s.diags_rev
       end)
     fmt
 
@@ -180,19 +202,19 @@ let fresh_record id ~alloc_site ~refs =
       r_nevents = 0;
     }
   in
-  Hashtbl.replace records (key_of id) r;
+  Hashtbl.replace (st ()).records (key_of id) r;
   r
 
 (* A buffer first seen mid-life (the sanitizer was enabled after it was
    allocated): adopt it with the caller-reported real refcount so later
    bookkeeping stays balanced. *)
 let find_or_adopt id ~refs =
-  match Hashtbl.find_opt records (key_of id) with
+  match Hashtbl.find_opt (st ()).records (key_of id) with
   | Some r -> r
   | None -> fresh_record id ~alloc_site:"<untracked>" ~refs
 
 let history id =
-  match Hashtbl.find_opt records (key_of id) with
+  match Hashtbl.find_opt (st ()).records (key_of id) with
   | None -> []
   | Some r ->
       let tail =
@@ -212,7 +234,7 @@ let on_alloc ~id ~site =
   push_event r Event.Alloc site
 
 let on_incref ~id ~refs ~site =
-  match Hashtbl.find_opt records (key_of id) with
+  match Hashtbl.find_opt (st ()).records (key_of id) with
   | Some r ->
       r.r_refs <- r.r_refs + 1;
       push_event r Event.Incref site
@@ -222,7 +244,7 @@ let on_incref ~id ~refs ~site =
       push_event r Event.Incref site
 
 let on_decref ~id ~refs ~site =
-  match Hashtbl.find_opt records (key_of id) with
+  match Hashtbl.find_opt (st ()).records (key_of id) with
   | None ->
       let r = find_or_adopt id ~refs in
       push_event r Event.Decref site;
@@ -246,11 +268,12 @@ let on_free ~id ~site =
   r.r_refs <- 0;
   r.r_free_site <- Some site;
   push_event r Event.Free site;
-  Queue.push (key_of id) graveyard;
-  if Queue.length graveyard > graveyard_cap then begin
-    let old = Queue.pop graveyard in
-    match Hashtbl.find_opt records old with
-    | Some r when r.r_freed -> Hashtbl.remove records old
+  let s = st () in
+  Queue.push (key_of id) s.graveyard;
+  if Queue.length s.graveyard > graveyard_cap then begin
+    let old = Queue.pop s.graveyard in
+    match Hashtbl.find_opt s.records old with
+    | Some r when r.r_freed -> Hashtbl.remove s.records old
     | _ -> ()
   end
 
@@ -275,7 +298,7 @@ let on_unroot ~id ~refs ~site =
 (* Classify an access through a stale handle. [op = `Release] on a buffer
    the ledger saw freed is a double-free; everything else is use-after-free. *)
 let stale_access ~id ~op ~site =
-  let r = Hashtbl.find_opt records (key_of id) in
+  let r = Hashtbl.find_opt (st ()).records (key_of id) in
   let freed = match r with Some r -> r.r_freed | None -> false in
   let provenance =
     match r with
@@ -298,33 +321,35 @@ let stale_access ~id ~op ~site =
 (* --- In-flight holds and the write-after-post detector ------------------ *)
 
 let hold ~id ~refs ~addr ~len ~site =
+  let s = st () in
   let r = find_or_adopt id ~refs in
   r.r_holds <- r.r_holds + 1;
   push_event r Event.Dma_post site;
-  incr next_token;
-  let token = !next_token in
+  s.next_token <- s.next_token + 1;
+  let token = s.next_token in
   let h = { h_key = key_of id; h_pool = id.pool_uid; h_addr = addr; h_len = len; h_site = site } in
-  Hashtbl.replace holds token h;
+  Hashtbl.replace s.holds token h;
   let sub =
-    match Hashtbl.find_opt holds_by_pool id.pool_uid with
-    | Some s -> s
+    match Hashtbl.find_opt s.holds_by_pool id.pool_uid with
+    | Some sub -> sub
     | None ->
-        let s = Hashtbl.create 64 in
-        Hashtbl.replace holds_by_pool id.pool_uid s;
-        s
+        let sub = Hashtbl.create 64 in
+        Hashtbl.replace s.holds_by_pool id.pool_uid sub;
+        sub
   in
   Hashtbl.replace sub token h;
   token
 
 let release_hold token =
-  match Hashtbl.find_opt holds token with
+  let s = st () in
+  match Hashtbl.find_opt s.holds token with
   | None -> ()
   | Some h ->
-      Hashtbl.remove holds token;
-      (match Hashtbl.find_opt holds_by_pool h.h_pool with
+      Hashtbl.remove s.holds token;
+      (match Hashtbl.find_opt s.holds_by_pool h.h_pool with
       | Some sub -> Hashtbl.remove sub token
       | None -> ());
-      (match Hashtbl.find_opt records h.h_key with
+      (match Hashtbl.find_opt s.records h.h_key with
       | Some r ->
           if r.r_holds > 0 then r.r_holds <- r.r_holds - 1;
           push_event r Event.Dma_complete h.h_site
@@ -334,7 +359,7 @@ let on_write ~id ~refs ~addr ~len ~via_cow ~site =
   let r = find_or_adopt id ~refs in
   push_event r (Event.Write { via_cow }) site;
   if not via_cow then
-    match Hashtbl.find_opt holds_by_pool id.pool_uid with
+    match Hashtbl.find_opt (st ()).holds_by_pool id.pool_uid with
     | None -> ()
     | Some sub ->
         Hashtbl.iter
@@ -383,9 +408,9 @@ let leaks () =
           :: acc
         end
       end)
-    records []
+    (st ()).records []
 
-let diagnostics () = List.rev !diags_rev
+let diagnostics () = List.rev (st ()).diags_rev
 
 let count_diags kind =
   List.fold_left
@@ -400,13 +425,14 @@ let hazard_count () = count_diags Write_hazard + count_diags Stuck_hold
    excuses held refs (in-flight is not leaked), so without this check a
    lost completion would be invisible. Called from the quiesce report. *)
 let flag_stuck_holds () =
+  let s = st () in
   let fresh = ref 0 in
   Hashtbl.iter
     (fun token h ->
-      if not (Hashtbl.mem flagged_stuck token) then begin
-        Hashtbl.replace flagged_stuck token ();
+      if not (Hashtbl.mem s.flagged_stuck token) then begin
+        Hashtbl.replace s.flagged_stuck token ();
         incr fresh;
-        let id = Option.map (fun r -> r.r_id) (Hashtbl.find_opt records h.h_key) in
+        let id = Option.map (fun r -> r.r_id) (Hashtbl.find_opt s.records h.h_key) in
         let buf = match id with Some id -> describe id | None -> Printf.sprintf "pool %d" h.h_pool in
         diag Stuck_hold ~id ~site:h.h_site
           "stuck hold: %s still in flight at quiesce (posted at %s) — a lost \
@@ -414,33 +440,37 @@ let flag_stuck_holds () =
            layer recover it"
           buf h.h_site
       end)
-    holds;
+    s.holds;
   !fresh
 
-let tracked_buffers () = Hashtbl.length records
+let tracked_buffers () = Hashtbl.length (st ()).records
 
-let active_holds () = Hashtbl.length holds
+let active_holds () = Hashtbl.length (st ()).holds
 
 (* --- Cross-run accumulation ---------------------------------------------
 
    Long harnesses (the bench binary) reset the ledger between experiments to
    bound its memory; [checkpoint] folds the current results into running
-   totals first so the end-of-run roll-up still covers everything. *)
+   totals first so the end-of-run roll-up still covers everything. The
+   totals are atomics because parallel workers checkpoint their own
+   domain-local ledgers into the same process-wide roll-up (the grand-total
+   line the CI gate greps covers every domain's findings). *)
 
-let acc_leaks = ref 0
+let acc_leaks = Atomic.make 0
 
-let acc_hazards = ref 0
+let acc_hazards = Atomic.make 0
 
-let acc_other = ref 0
+let acc_other = Atomic.make 0
 
 let checkpoint () =
-  acc_leaks := !acc_leaks + List.length (leaks ());
-  acc_hazards := !acc_hazards + hazard_count ();
-  acc_other := !acc_other + (!n_diags - hazard_count ());
+  ignore (Atomic.fetch_and_add acc_leaks (List.length (leaks ())));
+  ignore (Atomic.fetch_and_add acc_hazards (hazard_count ()));
+  ignore (Atomic.fetch_and_add acc_other ((st ()).n_diags - hazard_count ()));
   reset ()
 
-let total_leaks () = !acc_leaks + List.length (leaks ())
+let total_leaks () = Atomic.get acc_leaks + List.length (leaks ())
 
-let total_hazards () = !acc_hazards + hazard_count ()
+let total_hazards () = Atomic.get acc_hazards + hazard_count ()
 
-let total_other_diags () = !acc_other + (!n_diags - hazard_count ())
+let total_other_diags () =
+  Atomic.get acc_other + ((st ()).n_diags - hazard_count ())

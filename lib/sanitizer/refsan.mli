@@ -12,8 +12,11 @@
 
     Enabled by [CF_SANITIZE=1] in the environment or {!set_enabled}. All
     hooks are no-ops unless the caller checks {!is_enabled} first (the
-    instrumentation sites in [Mem.Pinned] etc. do); state is process-global
-    and single-threaded, like the simulator. *)
+    instrumentation sites in [Mem.Pinned] etc. do). Ledger state is
+    domain-local: each worker domain of the parallel experiment harness
+    observes exactly the simulations it runs, and {!checkpoint} folds each
+    domain's findings into the process-wide totals. Only the enabled
+    switch, pool-uid counter, and totals are shared (atomics). *)
 
 (** Stable identity of one allocation (the generation makes slot reuse
     distinguishable). [pool_uid] comes from {!register_pool}. *)

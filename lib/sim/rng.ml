@@ -17,6 +17,19 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* Job-splitting streams: the parallel harness gives job [i] the generator
+   [stream ~seed ~index:i]. Double-mixing the (seed, index) pair scatters
+   the initial states across the whole 2^64 SplitMix orbit, so streams for
+   distinct indices under one seed are distinct and (for any prefix a
+   simulation can consume) non-overlapping. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  let base = mix64 (Int64.of_int seed) in
+  let salt = Int64.mul golden_gamma (Int64.of_int (index + 1)) in
+  { state = mix64 (Int64.logxor base salt) }
+
+let stream_seed ~seed ~index = Int64.to_int (stream ~seed ~index).state
+
 let float t =
   (* 53 high bits give a uniform double in [0, 1). *)
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -12,6 +12,16 @@ val create : seed:int -> t
     workload component its own stream. *)
 val split : t -> t
 
+(** [stream ~seed ~index] is the generator for job [index] of a parallel
+    run seeded with [seed]: deterministic in [(seed, index)], independent
+    of which domain executes the job, and non-colliding across indices.
+    Requires [index >= 0]. *)
+val stream : seed:int -> index:int -> t
+
+(** [stream_seed ~seed ~index] is [stream]'s initial state as an [int],
+    for components that take a seed rather than a generator. *)
+val stream_seed : seed:int -> index:int -> int
+
 (** [next_int64 t] is a uniform 64-bit value. *)
 val next_int64 : t -> int64
 

@@ -127,6 +127,57 @@ let test_adaptive_without_cpu_is_static () =
   Alcotest.(check int) "no observations recorded" 0
     (Cornflakes.Adaptive.observations adaptive)
 
+let test_adaptive_clamp_bounds () =
+  (* The threshold is clamped to [64, 8192] both at creation... *)
+  let lo = Cornflakes.Adaptive.create ~initial:1 () in
+  Alcotest.(check int) "floor at create" 64 (Cornflakes.Adaptive.threshold lo);
+  let hi = Cornflakes.Adaptive.create ~initial:100_000 () in
+  Alcotest.(check int) "ceiling at create" 8192
+    (Cornflakes.Adaptive.threshold hi);
+  (* ... and on every refresh, however extreme the observations. *)
+  let t = Cornflakes.Adaptive.create () in
+  for _ = 1 to 500 do
+    Cornflakes.Adaptive.observe_zc t ~cycles:1.0;
+    Cornflakes.Adaptive.observe_copy t ~bytes:1 ~cycles:100.0
+  done;
+  Alcotest.(check int) "floor under cheap zc" 64
+    (Cornflakes.Adaptive.threshold t);
+  let u = Cornflakes.Adaptive.create () in
+  for _ = 1 to 500 do
+    Cornflakes.Adaptive.observe_zc u ~cycles:1_000_000.0;
+    Cornflakes.Adaptive.observe_copy u ~bytes:1000 ~cycles:1.0
+  done;
+  Alcotest.(check int) "ceiling under expensive zc" 8192
+    (Cornflakes.Adaptive.threshold u)
+
+let test_adaptive_ewma_converges_on_synthetic () =
+  (* Steady synthetic observations: copies cost 2 cycles/byte, zero-copy
+     metadata costs 1000 fixed cycles, so the crossover is 500 bytes. The
+     EWMA must converge there from a far-off initial estimate. *)
+  let t = Cornflakes.Adaptive.create ~initial:4096 ~alpha:0.05 () in
+  for _ = 1 to 400 do
+    Cornflakes.Adaptive.observe_copy t ~bytes:256 ~cycles:512.0;
+    Cornflakes.Adaptive.observe_zc t ~cycles:1000.0
+  done;
+  let th = Cornflakes.Adaptive.threshold t in
+  if th < 480 || th > 520 then
+    Alcotest.failf "EWMA should converge to ~500, got %d" th;
+  Alcotest.(check int) "observations counted" 800
+    (Cornflakes.Adaptive.observations t);
+  let copy, zc = Cornflakes.Adaptive.estimates t in
+  if abs_float (copy -. 2.0) > 0.05 then
+    Alcotest.failf "copy estimate should be ~2 cycles/byte, got %.3f" copy;
+  if abs_float (zc -. 1000.0) > 25.0 then
+    Alcotest.failf "zc estimate should be ~1000 cycles, got %.1f" zc
+
+let test_adaptive_zero_byte_copy_ignored () =
+  let t = Cornflakes.Adaptive.create () in
+  Cornflakes.Adaptive.observe_copy t ~bytes:0 ~cycles:1_000_000.0;
+  Alcotest.(check int) "no observation recorded" 0
+    (Cornflakes.Adaptive.observations t);
+  Alcotest.(check int) "threshold unchanged" 512
+    (Cornflakes.Adaptive.threshold t)
+
 let suite =
   [
     Alcotest.test_case "cow write in place" `Quick
@@ -139,4 +190,9 @@ let suite =
     Alcotest.test_case "adaptive tracks pressure" `Slow
       test_adaptive_tracks_memory_pressure;
     Alcotest.test_case "adaptive without cpu" `Quick test_adaptive_without_cpu_is_static;
+    Alcotest.test_case "adaptive clamp bounds" `Quick test_adaptive_clamp_bounds;
+    Alcotest.test_case "adaptive ewma converges on synthetic" `Quick
+      test_adaptive_ewma_converges_on_synthetic;
+    Alcotest.test_case "adaptive ignores zero-byte copy" `Quick
+      test_adaptive_zero_byte_copy_ignored;
   ]

@@ -24,4 +24,5 @@ let () =
       ("loadgen", Test_loadgen.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("faults", Test_faults.suite);
+      ("par", Test_par.suite);
     ]
