@@ -4,6 +4,17 @@
 
 open Cmdliner
 
+let transport_arg =
+  Arg.(
+    value
+    & opt (enum [ ("udp", `Udp); ("tcp", `Tcp) ]) `Udp
+    & info [ "transport" ] ~docv:"udp|tcp"
+        ~doc:
+          "Datapath for every experiment rig: kernel-bypass UDP (default; \
+           buffers released at NIC completion) or the Demikernel-style TCP \
+           stack (buffers held until cumulative ACK). Experiments that pin \
+           a transport (fig9, tcp) ignore this.")
+
 (* --- experiments ------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -23,7 +34,7 @@ let experiments_cmd =
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:"Worker domains for independent experiment configs.")
   in
-  let run ids quick list jobs =
+  let run ids quick list jobs transport =
     if list then
       List.iter
         (fun (e : Experiments.Registry.entry) ->
@@ -32,6 +43,7 @@ let experiments_cmd =
         Experiments.Registry.all
     else begin
       Experiments.Util.set_quick quick;
+      Apps.Rig.set_default_transport transport;
       Par.Pool.set_default_jobs (max 1 jobs);
       let entries =
         match ids with
@@ -56,7 +68,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run paper-reproduction experiments")
-    Term.(const run $ ids $ quick $ list $ jobs)
+    Term.(const run $ ids $ quick $ list $ jobs $ transport_arg)
 
 (* --- parallel harness: all / per-figure / bench ------------------------- *)
 
@@ -89,10 +101,11 @@ let seed_arg =
     & opt (some int) None
     & info [ "seed" ] ~docv:"N" ~doc:"Seed every Sim.Rng for reproducible runs.")
 
-let setup ~quick ~sanitize ~seed ~jobs =
+let setup ~quick ~sanitize ~seed ~jobs ~transport =
   Experiments.Util.set_quick quick;
   if sanitize then Cornflakes.Config.set_sanitize true;
   (match seed with Some s -> Apps.Rig.set_default_seed s | None -> ());
+  Apps.Rig.set_default_transport transport;
   Par.Pool.set_default_jobs (max 1 jobs)
 
 let run_entries entries =
@@ -106,34 +119,42 @@ let run_entries entries =
     print_endline ("\n" ^ Sanitizer.Report.grand_total_line ())
 
 let all_cmd =
-  let run quick sanitize seed jobs =
-    setup ~quick ~sanitize ~seed ~jobs;
+  let run quick sanitize seed jobs transport =
+    setup ~quick ~sanitize ~seed ~jobs ~transport;
     run_entries Experiments.Registry.all
   in
   Cmd.v
     (Cmd.info "all"
        ~doc:"Run every paper-reproduction experiment (honors --jobs)")
-    Term.(const run $ quick_arg $ sanitize_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ quick_arg $ sanitize_arg $ seed_arg $ jobs_arg
+      $ transport_arg)
 
 (* One subcommand per registry entry (`cornflakes fig3 --quick --jobs 4`),
    except ids that would shadow an existing top-level command — those stay
    reachable via `experiments <id>`. *)
-let reserved_ids = [ "experiments"; "all"; "bench"; "compile"; "check"; "lint"; "trace"; "faults" ]
+let reserved_ids =
+  [
+    "experiments"; "all"; "bench"; "compile"; "check"; "lint"; "trace";
+    "faults"; "probe";
+  ]
 
 let figure_cmds =
   List.filter_map
     (fun (e : Experiments.Registry.entry) ->
       if List.mem e.Experiments.Registry.id reserved_ids then None
       else
-        let run quick sanitize seed jobs =
-          setup ~quick ~sanitize ~seed ~jobs;
+        let run quick sanitize seed jobs transport =
+          setup ~quick ~sanitize ~seed ~jobs ~transport;
           run_entries [ e ]
         in
         Some
           (Cmd.v
              (Cmd.info e.Experiments.Registry.id
                 ~doc:e.Experiments.Registry.title)
-             Term.(const run $ quick_arg $ sanitize_arg $ seed_arg $ jobs_arg)))
+             Term.(
+               const run $ quick_arg $ sanitize_arg $ seed_arg $ jobs_arg
+               $ transport_arg)))
     Experiments.Registry.all
 
 let bench_cmd =
@@ -328,6 +349,62 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Sample or record operations from a workload generator")
     Term.(const run $ which $ count $ output $ seed)
 
+(* --- calibration probe -------------------------------------------------- *)
+
+(* The zero-copy/copy crossover probe (paper §3.2.1): saturate a kv rig
+   once with everything forced zero-copy and once with everything forced
+   copy, per value size. Used to sanity-check the hybrid threshold against
+   a given transport/NIC combination rather than to produce figures. *)
+
+let probe_cmd =
+  let sizes_default = [ 128; 256; 384; 512; 768; 1024; 2048 ] in
+  let kv_max backend ~transport ~duration_ns ~entries ~entry_size =
+    let rig = Apps.Rig.create ~transport () in
+    let n_keys =
+      min 262144 (max 8192 (5 * 32 * 1024 * 1024 / (entries * entry_size)))
+    in
+    let wl = Workload.Ycsb.make ~n_keys ~entries ~entry_size () in
+    let app = Apps.Kv_app.install rig ~backend ~workload:wl in
+    let send client ~dst ~id = Apps.Kv_app.send_next app client ~dst ~id in
+    let parse_id = Some (fun buf -> Apps.Kv_app.parse_id app buf) in
+    let r =
+      Loadgen.Driver.closed_loop rig.Apps.Rig.engine
+        ~clients:rig.Apps.Rig.clients ~server:Apps.Rig.server_id ~outstanding:4
+        ~duration_ns ~warmup_ns:(duration_ns * 3 / 10) ~rng:rig.Apps.Rig.rng
+        ~send ~parse_id
+    in
+    r.Loadgen.Driver.achieved_rps
+  in
+  let run quick seed transport =
+    (match seed with Some s -> Apps.Rig.set_default_seed s | None -> ());
+    let duration_ns = if quick then 1_500_000 else 8_000_000 in
+    let sizes = if quick then [ 256; 512; 1024 ] else sizes_default in
+    Printf.printf "== single-field crossover (%s) ==\n"
+      (Apps.Rig.transport_kind_name transport);
+    List.iter
+      (fun size ->
+        let zc =
+          kv_max
+            (Apps.Backend.cornflakes ~config:Cornflakes.Config.all_zero_copy ())
+            ~transport ~duration_ns ~entries:1 ~entry_size:size
+        in
+        let cp =
+          kv_max
+            (Apps.Backend.cornflakes ~config:Cornflakes.Config.all_copy ())
+            ~transport ~duration_ns ~entries:1 ~entry_size:size
+        in
+        Printf.printf
+          "size %5d: zc %8.0f krps  copy %8.0f krps  zc/copy %.3f\n%!" size
+          (zc /. 1e3) (cp /. 1e3) (zc /. cp))
+      sizes
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:
+         "Calibration probe: zero-copy vs copy crossover by value size \
+          (honors --transport)")
+    Term.(const run $ quick_arg $ seed_arg $ transport_arg)
+
 (* --- fault plans -------------------------------------------------------- *)
 
 let faults_cmd =
@@ -416,7 +493,9 @@ let () =
      microbenchmarks), compile (generate OCaml accessors from a schema), \
      check (validate a schema), lint (schema lint + zero-copy \
      eligibility), trace (sample/record workload ops), faults \
-     (pretty-print/replay Faultline fault plans)."
+     (pretty-print/replay Faultline fault plans), probe (zero-copy vs \
+     copy crossover calibration). Most commands take --transport udp|tcp \
+     to pick the datapath."
   in
   let info = Cmd.info "cornflakes" ~version:"1.0.0" ~doc in
   exit
@@ -424,6 +503,6 @@ let () =
        (Cmd.group info
           ([
              experiments_cmd; all_cmd; bench_cmd; compile_cmd; check_cmd;
-             lint_cmd; trace_cmd; faults_cmd;
+             lint_cmd; trace_cmd; faults_cmd; probe_cmd;
            ]
           @ figure_cmds)))

@@ -11,6 +11,7 @@ let config = Cornflakes.Config.default
 let handle_get rig store ~src buf =
   let cpu = rig.Apps.Rig.cpu in
   let ep = rig.Apps.Rig.server_ep in
+  let tr = rig.Apps.Rig.server_tr in
   let getm = Kv_msgs.Getreq.deserialize buf in
   let resp = Kv_msgs.Getresp.create () in
   (match Kv_msgs.Getreq.id getm with
@@ -28,7 +29,7 @@ let handle_get rig store ~src buf =
             (Kvstore.Store.buffers value)
       | None -> ())
     (Kv_msgs.Getreq.keys getm);
-  Kv_msgs.Getresp.send ~cpu config ep ~dst:src resp;
+  Kv_msgs.Getresp.send ~cpu config tr ~dst:src resp;
   Kv_msgs.Getreq.release ~cpu getm;
   Mem.Pinned.Buf.decr_ref ~cpu buf
 
@@ -49,7 +50,7 @@ let () =
       handle_get rig store ~src buf);
 
   let client = List.hd rig.Apps.Rig.clients in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       let resp = Kv_msgs.Getresp.deserialize buf in
       Printf.printf "response id=%Ld with %d values: %s\n"
         (Option.value ~default:0L (Kv_msgs.Getresp.id resp))

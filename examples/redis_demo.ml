@@ -12,10 +12,10 @@ let print_resp rig label s =
 let run_command rig label cmd ~print =
   let client = List.hd rig.Apps.Rig.clients in
   let got = ref None in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       got := Some (Mem.View.to_string (Mem.Pinned.Buf.view buf));
       Mem.Pinned.Buf.decr_ref buf);
-  Net.Endpoint.send_string client ~dst:Apps.Rig.server_id
+  Net.Transport.send_string client ~dst:Apps.Rig.server_id
     (Mini_redis.Resp.to_string rig.Apps.Rig.space
        (Mini_redis.Resp.command rig.Apps.Rig.space cmd));
   Sim.Engine.run_all rig.Apps.Rig.engine;

@@ -8,7 +8,7 @@ let () =
   let workload = Workload.Ycsb.make ~n_keys:64 ~entries:1 ~entry_size:600 () in
   let cluster = Replication.Replicated_kv.create rig ~backups:2 ~workload in
   let client = List.hd rig.Apps.Rig.clients in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       Printf.printf "client: ack for request %d at t=%d ns\n"
         (Replication.Replicated_kv.parse_id cluster buf)
         (Sim.Engine.now rig.Apps.Rig.engine);

@@ -1,15 +1,15 @@
 type t = {
   name : string;
   send :
-    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit;
+    ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit;
   recv :
     ?cpu:Memmodel.Cpu.t ->
-    Net.Endpoint.t ->
+    Net.Transport.t ->
     Schema.Desc.message ->
     Mem.Pinned.Buf.t ->
     Wire.Dyn.t;
   wrap :
-    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> Mem.View.t -> Wire.Payload.t;
+    ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> Mem.View.t -> Wire.Payload.t;
 }
 
 let cornflakes ?(config = Cornflakes.Config.default) () =
@@ -21,14 +21,16 @@ let cornflakes ?(config = Cornflakes.Config.default) () =
        else
          Printf.sprintf "cornflakes-t%d%s" config.Cornflakes.Config.zero_copy_threshold
            (if config.Cornflakes.Config.serialize_and_send then "" else "-nosas"));
-    send = (fun ?cpu ep ~dst msg -> Cornflakes.Send.send_object ?cpu config ep ~dst msg);
+    send = (fun ?cpu tr ~dst msg -> Cornflakes.Send.send_via ?cpu config tr ~dst msg);
     recv =
-      (fun ?cpu _ep desc buf ->
+      (fun ?cpu _tr desc buf ->
         Cornflakes.Send.deserialize ?cpu Proto.schema desc buf);
-    wrap = (fun ?cpu ep view -> Cornflakes.Cf_ptr.make ?cpu config ep view);
+    wrap =
+      (fun ?cpu tr view ->
+        Cornflakes.Cf_ptr.make ?cpu config (Net.Transport.endpoint tr) view);
   }
 
-let literal_wrap ?cpu _ep view =
+let literal_wrap ?cpu _tr view =
   ignore cpu;
   Wire.Payload.Literal view
 
@@ -36,25 +38,26 @@ let literal_wrap ?cpu _ep view =
    message object (paper section 8: "applications still move data from
    in-memory data structures to Protobuf objects"); SerializeTo* then moves
    it again into the output buffer. The first copy is the cold one. *)
-let protobuf_wrap ?cpu ep view =
-  Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) view)
+let protobuf_wrap ?cpu tr view =
+  Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Transport.arena tr) view)
 
 let protobuf =
   {
     name = "protobuf";
-    send = (fun ?cpu ep ~dst msg -> Baselines.Protobuf.serialize_and_send ?cpu ep ~dst msg);
+    send = (fun ?cpu tr ~dst msg -> Baselines.Protobuf.serialize_and_send ?cpu tr ~dst msg);
     recv =
-      (fun ?cpu ep desc buf ->
-        Baselines.Protobuf.deserialize ?cpu ep Proto.schema desc buf);
+      (fun ?cpu tr desc buf ->
+        Baselines.Protobuf.deserialize ?cpu (Net.Transport.endpoint tr)
+          Proto.schema desc buf);
     wrap = protobuf_wrap;
   }
 
 let flatbuffers =
   {
     name = "flatbuffers";
-    send = (fun ?cpu ep ~dst msg -> Baselines.Flatbuf.serialize_and_send ?cpu ep ~dst msg);
+    send = (fun ?cpu tr ~dst msg -> Baselines.Flatbuf.serialize_and_send ?cpu tr ~dst msg);
     recv =
-      (fun ?cpu _ep desc buf ->
+      (fun ?cpu _tr desc buf ->
         Baselines.Flatbuf.deserialize ?cpu Proto.schema desc buf);
     wrap = literal_wrap;
   }
@@ -62,9 +65,9 @@ let flatbuffers =
 let capnproto =
   {
     name = "capnproto";
-    send = (fun ?cpu ep ~dst msg -> Baselines.Capnp.serialize_and_send ?cpu ep ~dst msg);
+    send = (fun ?cpu tr ~dst msg -> Baselines.Capnp.serialize_and_send ?cpu tr ~dst msg);
     recv =
-      (fun ?cpu _ep desc buf ->
+      (fun ?cpu _tr desc buf ->
         Baselines.Capnp.deserialize ?cpu Proto.schema desc buf);
     wrap = literal_wrap;
   }

@@ -1,8 +1,9 @@
 (** Serialization backends: one record per evaluated system (§6.1.3).
 
-    Each backend knows how to send a dynamic message over an endpoint, how
-    to deserialize a received buffer, and how to wrap raw application bytes
-    into a payload for an outgoing message:
+    Each backend knows how to send a dynamic message over a transport
+    (UDP or TCP — the backend is datapath-agnostic), how to deserialize a
+    received buffer, and how to wrap raw application bytes into a payload
+    for an outgoing message:
 
     - Cornflakes wraps through {!Cornflakes.Cf_ptr.make} — the hybrid
       threshold plus [recover_ptr], paying copy or refcount per field;
@@ -12,15 +13,15 @@
 type t = {
   name : string;
   send :
-    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit;
+    ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit;
   recv :
     ?cpu:Memmodel.Cpu.t ->
-    Net.Endpoint.t ->
+    Net.Transport.t ->
     Schema.Desc.message ->
     Mem.Pinned.Buf.t ->
     Wire.Dyn.t;
   wrap :
-    ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> Mem.View.t -> Wire.Payload.t;
+    ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> Mem.View.t -> Wire.Payload.t;
 }
 
 (** [cornflakes ~config] — hybrid by default; pass

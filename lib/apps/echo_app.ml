@@ -26,8 +26,8 @@ type t = {
 let lib_handler t backend ~src buf =
   let rig = t.rig in
   let cpu = rig.Rig.cpu in
-  let ep = rig.Rig.server_ep in
-  let req = backend.Backend.recv ~cpu ep Proto.resp buf in
+  let tr = rig.Rig.server_tr in
+  let req = backend.Backend.recv ~cpu tr Proto.resp buf in
   let resp = t.resp_scratch in
   Wire.Dyn.clear resp;
   (match Wire.Dyn.get_int req "id" with
@@ -37,30 +37,30 @@ let lib_handler t backend ~src buf =
     (fun v ->
       match v with
       | Wire.Dyn.Payload p ->
-          let payload = backend.Backend.wrap ~cpu ep (Wire.Payload.view p) in
+          let payload = backend.Backend.wrap ~cpu tr (Wire.Payload.view p) in
           Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload)
       | _ -> ())
     (Wire.Dyn.get_list req "vals");
-  backend.Backend.send ~cpu ep ~dst:src resp;
+  backend.Backend.send ~cpu tr ~dst:src resp;
   Wire.Dyn.release ~cpu req;
   Mem.Pinned.Buf.decr_ref ~cpu buf
 
 let manual_handler rig mode ~src buf =
   let cpu = rig.Rig.cpu in
-  let ep = rig.Rig.server_ep in
+  let tr = rig.Rig.server_tr in
   match mode with
   | No_serialization ->
       (* Pure L3 forward: the receive buffer itself is retransmitted. *)
-      Baselines.Manual.forward ~cpu ep ~dst:src buf
+      Baselines.Manual.forward ~cpu tr ~dst:src buf
   | _ ->
       let fields = Baselines.Manual.parse ~cpu (Mem.Pinned.Buf.view buf) in
       (match mode with
       | Zero_copy_raw ->
-          Baselines.Manual.send_zero_copy ~cpu ~safety:`Raw ep ~dst:src fields
+          Baselines.Manual.send_zero_copy ~cpu ~safety:`Raw tr ~dst:src fields
       | Zero_copy_safe ->
-          Baselines.Manual.send_zero_copy ~cpu ~safety:`Safe ep ~dst:src fields
-      | One_copy -> Baselines.Manual.send_one_copy ~cpu ep ~dst:src fields
-      | Two_copy -> Baselines.Manual.send_two_copy ~cpu ep ~dst:src fields
+          Baselines.Manual.send_zero_copy ~cpu ~safety:`Safe tr ~dst:src fields
+      | One_copy -> Baselines.Manual.send_one_copy ~cpu tr ~dst:src fields
+      | Two_copy -> Baselines.Manual.send_two_copy ~cpu tr ~dst:src fields
       | Lib _ | No_serialization -> assert false);
       Mem.Pinned.Buf.decr_ref ~cpu buf
 
@@ -96,7 +96,7 @@ let send_request t ~sizes client ~dst ~id =
                (Wire.Payload.of_string space (Workload.Spec.filler (max 1 n)))))
         sizes;
       backend.Backend.send client ~dst msg;
-      Mem.Arena.reset (Net.Endpoint.arena client)
+      Mem.Arena.reset (Net.Transport.arena client)
   | _ ->
       (* Manual framing; FIFO matching, so the id is not encoded. *)
       let body =
@@ -112,7 +112,7 @@ let send_request t ~sizes client ~dst ~id =
         List.iter (fun n -> Buffer.add_string buf (Workload.Spec.filler n)) sizes;
         Buffer.contents buf
       in
-      Net.Endpoint.send_string client ~dst body
+      Net.Transport.send_string client ~dst body
 
 let parse_id t =
   match t.mode with
@@ -131,7 +131,7 @@ let parse_id t =
           in
           Wire.Dyn.release msg;
           List.iter
-            (fun c -> Mem.Arena.reset (Net.Endpoint.arena c))
+            (fun c -> Mem.Arena.reset (Net.Transport.arena c))
             t.rig.Rig.clients;
           id)
   | _ -> None

@@ -25,7 +25,7 @@ val install : Rig.t -> mode -> t
 (** [send_request t ~sizes client ~dst ~id] sends an echo request whose
     payload is a list of fields with the given sizes. *)
 val send_request :
-  t -> sizes:int list -> Net.Endpoint.t -> dst:int -> id:int -> unit
+  t -> sizes:int list -> Net.Transport.t -> dst:int -> id:int -> unit
 
 (** Response-id parser; [None] for the manual modes (FIFO matching). *)
 val parse_id : t -> (Mem.Pinned.Buf.t -> int) option

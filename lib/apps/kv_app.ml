@@ -47,7 +47,7 @@ let handle_get t ~cpu req resp =
               List.iter
                 (fun buf ->
                   let payload =
-                    t.backend.Backend.wrap ~cpu t.rig.Rig.server_ep
+                    t.backend.Backend.wrap ~cpu t.rig.Rig.server_tr
                       (Mem.Pinned.Buf.view buf)
                   in
                   Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload))
@@ -65,7 +65,7 @@ let handle_get_index t ~cpu req resp =
         ->
           let buf = arr.(Int64.to_int index) in
           let payload =
-            t.backend.Backend.wrap ~cpu t.rig.Rig.server_ep
+            t.backend.Backend.wrap ~cpu t.rig.Rig.server_tr
               (Mem.Pinned.Buf.view buf)
           in
           Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload)
@@ -108,8 +108,8 @@ let handle_put t ~cpu req resp =
 
 let handler t ~src buf =
   let cpu = t.rig.Rig.cpu in
-  let ep = t.rig.Rig.server_ep in
-  let req = t.backend.Backend.recv ~cpu ep Proto.req buf in
+  let tr = t.rig.Rig.server_tr in
+  let req = t.backend.Backend.recv ~cpu tr Proto.req buf in
   let resp = t.resp_scratch in
   Wire.Dyn.clear resp;
   let id_opt = Wire.Dyn.get_int req "id" in
@@ -139,7 +139,7 @@ let handler t ~src buf =
         handle_put t ~cpu req resp
       end
   | Some _ | None -> ());
-  t.backend.Backend.send ~cpu ep ~dst:src resp;
+  t.backend.Backend.send ~cpu tr ~dst:src resp;
   Wire.Dyn.release ~cpu req;
   Mem.Pinned.Buf.decr_ref ~cpu ~site:"Kv_app.handler_done" buf
 
@@ -217,7 +217,7 @@ let send_op t op client ~dst ~id =
         sizes);
   t.backend.Backend.send client ~dst msg;
   (* Client-side arenas hold per-request copies; recycle them. *)
-  Mem.Arena.reset (Net.Endpoint.arena client)
+  Mem.Arena.reset (Net.Transport.arena client)
 
 let send_next t client ~dst ~id =
   match t.dedup with
@@ -244,7 +244,7 @@ let parse_id t buf =
   in
   Wire.Dyn.release msg;
   List.iter
-    (fun c -> Mem.Arena.reset (Net.Endpoint.arena c))
+    (fun c -> Mem.Arena.reset (Net.Transport.arena c))
     t.rig.Rig.clients;
   Hashtbl.remove t.retry_cache id;
   id

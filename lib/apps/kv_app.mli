@@ -38,10 +38,11 @@ val put_apply_counts : t -> (int * int) list
 val store : t -> Kvstore.Store.t
 
 (** Client-side request sender for a workload op. *)
-val send_op : t -> Workload.Spec.op -> Net.Endpoint.t -> dst:int -> id:int -> unit
+val send_op :
+  t -> Workload.Spec.op -> Net.Transport.t -> dst:int -> id:int -> unit
 
 (** Client-side generator: draws the next op from the workload. *)
-val send_next : t -> Net.Endpoint.t -> dst:int -> id:int -> unit
+val send_next : t -> Net.Transport.t -> dst:int -> id:int -> unit
 
 (** Client-side response-id parser (uncharged; resets the client arena). *)
 val parse_id : t -> Mem.Pinned.Buf.t -> int

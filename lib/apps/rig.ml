@@ -1,3 +1,5 @@
+type transport_kind = [ `Udp | `Tcp ]
+
 type t = {
   engine : Sim.Engine.t;
   fabric : Net.Fabric.t;
@@ -5,12 +7,24 @@ type t = {
   registry : Mem.Registry.t;
   cpu : Memmodel.Cpu.t;
   server_ep : Net.Endpoint.t;
+  server_tr : Net.Transport.t;
   server : Loadgen.Server.t;
-  clients : Net.Endpoint.t list;
+  clients : Net.Transport.t list;
+  transport_kind : transport_kind;
   rng : Sim.Rng.t;
 }
 
 let server_id = 1
+
+(* Process-wide default datapath ([`Udp] unless the CLI's --transport flag
+   raises it); [create ?transport] overrides per rig. *)
+let transport_ref : transport_kind Atomic.t = Atomic.make `Udp
+
+let set_default_transport k = Atomic.set transport_ref k
+
+let default_transport () = Atomic.get transport_ref
+
+let transport_kind_name = function `Udp -> "udp" | `Tcp -> "tcp"
 
 (* Process-wide seed used when [create] is not given ?seed explicitly; the
    bench harness's --seed flag sets it so whole experiment runs replay. *)
@@ -22,8 +36,11 @@ let set_default_seed s = Atomic.set seed_ref s
 let default_seed () = Atomic.get seed_ref
 
 let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
-    ?(n_clients = 16) ?seed ?server_config () =
+    ?(n_clients = 16) ?seed ?server_config ?transport () =
   let seed = match seed with Some s -> s | None -> Atomic.get seed_ref in
+  let transport_kind =
+    match transport with Some k -> k | None -> Atomic.get transport_ref
+  in
   let engine = Sim.Engine.create () in
   (* Under RefSan, every rig reports leaks when its event queue drains. *)
   if Sanitizer.Refsan.is_enabled () then
@@ -43,10 +60,20 @@ let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     Net.Endpoint.create ~cpu ~config:server_config fabric registry
       ~id:server_id
   in
-  let server = Loadgen.Server.create server_ep cpu in
+  (* The datapath choice is a per-endpoint view: UDP uses the endpoint's
+     cached transport; TCP attaches a stack over the endpoint's receive
+     path (connections open lazily, or explicitly during warmup via
+     [Transport.connect]). *)
+  let as_transport ep =
+    match transport_kind with
+    | `Udp -> Net.Endpoint.transport ep
+    | `Tcp -> Tcp.transport (Tcp.Stack.attach ep)
+  in
+  let server_tr = as_transport server_ep in
+  let server = Loadgen.Server.create server_tr cpu in
   let clients =
     List.init n_clients (fun i ->
-        Net.Endpoint.create fabric registry ~id:(100 + i))
+        as_transport (Net.Endpoint.create fabric registry ~id:(100 + i)))
   in
   {
     engine;
@@ -55,12 +82,14 @@ let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     registry;
     cpu;
     server_ep;
+    server_tr;
     server;
     clients;
+    transport_kind;
     rng = Sim.Rng.create ~seed;
   }
 
-let endpoints t = t.server_ep :: t.clients
+let endpoints t = t.server_ep :: List.map Net.Transport.endpoint t.clients
 
 (* Recover every NIC's lost completions (releasing stuck ring slots,
    segment references, and RefSan holds); returns descriptors recovered.

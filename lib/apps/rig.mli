@@ -2,6 +2,11 @@
     on a fabric, matching the paper's testbed topology (16-thread load
     generator against a one-core server, §6.1.1). *)
 
+(** Which datapath the rig's transports ride: kernel-bypass UDP (buffers
+    released at NIC completion) or the Demikernel-style TCP stack (buffers
+    held until cumulative ACK). *)
+type transport_kind = [ `Udp | `Tcp ]
+
 type t = {
   engine : Sim.Engine.t;
   fabric : Net.Fabric.t;
@@ -9,8 +14,10 @@ type t = {
   registry : Mem.Registry.t;
   cpu : Memmodel.Cpu.t;
   server_ep : Net.Endpoint.t;
+  server_tr : Net.Transport.t;  (** the server endpoint as a transport *)
   server : Loadgen.Server.t;
-  clients : Net.Endpoint.t list;
+  clients : Net.Transport.t list;
+  transport_kind : transport_kind;
   rng : Sim.Rng.t;
 }
 
@@ -22,8 +29,20 @@ val set_default_seed : int -> unit
 
 val default_seed : unit -> int
 
+(** Datapath used by [create] when [?transport] is absent (default
+    [`Udp]); the CLI's [--transport] flag sets it process-wide. *)
+val set_default_transport : transport_kind -> unit
+
+val default_transport : unit -> transport_kind
+
+val transport_kind_name : transport_kind -> string
+
 (** [create ()] builds the rig. [n_clients] defaults to 16; [seed] defaults
-    to the [set_default_seed] value. *)
+    to the [set_default_seed] value; [transport] to the
+    [set_default_transport] value. With [`Tcp], every endpoint gets a
+    [Tcp.Stack] attached and the rig's transports are its connections —
+    handshakes run lazily on first send or eagerly via
+    [Net.Transport.connect] (the load drivers connect during warmup). *)
 val create :
   ?params:Memmodel.Params.t ->
   ?shared_l3:Memmodel.Cache.t ->
@@ -31,6 +50,7 @@ val create :
   ?n_clients:int ->
   ?seed:int ->
   ?server_config:Net.Endpoint.config ->
+  ?transport:transport_kind ->
   unit ->
   t
 
@@ -60,6 +80,6 @@ val data_pool :
 val warm :
   t ->
   requests:int ->
-  send:(Net.Endpoint.t -> dst:int -> id:int -> unit) ->
+  send:(Net.Transport.t -> dst:int -> id:int -> unit) ->
   parse_id:(Mem.Pinned.Buf.t -> int) option ->
   unit

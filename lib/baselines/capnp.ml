@@ -122,27 +122,26 @@ let build ?cpu ep msg =
 
 let framing_len segs = 4 + (4 * List.length segs)
 
-let serialize_and_send ?cpu ep ~dst msg =
+let serialize_and_send ?cpu tr ~dst msg =
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let segs = build ?cpu ep msg in
   let body =
     framing_len segs
     + List.fold_left (fun acc s -> acc + s.Mem.View.len) 0 segs
   in
-  if body > Net.Packet.max_payload then
+  if body > Net.Transport.max_msg_len tr then
     invalid_arg "Capnp.serialize_and_send: message exceeds frame";
-  let staging =
-    Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + body)
-  in
+  let staging = Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + body) in
   let window =
-    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len
-      ~len:body
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:headroom ~len:body
   in
   let w = Wire.Cursor.Writer.create ?cpu window in
   Wire.Cursor.Writer.u32 w (List.length segs);
   List.iter (fun s -> Wire.Cursor.Writer.u32 w s.Mem.View.len) segs;
   (* Second copy: each segment moves into the DMA-safe staging buffer. *)
   List.iter (fun s -> Wire.Cursor.Writer.view_bytes w s) segs;
-  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+  Net.Transport.send_inline ?cpu tr ~dst ~segments:[ staging ]
 
 (* --- Reading ----------------------------------------------------------- *)
 

@@ -30,7 +30,7 @@ val segment_bytes : int
 val build : ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> Wire.Dyn.t -> Mem.View.t list
 
 val serialize_and_send :
-  ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit
+  ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit
 
 val deserialize :
   ?cpu:Memmodel.Cpu.t ->

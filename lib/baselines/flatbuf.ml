@@ -107,19 +107,19 @@ let build ?cpu ep msg =
   assert (b.head = 0);
   b.scratch
 
-let serialize_and_send ?cpu ep ~dst msg =
+let serialize_and_send ?cpu tr ~dst msg =
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let finished = build ?cpu ep msg in
-  if finished.Mem.View.len > Net.Packet.max_payload then
+  if finished.Mem.View.len > Net.Transport.max_msg_len tr then
     invalid_arg "Flatbuf.serialize_and_send: message exceeds frame";
   let staging =
-    Net.Endpoint.alloc_tx ?cpu ep
-      ~len:(Net.Packet.header_len + finished.Mem.View.len)
+    Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + finished.Mem.View.len)
   in
   (* Second copy: the contiguous builder output moves into DMA-safe
      staging; the source is cache-hot from the build. *)
-  Mem.Pinned.Buf.blit_from ?cpu staging ~src:finished
-    ~dst_off:Net.Packet.header_len;
-  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+  Mem.Pinned.Buf.blit_from ?cpu staging ~src:finished ~dst_off:headroom;
+  Net.Transport.send_inline ?cpu tr ~dst ~segments:[ staging ]
 
 (* --- Reading (zero-copy) ---------------------------------------------- *)
 

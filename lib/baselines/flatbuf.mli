@@ -28,7 +28,7 @@ exception Decode_error of string
 val build : ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> Wire.Dyn.t -> Mem.View.t
 
 val serialize_and_send :
-  ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit
+  ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit
 
 (** Zero-copy deserialization: payload fields are windows into [buf]. *)
 val deserialize :

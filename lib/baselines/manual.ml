@@ -2,22 +2,21 @@ type safety = [ `Raw | `Safe ]
 
 let frame_len lens = 4 + (4 * List.length lens) + List.fold_left ( + ) 0 lens
 
-let forward ?cpu ep ~dst buf =
-  Net.Endpoint.send_extra_header ?cpu ep ~dst ~segments:[ buf ]
+let forward ?cpu tr ~dst buf =
+  Net.Transport.send_extra ?cpu tr ~dst ~segments:[ buf ]
 
 let write_frame_header w views =
   let module W = Wire.Cursor.Writer in
   W.u32 w (List.length views);
   List.iter (fun (v : Mem.View.t) -> W.u32 w v.Mem.View.len) views
 
-let send_zero_copy ?cpu ~safety ep ~dst views =
+let send_zero_copy ?cpu ~safety tr ~dst views =
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let hdr_len = 4 + (4 * List.length views) in
-  let staging =
-    Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + hdr_len)
-  in
+  let staging = Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + hdr_len) in
   let window =
-    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len
-      ~len:hdr_len
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:headroom ~len:hdr_len
   in
   let w = Wire.Cursor.Writer.create ?cpu window in
   write_frame_header w views;
@@ -48,23 +47,24 @@ let send_zero_copy ?cpu ~safety ep ~dst views =
         (float_of_int (List.length lines)
         *. p.Memmodel.Params.cost_completion_per_sge)
   | _ -> ());
-  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:(staging :: entries)
+  Net.Transport.send_inline ?cpu tr ~dst ~segments:(staging :: entries)
 
-let send_one_copy ?cpu ep ~dst views =
+let send_one_copy ?cpu tr ~dst views =
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let body = frame_len (List.map (fun (v : Mem.View.t) -> v.Mem.View.len) views) in
-  let staging =
-    Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + body)
-  in
+  let staging = Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + body) in
   let window =
-    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len
-      ~len:body
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:headroom ~len:body
   in
   let w = Wire.Cursor.Writer.create ?cpu window in
   write_frame_header w views;
   List.iter (fun v -> Wire.Cursor.Writer.view_bytes w v) views;
-  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+  Net.Transport.send_inline ?cpu tr ~dst ~segments:[ staging ]
 
-let send_two_copy ?cpu ep ~dst views =
+let send_two_copy ?cpu tr ~dst views =
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let body = frame_len (List.map (fun (v : Mem.View.t) -> v.Mem.View.len) views) in
   (* First copy: gather fields into contiguous (non-pinned) scratch. *)
   let scratch = Mem.Arena.alloc ?cpu (Net.Endpoint.arena ep) ~len:body in
@@ -72,12 +72,9 @@ let send_two_copy ?cpu ep ~dst views =
   write_frame_header w views;
   List.iter (fun v -> Wire.Cursor.Writer.view_bytes w v) views;
   (* Second copy: scratch into the DMA-safe staging buffer. *)
-  let staging =
-    Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + body)
-  in
-  Mem.Pinned.Buf.blit_from ?cpu staging ~src:scratch
-    ~dst_off:Net.Packet.header_len;
-  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+  let staging = Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + body) in
+  Mem.Pinned.Buf.blit_from ?cpu staging ~src:scratch ~dst_off:headroom;
+  Net.Transport.send_inline ?cpu tr ~dst ~segments:[ staging ]
 
 let parse ?cpu view =
   let module R = Wire.Cursor.Reader in

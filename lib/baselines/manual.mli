@@ -22,9 +22,10 @@ type safety = [ `Raw | `Safe ]
     lengths. *)
 val frame_len : int list -> int
 
-(** [forward ?cpu ep ~dst buf] retransmits [buf]'s window unchanged,
+(** [forward ?cpu tr ~dst buf] retransmits [buf]'s window unchanged,
     zero-copy (takes over one reference on [buf]). *)
-val forward : ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Mem.Pinned.Buf.t -> unit
+val forward :
+  ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Mem.Pinned.Buf.t -> unit
 
 (** [send_zero_copy ?cpu ~safety ep ~dst views] frames and transmits the
     fields as scatter-gather entries. All views must lie in registered
@@ -32,16 +33,16 @@ val forward : ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Mem.Pinned.Buf
 val send_zero_copy :
   ?cpu:Memmodel.Cpu.t ->
   safety:safety ->
-  Net.Endpoint.t ->
+  Net.Transport.t ->
   dst:int ->
   Mem.View.t list ->
   unit
 
 val send_one_copy :
-  ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Mem.View.t list -> unit
+  ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Mem.View.t list -> unit
 
 val send_two_copy :
-  ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Mem.View.t list -> unit
+  ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Mem.View.t list -> unit
 
 (** [parse ?cpu view] splits a framed payload back into field windows
     (zero-copy). Raises [Invalid_argument] on malformed framing. *)

@@ -134,20 +134,19 @@ and encode_element ?cpu w (field : Schema.Desc.field) v =
 and encode ?cpu w msg =
   Wire.Dyn.iter_present msg (fun _ field v -> encode_field ?cpu w field v)
 
-let serialize_and_send ?cpu ep ~dst msg =
+let serialize_and_send ?cpu tr ~dst msg =
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let body = encoded_len msg in
-  if body > Net.Packet.max_payload then
+  if body > Net.Transport.max_msg_len tr then
     invalid_arg "Protobuf.serialize_and_send: message exceeds frame";
-  let staging =
-    Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + body)
-  in
+  let staging = Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + body) in
   let window =
-    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len
-      ~len:body
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:headroom ~len:body
   in
   let w = Wire.Cursor.Writer.create ?cpu window in
   encode ?cpu w msg;
-  Net.Endpoint.send_inline_header ?cpu ep ~dst ~segments:[ staging ]
+  Net.Transport.send_inline ?cpu tr ~dst ~segments:[ staging ]
 
 (* --- Decoding --------------------------------------------------------- *)
 

@@ -17,7 +17,7 @@ val encoded_len : Wire.Dyn.t -> int
 val encode : ?cpu:Memmodel.Cpu.t -> Wire.Cursor.Writer.t -> Wire.Dyn.t -> unit
 
 val serialize_and_send :
-  ?cpu:Memmodel.Cpu.t -> Net.Endpoint.t -> dst:int -> Wire.Dyn.t -> unit
+  ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit
 
 (** [decode ?cpu ep schema desc view] parses an encoded body. Unknown field
     numbers are skipped, last-wins for duplicated singular fields. Raises

@@ -136,9 +136,11 @@ let emit_message buf (m : Schema.Desc.message) =
     "  let deserialize buf =\n\
     \    { msg = Cornflakes.Send.deserialize schema desc buf }\n\n";
   Buffer.add_string buf
-    "  (* Combined serialize-and-send: no separate serialize step. *)\n\
-    \  let send ?cpu config ep ~dst t =\n\
-    \    Cornflakes.Send.send_object ?cpu config ep ~dst t.msg\n\n";
+    "  (* Combined serialize-and-send: no separate serialize step. The\n\
+    \     transport decides framing and headroom, so the same accessor\n\
+    \     sends over UDP datagrams or TCP records. *)\n\
+    \  let send ?cpu config tr ~dst t =\n\
+    \    Cornflakes.Send.send_via ?cpu config tr ~dst t.msg\n\n";
   Buffer.add_string buf
     "  let release ?cpu t = Wire.Dyn.release ?cpu t.msg\nend\n\n"
 

@@ -98,14 +98,15 @@ let scratch_dls : scratch Domain.DLS.key =
 
 let scratch () = Domain.DLS.get scratch_dls
 
-let send_object ?cpu (config : Config.t) ep ~dst msg =
+let send_via ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg =
+  let ep = tr.Net.Transport.tr_ep in
+  let headroom = tr.Net.Transport.tr_headroom in
+  let max_len = tr.Net.Transport.tr_max_msg_len in
   let scratch = scratch () in
   let plan = scratch.plan in
   Format_.measure_into plan msg;
-  if plan.Format_.total_len > Net.Packet.max_payload then
-    raise
-      (Message_too_large
-         { len = plan.Format_.total_len; max = Net.Packet.max_payload });
+  if plan.Format_.total_len > max_len then
+    raise (Message_too_large { len = plan.Format_.total_len; max = max_len });
   let limit = (Nic.Device.model (Net.Endpoint.nic ep)).Nic.Model.max_sge in
   let max_zc = limit - if config.serialize_and_send then 1 else 2 in
   if plan.Format_.zc_count > max_zc then begin
@@ -146,20 +147,21 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
               ~n:plan.Format_.zc_count)
         *. p.Memmodel.Params.cost_completion_per_sge));
   if config.serialize_and_send then begin
-    (* One staging buffer: packet header headroom + object header + copied
-       fields. Zero-copy payloads ride as further gather entries. *)
+    (* One staging buffer: transport headroom (wire headers + framing) +
+       object header + copied fields. Zero-copy payloads ride as further
+       gather entries. *)
     let staging =
-      Net.Endpoint.alloc_tx ?cpu ep ~len:(Net.Packet.header_len + contiguous_len)
+      Net.Endpoint.alloc_tx ?cpu ep ~len:(headroom + contiguous_len)
     in
     let window =
-      Mem.Pinned.Buf.sub_view ~site:"Send.staging" staging
-        ~off:Net.Packet.header_len ~len:contiguous_len
+      Mem.Pinned.Buf.sub_view ~site:"Send.staging" staging ~off:headroom
+        ~len:contiguous_len
     in
     let w = scratch.writer in
     Wire.Cursor.Writer.reset ?cpu w window;
     Format_.write ?cpu plan w msg;
-    Net.Endpoint.send_inline_zc ?cpu ep ~dst ~head:staging ~zc:plan.Format_.zc
-      ~zc_n:plan.Format_.zc_count
+    tr.Net.Transport.tr_send_inline_zc ?cpu ~dst ~head:staging
+      ~zc:plan.Format_.zc ~zc_n:plan.Format_.zc_count
   end
   else begin
     (* Layered path: object buffer, then an explicit scatter-gather array
@@ -187,11 +189,16 @@ let send_object ?cpu (config : Config.t) ep ~dst msg =
           ~len:(16 * nsge);
         Memmodel.Cpu.stream cpu Memmodel.Cpu.Tx ~addr:sga.Mem.View.addr
           ~len:(16 * nsge));
-    Net.Endpoint.send_extra_zc ?cpu ep ~dst ~head:obj ~zc:plan.Format_.zc
+    tr.Net.Transport.tr_send_extra_zc ?cpu ~dst ~head:obj ~zc:plan.Format_.zc
       ~zc_n:plan.Format_.zc_count;
     (* The stack has consumed the scatter-gather array; hand the chunk back
        so the next layered send reuses it. *)
     Mem.Arena.recycle ~site:"Send.sga" arena sga
   end
+
+(* Compatibility shim for the UDP-only call sites: [Endpoint.transport] is
+   cached per endpoint, so this stays allocation-free. *)
+let send_object ?cpu config ep ~dst msg =
+  send_via ?cpu config (Net.Endpoint.transport ep) ~dst msg
 
 let deserialize = Format_.deserialize

@@ -30,6 +30,25 @@ val pressure_demotion_skips : unit -> int
 
 val reset_counters : unit -> unit
 
+(** [send_via ?cpu config tr ~dst msg] — serialize [msg] and send it over
+    any transport: the staging buffer reserves [tr]'s headroom (packet
+    header for UDP; packet + TCP headers + record prefix for TCP, so the
+    stream fast path is still one gather entry), the size limit is the
+    transport's, and the zero-copy array goes down the transport's [_zc]
+    fast path. Ownership is identical on both datapaths from the caller's
+    side; internally UDP releases references at completion, TCP at
+    cumulative ACK. *)
+val send_via :
+  ?cpu:Memmodel.Cpu.t ->
+  Config.t ->
+  Net.Transport.t ->
+  dst:int ->
+  Wire.Dyn.t ->
+  unit
+
+(** [send_object config ep ~dst msg] = [send_via config (Endpoint.transport
+    ep)] — the historical UDP entry point (Listing 2); allocation-free, the
+    endpoint's transport record is cached. *)
 val send_object :
   ?cpu:Memmodel.Cpu.t ->
   Config.t ->

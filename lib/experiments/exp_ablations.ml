@@ -91,7 +91,10 @@ let run_adaptive_threshold () =
     {
       (Apps.Backend.cornflakes ()) with
       Apps.Backend.name = "adaptive";
-      wrap = (fun ?cpu ep view -> Cornflakes.Adaptive.make ?cpu adaptive ep view);
+      wrap =
+        (fun ?cpu tr view ->
+          Cornflakes.Adaptive.make ?cpu adaptive (Net.Transport.endpoint tr)
+            view);
     }
   in
   let results =

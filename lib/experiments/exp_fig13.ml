@@ -31,7 +31,8 @@ let run_config ~cores path =
     let server_ep =
       Net.Endpoint.create ~cpu ~nic:shared_nic fabric registry ~id:(1 + core)
     in
-    let server = Loadgen.Server.create server_ep cpu in
+    let server_tr = Net.Endpoint.transport server_ep in
+    let server = Loadgen.Server.create server_tr cpu in
     let rig : Apps.Rig.t =
       {
         Apps.Rig.engine;
@@ -40,8 +41,10 @@ let run_config ~cores path =
         registry;
         cpu;
         server_ep;
+        server_tr;
         server;
         clients = [];
+        transport_kind = `Udp;
         rng = Sim.Rng.stream ~seed:42 ~index:core;
       }
     in
@@ -55,7 +58,8 @@ let run_config ~cores path =
       let client =
         Net.Endpoint.create fabric registry ~id:(100 + (core * 10) + c)
       in
-      let issue () = d.Util.send client ~dst:(1 + core) ~id:0 in
+      let client_tr = Net.Endpoint.transport client in
+      let issue () = d.Util.send client_tr ~dst:(1 + core) ~id:0 in
       Net.Endpoint.set_rx client (fun ~src:_ buf ->
           let now = Sim.Engine.now engine in
           if now >= warmup && now <= duration then begin

@@ -1,222 +1,48 @@
 (* Figure 9: echo latency over the Demikernel-style TCP stack — raw packet
-   echo vs Cornflakes vs FlatBuffers. Box statistics (p5/p25/p50/p75/p99)
-   at a moderate fixed load, as the paper reports latency rather than peak
-   throughput for TCP. *)
+   echo vs the four serialization backends. Box statistics
+   (p5/p25/p50/p75/p99) at a moderate fixed load, as the paper reports
+   latency rather than peak throughput for TCP.
 
-type mode = Raw | Cf | Flat
-
-let mode_name = function
-  | Raw -> "raw packet echo"
-  | Cf -> "cornflakes"
-  | Flat -> "flatbuffers"
+   Everything rides the shared Transport path: the rig is created with
+   [~transport:`Tcp], so the same Echo_app handlers and Loadgen drivers
+   that produce the UDP figures run here unchanged — serialize-and-send,
+   the [_zc] fast paths and doorbell batching all apply to TCP frames, and
+   the 3-way handshakes fall inside the warmup window. *)
 
 let sizes = [ 2048; 2048 ]
 
-(* Serialize a message into TCP sources, Cornflakes-style: object header and
-   copied fields in one pinned buffer (zero-copy to the wire), zero-copy
-   payloads as their own slices. *)
-let cf_sources ?cpu pool msg =
-  let plan = Cornflakes.Format_.measure msg in
-  let contiguous =
-    plan.Cornflakes.Format_.header_len + plan.Cornflakes.Format_.stream_len
-  in
-  let hdr = Mem.Pinned.Buf.alloc ?cpu pool ~len:contiguous in
-  let w = Wire.Cursor.Writer.create ?cpu (Mem.Pinned.Buf.view hdr) in
-  Cornflakes.Format_.write ?cpu plan w msg;
-  Tcp.Zc hdr
-  :: List.map (fun b -> Tcp.Zc b) (Cornflakes.Format_.zc_bufs plan)
+let modes =
+  Apps.Echo_app.No_serialization
+  :: List.map (fun b -> Apps.Echo_app.Lib b) Apps.Backend.all
 
-(* A minimal single-core TCP request server: FIFO queue, service time from
-   the cost meter, responses held until the service time elapses. *)
-type tcp_server = {
-  rig_cpu : Memmodel.Cpu.t;
-  ep : Net.Endpoint.t;
-  engine : Sim.Engine.t;
-  queue : (Tcp.Conn.t * Mem.Pinned.Buf.t) Queue.t;
-  mutable busy : bool;
-  handle : cpu:Memmodel.Cpu.t -> Tcp.Conn.t -> Mem.Pinned.Buf.t -> unit;
-}
+let make_driver app =
+  {
+    Util.send =
+      (fun client ~dst ~id ->
+        Apps.Echo_app.send_request app ~sizes client ~dst ~id);
+    parse_id = Apps.Echo_app.parse_id app;
+  }
 
-let rec service srv =
-  match Queue.take_opt srv.queue with
-  | None -> srv.busy <- false
-  | Some (conn, buf) ->
-      srv.busy <- true;
-      let c0 = Memmodel.Cpu.cycles srv.rig_cpu in
-      Net.Endpoint.charge_rx ~cpu:srv.rig_cpu srv.ep ~len:(Mem.Pinned.Buf.len buf);
-      Net.Endpoint.begin_hold srv.ep;
-      srv.handle ~cpu:srv.rig_cpu conn buf;
-      Mem.Arena.reset (Net.Endpoint.arena srv.ep);
-      let dt =
-        int_of_float
-          (ceil
-             (Memmodel.Params.cycles_to_ns
-                (Memmodel.Cpu.params srv.rig_cpu)
-                (Memmodel.Cpu.cycles srv.rig_cpu -. c0)))
-      in
-      Net.Endpoint.release_hold srv.ep ~after:dt;
-      Sim.Engine.schedule srv.engine ~after:dt (fun () -> service srv)
-
-let enqueue srv conn buf =
-  Queue.add (conn, buf) srv.queue;
-  if not srv.busy then service srv
-
-let run_mode ?rate_rps mode =
-  let engine = Sim.Engine.create () in
-  let fabric = Net.Fabric.create engine in
-  let space = Mem.Addr_space.create () in
-  let registry = Mem.Registry.create space in
-  let cpu = Memmodel.Cpu.create Memmodel.Params.default in
-  let server_ep = Net.Endpoint.create ~cpu fabric registry ~id:1 in
-  let server_stack = Tcp.Stack.attach server_ep in
-  let obj_pool =
-    Mem.Pinned.Pool.create space ~name:"tcp-obj"
-      ~classes:[ (256, 1024); (1024, 1024); (4096, 1024); (16384, 256) ]
+(* Each run gets its own rig (own engine/space), matching the
+   capacity-then-rated-point protocol of the UDP curves: estimate
+   saturation closed-loop, then measure latency open-loop at 85% of it. *)
+let run_mode mode =
+  let capacity =
+    let rig = Apps.Rig.create ~n_clients:4 ~transport:`Tcp () in
+    let d = make_driver (Apps.Echo_app.install rig mode) in
+    (Util.capacity rig d).Loadgen.Driver.achieved_rps
   in
-  Mem.Registry.register registry obj_pool;
-  let handle ~cpu conn buf =
-    match mode with
-    | Raw ->
-        (* L3 forward: retransmit the record as-is. *)
-        Tcp.Conn.send_message ~cpu conn [ Tcp.Zc buf ]
-    | Cf ->
-        let req =
-          Cornflakes.Send.deserialize ~cpu Apps.Proto.schema Apps.Proto.resp buf
-        in
-        let resp = Wire.Dyn.create Apps.Proto.resp in
-        (match Wire.Dyn.get_int req "id" with
-        | Some id -> Wire.Dyn.set_int resp "id" id
-        | None -> ());
-        List.iter
-          (fun v ->
-            match v with
-            | Wire.Dyn.Payload p ->
-                let payload =
-                  Cornflakes.Cf_ptr.make ~cpu Cornflakes.Config.default
-                    server_ep (Wire.Payload.view p)
-                in
-                Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload)
-            | _ -> ())
-          (Wire.Dyn.get_list req "vals");
-        Tcp.Conn.send_message ~cpu conn (cf_sources ~cpu obj_pool resp);
-        Wire.Dyn.release ~cpu req;
-        Mem.Pinned.Buf.decr_ref ~cpu buf
-    | Flat ->
-        let req = Baselines.Flatbuf.deserialize ~cpu Apps.Proto.schema Apps.Proto.resp buf in
-        let resp = Wire.Dyn.create Apps.Proto.resp in
-        (match Wire.Dyn.get_int req "id" with
-        | Some id -> Wire.Dyn.set_int resp "id" id
-        | None -> ());
-        List.iter
-          (fun v ->
-            match v with
-            | Wire.Dyn.Payload p ->
-                Wire.Dyn.append resp "vals"
-                  (Wire.Dyn.Payload (Wire.Payload.Literal (Wire.Payload.view p)))
-            | _ -> ())
-          (Wire.Dyn.get_list req "vals");
-        let built = Baselines.Flatbuf.build ~cpu server_ep resp in
-        Tcp.Conn.send_message ~cpu conn [ Tcp.Copy built ];
-        Wire.Dyn.release ~cpu req;
-        Mem.Pinned.Buf.decr_ref ~cpu buf
-  in
-  let srv =
-    {
-      rig_cpu = cpu;
-      ep = server_ep;
-      engine;
-      queue = Queue.create ();
-      busy = false;
-      handle;
-    }
-  in
-  Tcp.Stack.set_on_message server_stack (fun conn buf -> enqueue srv conn buf);
-  (* Clients: closed-loop when no rate is given (capacity estimation),
-     open-loop Poisson at [rate_rps] otherwise. *)
-  let hist = Stats.Histogram.create () in
-  let n_clients = 4 in
+  let rate = 0.85 *. capacity in
+  let rig = Apps.Rig.create ~n_clients:4 ~transport:`Tcp () in
+  let d = make_driver (Apps.Echo_app.install rig mode) in
   let b = Util.budget () in
-  let duration = b.Util.point_ns and warmup = b.Util.warmup_ns in
-  let completed = ref 0 in
-  let make_request client_space msg_id =
-    let msg = Wire.Dyn.create Apps.Proto.resp in
-    Wire.Dyn.set_int msg "id" (Int64.of_int msg_id);
-    List.iter
-      (fun n ->
-        Wire.Dyn.append msg "vals"
-          (Wire.Dyn.Payload
-             (Wire.Payload.of_string client_space (Workload.Spec.filler n))))
-      sizes;
-    msg
+  let r =
+    Loadgen.Driver.open_loop rig.Apps.Rig.engine ~clients:rig.Apps.Rig.clients
+      ~server:Apps.Rig.server_id ~rate_rps:rate ~duration_ns:b.Util.point_ns
+      ~warmup_ns:b.Util.warmup_ns ~rng:rig.Apps.Rig.rng ~send:d.Util.send
+      ~parse_id:d.Util.parse_id
   in
-  List.iteri
-    (fun i () ->
-      let client_ep = Net.Endpoint.create fabric registry ~id:(100 + i) in
-      let client_stack = Tcp.Stack.attach client_ep in
-      let conn = Tcp.Stack.connect client_stack ~peer:1 in
-      let outstanding = Queue.create () in
-      let rng = Sim.Rng.create ~seed:(900 + i) in
-      let msg_seq = ref 0 in
-      let issue () =
-        incr msg_seq;
-        let msg = make_request space !msg_seq in
-        Queue.add (Sim.Engine.now engine) outstanding;
-        match mode with
-        | Raw ->
-            (* Pre-serialized cornflakes bytes, forwarded raw. *)
-            let plan = Cornflakes.Format_.measure msg in
-            let contiguous =
-              plan.Cornflakes.Format_.header_len
-              + plan.Cornflakes.Format_.stream_len
-            in
-            let buf = Mem.Pinned.Buf.alloc obj_pool ~len:contiguous in
-            let w = Wire.Cursor.Writer.create (Mem.Pinned.Buf.view buf) in
-            Cornflakes.Format_.write plan w msg;
-            Tcp.Conn.send_message conn
-              (Tcp.Zc buf
-              :: List.map
-                   (fun b -> Tcp.Zc b)
-                   (Cornflakes.Format_.zc_bufs plan))
-        | Cf -> Tcp.Conn.send_message conn (cf_sources obj_pool msg)
-        | Flat ->
-            let built = Baselines.Flatbuf.build client_ep msg in
-            Tcp.Conn.send_message conn [ Tcp.Copy built ];
-            Mem.Arena.reset (Net.Endpoint.arena client_ep)
-      in
-      Tcp.Stack.set_on_message client_stack (fun _conn buf ->
-          (match Queue.take_opt outstanding with
-          | Some t_send ->
-              let now = Sim.Engine.now engine in
-              if t_send >= warmup && now <= duration then begin
-                incr completed;
-                Stats.Histogram.record hist (now - t_send)
-              end
-          | None -> ());
-          Mem.Pinned.Buf.decr_ref buf;
-          (* Closed loop (capacity estimation): refill immediately. *)
-          if rate_rps = None && Sim.Engine.now engine < duration then issue ());
-      match rate_rps with
-      | None ->
-          for k = 1 to 2 do
-            Sim.Engine.schedule engine ~after:(1000 + (i * 777) + (k * 311))
-              issue
-          done
-      | Some rate ->
-          let mean_gap = float_of_int n_clients /. rate *. 1e9 in
-          let rec arrival () =
-            if Sim.Engine.now engine < duration then begin
-              issue ();
-              Sim.Engine.schedule engine
-                ~after:
-                  (max 1 (int_of_float (Sim.Dist.exponential rng ~mean:mean_gap)))
-                arrival
-            end
-          in
-          Sim.Engine.schedule engine ~after:(1000 + (i * 777)) arrival)
-    (List.init n_clients (fun _ -> ()));
-  Sim.Engine.run_all engine;
-  let window_s = float_of_int (duration - warmup) /. 1e9 in
-  (mode_name mode, hist, float_of_int !completed /. window_s)
+  (Apps.Echo_app.mode_name mode, rate, r.Loadgen.Driver.hist)
 
 let run () =
   let t =
@@ -230,13 +56,7 @@ let run () =
   let rows =
     (* One job per mode: the capacity estimate and the rated latency run
        share nothing with the other modes. *)
-    Util.par_map
-      (fun mode ->
-        let _, _, capacity = run_mode mode in
-        let rate = 0.85 *. capacity in
-        let name, hist, _ = run_mode ~rate_rps:rate mode in
-        (name, rate, hist))
-      [ Raw; Cf; Flat ]
+    Util.par_map run_mode modes
   in
   List.iter
     (fun (name, rate, hist) ->

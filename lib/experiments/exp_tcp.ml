@@ -1,0 +1,93 @@
+(* TCP end-to-end comparison: the Twitter kv workload served over the
+   Demikernel-style TCP stack, all four serialization systems through the
+   shared Transport path. The §6.2.3 claim is that Cornflakes' advantage
+   is not a UDP artifact: with buffers held until cumulative ACK instead
+   of NIC completion, zero-copy still beats the copying libraries.
+
+   Beyond the printed table the run writes BENCH_tcp.json — simulated
+   metrics only, no wall-clock — which CI regenerates at --jobs 1 and
+   --jobs 4 and compares byte-for-byte (the TCP stack runs inside the
+   per-rig deterministic simulation, so parallelism must not leak in). *)
+
+type row = {
+  name : string;
+  achieved_rps : float;
+  achieved_gbps : float;
+  p50_ns : int;
+  p99_ns : int;
+  completed : int;
+}
+
+let rows_of results =
+  List.map
+    (fun (name, (r : Loadgen.Driver.result)) ->
+      {
+        name;
+        achieved_rps = r.Loadgen.Driver.achieved_rps;
+        achieved_gbps = r.Loadgen.Driver.achieved_gbps;
+        p50_ns = Loadgen.Driver.p50_ns r;
+        p99_ns = Loadgen.Driver.p99_ns r;
+        completed = r.Loadgen.Driver.completed;
+      })
+    results
+
+(* Cornflakes (first row, by construction of Backend.all) must beat every
+   copying baseline on max throughput; anything else means the zero-copy
+   path stopped paying for itself under ACK-held references. *)
+let cornflakes_wins rows =
+  match rows with
+  | cf :: rest ->
+      cf.name = "cornflakes"
+      && List.for_all (fun r -> cf.achieved_rps >= r.achieved_rps) rest
+  | [] -> false
+
+let json_file = "BENCH_tcp.json"
+
+let write_json ~seed rows =
+  let oc = open_out json_file in
+  Printf.fprintf oc "{\n  \"schema\": \"cornflakes-bench-tcp/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"transport\": \"tcp\",\n";
+  Printf.fprintf oc "  \"cornflakes_wins\": %b,\n" (cornflakes_wins rows);
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"system\": %S, \"achieved_rps\": %.1f, \"achieved_gbps\": \
+         %.4f, \"p50_ns\": %d, \"p99_ns\": %d, \"completed\": %d}%s\n"
+        r.name r.achieved_rps r.achieved_gbps r.p50_ns r.p99_ns r.completed
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" json_file
+
+let run () =
+  let workload = Workload.Twitter.make () in
+  let rows =
+    rows_of (Kv_bench.capacities ~transport:`Tcp ~workload Apps.Backend.all)
+  in
+  let t =
+    Stats.Table.create
+      ~title:
+        "TCP transport: Twitter kv capacity per system (closed loop, \
+         buffers held until ACK)"
+      ~columns:[ "system"; "krps"; "Gbps"; "p50 us"; "p99 us"; "completed" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.name;
+          Util.krps r.achieved_rps;
+          Util.gbps r.achieved_gbps;
+          Printf.sprintf "%.1f" (float_of_int r.p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (float_of_int r.p99_ns /. 1e3);
+          string_of_int r.completed;
+        ])
+    rows;
+  Stats.Table.print t;
+  Printf.printf "cornflakes >= copying baselines over TCP: %s\n"
+    (if cornflakes_wins rows then "OK" else "VIOLATED");
+  write_json ~seed:(Apps.Rig.default_seed ()) rows

@@ -7,9 +7,11 @@ let driver app =
 (* Measure each backend on a freshly populated rig: sharing one rig across
    systems lets the first system pay every cold miss and hands the later
    ones a warm cache — an order bias we must not have. *)
-let with_apps ?rig ~workload backends f =
+let with_apps ?rig ?transport ~workload backends f =
   let run backend =
-    let rig = match rig with Some r -> r | None -> Apps.Rig.create () in
+    let rig =
+      match rig with Some r -> r | None -> Apps.Rig.create ?transport ()
+    in
     let app = Apps.Kv_app.install rig ~backend ~workload in
     let result = f backend.Apps.Backend.name rig app in
     if Sanitizer.Refsan.is_enabled () then begin
@@ -28,13 +30,13 @@ let with_apps ?rig ~workload backends f =
       List.map run backends
   | None -> Util.par_map run backends
 
-let capacities ?rig ~workload backends =
-  with_apps ?rig ~workload backends (fun _name rig app ->
+let capacities ?rig ?transport ~workload backends =
+  with_apps ?rig ?transport ~workload backends (fun _name rig app ->
       Util.capacity rig (driver app))
 
-let curves ?rig ~workload backends =
+let curves ?rig ?transport ~workload backends =
   List.map snd
-    (with_apps ?rig ~workload backends (fun name rig app ->
+    (with_apps ?rig ?transport ~workload backends (fun name rig app ->
          let d = driver app in
          let cap = Util.capacity rig d in
          Util.curve rig d ~name ~capacity_rps:cap.Loadgen.Driver.achieved_rps))

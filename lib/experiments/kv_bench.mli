@@ -4,9 +4,11 @@
 val driver : Apps.Kv_app.t -> Util.driver
 
 (** [capacities ~workload backends] — one rig, one populate; returns
-    [(backend_name, result)] per backend, in order. *)
+    [(backend_name, result)] per backend, in order. [?transport] selects
+    the datapath for the per-backend rigs (ignored when [?rig] is given). *)
 val capacities :
   ?rig:Apps.Rig.t ->
+  ?transport:Apps.Rig.transport_kind ->
   workload:Workload.Spec.t ->
   Apps.Backend.t list ->
   (string * Loadgen.Driver.result) list
@@ -15,6 +17,7 @@ val capacities :
     per backend, over a shared store. *)
 val curves :
   ?rig:Apps.Rig.t ->
+  ?transport:Apps.Rig.transport_kind ->
   workload:Workload.Spec.t ->
   Apps.Backend.t list ->
   Stats.Curve.t list

@@ -15,7 +15,7 @@ type t = {
 
 let handler t ~src buf =
   let cpu = t.rig.Apps.Rig.cpu in
-  let ep = t.rig.Apps.Rig.server_ep in
+  let tr = t.rig.Apps.Rig.server_tr in
   match Baselines.Manual.parse ~cpu (Mem.Pinned.Buf.view buf) with
   | [ keyv ] ->
       let key = Mem.View.to_string keyv in
@@ -26,14 +26,14 @@ let handler t ~src buf =
           in
           (match t.path with
           | Raw_sg ->
-              Baselines.Manual.send_zero_copy ~cpu ~safety:`Raw ep ~dst:src views
+              Baselines.Manual.send_zero_copy ~cpu ~safety:`Raw tr ~dst:src views
           | Safe_sg ->
-              Baselines.Manual.send_zero_copy ~cpu ~safety:`Safe ep ~dst:src
+              Baselines.Manual.send_zero_copy ~cpu ~safety:`Safe tr ~dst:src
                 views
-          | Copy_once -> Baselines.Manual.send_one_copy ~cpu ep ~dst:src views)
+          | Copy_once -> Baselines.Manual.send_one_copy ~cpu tr ~dst:src views)
       | None ->
           (* Echo an empty frame so FIFO matching stays aligned. *)
-          Baselines.Manual.send_one_copy ~cpu ep ~dst:src []);
+          Baselines.Manual.send_one_copy ~cpu tr ~dst:src []);
       Mem.Pinned.Buf.decr_ref ~cpu buf
   | _ | (exception Invalid_argument _) -> Mem.Pinned.Buf.decr_ref ~cpu buf
 
@@ -77,7 +77,7 @@ let driver t =
         u32 1;
         u32 (String.length key);
         Buffer.add_string b key;
-        Net.Endpoint.send_string client ~dst (Buffer.contents b)
+        Net.Transport.send_string client ~dst (Buffer.contents b)
     | _ -> ()
   in
   { Util.send; parse_id = None }

@@ -41,6 +41,11 @@ let all =
     { id = "tab3"; title = "Redis commands at 4096 B"; run = Exp_tab3.run };
     { id = "fig9"; title = "TCP echo latency boxes"; run = Exp_fig9.run };
     {
+      id = "tcp";
+      title = "TCP transport: Twitter kv capacity per system";
+      run = Exp_tcp.run;
+    };
+    {
       id = "fig10";
       title = "NIC generality: CX-6 vs e810 at 1024 B";
       run = Exp_fig10.run;

@@ -50,7 +50,7 @@ let par_map f xs =
   else Par.Pool.map_list f xs
 
 type driver = {
-  send : Net.Endpoint.t -> dst:int -> id:int -> unit;
+  send : Net.Transport.t -> dst:int -> id:int -> unit;
   parse_id : (Mem.Pinned.Buf.t -> int) option;
 }
 

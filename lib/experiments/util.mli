@@ -25,7 +25,7 @@ val set_quick : bool -> unit
 val par_map : ('a -> 'b) -> 'a list -> 'b list
 
 type driver = {
-  send : Net.Endpoint.t -> dst:int -> id:int -> unit;
+  send : Net.Transport.t -> dst:int -> id:int -> unit;
   parse_id : (Mem.Pinned.Buf.t -> int) option;
 }
 

@@ -46,7 +46,7 @@ let fresh_id ctx =
    client's in-order queue when id parsing is not available. [on_complete]
    lets the closed-loop driver issue a follow-up request. *)
 let install_rx ctx client ~parse_id ~fifo ~on_complete =
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       let now = Sim.Engine.now ctx.engine in
       let send_ns =
         match parse_id with
@@ -134,6 +134,10 @@ let open_loop ?reliab engine ~clients ~server ~rate_rps ~duration_ns ~warmup_ns
     ~rng ~send ~parse_id =
   if clients = [] then invalid_arg "Driver.open_loop: no clients";
   check_reliab ~who:"Driver.open_loop" ~reliab ~parse_id;
+  (* Connection-oriented transports handshake now, during warmup, so
+     establishment never lands in a measured latency window (no-op for
+     UDP). *)
+  List.iter (fun c -> Net.Transport.connect c ~peer:server) clients;
   let ctx = make_ctx ?reliab engine ~duration_ns ~warmup_ns in
   let per_client_mean_ns =
     float_of_int (List.length clients) /. rate_rps *. 1e9
@@ -160,6 +164,7 @@ let closed_loop ?reliab engine ~clients ~server ~outstanding ~duration_ns
   if clients = [] then invalid_arg "Driver.closed_loop: no clients";
   check_reliab ~who:"Driver.closed_loop" ~reliab ~parse_id;
   ignore rng;
+  List.iter (fun c -> Net.Transport.connect c ~peer:server) clients;
   let ctx = make_ctx ?reliab engine ~duration_ns ~warmup_ns in
   List.iter
     (fun client ->

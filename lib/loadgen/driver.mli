@@ -28,8 +28,11 @@ val to_point : result -> Stats.Curve.point
     sent after [warmup_ns] and whose response arrived by the end of the run
     count toward the histogram and achieved load.
 
-    [send ep ~dst ~id] issues one request; [parse_id] extracts the id from a
-    response payload ([None] = FIFO matching per client endpoint).
+    [send tr ~dst ~id] issues one request over the client transport;
+    [parse_id] extracts the id from a response payload ([None] = FIFO
+    matching per client). Connection-oriented transports are connected to
+    [server] at setup, so the 3-way handshake overlaps the warmup window
+    and is excluded from latency accounting.
 
     [?reliab] routes every request through a reliability layer: [send] is
     re-invoked with the same id on retransmission, responses are
@@ -40,13 +43,13 @@ val to_point : result -> Stats.Curve.point
 val open_loop :
   ?reliab:Net.Reliab.t ->
   Sim.Engine.t ->
-  clients:Net.Endpoint.t list ->
+  clients:Net.Transport.t list ->
   server:int ->
   rate_rps:float ->
   duration_ns:int ->
   warmup_ns:int ->
   rng:Sim.Rng.t ->
-  send:(Net.Endpoint.t -> dst:int -> id:int -> unit) ->
+  send:(Net.Transport.t -> dst:int -> id:int -> unit) ->
   parse_id:(Mem.Pinned.Buf.t -> int) option ->
   result
 
@@ -57,12 +60,12 @@ val open_loop :
 val closed_loop :
   ?reliab:Net.Reliab.t ->
   Sim.Engine.t ->
-  clients:Net.Endpoint.t list ->
+  clients:Net.Transport.t list ->
   server:int ->
   outstanding:int ->
   duration_ns:int ->
   warmup_ns:int ->
   rng:Sim.Rng.t ->
-  send:(Net.Endpoint.t -> dst:int -> id:int -> unit) ->
+  send:(Net.Transport.t -> dst:int -> id:int -> unit) ->
   parse_id:(Mem.Pinned.Buf.t -> int) option ->
   result

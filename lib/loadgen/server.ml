@@ -1,4 +1,5 @@
 type t = {
+  tr : Net.Transport.t;
   ep : Net.Endpoint.t;
   cpu : Memmodel.Cpu.t;
   engine : Sim.Engine.t;
@@ -60,9 +61,11 @@ let on_rx t ~src buf =
     if not t.busy then service t
   end
 
-let create ?(queue_limit = 4096) ep cpu =
+let create ?(queue_limit = 4096) tr cpu =
+  let ep = Net.Transport.endpoint tr in
   let t =
     {
+      tr;
       ep;
       cpu;
       engine = Net.Endpoint.engine ep;
@@ -79,7 +82,7 @@ let create ?(queue_limit = 4096) ep cpu =
       stalled_ns = 0;
     }
   in
-  Net.Endpoint.set_rx ep (fun ~src buf -> on_rx t ~src buf);
+  Net.Transport.set_rx tr (fun ~src buf -> on_rx t ~src buf);
   t
 
 let set_handler t f = t.handler <- f
@@ -100,3 +103,5 @@ let busy_ns t = t.busy_ns
 let cpu t = t.cpu
 
 let endpoint t = t.ep
+
+let transport t = t.tr

@@ -10,9 +10,11 @@
 
 type t
 
-(** [create ?queue_limit ep cpu] — [ep] must have been created with this
-    [cpu]. Installs itself as [ep]'s receive handler. *)
-val create : ?queue_limit:int -> Net.Endpoint.t -> Memmodel.Cpu.t -> t
+(** [create ?queue_limit tr cpu] — [tr]'s endpoint must have been created
+    with this [cpu]. Installs itself as the transport's message handler
+    (works for either datapath: one call per datagram over UDP, one per
+    reassembled record over TCP). *)
+val create : ?queue_limit:int -> Net.Transport.t -> Memmodel.Cpu.t -> t
 
 (** [set_handler t f] — [f ~src buf] owns one reference on [buf]. *)
 val set_handler : t -> (src:int -> Mem.Pinned.Buf.t -> unit) -> unit
@@ -38,3 +40,7 @@ val busy_ns : t -> int
 val cpu : t -> Memmodel.Cpu.t
 
 val endpoint : t -> Net.Endpoint.t
+
+(** The transport the server was created over (responses should go back
+    through it). *)
+val transport : t -> Net.Transport.t

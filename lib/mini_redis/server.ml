@@ -113,20 +113,21 @@ let execute t ~cpu req =
    the paper's baseline integration minimises unnecessary copies, so this
    is a single copy of every value byte. *)
 let send_native t ~cpu ~dst reply =
-  let ep = t.rig.Apps.Rig.server_ep in
+  let tr = t.rig.Apps.Rig.server_tr in
+  let ep = Net.Transport.endpoint tr in
+  let headroom = Net.Transport.headroom tr in
   let len = Resp.encoded_len reply in
-  let staging =
-    Net.Endpoint.alloc_tx ~cpu ep ~len:(Net.Packet.header_len + len)
-  in
+  let staging = Net.Endpoint.alloc_tx ~cpu ep ~len:(headroom + len) in
   let window =
-    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:Net.Packet.header_len ~len
+    Mem.View.sub (Mem.Pinned.Buf.view staging) ~off:headroom ~len
   in
   let w = Wire.Cursor.Writer.create ~cpu window in
   Resp.encode ~cpu w reply;
-  Net.Endpoint.send_inline_header ~cpu ep ~dst ~segments:[ staging ]
+  Net.Transport.send_inline ~cpu tr ~dst ~segments:[ staging ]
 
 let send_cornflakes t ~cpu ~dst config reply =
-  let ep = t.rig.Apps.Rig.server_ep in
+  let tr = t.rig.Apps.Rig.server_tr in
+  let ep = Net.Transport.endpoint tr in
   (* Replies become Cornflakes objects; each bulk goes through the hybrid
      CFPtr constructor. *)
   let msg = Wire.Dyn.create Apps.Proto.resp in
@@ -142,7 +143,7 @@ let send_cornflakes t ~cpu ~dst config reply =
         (fun e -> match e with Resp.Bulk view -> add_bulk view | _ -> ())
         elems
   | Resp.Simple _ | Resp.Error _ | Resp.Int _ | Resp.Null -> ());
-  Cornflakes.Send.send_object ~cpu config ep ~dst msg
+  Cornflakes.Send.send_via ~cpu config tr ~dst msg
 
 (* Redis spends considerable time per command outside serialization:
    command-table dispatch, SDS/robj bookkeeping, LRU/expiry accounting.
@@ -204,7 +205,8 @@ let send_op t op client ~dst ~id =
         let n = match sizes with [ n ] -> n | _ -> List.fold_left ( + ) 0 sizes in
         [ "SET"; key; Workload.Spec.filler (max 1 n) ]
   in
-  Net.Endpoint.send_string client ~dst (Resp.to_string space (Resp.command space parts))
+  Net.Transport.send_string client ~dst
+    (Resp.to_string space (Resp.command space parts))
 
 let send_next t client ~dst ~id =
   send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id

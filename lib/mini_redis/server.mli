@@ -10,7 +10,9 @@
       tiny), so both modes pay identical request-parsing costs.
 
     Responses carry no request id (RESP has none), so clients match
-    responses FIFO, as Redis pipelining does. *)
+    responses FIFO, as Redis pipelining does. The server replies over the
+    rig's transport — over a [`Tcp] rig this is RESP served on real TCP
+    connections, as Redis runs in production. *)
 
 type mode = Native | Cornflakes_backed of Cornflakes.Config.t
 
@@ -28,6 +30,7 @@ val store : t -> Kvstore.Store.t
 
 (** Client-side: send the RESP command for a workload op (FIFO matching —
     [id] ignored). *)
-val send_op : t -> Workload.Spec.op -> Net.Endpoint.t -> dst:int -> id:int -> unit
+val send_op :
+  t -> Workload.Spec.op -> Net.Transport.t -> dst:int -> id:int -> unit
 
-val send_next : t -> Net.Endpoint.t -> dst:int -> id:int -> unit
+val send_next : t -> Net.Transport.t -> dst:int -> id:int -> unit

@@ -44,6 +44,44 @@ type t = {
   mutable pending_txds : Nic.Device.txd array;
   mutable pending_n : int;
   mutable flush_scheduled : bool;
+  (* Lazily built, cached UDP transport record (see [Transport]): hot send
+     paths reach the datagram surfaces through the shared abstraction
+     without allocating a record of closures per message. *)
+  mutable udp_transport : transport option;
+}
+
+and transport = {
+  tr_name : string;
+  tr_ep : t;
+  (* Scratch bytes the caller must leave at the front of the first gather
+     segment of [tr_send_inline] / [tr_send_inline_zc]: the transport
+     writes its headers (and any framing) there, so object header + copied
+     fields + wire headers share one gather entry. *)
+  tr_headroom : int;
+  (* Largest message the transport can carry ([Packet.max_payload] for
+     datagrams; the reassembly cap for stream transports). *)
+  tr_max_msg_len : int;
+  tr_connect : peer:int -> unit;
+  tr_send_inline :
+    ?cpu:Memmodel.Cpu.t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit;
+  tr_send_extra :
+    ?cpu:Memmodel.Cpu.t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit;
+  tr_send_inline_zc :
+    ?cpu:Memmodel.Cpu.t ->
+    dst:int ->
+    head:Mem.Pinned.Buf.t ->
+    zc:Mem.Pinned.Buf.t array ->
+    zc_n:int ->
+    unit;
+  tr_send_extra_zc :
+    ?cpu:Memmodel.Cpu.t ->
+    dst:int ->
+    head:Mem.Pinned.Buf.t ->
+    zc:Mem.Pinned.Buf.t array ->
+    zc_n:int ->
+    unit;
+  tr_send_string : dst:int -> string -> unit;
+  tr_set_rx : (src:int -> Mem.Pinned.Buf.t -> unit) -> unit;
 }
 
 let tx_batch t = if t.config.tx_batch > 0 then t.config.tx_batch else Atomic.get default_tx_batch
@@ -118,6 +156,7 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       pending_txds = [||];
       pending_n = 0;
       flush_scheduled = false;
+      udp_transport = None;
     }
   in
   Nic.Device.set_on_wire nic (fun packet -> Fabric.inject fabric packet);
@@ -314,6 +353,39 @@ let charge_rx ?cpu _t ~len =
       let p = Memmodel.Cpu.params cpu in
       Memmodel.Cpu.charge cpu Memmodel.Cpu.Rx p.Memmodel.Params.cost_rx_packet;
       ignore len
+
+(* The UDP endpoint *is* a transport: datagram per message, buffers released
+   at NIC completion, no connection state. Built once per endpoint and
+   cached so per-send transport dispatch never allocates. *)
+(* Closures stored in the record keep ?cpu in final position (the record
+   field types fix the shape); warning 16 is spurious here. *)
+let[@warning "-16"] transport t =
+  match t.udp_transport with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        {
+          tr_name = "udp";
+          tr_ep = t;
+          tr_headroom = Packet.header_len;
+          tr_max_msg_len = Packet.max_payload;
+          tr_connect = (fun ~peer -> ignore peer);
+          tr_send_inline =
+            (fun ?cpu ~dst ~segments -> send_inline_header ?cpu t ~dst ~segments);
+          tr_send_extra =
+            (fun ?cpu ~dst ~segments -> send_extra_header ?cpu t ~dst ~segments);
+          tr_send_inline_zc =
+            (fun ?cpu ~dst ~head ~zc ~zc_n ->
+              send_inline_zc ?cpu t ~dst ~head ~zc ~zc_n);
+          tr_send_extra_zc =
+            (fun ?cpu ~dst ~head ~zc ~zc_n ->
+              send_extra_zc ?cpu t ~dst ~head ~zc ~zc_n);
+          tr_send_string = (fun ~dst s -> send_string t ~dst s);
+          tr_set_rx = (fun f -> set_rx t f);
+        }
+      in
+      t.udp_transport <- Some tr;
+      tr
 
 let rx_packets t = t.rx_packets
 

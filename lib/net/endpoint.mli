@@ -2,16 +2,29 @@
 
     Owns a NIC, pinned staging pools, and a receive path that delivers
     packets as refcounted buffers ([Listing 2] of the paper: [alloc],
-    [recv_packet] as the rx handler, [recover_ptr] via the registry). The
-    two send entry points encode the paper's §6.5.2 comparison:
+    [recv_packet] as the rx handler, [recover_ptr] via the registry). Two
+    pairs of send entry points encode the paper's §6.5.2 comparison:
 
-    - [send_inline_header]: serialize-and-send. The caller built the first
-      segment with [Packet.header_len] bytes of headroom; the stack writes
-      the packet header there, so object header + copied fields + packet
-      header share one gather entry.
-    - [send_extra_header]: the conventional path. The stack allocates a
-      separate header-only entry and prepends it, costing one more gather
-      entry and one more allocation.
+    - [send_inline_header] / [send_inline_zc]: serialize-and-send. The
+      caller built the first segment with [Packet.header_len] bytes of
+      headroom; the stack writes the packet header there, so object header
+      + copied fields + packet header share one gather entry.
+    - [send_extra_header] / [send_extra_zc]: the conventional path. The
+      stack allocates a separate header-only entry and prepends it, costing
+      one more gather entry and one more allocation.
+
+    The [_header] variants take the gather list as an OCaml list; the [_zc]
+    variants (PR 4's serializer fast paths) take [head] plus the measured
+    plan's zero-copy {e array} and fill the NIC's reusable transmit
+    descriptor in place — no per-send segment list is ever built, which is
+    what keeps the serialize-and-send hot path allocation-free.
+
+    TX doorbell coalescing: every send path routes descriptors through the
+    same batching layer. [config.tx_batch] descriptors share one doorbell
+    (a partial batch flushes after [tx_batch_timeout_ns], or explicitly via
+    [flush_tx]); [tx_batch = 1] rings per send, and the default [tx_batch =
+    0] means "follow [set_default_tx_batch]'s process-wide setting", itself
+    1 unless a harness raises it.
 
     Ownership: the stack takes over the caller's reference on every segment
     and releases it when the NIC completion fires — the use-after-free
@@ -19,6 +32,59 @@
     per-request service times include it. *)
 
 type t
+
+(** First-class transport handle: the socket-like surface the serializers
+    and load harness talk to, so the copy/zero-copy decision lives behind
+    one API regardless of datapath (mirrors how [Apps.Backend.t] abstracts
+    serializers). Implemented by this module for UDP (see [transport]) and
+    by [Tcp.transport] for the retransmitting stream path. The ownership
+    contract differs per implementation — UDP releases segment references
+    at NIC completion; TCP holds its own reference per segment until the
+    cumulative ACK covers it — but callers see one rule: the transport
+    takes over the caller's reference on every segment passed to a send. *)
+type transport = {
+  tr_name : string;
+  tr_ep : t;  (** underlying endpoint (arena, NIC counters, pressure) *)
+  tr_headroom : int;
+      (** scratch bytes the caller must leave at the front of the first
+          gather segment of [tr_send_inline] / [tr_send_inline_zc]; the
+          transport writes its headers (and any framing) there *)
+  tr_max_msg_len : int;
+      (** largest message the transport can carry ([Packet.max_payload]
+          for datagrams; the reassembly cap for stream transports) *)
+  tr_connect : peer:int -> unit;
+      (** establish a path to [peer] (no-op for UDP; 3-way handshake for
+          TCP — drive the engine afterwards, e.g. during warmup) *)
+  tr_send_inline :
+    ?cpu:Memmodel.Cpu.t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit;
+  tr_send_extra :
+    ?cpu:Memmodel.Cpu.t -> dst:int -> segments:Mem.Pinned.Buf.t list -> unit;
+  tr_send_inline_zc :
+    ?cpu:Memmodel.Cpu.t ->
+    dst:int ->
+    head:Mem.Pinned.Buf.t ->
+    zc:Mem.Pinned.Buf.t array ->
+    zc_n:int ->
+    unit;
+  tr_send_extra_zc :
+    ?cpu:Memmodel.Cpu.t ->
+    dst:int ->
+    head:Mem.Pinned.Buf.t ->
+    zc:Mem.Pinned.Buf.t array ->
+    zc_n:int ->
+    unit;
+  tr_send_string : dst:int -> string -> unit;
+  tr_set_rx : (src:int -> Mem.Pinned.Buf.t -> unit) -> unit;
+      (** register the message upcall: one refcounted buffer per delivered
+          message (datagram payload, or one reassembled record for stream
+          transports), header/framing stripped; the handler owns the
+          reference *)
+}
+
+(** The endpoint's UDP transport view. Cached on the endpoint (one record
+    per endpoint, allocated on first use), so hot send paths that go
+    through the transport stay allocation-free. *)
+val transport : t -> transport
 
 type config = {
   nic_model : Nic.Model.t;

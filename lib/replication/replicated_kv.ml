@@ -287,7 +287,7 @@ let create rig ~backups ~workload =
           Net.Endpoint.create ~cpu rig.Apps.Rig.fabric rig.Apps.Rig.registry
             ~id:(backup_id i)
         in
-        let server = Loadgen.Server.create ep cpu in
+        let server = Loadgen.Server.create (Net.Endpoint.transport ep) cpu in
         make_replica rig ~ep ~cpu ~server ~workload
           ~name:(Printf.sprintf "backup%d" i))
   in
@@ -340,8 +340,8 @@ let send_op t op client ~dst ~id =
                (Wire.Payload.of_string space (Workload.Spec.filler (max 1 n)))))
         sizes);
   Wire.Dyn.set msg "op" (Wire.Dyn.Nested o);
-  Cornflakes.Send.send_object config client ~dst msg;
-  Mem.Arena.reset (Net.Endpoint.arena client)
+  Cornflakes.Send.send_via config client ~dst msg;
+  Mem.Arena.reset (Net.Transport.arena client)
 
 let send_next t client ~dst ~id =
   send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id

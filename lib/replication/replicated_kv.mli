@@ -41,9 +41,9 @@ val committed : cluster -> int
 (** Client-side: issue an op to the primary ([id] echoes back in the
     response). *)
 val send_op :
-  cluster -> Workload.Spec.op -> Net.Endpoint.t -> dst:int -> id:int -> unit
+  cluster -> Workload.Spec.op -> Net.Transport.t -> dst:int -> id:int -> unit
 
-val send_next : cluster -> Net.Endpoint.t -> dst:int -> id:int -> unit
+val send_next : cluster -> Net.Transport.t -> dst:int -> id:int -> unit
 
 (** Client-side response-id parser. *)
 val parse_id : cluster -> Mem.Pinned.Buf.t -> int

@@ -1,7 +1,3 @@
-type source =
-  | Copy of Mem.View.t
-  | Zc of Mem.Pinned.Buf.t
-
 let header_len = 16
 
 let mss = 8900 (* stream bytes per frame; fits a jumbo with headers *)
@@ -49,7 +45,9 @@ type conn = {
   mutable rcv_nxt : int;
   ooo : (int, string) Hashtbl.t; (* out-of-order payloads by seq *)
   assembly : Buffer.t; (* in-order bytes not yet framed into messages *)
-  mutable pending : source list list; (* messages queued pre-establishment *)
+  mutable pending : Wire.Payload.t list list;
+      (* messages queued pre-establishment; [Zero_copy] payloads keep their
+         pinned references until the handshake completes and they frame *)
   mutable retransmissions : int;
   mutable timer_armed : bool;
   (* RTT estimation (RFC 6298 style) and fast retransmit. *)
@@ -66,6 +64,7 @@ and stack = {
   conns : (int, conn) Hashtbl.t;
   pool : Mem.Pinned.Pool.t; (* reassembled-message delivery buffers *)
   mutable on_message : conn -> Mem.Pinned.Buf.t -> unit;
+  mutable tcp_transport : Net.Transport.t option; (* cached handle *)
 }
 
 (* --- Frame emission ---------------------------------------------------- *)
@@ -129,6 +128,20 @@ let post_frame ?cpu conn frame ~flags =
   frame.sent_at <- Sim.Engine.now conn.stack.engine;
   Net.Endpoint.send_inline_header ?cpu conn.stack.ep ~dst:conn.peer
     ~segments:frame.f_segments
+
+(* First transmission of a transport fast-path frame: same ownership moves
+   as [post_frame], but the descriptor is filled straight from the
+   serializer's zero-copy array ([Endpoint.send_inline_zc]) instead of a
+   rebuilt segment list. Retransmissions go through [post_frame] using the
+   frame's own segment list — the caller's array is only valid now. *)
+let post_frame_zc ?cpu conn frame ~flags ~head ~zc ~zc_n =
+  write_tcp_header head ~off:Net.Packet.header_len ~flags ~seq:frame.f_seq
+    ~ack:conn.rcv_nxt ~len:frame.f_len;
+  List.iter
+    (fun seg -> Mem.Pinned.Buf.incr_ref ?cpu ~site:"Tcp.post_frame" seg)
+    frame.f_segments;
+  frame.sent_at <- Sim.Engine.now conn.stack.engine;
+  Net.Endpoint.send_inline_zc ?cpu conn.stack.ep ~dst:conn.peer ~head ~zc ~zc_n
 
 let send_control conn ~flags ~seq =
   let staging =
@@ -277,13 +290,8 @@ let frames_of_runs ?cpu conn runs =
       f)
     frames
 
-let transmit_message ?cpu conn sources =
-  let total =
-    List.fold_left
-      (fun acc s ->
-        acc + match s with Copy v -> v.Mem.View.len | Zc b -> Mem.Pinned.Buf.len b)
-      0 sources
-  in
+let transmit_message ?cpu conn payloads =
+  let total = List.fold_left (fun acc p -> acc + Wire.Payload.len p) 0 payloads in
   (* Record framing: 4-byte length prefix. *)
   let prefix = Bytes.create 4 in
   Bytes.set prefix 0 (Char.chr (total land 0xff));
@@ -299,17 +307,15 @@ let transmit_message ?cpu conn sources =
   let runs =
     R_copy prefix_view
     :: List.map
-         (function Copy v -> R_copy v | Zc b -> R_zc b)
-         sources
+         (function
+           | Wire.Payload.Copied v | Wire.Payload.Literal v -> R_copy v
+           | Wire.Payload.Zero_copy b -> R_zc b)
+         payloads
   in
   let frames = frames_of_runs ?cpu conn runs in
   (* The frames hold their own references on every zero-copy slice, so the
      ownership passed in by the caller can be dropped now. *)
-  List.iter
-    (function
-      | Zc b -> Mem.Pinned.Buf.decr_ref ?cpu ~site:"Tcp.transmit" b
-      | Copy _ -> ())
-    sources;
+  List.iter (fun p -> Wire.Payload.release ?cpu p) payloads;
   conn.inflight <- conn.inflight @ frames;
   List.iter take_frame_holds frames;
   List.iter (fun f -> post_frame ?cpu conn f ~flags:(flag_data lor flag_ack)) frames;
@@ -539,6 +545,36 @@ let handle_frame stack ~src buf =
           end
   end
 
+let send_message ?cpu conn payloads =
+  match conn.state with
+  | Closed -> invalid_arg "Tcp.Conn.send_message: connection closed"
+  | Syn_sent -> conn.pending <- payloads :: conn.pending
+  | Established -> transmit_message ?cpu conn payloads
+
+let stack_connect stack ~peer =
+  match Hashtbl.find_opt stack.conns peer with
+  | Some c -> c
+  | None ->
+      let isn = isn_for (Net.Endpoint.id stack.ep) in
+      let conn = new_conn stack ~peer ~state:Syn_sent ~isn in
+      (* SYN consumes one sequence number. *)
+      conn.snd_nxt <- isn + 1;
+      conn.snd_una <- isn + 1;
+      Hashtbl.replace stack.conns peer conn;
+      send_control conn ~flags:flag_syn ~seq:isn;
+      conn
+
+(* The transport's per-destination connection: open on first use; a
+   connection torn down by retry exhaustion is reopened (the ISN function
+   is deterministic, so a reconnect replays identically under a seed). *)
+let conn_for stack ~peer =
+  match Hashtbl.find_opt stack.conns peer with
+  | Some c when c.state <> Closed -> c
+  | Some _ ->
+      Hashtbl.remove stack.conns peer;
+      stack_connect stack ~peer
+  | None -> stack_connect stack ~peer
+
 module Conn = struct
   type t = conn
 
@@ -546,11 +582,7 @@ module Conn = struct
 
   let is_established t = t.state = Established
 
-  let send_message ?cpu t sources =
-    match t.state with
-    | Closed -> invalid_arg "Tcp.Conn.send_message: connection closed"
-    | Syn_sent -> t.pending <- sources :: t.pending
-    | Established -> transmit_message ?cpu t sources
+  let send_message = send_message
 
   let unacked_bytes t = t.snd_nxt - t.snd_una
 
@@ -583,23 +615,13 @@ module Stack = struct
         pool;
         on_message =
           (fun _ buf -> Mem.Pinned.Buf.decr_ref ~site:"Tcp.drop_message" buf);
+        tcp_transport = None;
       }
     in
     Net.Endpoint.set_rx ep (fun ~src buf -> handle_frame stack ~src buf);
     stack
 
-  let connect t ~peer =
-    match Hashtbl.find_opt t.conns peer with
-    | Some c -> c
-    | None ->
-        let isn = isn_for (Net.Endpoint.id t.ep) in
-        let conn = new_conn t ~peer ~state:Syn_sent ~isn in
-        (* SYN consumes one sequence number. *)
-        conn.snd_nxt <- isn + 1;
-        conn.snd_una <- isn + 1;
-        Hashtbl.replace t.conns peer conn;
-        send_control conn ~flags:flag_syn ~seq:isn;
-        conn
+  let connect t ~peer = stack_connect t ~peer
 
   let set_on_message t f = t.on_message <- f
 
@@ -607,3 +629,171 @@ module Stack = struct
 
   let endpoint t = t.ep
 end
+
+(* --- Transport view ------------------------------------------------------ *)
+
+let record_prefix_len = 4
+
+(* Headroom the caller leaves in the first inline segment: packet header +
+   TCP header + the record's length prefix, so the single-frame fast path
+   sends object header, copied fields, and all wire framing as one gather
+   entry (serialize-and-send, stream edition). *)
+let transport_headroom = Net.Packet.header_len + header_len + record_prefix_len
+
+(* Largest reassembly-pool class (see [Stack.attach]). *)
+let max_msg_len = 262144
+
+let write_record_prefix buf ~off ~record_len =
+  let v = Mem.Pinned.Buf.view buf in
+  let b = v.Mem.View.data and base = v.Mem.View.off + off in
+  Bytes.set b base (Char.chr (record_len land 0xff));
+  Bytes.set b (base + 1) (Char.chr ((record_len lsr 8) land 0xff));
+  Bytes.set b (base + 2) (Char.chr ((record_len lsr 16) land 0xff));
+  Bytes.set b (base + 3) (Char.chr ((record_len lsr 24) land 0xff));
+  Mem.Pinned.Buf.note_write ~site:"Tcp.record_prefix" buf ~off
+    ~len:record_prefix_len
+
+(* Single-frame fast path: the whole record (plus its prefix) fits one MSS
+   and the connection is up. The frame takes over the caller's reference on
+   every segment — exactly the ownership a [send_message] round trip would
+   end with, minus the intermediate incr/decr pair. The record prefix is
+   written before retransmission holds are taken; only the packet + TCP
+   header prefix stays exempt ([rtx_header_skip]) for later rewrites. *)
+let fast_path_send conn ~segments ~payload_len ~post =
+  let f =
+    {
+      f_seq = conn.snd_nxt;
+      f_len = payload_len;
+      f_segments = segments;
+      sent_at = 0;
+      retries = 0;
+      f_holds = [];
+    }
+  in
+  conn.snd_nxt <- conn.snd_nxt + payload_len;
+  conn.inflight <- conn.inflight @ [ f ];
+  take_frame_holds f;
+  post f;
+  arm_timer conn
+
+(* Slow path: hand the segments to [send_message] as zero-copy payloads.
+   The first inline segment's headroom is scratch, not record bytes —
+   narrow past it ([Buf.sub] shares the refcount, so the caller's reference
+   rides along and [Payload.release] returns it after framing). *)
+let payloads_of_inline ?cpu segments =
+  match segments with
+  | [] -> []
+  | first :: rest ->
+      let flen = Mem.Pinned.Buf.len first in
+      let head_payloads =
+        if flen > transport_headroom then
+          [
+            Wire.Payload.Zero_copy
+              (Mem.Pinned.Buf.sub ~site:"Tcp.trim_headroom" first
+                 ~off:transport_headroom
+                 ~len:(flen - transport_headroom));
+          ]
+        else begin
+          Mem.Pinned.Buf.decr_ref ?cpu ~site:"Tcp.trim_headroom" first;
+          []
+        end
+      in
+      head_payloads @ List.map (fun b -> Wire.Payload.Zero_copy b) rest
+
+let check_msg_len total =
+  let record_len = total - transport_headroom in
+  if record_len < 0 then
+    invalid_arg "Tcp.transport: first segment shorter than the headroom";
+  if record_len > max_msg_len then
+    invalid_arg
+      (Printf.sprintf "Tcp.transport: %d-byte record exceeds max_msg_len %d"
+         record_len max_msg_len);
+  record_len
+
+let transport_send_inline ?cpu stack ~dst ~segments =
+  match segments with
+  | [] -> invalid_arg "Tcp.transport: empty gather list"
+  | first :: _ ->
+      let conn = conn_for stack ~peer:dst in
+      let total =
+        List.fold_left (fun a s -> a + Mem.Pinned.Buf.len s) 0 segments
+      in
+      let record_len = check_msg_len total in
+      let payload_len = record_prefix_len + record_len in
+      if
+        conn.state = Established
+        && payload_len <= mss
+        && Mem.Pinned.Buf.len first >= transport_headroom
+      then begin
+        write_record_prefix first
+          ~off:(Net.Packet.header_len + header_len)
+          ~record_len;
+        fast_path_send conn ~segments ~payload_len ~post:(fun f ->
+            post_frame ?cpu conn f ~flags:(flag_data lor flag_ack))
+      end
+      else send_message ?cpu conn (payloads_of_inline ?cpu segments)
+
+let transport_send_inline_zc ?cpu stack ~dst ~head ~zc ~zc_n =
+  let conn = conn_for stack ~peer:dst in
+  let total = ref (Mem.Pinned.Buf.len head) in
+  for i = 0 to zc_n - 1 do
+    total := !total + Mem.Pinned.Buf.len zc.(i)
+  done;
+  let record_len = check_msg_len !total in
+  let payload_len = record_prefix_len + record_len in
+  if
+    conn.state = Established
+    && payload_len <= mss
+    && Mem.Pinned.Buf.len head >= transport_headroom
+  then begin
+    write_record_prefix head
+      ~off:(Net.Packet.header_len + header_len)
+      ~record_len;
+    let segments = head :: Array.to_list (Array.sub zc 0 zc_n) in
+    fast_path_send conn ~segments ~payload_len ~post:(fun f ->
+        post_frame_zc ?cpu conn f ~flags:(flag_data lor flag_ack) ~head ~zc
+          ~zc_n)
+  end
+  else
+    send_message ?cpu conn
+      (payloads_of_inline ?cpu (head :: Array.to_list (Array.sub zc 0 zc_n)))
+
+(* The conventional paths carry no transport headroom: every byte of every
+   segment is record payload, and [send_message] stages the framing. *)
+let transport_send_extra ?cpu stack ~dst ~segments =
+  let conn = conn_for stack ~peer:dst in
+  send_message ?cpu conn (List.map (fun b -> Wire.Payload.Zero_copy b) segments)
+
+let transport_send_extra_zc ?cpu stack ~dst ~head ~zc ~zc_n =
+  let conn = conn_for stack ~peer:dst in
+  send_message ?cpu conn
+    (Wire.Payload.Zero_copy head
+    :: List.init zc_n (fun i -> Wire.Payload.Zero_copy zc.(i)))
+
+let transport_send_string stack ~dst s =
+  let conn = conn_for stack ~peer:dst in
+  let space = Mem.Registry.space (Net.Endpoint.registry stack.ep) in
+  send_message conn [ Wire.Payload.of_string space s ]
+
+let[@warning "-16"] transport stack =
+  match stack.tcp_transport with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        Net.Transport.make ~name:"tcp" ~ep:stack.ep
+          ~headroom:transport_headroom ~max_msg_len
+          ~connect:(fun ~peer -> ignore (conn_for stack ~peer))
+          ~send_inline:(fun ?cpu ~dst ~segments ->
+            transport_send_inline ?cpu stack ~dst ~segments)
+          ~send_extra:(fun ?cpu ~dst ~segments ->
+            transport_send_extra ?cpu stack ~dst ~segments)
+          ~send_inline_zc:(fun ?cpu ~dst ~head ~zc ~zc_n ->
+            transport_send_inline_zc ?cpu stack ~dst ~head ~zc ~zc_n)
+          ~send_extra_zc:(fun ?cpu ~dst ~head ~zc ~zc_n ->
+            transport_send_extra_zc ?cpu stack ~dst ~head ~zc ~zc_n)
+          ~send_string:(fun ~dst s -> transport_send_string stack ~dst s)
+          ~set_rx:(fun f ->
+            stack.on_message <- (fun conn buf -> f ~src:conn.peer buf))
+      in
+      stack.tcp_transport <- Some tr;
+      tr

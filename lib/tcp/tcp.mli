@@ -15,14 +15,20 @@
       on three duplicate ACKs, cumulative ACKs, out-of-order reassembly.
       A three-way handshake establishes sequence numbers.
 
+    Message data is described with the shared {!Wire.Payload.t} gather
+    representation ([Copied]/[Literal] runs are staged into frame buffers;
+    [Zero_copy] buffers ride as their own gather entries, reference
+    consumed). [transport] exposes a stack as a {!Net.Transport.t}, so
+    serialize-and-send, the [_zc] array fast paths, and TX doorbell
+    batching all apply to TCP frames; its single-frame fast path sends
+    packet header + TCP header + record prefix + object bytes as one
+    gather entry and falls back to [Conn.send_message] segmentation for
+    records above the MSS or connections still in the handshake.
+
     One [Stack.t] owns an endpoint's receive path and demultiplexes
     connections by peer id. ACK processing and reassembly are protocol
     work outside any request's service window and are not CPU-charged;
     serialization costs on the send path are charged as usual. *)
-
-type source =
-  | Copy of Mem.View.t (* copied into the frame's staging buffer *)
-  | Zc of Mem.Pinned.Buf.t (* rides as its own gather entry; ref consumed *)
 
 module Conn : sig
   type t
@@ -31,10 +37,13 @@ module Conn : sig
 
   val is_established : t -> bool
 
-  (** [send_message ?cpu t sources] frames the concatenated sources as one
-      record and transmits it (segmenting at the MSS if needed). Takes
-      ownership of one reference on each [Zc] source. *)
-  val send_message : ?cpu:Memmodel.Cpu.t -> t -> source list -> unit
+  (** [send_message ?cpu t payloads] frames the concatenated payloads as
+      one record and transmits it (segmenting at the MSS if needed). Takes
+      ownership of one reference on each [Zero_copy] payload; [Copied] and
+      [Literal] views are staged immediately. Messages sent during the
+      handshake are queued and flushed on establishment; raises
+      [Invalid_argument] on a closed connection. *)
+  val send_message : ?cpu:Memmodel.Cpu.t -> t -> Wire.Payload.t list -> unit
 
   (** Bytes sent but not yet acknowledged. *)
   val unacked_bytes : t -> int
@@ -68,9 +77,29 @@ module Stack : sig
   val endpoint : t -> Net.Endpoint.t
 end
 
+(** [transport stack] — the stack as a {!Net.Transport.t} (cached; one
+    record per stack). Destination ids map to connections, opened on first
+    use — call {!Net.Transport.connect} during warmup to keep the 3-way
+    handshake out of measured windows. A connection that died of retry
+    exhaustion is transparently reopened on the next send. Ownership seen
+    by callers is identical to UDP (each send takes over the caller's
+    segment references); internally the references live until cumulative
+    ACK, not DMA completion. *)
+val transport : Stack.t -> Net.Transport.t
+
 (** Protocol constants, exposed for tests. *)
 val header_len : int
 
 val mss : int
 
 val initial_rto_ns : int
+
+(** Bytes of the [u32] record-length prefix ([transport]'s framing). *)
+val record_prefix_len : int
+
+(** Headroom [transport] requires in the first inline gather segment:
+    packet header + TCP header + record prefix. *)
+val transport_headroom : int
+
+(** Largest record [transport] will carry (the reassembly cap). *)
+val max_msg_len : int

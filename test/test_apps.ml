@@ -40,7 +40,7 @@ let test_kv_responses_carry_values () =
       let app = Apps.Kv_app.install rig ~backend ~workload:wl in
       let client = List.hd rig.Apps.Rig.clients in
       let got = ref None in
-      Net.Endpoint.set_rx client (fun ~src:_ buf ->
+      Net.Transport.set_rx client (fun ~src:_ buf ->
           let msg = backend.Apps.Backend.recv client Apps.Proto.resp buf in
           got := Some (Wire.Dyn.get_list msg "vals" |> List.length);
           Wire.Dyn.release msg;
@@ -71,7 +71,7 @@ let test_kv_put_then_get () =
   | None -> Alcotest.fail "key vanished");
   (* And the new value is served. *)
   let got = ref 0 in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       let msg = backend.Apps.Backend.recv client Apps.Proto.resp buf in
       (match Wire.Dyn.get_list msg "vals" with
       | [ Wire.Dyn.Payload p ] -> got := Wire.Payload.len p

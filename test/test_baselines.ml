@@ -28,7 +28,7 @@ let sample_message env =
   msg
 
 let send_catch_check env msg ~send ~deser =
-  send env.Test_env.a ~dst:2 msg;
+  send (Net.Endpoint.transport env.Test_env.a) ~dst:2 msg;
   let _src, buf = Test_env.catch env in
   let back = deser env buf in
   if not (Wire.Dyn.equal msg back) then
@@ -68,7 +68,7 @@ let test_protobuf_skips_unknown_fields () =
   Wire.Dyn.set_int msg "a" 1L;
   Wire.Dyn.set_string msg env.Test_env.space "extra" "ignore me";
   Wire.Dyn.set_int msg "b" 2L;
-  Baselines.Protobuf.serialize_and_send env.Test_env.a ~dst:2 msg;
+  Baselines.Protobuf.serialize_and_send (Net.Endpoint.transport env.Test_env.a) ~dst:2 msg;
   let _src, buf = Test_env.catch env in
   let back =
     Baselines.Protobuf.deserialize env.Test_env.b smaller
@@ -103,7 +103,7 @@ let test_flatbuf_empty_message () =
 let test_flatbuf_reads_are_zero_copy () =
   let env = Test_env.make () in
   let msg = sample_message env in
-  Baselines.Flatbuf.serialize_and_send env.Test_env.a ~dst:2 msg;
+  Baselines.Flatbuf.serialize_and_send (Net.Endpoint.transport env.Test_env.a) ~dst:2 msg;
   let _src, buf = Test_env.catch env in
   let back = Baselines.Flatbuf.deserialize schema everything buf in
   (match Wire.Dyn.get_payload back "name" with
@@ -168,19 +168,19 @@ let check_manual_roundtrip env views =
 let test_manual_one_copy () =
   let env = Test_env.make () in
   let views = manual_views env in
-  Baselines.Manual.send_one_copy env.Test_env.a ~dst:2 views;
+  Baselines.Manual.send_one_copy (Net.Endpoint.transport env.Test_env.a) ~dst:2 views;
   check_manual_roundtrip env views
 
 let test_manual_two_copy () =
   let env = Test_env.make () in
   let views = manual_views env in
-  Baselines.Manual.send_two_copy env.Test_env.a ~dst:2 views;
+  Baselines.Manual.send_two_copy (Net.Endpoint.transport env.Test_env.a) ~dst:2 views;
   check_manual_roundtrip env views
 
 let test_manual_zero_copy () =
   let env = Test_env.make () in
   let views = manual_views env in
-  Baselines.Manual.send_zero_copy ~safety:`Safe env.Test_env.a ~dst:2 views;
+  Baselines.Manual.send_zero_copy ~safety:`Safe (Net.Endpoint.transport env.Test_env.a) ~dst:2 views;
   check_manual_roundtrip env views
 
 let test_manual_zero_copy_rejects_unpinned () =
@@ -189,7 +189,7 @@ let test_manual_zero_copy_rejects_unpinned () =
   Alcotest.check_raises "unpinned"
     (Invalid_argument "Manual.send_zero_copy: field is not in pinned memory")
     (fun () ->
-      Baselines.Manual.send_zero_copy ~safety:`Safe env.Test_env.a ~dst:2 [ v ])
+      Baselines.Manual.send_zero_copy ~safety:`Safe (Net.Endpoint.transport env.Test_env.a) ~dst:2 [ v ])
 
 let test_manual_forward () =
   let env = Test_env.make () in
@@ -200,7 +200,7 @@ let test_manual_forward () =
   Net.Endpoint.set_rx env.Test_env.a (fun ~src:_ b ->
       got := Some (Mem.View.to_string (Mem.Pinned.Buf.view b));
       Mem.Pinned.Buf.decr_ref b);
-  Baselines.Manual.forward env.Test_env.b ~dst:1 buf;
+  Baselines.Manual.forward (Net.Endpoint.transport env.Test_env.b) ~dst:1 buf;
   Sim.Engine.run_all env.Test_env.engine;
   Alcotest.(check (option string)) "echoed" (Some "fwd me") !got
 
@@ -233,7 +233,7 @@ let qcheck_all_libraries_roundtrip =
       | _ -> ());
       let ok = ref true in
       let try_lib send deser =
-        send env.Test_env.a msg;
+        send (Net.Endpoint.transport env.Test_env.a) msg;
         let _src, buf = Test_env.catch env in
         if not (Wire.Dyn.equal msg (deser buf)) then ok := false;
         Mem.Pinned.Buf.decr_ref buf

@@ -286,7 +286,7 @@ let test_arena_window_scheduled_on_rig () =
   in
   Apps.Rig.inject_faults rig (Injector.create plan);
   let server_arena = Net.Endpoint.arena rig.Apps.Rig.server_ep in
-  let client_arena = Net.Endpoint.arena (List.hd rig.Apps.Rig.clients) in
+  let client_arena = Net.Transport.arena (List.hd rig.Apps.Rig.clients) in
   let during = ref (Some (-1)) and client_during = ref (Some (-1)) in
   Sim.Engine.schedule rig.Apps.Rig.engine ~after:2_000 (fun () ->
       during := Mem.Arena.soft_capacity server_arena;

@@ -45,7 +45,7 @@ let test_gathered_bytes_order () =
   let pool = Test_env.data_pool env in
   let f1 = Test_env.pinned_of_string pool (String.make 600 'a') in
   let f2 = Test_env.pinned_of_string pool (String.make 700 'b') in
-  Baselines.Manual.send_zero_copy ~safety:`Safe env.Test_env.a ~dst:2
+  Baselines.Manual.send_zero_copy ~safety:`Safe (Net.Endpoint.transport env.Test_env.a) ~dst:2
     [ Mem.Pinned.Buf.view f1; Mem.Pinned.Buf.view f2 ];
   let _src, buf = Test_env.catch env in
   let fields = Baselines.Manual.parse (Mem.Pinned.Buf.view buf) in
@@ -74,7 +74,7 @@ let test_sge_limit_enforced () =
   Alcotest.check_raises "too many segments"
     (Nic.Device.Too_many_segments { requested = 9; limit = 8 })
     (fun () ->
-      Baselines.Manual.send_zero_copy ~safety:`Raw env.Test_env.a ~dst:2
+      Baselines.Manual.send_zero_copy ~safety:`Raw (Net.Endpoint.transport env.Test_env.a) ~dst:2
         (List.map Mem.Pinned.Buf.view fields))
 
 let test_tx_counters () =

@@ -66,10 +66,10 @@ let redis_rig mode =
 let one_command rig reply_check cmd =
   let client = List.hd rig.Apps.Rig.clients in
   let got = ref None in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       got := Some (Mem.View.to_string (Mem.Pinned.Buf.view buf));
       Mem.Pinned.Buf.decr_ref buf);
-  Net.Endpoint.send_string client ~dst:Apps.Rig.server_id
+  Net.Transport.send_string client ~dst:Apps.Rig.server_id
     (Mini_redis.Resp.to_string rig.Apps.Rig.space
        (Mini_redis.Resp.command rig.Apps.Rig.space cmd));
   Sim.Engine.run_all rig.Apps.Rig.engine;
@@ -132,7 +132,7 @@ let test_cornflakes_mode_replies () =
   in
   let client = List.hd rig.Apps.Rig.clients in
   let got = ref None in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       let msg =
         Cornflakes.Send.deserialize Apps.Proto.schema Apps.Proto.resp buf
       in
@@ -146,7 +146,7 @@ let test_cornflakes_mode_replies () =
              (Wire.Dyn.get_list msg "vals"));
       Wire.Dyn.release msg;
       Mem.Pinned.Buf.decr_ref buf);
-  Net.Endpoint.send_string client ~dst:Apps.Rig.server_id
+  Net.Transport.send_string client ~dst:Apps.Rig.server_id
     (Mini_redis.Resp.to_string rig.Apps.Rig.space
        (Mini_redis.Resp.command rig.Apps.Rig.space [ "LRANGE"; key1; "0"; "-1" ]));
   Sim.Engine.run_all rig.Apps.Rig.engine;

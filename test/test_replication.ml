@@ -11,7 +11,7 @@ let make ?(backups = 2) () =
 let run_op rig cluster ?(id = 1) op =
   let client = List.hd rig.Apps.Rig.clients in
   let got = ref None in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       got := Some (Replication.Replicated_kv.parse_id cluster buf);
       Mem.Pinned.Buf.decr_ref buf);
   Replication.Replicated_kv.send_op cluster op client ~dst:Apps.Rig.server_id ~id;
@@ -49,7 +49,7 @@ let test_ack_only_after_all_backups () =
   let rig, cluster = make ~backups:3 () in
   let client = List.hd rig.Apps.Rig.clients in
   let acked = ref false in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       acked := true;
       Mem.Pinned.Buf.decr_ref buf);
   Replication.Replicated_kv.send_op cluster
@@ -68,7 +68,7 @@ let test_get_after_put_sees_new_value () =
   ignore (run_op rig cluster ~id:1 (Workload.Spec.Put { key; sizes = [ 800 ] }));
   let client = List.hd rig.Apps.Rig.clients in
   let got_len = ref (-1) in
-  Net.Endpoint.set_rx client (fun ~src:_ buf ->
+  Net.Transport.set_rx client (fun ~src:_ buf ->
       (match
          Cornflakes.Send.deserialize Replication.Replicated_kv.schema
            (Schema.Desc.message Replication.Replicated_kv.schema "RepMsg")
@@ -94,7 +94,7 @@ let test_get_after_put_sees_new_value () =
 let test_many_random_puts_converge () =
   let rig, cluster = make ~backups:2 () in
   let client = List.hd rig.Apps.Rig.clients in
-  Net.Endpoint.set_rx client (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
+  Net.Transport.set_rx client (fun ~src:_ buf -> Mem.Pinned.Buf.decr_ref buf);
   let rng = Sim.Rng.create ~seed:5 in
   let n = 60 in
   for id = 1 to n do

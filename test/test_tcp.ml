@@ -57,7 +57,7 @@ let test_small_message_roundtrip () =
   let env = make () in
   let inbox = collect_messages env.b in
   let conn = Tcp.Stack.connect env.a ~peer:2 in
-  Tcp.Conn.send_message conn [ Tcp.Copy (Mem.View.of_string env.space "hello tcp") ];
+  Tcp.Conn.send_message conn [ Wire.Payload.Literal (Mem.View.of_string env.space "hello tcp") ];
   Sim.Engine.run_all env.engine;
   Alcotest.(check int) "one message" 1 (Queue.length inbox);
   Alcotest.(check string) "payload" "hello tcp" (Queue.take inbox)
@@ -67,7 +67,7 @@ let test_message_before_establish_is_queued () =
   let inbox = collect_messages env.b in
   let conn = Tcp.Stack.connect env.a ~peer:2 in
   (* Send immediately, before the SYN-ACK can possibly have returned. *)
-  Tcp.Conn.send_message conn [ Tcp.Copy (Mem.View.of_string env.space "early") ];
+  Tcp.Conn.send_message conn [ Wire.Payload.Literal (Mem.View.of_string env.space "early") ];
   Sim.Engine.run_all env.engine;
   Alcotest.(check string) "delivered after handshake" "early" (Queue.take inbox)
 
@@ -81,7 +81,7 @@ let test_zero_copy_refs_until_ack () =
   Mem.Pinned.Buf.fill buf (String.make 2048 'z');
   Mem.Pinned.Buf.incr_ref buf;
   (* caller keeps one handle; one is consumed by send *)
-  Tcp.Conn.send_message conn [ Tcp.Zc buf ];
+  Tcp.Conn.send_message conn [ Wire.Payload.Zero_copy buf ];
   (* In flight: the connection holds the send ref (plus NIC in-flight). *)
   Alcotest.(check bool) "held while unacked" true
     (Mem.Pinned.Buf.refcount buf >= 2);
@@ -97,7 +97,7 @@ let test_large_message_segmented () =
   Sim.Engine.run_all env.engine;
   (* 40 KB: several MSS-sized frames, reassembled in order. *)
   let payload = String.init 40_000 (fun i -> Char.chr (i land 0xff)) in
-  Tcp.Conn.send_message conn [ Tcp.Copy (Mem.View.of_string env.space payload) ];
+  Tcp.Conn.send_message conn [ Wire.Payload.Literal (Mem.View.of_string env.space payload) ];
   Sim.Engine.run_all env.engine;
   Alcotest.(check int) "one message" 1 (Queue.length inbox);
   Alcotest.(check string) "intact" payload (Queue.take inbox)
@@ -112,9 +112,9 @@ let test_mixed_sources_order () =
   Mem.Pinned.Buf.fill zc (String.make 1000 'Z');
   let msg =
     [
-      Tcp.Copy (Mem.View.of_string env.space "head-");
-      Tcp.Zc zc;
-      Tcp.Copy (Mem.View.of_string env.space "-tail");
+      Wire.Payload.Literal (Mem.View.of_string env.space "head-");
+      Wire.Payload.Zero_copy zc;
+      Wire.Payload.Literal (Mem.View.of_string env.space "-tail");
     ]
   in
   Tcp.Conn.send_message conn msg;
@@ -132,7 +132,7 @@ let test_retransmission_under_loss () =
   Net.Fabric.set_loss_rate env.fabric 0.4;
   for i = 1 to 20 do
     Tcp.Conn.send_message conn
-      [ Tcp.Copy (Mem.View.of_string env.space (Printf.sprintf "msg-%03d" i)) ]
+      [ Wire.Payload.Literal (Mem.View.of_string env.space (Printf.sprintf "msg-%03d" i)) ]
   done;
   (* Let retransmissions do their work, then heal the link. *)
   Sim.Engine.run env.engine ~until:(Sim.Engine.now env.engine + 50_000_000);
@@ -153,12 +153,12 @@ let test_bidirectional () =
   let conn_ab = Tcp.Stack.connect env.a ~peer:2 in
   Sim.Engine.run_all env.engine;
   let inbox_a = collect_messages env.a in
-  Tcp.Conn.send_message conn_ab [ Tcp.Copy (Mem.View.of_string env.space "ping") ];
+  Tcp.Conn.send_message conn_ab [ Wire.Payload.Literal (Mem.View.of_string env.space "ping") ];
   Sim.Engine.run_all env.engine;
   (match Tcp.Stack.conn env.b ~peer:1 with
   | Some conn_ba ->
       Tcp.Conn.send_message conn_ba
-        [ Tcp.Copy (Mem.View.of_string env.space "pong") ]
+        [ Wire.Payload.Literal (Mem.View.of_string env.space "pong") ]
   | None -> Alcotest.fail "no server conn");
   Sim.Engine.run_all env.engine;
   Alcotest.(check string) "b got ping" "ping" (Queue.take inbox_b);
@@ -172,7 +172,7 @@ let test_many_messages_in_order () =
   for i = 1 to 200 do
     Tcp.Conn.send_message conn
       [
-        Tcp.Copy
+        Wire.Payload.Literal
           (Mem.View.of_string env.space
              (Printf.sprintf "m%04d:%s" i (String.make (i mod 700) 'x')));
       ]
@@ -202,7 +202,7 @@ let qcheck_tcp_stream_integrity =
           String.init len (fun j -> Char.chr ((i + (j * 7)) land 0xff))
         in
         sent := s :: !sent;
-        Tcp.Conn.send_message conn [ Tcp.Copy (Mem.View.of_string env.space s) ]
+        Tcp.Conn.send_message conn [ Wire.Payload.Literal (Mem.View.of_string env.space s) ]
       done;
       Sim.Engine.run env.engine ~until:(Sim.Engine.now env.engine + 100_000_000);
       Net.Fabric.set_loss_rate env.fabric 0.0;
@@ -232,7 +232,7 @@ let test_adaptive_rto_tracks_rtt () =
   Sim.Engine.run_all env.engine;
   Alcotest.(check int) "initial rto" Tcp.initial_rto_ns (Tcp.Conn.rto_ns conn);
   for _ = 1 to 10 do
-    Tcp.Conn.send_message conn [ Tcp.Copy (Mem.View.of_string env.space "rtt") ];
+    Tcp.Conn.send_message conn [ Wire.Payload.Literal (Mem.View.of_string env.space "rtt") ];
     Sim.Engine.run_all env.engine
   done;
   (* RTT on the sim fabric is a few microseconds, so the adapted RTO must
@@ -256,12 +256,12 @@ let test_fast_retransmit_on_dup_acks () =
      messages: their ACKs duplicate (still expecting the hole), triggering a
      fast retransmit well before the RTO fires. *)
   Net.Fabric.set_loss_rate env.fabric 1.0;
-  Tcp.Conn.send_message conn [ Tcp.Copy (Mem.View.of_string env.space "lost-one") ];
+  Tcp.Conn.send_message conn [ Wire.Payload.Literal (Mem.View.of_string env.space "lost-one") ];
   Sim.Engine.run env.engine ~until:(Sim.Engine.now env.engine + 5_000);
   Net.Fabric.set_loss_rate env.fabric 0.0;
   for i = 1 to 4 do
     Tcp.Conn.send_message conn
-      [ Tcp.Copy (Mem.View.of_string env.space (Printf.sprintf "later-%d" i)) ]
+      [ Wire.Payload.Literal (Mem.View.of_string env.space (Printf.sprintf "later-%d" i)) ]
   done;
   (* Run shorter than the initial RTO: recovery must come from dup-ACKs. *)
   Sim.Engine.run env.engine ~until:(Sim.Engine.now env.engine + 100_000);
@@ -269,11 +269,137 @@ let test_fast_retransmit_on_dup_acks () =
   Alcotest.(check int) "all five delivered in order" 5 (Queue.length inbox);
   Alcotest.(check string) "hole filled first" "lost-one" (Queue.take inbox)
 
+(* Unlike UDP — which releases segment references at DMA completion — TCP
+   must keep them until the cumulative ACK, or a retransmission would read
+   freed memory. Withhold every packet to the sender (so the data frame
+   reaches the peer and its DMA completion fires, but the ACK never comes
+   back) and check the buffer stays pinned; then heal the link and check
+   the ACK releases it. *)
+let test_completion_before_ack_keeps_pinned () =
+  let env = make () in
+  let pool = data_pool env in
+  let _inbox = collect_messages env.b in
+  let conn = Tcp.Stack.connect env.a ~peer:2 in
+  Sim.Engine.run_all env.engine;
+  let plan =
+    Faults.Plan.make ~seed:7
+      [
+        {
+          Faults.Plan.fault = Faults.Plan.Drop;
+          schedule = Faults.Plan.Probability 1.0;
+          scope = Faults.Plan.Endpoint 1;
+        };
+      ]
+  in
+  Net.Fabric.set_injector env.fabric (Some (Faults.Injector.create plan));
+  let buf = Mem.Pinned.Buf.alloc pool ~len:1500 in
+  Mem.Pinned.Buf.fill buf (String.make 1500 'p');
+  Mem.Pinned.Buf.incr_ref buf (* caller keeps one handle *);
+  Tcp.Conn.send_message conn [ Wire.Payload.Zero_copy buf ];
+  (* Run well past the NIC completion (sub-microsecond) and the first RTO:
+     every TX completion has been processed, yet with the ACK path severed
+     the connection must still hold its reference. *)
+  Sim.Engine.run env.engine ~until:(Sim.Engine.now env.engine + 1_000_000);
+  Alcotest.(check bool) "pinned after completion, before ack" true
+    (Mem.Pinned.Buf.refcount buf >= 2);
+  Alcotest.(check bool) "bytes still unacked" true
+    (Tcp.Conn.unacked_bytes conn > 0);
+  Alcotest.(check bool) "retransmitting meanwhile" true
+    (Tcp.Conn.retransmissions conn >= 1);
+  Net.Fabric.set_injector env.fabric None;
+  Sim.Engine.run_all env.engine;
+  Alcotest.(check int) "released once acked" 1 (Mem.Pinned.Buf.refcount buf);
+  Alcotest.(check int) "fully acked" 0 (Tcp.Conn.unacked_bytes conn);
+  Mem.Pinned.Buf.decr_ref buf
+
+(* Faultline end-to-end over TCP: the same seeded loss plan every run, a
+   mixed Literal/Zero_copy message sequence, and three claims — the
+   delivered stream is byte-identical to a lossless run (exactly-once, in
+   order), retransmissions actually happened, and a RefSan-sanitized pass
+   quiesces with zero leaks and zero hazards even though loss forces
+   frames to sit pinned across retransmit timers. *)
+let test_faultline_loss_plan_stream_intact () =
+  let messages env pool =
+    List.init 25 (fun i ->
+        if i mod 5 = 4 then begin
+          let len = 900 + (i * 37) in
+          let zc = Mem.Pinned.Buf.alloc pool ~len in
+          Mem.Pinned.Buf.fill zc (String.make len (Char.chr (65 + (i mod 26))));
+          [ Wire.Payload.Zero_copy zc ]
+        end
+        else
+          [
+            Wire.Payload.Literal
+              (Mem.View.of_string env.space
+                 (Printf.sprintf "m%03d:%s" i (String.make (i mod 400) 'q')));
+          ])
+  in
+  let run ~faulted =
+    let env = make () in
+    let pool = data_pool env in
+    let inbox = collect_messages env.b in
+    let conn = Tcp.Stack.connect env.a ~peer:2 in
+    Sim.Engine.run_all env.engine;
+    if faulted then begin
+      let plan =
+        Faults.Plan.make ~seed:1234
+          [
+            {
+              Faults.Plan.fault = Faults.Plan.Drop;
+              schedule = Faults.Plan.Probability 0.25;
+              scope = Faults.Plan.Anywhere;
+            };
+            {
+              Faults.Plan.fault = Faults.Plan.Duplicate;
+              schedule = Faults.Plan.Probability 0.1;
+              scope = Faults.Plan.Anywhere;
+            };
+          ]
+      in
+      Net.Fabric.set_injector env.fabric (Some (Faults.Injector.create plan))
+    end;
+    List.iter (fun msg -> Tcp.Conn.send_message conn msg) (messages env pool);
+    Sim.Engine.run env.engine ~until:(Sim.Engine.now env.engine + 80_000_000);
+    Net.Fabric.set_injector env.fabric None;
+    Sim.Engine.run_all env.engine;
+    let got = List.of_seq (Queue.to_seq inbox) in
+    let rtx = Tcp.Conn.retransmissions conn in
+    Sim.Engine.quiesce env.engine;
+    (got, rtx)
+  in
+  let was = Sanitizer.Refsan.is_enabled () in
+  Sanitizer.Refsan.reset ();
+  Sanitizer.Refsan.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Sanitizer.Refsan.set_enabled was;
+      Sanitizer.Refsan.reset ())
+    (fun () ->
+      let clean, rtx_clean = run ~faulted:false in
+      let lossy, rtx_lossy = run ~faulted:true in
+      Alcotest.(check int) "lossless run never retransmits" 0 rtx_clean;
+      Alcotest.(check bool) "retransmissions under the plan" true (rtx_lossy > 0);
+      Alcotest.(check int) "every message delivered exactly once"
+        (List.length clean) (List.length lossy);
+      List.iteri
+        (fun i (want, got) ->
+          if not (String.equal want got) then
+            Alcotest.failf "message %d differs under loss" i)
+        (List.combine clean lossy);
+      Alcotest.(check int) "refsan: no leaked buffers" 0
+        (List.length (Sanitizer.Refsan.leaks ()));
+      Alcotest.(check int) "refsan: no hazards" 0
+        (Sanitizer.Refsan.hazard_count ()))
+
 let extra_suite =
   [
     Alcotest.test_case "adaptive rto tracks rtt" `Quick test_adaptive_rto_tracks_rtt;
     Alcotest.test_case "fast retransmit on dup acks" `Quick
       test_fast_retransmit_on_dup_acks;
+    Alcotest.test_case "completion before ack keeps pinned" `Quick
+      test_completion_before_ack_keeps_pinned;
+    Alcotest.test_case "faultline loss plan: stream intact" `Quick
+      test_faultline_loss_plan_stream_intact;
   ]
 
 let suite = suite @ extra_suite
