@@ -1,0 +1,25 @@
+(* StatCheck fixture: unbalanced reference along one branch.
+   NOT part of the build — parsed by the analyzer only.
+
+   [stash] takes an extra reference before parking the buffer but the
+   error branch returns without dropping it, so along that path the
+   buffer leaks a pin. Expected: SC-LC-LEAK. *)
+
+let stash pool ~len ~ok =
+  let buf = Mem.Pinned.Buf.alloc ~site:"Fixture.stash" pool ~len in
+  Mem.Pinned.Buf.incr_ref ~site:"Fixture.stash" buf;
+  if ok then begin
+    Mem.Pinned.Buf.decr_ref ~site:"Fixture.stash" buf;
+    Mem.Pinned.Buf.decr_ref ~site:"Fixture.stash" buf;
+    true
+  end
+  else
+    (* forgot both decr_refs: the alloc ref and the stash ref are live *)
+    false
+
+(* Double release: the second [decr_ref] after the balance is restored
+   pushes the count negative. Expected: SC-LC-DOUBLE. *)
+let over_release pool ~len =
+  let buf = Mem.Pinned.Buf.alloc ~site:"Fixture.over_release" pool ~len in
+  Mem.Pinned.Buf.decr_ref ~site:"Fixture.over_release" buf;
+  Mem.Pinned.Buf.decr_ref ~site:"Fixture.over_release" buf

@@ -1,0 +1,28 @@
+(* StatCheck fixture: the PR-4 exp_tab2 bug, reintroduced verbatim in
+   shape. NOT part of the build — parsed by the analyzer only.
+
+   One CDN workload value — whose [next] closure advances an internal
+   sequential cursor — is built outside the fan-out and captured by every
+   backend's job, so parallel runs race on the cursor and the merged
+   output depends on the schedule. The fix (and what exp_tab2 does today)
+   is building the workload inside the job. Expected: SC-PAR-CAPTURE. *)
+
+let run backends =
+  let wl = Workload.Cdn.make () in
+  Util.par_map
+    (fun backend ->
+      let rig = Apps.Rig.create () in
+      let app = Apps.Kv_app.install rig ~backend ~workload:wl in
+      Apps.Kv_app.drive app)
+    backends
+
+(* Same race, hand-rolled: a shared tally ref mutated from every job.
+   Expected: SC-PAR-MUT. *)
+let total_ops configs =
+  let total = ref 0 in
+  Par.Pool.map_list
+    (fun cfg ->
+      let n = Apps.Kv_app.run_config cfg in
+      total := !total + n;
+      n)
+    configs

@@ -208,7 +208,14 @@ let compile_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write generated OCaml here (default: stdout).")
   in
-  let run input output =
+  let ir =
+    Arg.(value & opt (some string) None & info [ "ir" ] ~docv:"FILE"
+           ~doc:
+             "Also write the ownership-IR sidecar here (one line per \
+              generated binding; `check` verifies the generated module \
+              against it).")
+  in
+  let run input output ir =
     let text = read_file input in
     match Schema.Parser.parse text with
     | exception Schema.Parser.Parse_error e ->
@@ -217,53 +224,115 @@ let compile_cmd =
     | exception Schema.Lexer.Lex_error { pos; message } ->
         Printf.eprintf "lex error at offset %d: %s\n" pos message;
         exit 1
-    | schema -> (
+    | schema ->
         let source = Codegen.Emit.module_source ~schema_text:text schema in
-        match output with
+        (match output with
         | None -> print_string source
         | Some path ->
             let oc = open_out path in
             output_string oc source;
             close_out oc;
             Printf.printf "wrote %s (%d messages)\n" path
-              (List.length schema.Schema.Desc.messages))
+              (List.length schema.Schema.Desc.messages));
+        match ir with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Codegen.Emit.ir_source schema);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
   in
   Cmd.v
-    (Cmd.info "compile" ~doc:"Generate OCaml accessors from a schema")
-    Term.(const run $ input $ output)
+    (Cmd.info "compile"
+       ~doc:
+         "Generate OCaml accessors from a schema (--ir also emits the \
+          ownership-IR sidecar for `check`)")
+    Term.(const run $ input $ output $ ir)
+
+(* --- StatCheck: static analysis over the OCaml sources ------------------ *)
 
 let check_cmd =
-  let input =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA"
-           ~doc:"Schema file to validate.")
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE"
+           ~doc:"OCaml source files to analyze (default with --all: the \
+                 whole tree).")
   in
-  let run input =
-    match Schema.Parser.parse (read_file input) with
-    | exception Schema.Parser.Parse_error e ->
-        Printf.eprintf "parse error: %s\n" e;
-        exit 1
-    | exception Schema.Lexer.Lex_error { pos; message } ->
-        Printf.eprintf "lex error at offset %d: %s\n" pos message;
-        exit 1
-    | schema ->
-        List.iter
-          (fun (m : Schema.Desc.message) ->
-            Printf.printf "message %s (%d fields)\n" m.Schema.Desc.msg_name
-              (Array.length m.Schema.Desc.fields);
-            Array.iter
-              (fun (f : Schema.Desc.field) ->
-                Printf.printf "  %s%s %s = %d\n"
-                  (match f.Schema.Desc.label with
-                  | Schema.Desc.Repeated -> "repeated "
-                  | Schema.Desc.Singular -> "")
-                  (Schema.Desc.field_type_to_string f.Schema.Desc.ty)
-                  f.Schema.Desc.field_name f.Schema.Desc.number)
-              m.Schema.Desc.fields)
-          schema.Schema.Desc.messages
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:
+             (Printf.sprintf "Analyze every .ml under %s."
+                (String.concat ", " Analysis.Check.default_roots)))
+  in
+  let specs =
+    Arg.(value & opt string Analysis.Check.default_spec_dir
+           & info [ "specs" ] ~docv:"DIR"
+               ~doc:"Directory of *.spec ownership-spec files.")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:
+             (Printf.sprintf
+                "Baseline of tolerated finding fingerprints (default %s when \
+                 analyzing with --all; none otherwise). Fresh findings fail; \
+                 so do stale baseline entries."
+                Analysis.Check.default_baseline))
+  in
+  let update_baseline =
+    Arg.(value & flag & info [ "update-baseline" ]
+           ~doc:"Rewrite the baseline to exactly the current findings.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
+  in
+  let run files all specs baseline update_baseline json =
+    let paths =
+      if all then
+        Analysis.Check.discover_files ~roots:Analysis.Check.default_roots
+        @ files
+      else files
+    in
+    if paths = [] then begin
+      Printf.eprintf "check: no input files (pass FILEs or --all)\n";
+      exit 2
+    end;
+    let spec = Analysis.Check.load_specs specs in
+    let findings = Analysis.Check.run_files ~spec paths in
+    let baseline_path =
+      match baseline with
+      | Some p -> Some p
+      | None -> if all then Some Analysis.Check.default_baseline else None
+    in
+    if update_baseline then begin
+      match baseline_path with
+      | None ->
+          Printf.eprintf "check: --update-baseline needs --baseline or --all\n";
+          exit 2
+      | Some path ->
+          Analysis.Check.baseline_save path findings;
+          Printf.printf "wrote %s (%d fingerprint%s)\n" path
+            (List.length findings)
+            (if List.length findings = 1 then "" else "s")
+    end
+    else begin
+      let base =
+        match baseline_path with
+        | Some p -> Analysis.Check.baseline_load p
+        | None -> []
+      in
+      let r = Analysis.Check.reconcile ~baseline:base findings in
+      if json then print_string (Analysis.Finding.list_to_json r.Analysis.Check.all)
+      else Analysis.Check.print_report r;
+      if not (Analysis.Check.passed r) then exit 1
+    end
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse and validate a schema")
-    Term.(const run $ input)
+    (Cmd.info "check"
+       ~doc:
+         "StatCheck: static ownership/lifecycle, domain-race, and \
+          hot-path-allocation analysis of the OCaml sources (plus IR \
+          verification of generated modules)")
+    Term.(
+      const run $ files $ all $ specs $ baseline $ update_baseline $ json)
 
 let lint_cmd =
   let input =
@@ -274,7 +343,21 @@ let lint_cmd =
     Arg.(value & opt int 512 & info [ "threshold" ] ~docv:"BYTES"
            ~doc:"Zero-copy threshold used for the eligibility report.")
   in
-  let run input threshold =
+  let crossover =
+    Arg.(
+      value
+      & opt int (Sanitizer.Crossover.crossover_bytes ())
+      & info [ "crossover" ] ~docv:"BYTES"
+          ~doc:
+            "Measured zc/copy crossover size; zero-copy-eligible fields \
+             with a [max_size=N] bound below it are flagged (default: from \
+             the committed probe calibration).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Promote below-crossover warnings to errors (exit 1).")
+  in
+  let run input threshold crossover strict =
     (* parse_raw: the lint wants to see duplicate field numbers etc. rather
        than have the parser's validation reject the schema first. *)
     match Schema.Parser.parse_raw (read_file input) with
@@ -285,7 +368,7 @@ let lint_cmd =
         Printf.eprintf "lex error at offset %d: %s\n" pos message;
         exit 1
     | schema ->
-        let findings = Sanitizer.Lint.check ~threshold schema in
+        let findings = Sanitizer.Lint.check ~threshold ~crossover ~strict schema in
         List.iter
           (fun f -> print_endline (Sanitizer.Lint.to_string f))
           findings;
@@ -300,8 +383,9 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Lint a schema: duplicate/out-of-range field numbers, bitmap waste, \
-          and per-field zero-copy eligibility")
-    Term.(const run $ input $ threshold)
+          zero-copy crossover bounds (--strict gates), and per-field \
+          zero-copy eligibility")
+    Term.(const run $ input $ threshold $ crossover $ strict)
 
 (* --- trace inspection --------------------------------------------------- *)
 
@@ -357,7 +441,6 @@ let trace_cmd =
    a given transport/NIC combination rather than to produce figures. *)
 
 let probe_cmd =
-  let sizes_default = [ 128; 256; 384; 512; 768; 1024; 2048 ] in
   let kv_max backend ~transport ~duration_ns ~entries ~entry_size =
     let rig = Apps.Rig.create ~transport () in
     let n_keys =
@@ -378,7 +461,13 @@ let probe_cmd =
   let run quick seed transport =
     (match seed with Some s -> Apps.Rig.set_default_seed s | None -> ());
     let duration_ns = if quick then 1_500_000 else 8_000_000 in
-    let sizes = if quick then [ 256; 512; 1024 ] else sizes_default in
+    (* The size grid is shared with the schema lint's crossover warning
+       (Sanitizer.Crossover), so `probe` measures exactly the sizes `lint`
+       reasons about. *)
+    let sizes =
+      if quick then Sanitizer.Crossover.probe_sizes_quick
+      else Sanitizer.Crossover.probe_sizes
+    in
     Printf.printf "== single-field crossover (%s) ==\n"
       (Apps.Rig.transport_kind_name transport);
     List.iter
@@ -490,9 +579,11 @@ let () =
     "Cornflakes reproduction toolkit. Subcommands: all (every experiment, \
      parallel via --jobs), per-figure commands (fig2..fig13, tab1..tab5, \
      ablations, replication), experiments (run by id), bench (Bechamel \
-     microbenchmarks), compile (generate OCaml accessors from a schema), \
-     check (validate a schema), lint (schema lint + zero-copy \
-     eligibility), trace (sample/record workload ops), faults \
+     microbenchmarks), compile (generate OCaml accessors + ownership IR \
+     from a schema), check (StatCheck static analysis: ownership \
+     lifecycle, domain races, hot-path allocations, IR verification), \
+     lint (schema lint: validation, zero-copy eligibility, crossover \
+     bounds), trace (sample/record workload ops), faults \
      (pretty-print/replay Faultline fault plans), probe (zero-copy vs \
      copy crossover calibration). Most commands take --transport udp|tcp \
      to pick the datapath."

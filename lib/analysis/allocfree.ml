@@ -1,0 +1,166 @@
+(* Hot-path allocation lint: a function marked [@@alloc_free] promises the
+   steady-state fast path performs no OCaml heap allocation — the property
+   the Send fast paths, the Arena recycle hit, and the transport zc hooks
+   are built around. This pass rejects syntactic allocation sites in the
+   annotated body:
+
+   - tuple / record / non-constant constructor / polymorphic-variant builds
+   - array and list literals, list cons
+   - closures ([fun]/[function] inside the body — a closure is a heap block)
+   - [lazy] blocks
+   - calls to known allocators ([ref], [Bytes.create], [^], [@], [Printf.*],
+     [List.map]-family) or any spec'd [allocates <Path>]
+
+   Exempt, because they are off the steady-state path:
+   - arguments of [raise] / [failwith] / [invalid_arg] / [assert] — error
+     paths may allocate the exception they die with
+   - the then-branch of [if <coldguard> () then ...] where <coldguard> is
+     spec'd (e.g. [Sanitizer.Refsan.is_enabled]: diagnostics are not the
+     hot path) *)
+
+let attr_name = "alloc_free"
+
+(* Built-in allocator heads; spec [allocates] extends this. *)
+let builtin_allocators =
+  [
+    [ "ref" ];
+    [ "^" ];
+    [ "@" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Bytes"; "of_string" ];
+    [ "Bytes"; "to_string" ];
+    [ "Bytes"; "sub" ];
+    [ "Bytes"; "sub_string" ];
+    [ "String"; "concat" ];
+    [ "String"; "make" ];
+    [ "String"; "sub" ];
+    [ "String"; "init" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "copy" ];
+    [ "Array"; "append" ];
+    [ "Array"; "of_list" ];
+    [ "Array"; "to_list" ];
+    [ "List"; "map" ];
+    [ "List"; "mapi" ];
+    [ "List"; "rev" ];
+    [ "List"; "append" ];
+    [ "List"; "concat" ];
+    [ "List"; "filter" ];
+    [ "List"; "init" ];
+    [ "Printf"; "sprintf" ];
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Printf"; "ksprintf" ];
+    [ "Format"; "sprintf" ];
+    [ "Format"; "asprintf" ];
+    [ "Buffer"; "create" ];
+    [ "Buffer"; "contents" ];
+    [ "Hashtbl"; "create" ];
+  ]
+
+let raising_heads = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+type ctx = { spec : Spec.t; file : string; site : string }
+
+let is_allocator ctx path =
+  List.exists (fun p -> Spec.path_matches ~min_match:1 p path) builtin_allocators
+  || Spec.is_allocating ctx.spec path
+
+(* Is this expression a call to a spec'd cold guard, e.g.
+   [Sanitizer.Refsan.is_enabled ()]? *)
+let is_coldguard_call ctx (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match Loader.head_path f with
+      | Some path -> Spec.is_coldguard ctx.spec path
+      | None -> false)
+  | _ -> false
+
+let check_body ctx (body : Parsetree.expression) =
+  let out = ref [] in
+  let report ~line fmt =
+    Printf.ksprintf
+      (fun message ->
+        out :=
+          Finding.make ~id:"SC-ALLOC" ~severity:Finding.Error ~pass:"alloc"
+            ~site:ctx.site ~file:ctx.file ~line "%s" message
+          :: !out)
+      fmt
+  in
+  let rec walk (e : Parsetree.expression) =
+    let line = e.pexp_loc.loc_start.pos_lnum in
+    match e.pexp_desc with
+    | Pexp_tuple _ ->
+        report ~line "allocates a tuple on the hot path";
+        walk_children e
+    | Pexp_record _ ->
+        report ~line "allocates a record on the hot path";
+        walk_children e
+    | Pexp_array _ ->
+        report ~line "allocates an array literal on the hot path";
+        walk_children e
+    | Pexp_lazy _ ->
+        report ~line "allocates a lazy block on the hot path";
+        walk_children e
+    | Pexp_construct ({ txt; _ }, Some arg) ->
+        let name = String.concat "." (Loader.longident_components txt) in
+        report ~line "allocates constructor %s on the hot path" name;
+        walk arg
+    | Pexp_variant (tag, Some arg) ->
+        report ~line "allocates polymorphic variant `%s on the hot path" tag;
+        walk arg
+    | Pexp_fun _ | Pexp_function _ ->
+        report ~line "builds a closure on the hot path (heap block)"
+        (* don't descend: the closure body runs elsewhere; the allocation
+           is the closure itself *)
+    | Pexp_apply (f, args) -> (
+        match Loader.head_path f with
+        | Some [ name ] when List.mem name raising_heads ->
+            (* error path: the exception (and its message) may allocate *)
+            ()
+        | Some path when is_allocator ctx path ->
+            report ~line "calls allocator %s on the hot path"
+              (String.concat "." path);
+            List.iter (fun (_, a) -> walk a) args
+        | _ ->
+            walk f;
+            List.iter (fun (_, a) -> walk a) args)
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        walk cond;
+        if not (is_coldguard_call ctx cond) then walk then_;
+        Option.iter walk else_
+    | Pexp_assert _ -> (* assertion failure path may allocate *) ()
+    | _ -> walk_children e
+  and walk_children e =
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr = (fun _ sub -> walk sub);
+        structure_item = (fun _ _ -> ());
+      }
+    in
+    Ast_iterator.default_iterator.expr it e
+  in
+  (* Skip the parameter spine: [fun a b -> body] — the outer closures are
+     built once at definition time, not per call. *)
+  let rec skip_params (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, body) -> skip_params body
+    | Pexp_newtype (_, body) -> skip_params body
+    | Pexp_constraint (body, _) -> skip_params body
+    | _ -> e
+  in
+  walk (skip_params body);
+  List.rev !out
+
+let check_source ~spec (src : Loader.source) =
+  List.concat_map
+    (fun (fn : Loader.func) ->
+      if Loader.has_attr attr_name fn.Loader.fn_attrs then
+        check_body
+          { spec; file = src.Loader.src_path; site = fn.Loader.fn_path }
+          fn.Loader.fn_expr
+      else [])
+    src.Loader.src_funcs

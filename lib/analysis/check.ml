@@ -1,0 +1,180 @@
+(* StatCheck driver: discover sources, load specs, run the three passes
+   (plus IR verification where a generated module ships a sidecar), and
+   reconcile against the committed baseline.
+
+   Baseline discipline (mirrors the RefSan CI gate): a finding whose
+   fingerprint is in [analysis/baseline.json] is tolerated but listed; a
+   fresh finding fails; a baseline entry that no longer fires is *also* an
+   error — fixed findings must be removed from the baseline so it only ever
+   shrinks. *)
+
+let default_spec_dir = "analysis/specs"
+
+let default_baseline = "analysis/baseline.json"
+
+let default_roots = [ "lib"; "bin"; "examples"; "bench" ]
+
+(* --- discovery --------------------------------------------------------- *)
+
+let rec discover_dir acc dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.fold_left
+       (fun acc entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then
+           if entry = "_build" || entry.[0] = '.' then acc
+           else discover_dir acc path
+         else if Filename.check_suffix entry ".ml" then path :: acc
+         else acc)
+       acc
+
+let discover_files ~roots =
+  List.fold_left
+    (fun acc root ->
+      if Sys.file_exists root && Sys.is_directory root then
+        discover_dir acc root
+      else if Sys.file_exists root then root :: acc
+      else acc)
+    [] roots
+  |> List.sort compare
+
+(* --- spec loading ------------------------------------------------------ *)
+
+let load_specs dir =
+  if Sys.file_exists dir && Sys.is_directory dir then Spec.load_dir dir
+  else Spec.empty ()
+
+(* --- running the passes ------------------------------------------------ *)
+
+let ir_sidecar path = Filename.remove_extension path ^ ".ir"
+
+let run_file ~spec path =
+  match Loader.load path with
+  | Error f -> [ f ]
+  | Ok src ->
+      let ir_findings =
+        let ir = ir_sidecar path in
+        if Sys.file_exists ir then
+          try Ircheck.check_source ~ir_path:ir (Ircheck.load_file ir) src
+          with Ircheck.Parse_error e ->
+            [
+              Finding.make ~id:"SC-PARSE" ~severity:Finding.Error ~pass:"ir"
+                ~site:src.Loader.src_module ~file:ir ~line:1
+                "cannot parse IR sidecar: %s" e;
+            ]
+        else []
+      in
+      Lifecycle.check_source ~spec src
+      @ Races.check_source ~spec src
+      @ Allocfree.check_source ~spec src
+      @ ir_findings
+
+let run_files ~spec paths =
+  List.concat_map (run_file ~spec) paths |> List.sort Finding.compare_for_report
+
+(* --- baseline ---------------------------------------------------------- *)
+
+(* The baseline is machine-written JSON of shape
+   [{ "fingerprints": [ "ID|site|file", ... ] }]. Fingerprints contain no
+   quotes or backslashes, so extracting the string literals inside the
+   array is a faithful parse. *)
+let baseline_load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match String.index_opt text '[' with
+    | None -> []
+    | Some start ->
+        let stop =
+          match String.index_from_opt text start ']' with
+          | Some i -> i
+          | None -> String.length text
+        in
+        let acc = ref [] in
+        let i = ref start in
+        while !i < stop do
+          (match String.index_from_opt text !i '"' with
+          | Some q1 when q1 < stop -> (
+              match String.index_from_opt text (q1 + 1) '"' with
+              | Some q2 when q2 <= stop ->
+                  acc := String.sub text (q1 + 1) (q2 - q1 - 1) :: !acc;
+                  i := q2 + 1
+              | _ -> i := stop)
+          | _ -> i := stop)
+        done;
+        List.rev !acc
+  end
+
+let baseline_save path findings =
+  let fps =
+    List.map Finding.fingerprint findings
+    |> List.sort_uniq compare
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"fingerprints\": [";
+  List.iteri
+    (fun i fp ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    \"";
+      Buffer.add_string b fp;
+      Buffer.add_char b '"')
+    fps;
+  if fps <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  let oc = open_out_bin path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+type reconciled = {
+  all : Finding.t list;  (** every finding, report order *)
+  fresh : Finding.t list;  (** findings not covered by the baseline *)
+  tolerated : Finding.t list;  (** findings the baseline covers *)
+  stale : string list;  (** baseline fingerprints that no longer fire *)
+}
+
+let reconcile ~baseline findings =
+  let fired = List.map Finding.fingerprint findings in
+  let fresh, tolerated =
+    List.partition
+      (fun f -> not (List.mem (Finding.fingerprint f) baseline))
+      findings
+  in
+  let stale =
+    List.filter (fun fp -> not (List.mem fp fired)) baseline
+    |> List.sort_uniq compare
+  in
+  { all = findings; fresh; tolerated; stale }
+
+(* --- reporting --------------------------------------------------------- *)
+
+let print_report ?(out = stdout) r =
+  let pr fmt = Printf.fprintf out fmt in
+  List.iter (fun f -> pr "%s\n" (Finding.to_string f)) r.fresh;
+  List.iter
+    (fun f -> pr "baselined %s\n" (Finding.to_string f))
+    r.tolerated;
+  List.iter
+    (fun fp ->
+      pr
+        "stale   BASELINE         %s  no longer fires — remove it from the \
+         baseline\n"
+        fp)
+    r.stale;
+  let fresh_errors = List.length (Finding.errors r.fresh) in
+  let fresh_warnings = List.length r.fresh - fresh_errors in
+  pr "statcheck: %d finding%s (%d error%s, %d warning%s), %d baselined, %d \
+      stale baseline entr%s\n"
+    (List.length r.fresh)
+    (if List.length r.fresh = 1 then "" else "s")
+    fresh_errors
+    (if fresh_errors = 1 then "" else "s")
+    fresh_warnings
+    (if fresh_warnings = 1 then "" else "s")
+    (List.length r.tolerated)
+    (List.length r.stale)
+    (if List.length r.stale = 1 then "y" else "ies");
+  ()
+
+let passed r = Finding.errors r.fresh = [] && r.stale = []

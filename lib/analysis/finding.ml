@@ -1,0 +1,87 @@
+(* StatCheck findings: one record per static hazard, carrying the same
+   [site Module.func] label format RefSan prints at quiesce, so a dynamic
+   hazard can be grepped straight to its static counterpart (and vice
+   versa). Finding ids are stable — the CI baseline and the docs key off
+   them. *)
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  id : string;  (** stable finding id, e.g. [SC-LC-LEAK] *)
+  severity : severity;
+  pass : string;  (** lifecycle | races | alloc | ir | parse *)
+  site : string;  (** [Module.func] — RefSan's site-label vocabulary *)
+  file : string;
+  line : int;
+  message : string;
+}
+
+let make ~id ~severity ~pass ~site ~file ~line fmt =
+  Printf.ksprintf
+    (fun message -> { id; severity; pass; site; file; line; message })
+    fmt
+
+(* Baseline identity. Deliberately excludes the line number: moving code
+   around a file must not churn the committed baseline, only introducing or
+   fixing a finding does. *)
+let fingerprint f = Printf.sprintf "%s|%s|%s" f.id f.site f.file
+
+let to_string f =
+  Printf.sprintf "%-7s %-16s %s %s:%d  %s"
+    (severity_to_string f.severity)
+    f.id
+    (Sanitizer.Report.site_label f.site)
+    f.file f.line f.message
+
+let compare_for_report a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.id b.id in
+      if c <> 0 then c else compare a.site b.site
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+(* --- JSON (emitted and parsed without external deps) ------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"id\": %S, \"severity\": %S, \"pass\": %S, \"site\": \"%s\", \"file\": \
+     \"%s\", \"line\": %d, \"message\": \"%s\"}"
+    f.id
+    (severity_to_string f.severity)
+    f.pass (json_escape f.site) (json_escape f.file) f.line
+    (json_escape f.message)
+
+let list_to_json fs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      Buffer.add_string b (to_json f))
+    fs;
+  if fs <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,132 @@
+(* IR verification: codegen emits (alongside each generated module) an
+   ownership-IR summary — one line per generated binding:
+
+     fn <Rel.Path> role=<role> callee=<Dotted.Path|->
+
+   e.g.
+
+     fn Get_req.send role=send callee=Cornflakes.Send.send_via
+     fn Get_req.release role=release callee=Wire.Dyn.release
+
+   The checker re-parses the generated .ml and verifies every IR entry
+   mechanically: the binding exists (SC-IR-MISSING otherwise) and its body
+   really calls the declared callee (SC-IR-CALLEE otherwise). This is how
+   kv_msgs.ml — too large and too regular to hand-spec — stays verified:
+   the generator declares its own ownership contract and StatCheck holds it
+   to it. A stale sidecar (edited generated code, unedited IR) fails the
+   same way. *)
+
+type entry = { e_path : string; e_role : string; e_callee : string list option }
+
+exception Parse_error of string
+
+let parse_line lineno line =
+  match
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | [ "fn"; path; role; callee ] ->
+      let strip ~prefix s =
+        let lp = String.length prefix in
+        if String.length s > lp && String.sub s 0 lp = prefix then
+          Some (String.sub s lp (String.length s - lp))
+        else None
+      in
+      let role =
+        match strip ~prefix:"role=" role with
+        | Some r -> r
+        | None ->
+            raise
+              (Parse_error (Printf.sprintf "line %d: expected role=..." lineno))
+      in
+      let callee =
+        match strip ~prefix:"callee=" callee with
+        | Some "-" -> None
+        | Some c -> Some (String.split_on_char '.' c)
+        | None ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "line %d: expected callee=..." lineno))
+      in
+      Some { e_path = path; e_role = role; e_callee = callee }
+  | tok :: _ ->
+      raise
+        (Parse_error (Printf.sprintf "line %d: unknown IR directive %S" lineno tok))
+
+let parse text =
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match parse_line (i + 1) line with
+      | Some e -> entries := e :: !entries
+      | None -> ())
+    (String.split_on_char '\n' text);
+  List.rev !entries
+
+let load_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  try parse text
+  with Parse_error e -> raise (Parse_error (Printf.sprintf "%s: %s" path e))
+
+(* Does [body] (or any nested expression) call or mention [callee]? Matched
+   with the full component count of the shorter path so [Send.send_via]
+   matches [Cornflakes.Send.send_via] and vice versa. *)
+let body_mentions (body : Parsetree.expression) callee =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match Loader.head_path e with
+          | Some path when Spec.path_matches ~min_match:2 callee path ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body;
+  !found
+
+let check_source ~ir_path (entries : entry list) (src : Loader.source) =
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      match
+        List.find_opt
+          (fun (fn : Loader.func) -> fn.Loader.fn_local = e.e_path)
+          src.Loader.src_funcs
+      with
+      | None ->
+          out :=
+            Finding.make ~id:"SC-IR-MISSING" ~severity:Finding.Error ~pass:"ir"
+              ~site:(src.Loader.src_module ^ "." ^ e.e_path)
+              ~file:src.Loader.src_path ~line:1
+              "IR (%s) declares %s (role %s) but the generated module does \
+               not define it — stale sidecar or hand-edited generated code"
+              ir_path e.e_path e.e_role
+            :: !out
+      | Some fn -> (
+          match e.e_callee with
+          | None -> ()
+          | Some callee ->
+              if not (body_mentions fn.Loader.fn_expr callee) then
+                out :=
+                  Finding.make ~id:"SC-IR-CALLEE" ~severity:Finding.Error
+                    ~pass:"ir"
+                    ~site:(src.Loader.src_module ^ "." ^ e.e_path)
+                    ~file:src.Loader.src_path ~line:fn.Loader.fn_line
+                    "IR declares %s (role %s) calls %s, but its body does \
+                     not — the ownership contract the generator promised no \
+                     longer holds"
+                    e.e_path e.e_role (String.concat "." callee)
+                  :: !out))
+    entries;
+  List.rev !out

@@ -1,0 +1,399 @@
+(* Lifecycle/typestate pass: a small ownership automaton
+   (alloc -> ref* -> post -> complete/ACK -> release) checked
+   intraprocedurally against every function that touches a spec'd
+   Mem.Buf / Nic.Device / Tcp entry point.
+
+   Per branch-path, each tracked subject (a let-bound buffer or a function
+   argument an op is applied to) carries: a net reference delta, whether it
+   is currently posted (in flight), whether it was locally allocated, and
+   whether it escaped (passed to an un-spec'd call, captured, stored,
+   returned) — escape transfers ownership and ends leak tracking, which is
+   what keeps the pass quiet on correct hand-written code while still
+   catching the classic shapes:
+
+   - SC-LC-LEAK    locally allocated buffer dropped on some branch path
+   - SC-LC-WAP     write to a subject while posted (before completion)
+   - SC-LC-RBA     release of a posted subject outside an ACK/completion
+                   context (the TCP hold-until-cumulative-ACK contract)
+   - SC-LC-DOUBLE  second release of an already fully-released local *)
+
+type subj = {
+  s_refs : int;
+  s_posted : bool;
+  s_local : bool;
+  s_escaped : bool;
+  s_released : bool;
+  s_alloc_line : int;
+}
+
+(* One path state: tracked subjects by name. Assoc list — functions track a
+   handful of buffers at most. *)
+type state = (string * subj) list
+
+let max_paths = 48
+
+let update name f (st : state) : state =
+  List.map (fun (n, s) -> if n = name then (n, f s) else (n, s)) st
+
+let tracked name (st : state) = List.assoc_opt name st
+
+type ctx = {
+  spec : Spec.t;
+  file : string;
+  site : string;  (** enclosing function path, StatCheck/RefSan label *)
+  ackctx : bool;
+  out : (string, Finding.t) Hashtbl.t;  (** keyed by dedup fingerprint *)
+}
+
+let report ctx ~id ~line fmt =
+  Printf.ksprintf
+    (fun message ->
+      let f =
+        Finding.make ~id ~severity:Finding.Error ~pass:"lifecycle"
+          ~site:ctx.site ~file:ctx.file ~line "%s" message
+      in
+      let key = Printf.sprintf "%s|%d|%s" id line message in
+      if not (Hashtbl.mem ctx.out key) then Hashtbl.add ctx.out key f)
+    fmt
+
+let dedup_states (sts : state list) =
+  let seen = Hashtbl.create 16 in
+  let kept =
+    List.filter
+      (fun st ->
+        let key = Marshal.to_string st [] in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      sts
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take max_paths kept
+
+let line_of (e : Parsetree.expression) = e.pexp_loc.loc_start.pos_lnum
+
+(* Transition [op] on subject [name] in every path state. Unknown names
+   become implicit non-local subjects so posted-state checks apply to
+   function arguments too. *)
+let apply_op ctx op name line (sts : state list) : state list =
+  List.map
+    (fun st ->
+      let st =
+        if tracked name st <> None then st
+        else
+          ( name,
+            {
+              s_refs = 0;
+              s_posted = false;
+              s_local = false;
+              s_escaped = false;
+              s_released = false;
+              s_alloc_line = line;
+            } )
+          :: st
+      in
+      update name
+        (fun s ->
+          match (op : Spec.op) with
+          | Spec.Alloc -> { s with s_refs = s.s_refs + 1; s_released = false }
+          | Spec.Ref -> { s with s_refs = s.s_refs + 1 }
+          | Spec.Release ->
+              if s.s_released && s.s_local then begin
+                report ctx ~id:"SC-LC-DOUBLE" ~line
+                  "'%s' released again after its references already reached \
+                   zero on this path"
+                  name;
+                s
+              end
+              else begin
+                if s.s_posted && not ctx.ackctx then
+                  report ctx ~id:"SC-LC-RBA" ~line
+                    "'%s' released while posted (in flight) with no \
+                     completion/ACK in between — zero-copy buffers must stay \
+                     pinned until NIC completion (UDP) or cumulative ACK (TCP)"
+                    name;
+                let refs = s.s_refs - 1 in
+                {
+                  s with
+                  s_refs = refs;
+                  s_released = (s.s_local && refs <= 0) || s.s_released;
+                }
+              end
+          | Spec.Post ->
+              (* Posting transfers one reference to the device/rtx queue;
+                 the completion path owns its release. *)
+              { s with s_posted = true; s_refs = s.s_refs - 1 }
+          | Spec.Complete -> { s with s_posted = false }
+          | Spec.Write ->
+              if s.s_posted then
+                report ctx ~id:"SC-LC-WAP" ~line
+                  "write to '%s' while posted (in flight) — mutating bytes \
+                   covered by an active DMA/retransmission hold is the \
+                   write-after-post race"
+                  name;
+              s)
+        st)
+    sts
+
+let escape name (sts : state list) =
+  List.map (update name (fun s -> { s with s_escaped = true })) sts
+
+(* --- the evaluator ----------------------------------------------------- *)
+
+let rec eval ctx (sts : state list) (e : Parsetree.expression) : state list =
+  let open Parsetree in
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident n; _ } ->
+      (* A bare use we do not interpret: the value is read, stored or
+         returned — ownership is no longer exclusively ours. *)
+      escape n sts
+  | Pexp_ident _ | Pexp_constant _ | Pexp_unreachable | Pexp_extension _
+  | Pexp_new _ | Pexp_pack _ | Pexp_object _ ->
+      sts
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> eval ctx sts e
+  | Pexp_let (_, vbs, body) ->
+      let sts =
+        List.fold_left
+          (fun sts (vb : value_binding) ->
+            let name = Loader.pattern_name vb.pvb_pat in
+            match op_of_apply ctx vb.pvb_expr with
+            | Some (Spec.Alloc, _, line) when name <> "_" ->
+                (* Evaluate the arguments first, then bind the new local
+                   subject (the alloc's subject is its result). *)
+                let sts = eval_apply_args ctx sts vb.pvb_expr ~skip_subject:false in
+                List.map
+                  (fun st ->
+                    ( name,
+                      {
+                        s_refs = 1;
+                        s_posted = false;
+                        s_local = true;
+                        s_escaped = false;
+                        s_released = false;
+                        s_alloc_line = line;
+                      } )
+                    :: List.remove_assoc name st)
+                  sts
+            | _ -> eval ctx sts vb.pvb_expr)
+          sts vbs
+      in
+      eval ctx sts body
+  | Pexp_sequence (a, b) ->
+      let sts = eval ctx sts a in
+      eval ctx sts b
+  | Pexp_ifthenelse (c, t, e_opt) ->
+      let sts = eval ctx sts c in
+      let sts_t = eval ctx sts t in
+      let sts_e = match e_opt with Some e -> eval ctx sts e | None -> sts in
+      dedup_states (sts_t @ sts_e)
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      let sts = eval ctx sts scrut in
+      let branches =
+        List.concat_map
+          (fun (c : case) ->
+            let sts =
+              match c.pc_guard with Some g -> eval ctx sts g | None -> sts
+            in
+            eval ctx sts c.pc_rhs)
+          cases
+      in
+      dedup_states (if branches = [] then sts else branches)
+  | Pexp_apply (fn, args) -> (
+      match op_of_apply ctx e with
+      | Some (op, Some subject_name, line) ->
+          let sts = eval_apply_args ctx sts e ~skip_subject:true in
+          apply_op ctx op subject_name line sts
+      | Some (_, None, _) ->
+          (* Op with a non-variable subject (e.g. a fresh sub-expression):
+             nothing nameable to track. *)
+          eval_apply_args ctx sts e ~skip_subject:false
+      | None ->
+          (* Unspec'd call: arguments escape. *)
+          let sts = ref sts in
+          (match Loader.head_path fn with
+          | Some _ -> ()
+          | None -> sts := eval ctx !sts fn);
+          List.iter (fun (_, a) -> sts := eval ctx !sts a) args;
+          !sts)
+  | Pexp_fun (_, default, _, body) ->
+      (* A closure: captured subjects escape (it may run later, on another
+         path, or never); its body is checked as its own fresh context so
+         bugs inside closures still surface. *)
+      let sts = match default with Some d -> eval ctx sts d | None -> sts in
+      let sts = escape_free_idents ctx sts body in
+      check_sub ctx body;
+      sts
+  | Pexp_function cases ->
+      let sts =
+        List.fold_left
+          (fun sts (c : case) -> escape_free_idents ctx sts c.pc_rhs)
+          sts cases
+      in
+      List.iter (fun (c : case) -> check_sub ctx c.pc_rhs) cases;
+      sts
+  | Pexp_tuple es | Pexp_array es ->
+      List.fold_left (fun sts e -> eval ctx sts e) sts es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+      match arg with Some a -> eval ctx sts a | None -> sts)
+  | Pexp_record (fields, base) ->
+      let sts =
+        match base with Some b -> eval ctx sts b | None -> sts
+      in
+      List.fold_left (fun sts (_, e) -> eval ctx sts e) sts fields
+  | Pexp_field (e, _) -> eval ctx sts e
+  | Pexp_setfield (lhs, _, rhs) ->
+      let sts = eval ctx sts lhs in
+      eval ctx sts rhs
+  | Pexp_while (c, body) ->
+      let sts = eval ctx sts c in
+      (* One unrolling unioned with zero: loop-carried automaton effects
+         are approximated, which is enough for straight-line hot paths. *)
+      dedup_states (sts @ eval ctx sts body)
+  | Pexp_for (_, lo, hi, _, body) ->
+      let sts = eval ctx sts lo in
+      let sts = eval ctx sts hi in
+      dedup_states (sts @ eval ctx sts body)
+  | Pexp_assert e | Pexp_lazy e ->
+      eval ctx sts e
+  | Pexp_open (_, e) | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) ->
+      eval ctx sts e
+  | Pexp_letop { let_; ands; body; _ } ->
+      let sts = eval ctx sts let_.pbop_exp in
+      let sts =
+        List.fold_left (fun sts a -> eval ctx sts a.pbop_exp) sts ands
+      in
+      eval ctx sts body
+  | Pexp_send (e, _) -> eval ctx sts e
+  | Pexp_setinstvar (_, e) -> eval ctx sts e
+  | Pexp_override fields ->
+      List.fold_left (fun sts (_, e) -> eval ctx sts e) sts fields
+  | Pexp_poly (e, _) -> eval ctx sts e
+  | Pexp_newtype (_, e) -> eval ctx sts e
+
+(* Classify an expression as a spec'd op application: returns the op, the
+   subject's variable name when the subject argument is a bare variable,
+   and the application's line. *)
+and op_of_apply ctx (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (fn, args) -> (
+      match Loader.head_path fn with
+      | None -> None
+      | Some path -> (
+          match Spec.find_op ctx.spec path with
+          | None -> None
+          | Some entry ->
+              (* An alloc's subject is its *result* (the let binding), not
+                 an argument. *)
+              let subject =
+                if entry.Spec.op = Spec.Alloc then None
+                else
+                  match Loader.subject_arg entry.Spec.subject args with
+                  | Some arg -> Loader.ident_name arg
+                  | None -> None
+              in
+              Some (entry.Spec.op, subject, line_of e)))
+  | _ -> None
+
+(* Evaluate an op application's arguments. The subject argument is consumed
+   by the op (skip), every other argument is a plain value use. *)
+and eval_apply_args ctx sts (e : Parsetree.expression) ~skip_subject =
+  match e.pexp_desc with
+  | Pexp_apply (fn, args) ->
+      let subject_expr =
+        if not skip_subject then None
+        else
+          match Loader.head_path fn with
+          | None -> None
+          | Some path -> (
+              match Spec.find_op ctx.spec path with
+              | None -> None
+              | Some entry -> Loader.subject_arg entry.Spec.subject args)
+      in
+      List.fold_left
+        (fun sts (_, a) ->
+          match subject_expr with
+          | Some s when s == a -> sts
+          | _ -> eval ctx sts a)
+        sts args
+  | _ -> eval ctx sts e
+
+(* Escape every tracked subject that occurs free in [e] (closure capture). *)
+and escape_free_idents ctx sts (e : Parsetree.expression) =
+  let names = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Lident n; _ } -> names := n :: !names
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  ignore ctx;
+  List.fold_left (fun sts n -> escape n sts) sts !names
+
+(* Check a closure body as an independent context (fresh path states),
+   including the leak check over its own local allocations. *)
+and check_sub ctx body = leak_check ctx (eval ctx [ [] ] body)
+
+(* --- per-function entry point ------------------------------------------ *)
+
+and leak_check ctx (sts : state list) =
+  List.iter
+    (fun st ->
+      List.iter
+        (fun (name, s) ->
+          if
+            s.s_local && (not s.s_escaped) && (not s.s_released)
+            && (not s.s_posted) && s.s_refs > 0
+          then
+            report ctx ~id:"SC-LC-LEAK" ~line:s.s_alloc_line
+              "'%s' allocated here still holds %d reference%s on some path \
+               and never escapes — unbalanced alloc/ref vs release"
+              name s.s_refs
+              (if s.s_refs = 1 then "" else "s"))
+        st)
+    sts
+
+let check_function ~spec ~file (fn : Loader.func) =
+  if Spec.is_assumed spec fn.Loader.fn_path || Spec.is_assumed spec fn.Loader.fn_local
+  then []
+  else begin
+    let ctx =
+      {
+        spec;
+        file;
+        site = fn.Loader.fn_path;
+        ackctx =
+          Spec.is_ackctx spec fn.Loader.fn_path
+          || Spec.is_ackctx spec fn.Loader.fn_local;
+        out = Hashtbl.create 8;
+      }
+    in
+    (* Skip the parameter spine: the automaton runs over the body, with the
+       parameters as implicit (non-local) subjects. Without this the whole
+       body would be treated as one big closure and only escape-scanned. *)
+    let rec skip_params (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_fun (_, _, _, body) -> skip_params body
+      | Pexp_newtype (_, body) -> skip_params body
+      | Pexp_constraint (body, _) -> skip_params body
+      | _ -> e
+    in
+    let final = eval ctx [ [] ] (skip_params fn.Loader.fn_expr) in
+    leak_check ctx final;
+    Hashtbl.fold (fun _ f acc -> f :: acc) ctx.out []
+  end
+
+let check_source ~spec (src : Loader.source) =
+  List.concat_map
+    (fun fn -> check_function ~spec ~file:src.Loader.src_path fn)
+    src.Loader.src_funcs

@@ -1,0 +1,301 @@
+(* Domain-race pass: scan every closure handed to a spec'd parallel entry
+   point (Par.Pool.map / map_list, Experiments.Util.par_map) for shared
+   mutable state. A parallel job must own everything it mutates: PR 4's
+   exp_tab2 bug — one CDN workload value, with an internal sequential
+   cursor, captured by every backend's job — is exactly the shape this
+   pass rejects.
+
+   Findings:
+   - SC-PAR-CAPTURE  closure captures a binding known to be (or to contain)
+                     mutable state: a [ref], an array/bytes/hashtable, or
+                     the result of a spec'd [stateful] constructor, or reads
+                     module-level mutable state
+   - SC-PAR-MUT      closure assigns through a captured name
+                     ([:=], [<-], [incr]/[decr]) regardless of how it was
+                     bound
+
+   Escapes: [safe <Path>] (e.g. Atomic) and
+   [allow_capture <Module.func> <var>] spec directives. *)
+
+type mut_kind =
+  | Mut_ref
+  | Mut_array
+  | Mut_bytes
+  | Mut_hashtbl
+  | Mut_buffer
+  | Mut_stateful of string  (** constructor path, e.g. [Workload.Cdn.make] *)
+
+let mut_kind_to_string = function
+  | Mut_ref -> "a ref cell"
+  | Mut_array -> "a mutable array"
+  | Mut_bytes -> "mutable bytes"
+  | Mut_hashtbl -> "a hash table"
+  | Mut_buffer -> "a Buffer.t"
+  | Mut_stateful p ->
+      Printf.sprintf "internally-mutable state (built by %s)" p
+
+(* Classify a binding's right-hand side as known-mutable. *)
+let rec classify spec (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (fn, _) -> (
+      match Loader.head_path fn with
+      | None -> None
+      | Some path -> (
+          if Spec.is_safe spec path then None
+          else if Spec.is_stateful spec path then
+            Some (Mut_stateful (String.concat "." path))
+          else
+            match path with
+            | [ "ref" ] -> Some Mut_ref
+            | [ "Array"; ("make" | "init" | "create_float" | "copy" | "of_list" | "append" | "concat") ]
+              ->
+                Some Mut_array
+            | [ "Bytes"; ("create" | "make" | "init" | "copy" | "of_string") ]
+              ->
+                Some Mut_bytes
+            | [ "Hashtbl"; "create" ] -> Some Mut_hashtbl
+            | [ "Buffer"; "create" ] -> Some Mut_buffer
+            | _ -> None))
+  | Pexp_array _ -> Some Mut_array
+  | Pexp_constraint (e, _) -> classify spec e
+  | _ -> None
+
+(* All simple let-bound names in scope on the way down to a parallel call,
+   with classification and binding line. *)
+type binding = { b_kind : mut_kind; b_line : int }
+
+type ctx = {
+  spec : Spec.t;
+  file : string;
+  globals : (string * binding) list;  (** module-level mutable bindings *)
+  out : Finding.t list ref;
+}
+
+let report ctx ~id ~site ~line fmt =
+  Printf.ksprintf
+    (fun message ->
+      let f =
+        Finding.make ~id ~severity:Finding.Error ~pass:"races" ~site
+          ~file:ctx.file ~line "%s" message
+      in
+      if
+        not
+          (List.exists
+             (fun (g : Finding.t) ->
+               g.Finding.id = id && g.Finding.line = line
+               && g.Finding.message = message)
+             !(ctx.out))
+      then ctx.out := f :: !(ctx.out))
+    fmt
+
+(* Names bound by a pattern (closure params, lets inside the closure). *)
+let pattern_names (p : Parsetree.pattern) =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> acc := txt :: !acc
+          | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+(* Scan a parallel-job closure body. [bound] are names defined inside the
+   closure (params and local lets, accumulated on the way down); anything
+   else is captured. *)
+let scan_closure ctx ~site ~scope (body : Parsetree.expression) =
+  let reported_capture = Hashtbl.create 8 in
+  let allowed var =
+    Spec.is_capture_allowed ctx.spec ~func:site ~var
+    ||
+    (* site is file-qualified; the spec may use the local name *)
+    match String.index_opt site '.' with
+    | Some i ->
+        Spec.is_capture_allowed ctx.spec
+          ~func:(String.sub site (i + 1) (String.length site - i - 1))
+          ~var
+    | None -> false
+  in
+  let capture ~line var kind =
+    if (not (Hashtbl.mem reported_capture var)) && not (allowed var) then begin
+      Hashtbl.add reported_capture var ();
+      report ctx ~id:"SC-PAR-CAPTURE" ~site ~line
+        "parallel job closure captures '%s' — %s shared by every job; give \
+         each job its own instance (or add `allow_capture %s %s` to the \
+         spec after review)"
+        var
+        (mut_kind_to_string kind)
+        site var
+    end
+  in
+  let mutate ~line var what =
+    if not (allowed var) then
+      report ctx ~id:"SC-PAR-MUT" ~site ~line
+        "parallel job closure mutates captured '%s' via %s — concurrent \
+         jobs race on it"
+        var what
+  in
+  let rec walk bound (e : Parsetree.expression) =
+    let is_captured n = not (List.mem n bound) in
+    let line = e.pexp_loc.loc_start.pos_lnum in
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident n; _ } when is_captured n -> (
+        match List.assoc_opt n scope with
+        | Some b -> capture ~line n b.b_kind
+        | None -> (
+            match List.assoc_opt n ctx.globals with
+            | Some b ->
+                capture ~line n b.b_kind
+            | None -> ()))
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        let path = Loader.longident_components txt in
+        (match (path, args) with
+        | [ ":=" ], (_, lhs) :: _ -> (
+            match Loader.ident_name lhs with
+            | Some n when is_captured n -> mutate ~line n ":="
+            | _ -> ())
+        | [ ("incr" | "decr") ], [ (_, arg) ] -> (
+            match Loader.ident_name arg with
+            | Some n when is_captured n ->
+                mutate ~line n (List.hd path)
+            | _ -> ())
+        | ( [ ("Array" | "Bytes" | "Hashtbl" | "Buffer");
+              ( "set" | "unsafe_set" | "fill" | "blit" | "replace" | "add"
+              | "remove" | "reset" | "clear" | "add_string" | "add_char" ) ],
+            (_, target) :: _ ) -> (
+            match Loader.ident_name target with
+            | Some n when is_captured n ->
+                mutate ~line n (String.concat "." path)
+            | _ -> ())
+        | _ -> ());
+        List.iter (fun (_, a) -> walk bound a) args)
+    | Pexp_setfield (lhs, { txt; _ }, rhs) ->
+        (match Loader.ident_name lhs with
+        | Some n when is_captured n ->
+            mutate ~line n
+              (Printf.sprintf "field assignment %s.%s <- ..." n
+                 (String.concat "." (Loader.longident_components txt)))
+        | _ -> walk bound lhs);
+        walk bound rhs
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun (vb : Parsetree.value_binding) -> walk bound vb.pvb_expr) vbs;
+        let bound =
+          List.concat_map
+            (fun (vb : Parsetree.value_binding) -> pattern_names vb.pvb_pat)
+            vbs
+          @ bound
+        in
+        walk bound body
+    | Pexp_fun (_, default, pat, body) ->
+        (match default with Some d -> walk bound d | None -> ());
+        walk (pattern_names pat @ bound) body
+    | Pexp_function cases | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+        (match e.pexp_desc with
+        | Pexp_match (scrut, _) | Pexp_try (scrut, _) -> walk bound scrut
+        | _ -> ());
+        List.iter
+          (fun (c : Parsetree.case) ->
+            let bound = pattern_names c.pc_lhs @ bound in
+            (match c.pc_guard with Some g -> walk bound g | None -> ());
+            walk bound c.pc_rhs)
+          cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+        walk bound lo;
+        walk bound hi;
+        walk (pattern_names pat @ bound) body
+    | _ ->
+        (* Generic: recurse into immediate children with the same scope. *)
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ sub -> walk bound sub);
+            structure_item = (fun _ _ -> ());
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  in
+  walk [] body
+
+(* Walk a function body looking for parallel entry points, tracking simple
+   let bindings so captures can be classified. *)
+let scan_function ctx (fn : Loader.func) =
+  let site = fn.Loader.fn_path in
+  let rec walk scope (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun (vb : Parsetree.value_binding) -> walk scope vb.pvb_expr) vbs;
+        let scope =
+          List.fold_left
+            (fun scope (vb : Parsetree.value_binding) ->
+              match
+                (Loader.pattern_name vb.pvb_pat, classify ctx.spec vb.pvb_expr)
+              with
+              | "_", _ | _, None -> scope
+              | name, Some kind ->
+                  (name, { b_kind = kind; b_line = vb.pvb_loc.loc_start.pos_lnum })
+                  :: scope)
+            scope vbs
+        in
+        walk scope body
+    | Pexp_apply (f, args) -> (
+        (match Loader.head_path f with
+        | Some path -> (
+            match Spec.find_par ctx.spec path with
+            | Some entry -> (
+                match Loader.subject_arg entry.Spec.par_subject args with
+                | Some { pexp_desc = Pexp_fun (_, _, pat, body); _ } ->
+                    (* Closure parameters are job-local. *)
+                    ignore pat;
+                    scan_closure ctx ~site ~scope body
+                | Some { pexp_desc = Pexp_function cases; _ } ->
+                    List.iter
+                      (fun (c : Parsetree.case) ->
+                        scan_closure ctx ~site ~scope c.pc_rhs)
+                      cases
+                | Some _ | None -> ())
+            | None -> ())
+        | None -> ());
+        walk scope f;
+        List.iter (fun (_, a) -> walk scope a) args)
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ sub -> walk scope sub);
+            structure_item = (fun _ _ -> ());
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  in
+  walk [] fn.Loader.fn_expr
+
+(* Module-level mutable bindings of a file (shared by every domain that
+   touches this module). *)
+let module_globals spec (src : Loader.source) =
+  List.filter_map
+    (fun (fn : Loader.func) ->
+      if String.contains fn.Loader.fn_local '.' then None
+      else
+        match classify spec fn.Loader.fn_expr with
+        | Some kind ->
+            Some (fn.Loader.fn_local, { b_kind = kind; b_line = fn.Loader.fn_line })
+        | None -> None)
+    src.Loader.src_funcs
+
+let check_source ~spec (src : Loader.source) =
+  let ctx =
+    {
+      spec;
+      file = src.Loader.src_path;
+      globals = module_globals spec src;
+      out = ref [];
+    }
+  in
+  List.iter (fun fn -> scan_function ctx fn) src.Loader.src_funcs;
+  List.rev !(ctx.out)

@@ -1,0 +1,194 @@
+(* Ownership spec files: the vocabulary StatCheck's passes interpret the
+   parsetree against. One directive per line, '#' comments:
+
+     op <Path> <alloc|ref|release|post|complete|write> [subject=N|subject=<label>]
+     assume <Module.func>          # skip lifecycle checking of this function
+     ackctx <Module.func>          # ACK/completion context: release-after-post OK
+     par <Path> [subject=N]        # parallel fan-out entry point; subject = job closure
+     stateful <Path>               # constructor returning internally-mutable state
+     safe <Path>                   # constructor safe to share across domains
+     allow_capture <Module.func> <var>  # reviewed capture in a par closure
+     coldguard <Path>              # `if <coldguard> then ...` branches are off the hot path
+     allocates <Path>              # calling this allocates (for [@@alloc_free] bodies)
+
+   Paths are dotted and matched by component suffix (min 2 components), so
+   `Mem.Pinned.Buf.incr_ref` also matches a `Buf.incr_ref` call inside
+   lib/mem where the library prefix is implicit. *)
+
+type op = Alloc | Ref | Release | Post | Complete | Write
+
+let op_to_string = function
+  | Alloc -> "alloc"
+  | Ref -> "ref"
+  | Release -> "release"
+  | Post -> "post"
+  | Complete -> "complete"
+  | Write -> "write"
+
+type subject = Pos of int | Label of string
+
+type op_entry = { op_path : string list; op : op; subject : subject }
+
+type par_entry = { par_path : string list; par_subject : subject }
+
+type t = {
+  mutable ops : op_entry list;
+  mutable assumes : string list;
+  mutable ackctx : string list;
+  mutable pars : par_entry list;
+  mutable stateful : string list list;
+  mutable safe : string list list;
+  mutable allow_capture : (string * string) list;
+  mutable coldguards : string list list;
+  mutable allocates : string list list;
+}
+
+let empty () =
+  {
+    ops = [];
+    assumes = [];
+    ackctx = [];
+    pars = [];
+    stateful = [];
+    safe = [];
+    allow_capture = [];
+    coldguards = [];
+    allocates = [];
+  }
+
+let split_path s = String.split_on_char '.' s
+
+(* [path_matches spec applied]: the shorter dotted path must be a suffix of
+   the longer one, and at least [min_match] components must line up — enough
+   that `incr_ref` alone never matches, but both fully-qualified and
+   library-internal spellings of the same function do. *)
+let path_matches ?(min_match = 2) spec applied =
+  let suffix_of short long =
+    let ls = List.length short and ll = List.length long in
+    ls <= ll
+    &&
+    let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l) in
+    drop (ll - ls) long = short
+  in
+  let ls = List.length spec and la = List.length applied in
+  min ls la >= min_match
+  && (if ls <= la then suffix_of spec applied else suffix_of applied spec)
+
+exception Parse_error of string
+
+let parse_subject ~what s =
+  match String.index_opt s '=' with
+  | Some i when String.sub s 0 i = "subject" -> (
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt v with
+      | Some n -> Pos n
+      | None -> Label v)
+  | _ -> raise (Parse_error (Printf.sprintf "bad %s attribute %S" what s))
+
+let add_line t line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  with
+  | [] -> ()
+  | [ "op"; path; op ] | [ "op"; path; op; _ ] as toks -> (
+      let subject =
+        match toks with
+        | [ _; _; _; attr ] -> parse_subject ~what:"op" attr
+        | _ -> Pos 0
+      in
+      let op =
+        match op with
+        | "alloc" -> Alloc
+        | "ref" -> Ref
+        | "release" -> Release
+        | "post" -> Post
+        | "complete" -> Complete
+        | "write" -> Write
+        | other -> raise (Parse_error (Printf.sprintf "unknown op %S" other))
+      in
+      t.ops <- { op_path = split_path path; op; subject } :: t.ops)
+  | [ "assume"; f ] -> t.assumes <- f :: t.assumes
+  | [ "ackctx"; f ] -> t.ackctx <- f :: t.ackctx
+  | [ "par"; path ] ->
+      t.pars <- { par_path = split_path path; par_subject = Pos 0 } :: t.pars
+  | [ "par"; path; attr ] ->
+      t.pars <-
+        { par_path = split_path path; par_subject = parse_subject ~what:"par" attr }
+        :: t.pars
+  | [ "stateful"; path ] -> t.stateful <- split_path path :: t.stateful
+  | [ "safe"; path ] -> t.safe <- split_path path :: t.safe
+  | [ "allow_capture"; f; v ] -> t.allow_capture <- (f, v) :: t.allow_capture
+  | [ "coldguard"; path ] -> t.coldguards <- split_path path :: t.coldguards
+  | [ "allocates"; path ] -> t.allocates <- split_path path :: t.allocates
+  | tok :: _ -> raise (Parse_error (Printf.sprintf "unknown directive %S" tok))
+
+let parse text =
+  let t = empty () in
+  List.iteri
+    (fun i line ->
+      try add_line t line
+      with Parse_error e ->
+        raise (Parse_error (Printf.sprintf "line %d: %s" (i + 1) e)))
+    (String.split_on_char '\n' text);
+  t
+
+let load_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  try parse text
+  with Parse_error e -> raise (Parse_error (Printf.sprintf "%s: %s" path e))
+
+let merge ts =
+  let t = empty () in
+  List.iter
+    (fun s ->
+      t.ops <- t.ops @ s.ops;
+      t.assumes <- t.assumes @ s.assumes;
+      t.ackctx <- t.ackctx @ s.ackctx;
+      t.pars <- t.pars @ s.pars;
+      t.stateful <- t.stateful @ s.stateful;
+      t.safe <- t.safe @ s.safe;
+      t.allow_capture <- t.allow_capture @ s.allow_capture;
+      t.coldguards <- t.coldguards @ s.coldguards;
+      t.allocates <- t.allocates @ s.allocates)
+    ts;
+  t
+
+(* Load every *.spec file of a directory, sorted, merged. *)
+let load_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".spec")
+  |> List.sort compare
+  |> List.map (fun f -> load_file (Filename.concat dir f))
+  |> merge
+
+(* --- lookups ----------------------------------------------------------- *)
+
+let find_op t applied =
+  List.find_opt (fun e -> path_matches e.op_path applied) t.ops
+
+let find_par t applied =
+  List.find_opt (fun e -> path_matches e.par_path applied) t.pars
+
+let is_assumed t func = List.mem func t.assumes
+
+let is_ackctx t func = List.mem func t.ackctx
+
+let is_stateful t applied =
+  List.exists (fun p -> path_matches p applied) t.stateful
+
+let is_safe t applied = List.exists (fun p -> path_matches p applied) t.safe
+
+let is_capture_allowed t ~func ~var = List.mem (func, var) t.allow_capture
+
+let is_coldguard t applied =
+  List.exists (fun p -> path_matches p applied) t.coldguards
+
+let is_allocating t applied =
+  List.exists (fun p -> path_matches p applied) t.allocates

@@ -152,3 +152,61 @@ let module_source ~schema_text schema =
     schema_text;
   List.iter (fun m -> emit_message buf m) schema.Schema.Desc.messages;
   Buffer.contents buf
+
+(* Ownership-IR summary of the generated module: one line per binding,
+   declaring the role it plays and the runtime entry point it must call.
+   StatCheck's IR pass re-parses the generated .ml against this, so the
+   generated code is verified mechanically instead of hand-spec'd — and a
+   hand-edited generated file (or a stale sidecar) fails `check`. *)
+let ir_message buf (m : Schema.Desc.message) =
+  let mn = module_name m.Schema.Desc.msg_name in
+  let fn name role callee =
+    Printf.bprintf buf "fn %s.%s role=%s callee=%s\n" mn name role callee
+  in
+  fn "desc" "desc" "Schema.Desc.message";
+  fn "create" "alloc" "Wire.Dyn.create";
+  fn "to_dyn" "accessor" "-";
+  fn "of_dyn" "accessor" "Wire.Dyn.desc";
+  Array.iter
+    (fun (f : Schema.Desc.field) ->
+      let n = ocaml_name f.Schema.Desc.field_name in
+      match (f.Schema.Desc.ty, f.Schema.Desc.label) with
+      | Schema.Desc.Scalar _, Schema.Desc.Repeated ->
+          fn ("add_" ^ n) "setter" "Wire.Dyn.append";
+          fn n "getter" "Wire.Dyn.get_list"
+      | Schema.Desc.Scalar Schema.Desc.Float64, Schema.Desc.Singular ->
+          fn ("set_" ^ n) "setter" "Wire.Dyn.set";
+          fn n "getter" "Wire.Dyn.get"
+      | Schema.Desc.Scalar _, Schema.Desc.Singular ->
+          fn ("set_" ^ n) "setter" "Wire.Dyn.set_int";
+          fn n "getter" "Wire.Dyn.get_int"
+      | (Schema.Desc.Str | Schema.Desc.Bytes), Schema.Desc.Repeated ->
+          fn ("add_" ^ n) "setter" "Cornflakes.Cf_ptr.make";
+          fn ("add_" ^ n ^ "_payload") "setter" "Wire.Dyn.append";
+          fn n "getter" "Wire.Dyn.get_list"
+      | (Schema.Desc.Str | Schema.Desc.Bytes), Schema.Desc.Singular ->
+          fn ("set_" ^ n) "setter" "Cornflakes.Cf_ptr.make";
+          fn ("set_" ^ n ^ "_payload") "setter" "Wire.Dyn.set";
+          fn n "getter" "Wire.Dyn.get_payload"
+      | Schema.Desc.Message _, Schema.Desc.Repeated ->
+          fn ("add_" ^ n) "setter" "Wire.Dyn.append";
+          fn n "getter" "Wire.Dyn.get_list"
+      | Schema.Desc.Message _, Schema.Desc.Singular ->
+          fn ("set_" ^ n) "setter" "Wire.Dyn.set";
+          fn n "getter" "Wire.Dyn.get")
+    m.Schema.Desc.fields;
+  fn "object_len" "len" "Cornflakes.Format_.object_len";
+  fn "deserialize" "deserialize" "Cornflakes.Send.deserialize";
+  fn "send" "send" "Cornflakes.Send.send_via";
+  fn "release" "release" "Wire.Dyn.release"
+
+let ir_source schema =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "# Ownership IR generated by the Cornflakes compiler (Codegen.Emit). DO NOT EDIT.\n";
+  List.iter
+    (fun m ->
+      Buffer.add_char buf '\n';
+      ir_message buf m)
+    schema.Schema.Desc.messages;
+  Buffer.contents buf

@@ -11,5 +11,12 @@
 (** [module_source ~schema_text schema] is the complete [.ml] source. *)
 val module_source : schema_text:string -> Schema.Desc.t -> string
 
+(** [ir_source schema] is the ownership-IR sidecar for the generated module:
+    one [fn <Rel.Path> role=<role> callee=<Path|->] line per emitted
+    binding. StatCheck's IR pass re-parses the generated [.ml] against this
+    summary, so generated accessors are verified mechanically instead of
+    hand-spec'd. *)
+val ir_source : Schema.Desc.t -> string
+
 (** [ocaml_name s] — a valid lower-case OCaml identifier for a field name. *)
 val ocaml_name : string -> string

@@ -195,6 +195,7 @@ let send_via ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg =
        so the next layered send reuses it. *)
     Mem.Arena.recycle ~site:"Send.sga" arena sga
   end
+[@@alloc_free]
 
 (* Compatibility shim for the UDP-only call sites: [Endpoint.transport] is
    cached per endpoint, so this stays allocation-free. *)

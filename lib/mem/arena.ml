@@ -33,6 +33,7 @@ let class_index len =
   if len <= 1 lsl min_class_log then 0
   else if len > 1 lsl max_class_log then -1
   else Array.unsafe_get class_table ((len - 1) lsr min_class_log)
+[@@alloc_free]
 
 let class_size cls = 1 lsl (cls + min_class_log)
 
@@ -197,6 +198,7 @@ let recycle ?(site = "Arena.recycle") t (v : View.t) =
     push t.free.(cls) v.View.off;
     t.parked <- t.parked + 1
   end
+[@@alloc_free]
 
 let reset t =
   if Sanitizer.Refsan.is_enabled () then

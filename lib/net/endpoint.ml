@@ -301,6 +301,7 @@ let send_inline_zc ?cpu t ~dst ~head ~zc ~zc_n =
     Nic.Device.txd_push txd zc.(i)
   done;
   post t txd
+[@@alloc_free]
 
 let send_extra_zc ?cpu t ~dst ~head ~zc ~zc_n =
   let hdr =
@@ -316,6 +317,7 @@ let send_extra_zc ?cpu t ~dst ~head ~zc ~zc_n =
     Nic.Device.txd_push txd zc.(i)
   done;
   post t txd
+[@@alloc_free]
 
 let send_string t ~dst s =
   let buf =

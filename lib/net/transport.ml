@@ -67,9 +67,11 @@ let send_extra ?cpu t ~dst ~segments = t.tr_send_extra ?cpu ~dst ~segments
 
 let send_inline_zc ?cpu t ~dst ~head ~zc ~zc_n =
   t.tr_send_inline_zc ?cpu ~dst ~head ~zc ~zc_n
+[@@alloc_free]
 
 let send_extra_zc ?cpu t ~dst ~head ~zc ~zc_n =
   t.tr_send_extra_zc ?cpu ~dst ~head ~zc ~zc_n
+[@@alloc_free]
 
 let send_string t ~dst s = t.tr_send_string ~dst s
 

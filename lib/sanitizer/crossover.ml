@@ -1,0 +1,38 @@
+(* The zero-copy / copy crossover, shared between the calibration probe
+   (`cornflakes_cli probe`, paper §3.2.1) and the schema lint. The probe
+   owns the size grid; the lint reuses the last committed calibration to
+   warn when a schema declares a zero-copy-eligible field whose
+   [max_size=N] bound sits below the size where zero-copy actually starts
+   winning — such a field pays the scatter-gather bookkeeping without the
+   bandwidth payoff. *)
+
+(* Size grid the probe sweeps (bytes). *)
+let probe_sizes = [ 128; 256; 384; 512; 768; 1024; 2048 ]
+
+let probe_sizes_quick = [ 256; 512; 1024 ]
+
+(* zc/copy throughput ratio by value size, from a committed `probe` run on
+   the simulated UDP datapath (see BENCH notes). Below 1.0 copy wins:
+   per-descriptor DMA bookkeeping dominates until the memcpy being avoided
+   is big enough to matter. *)
+let default_table =
+  [
+    (128, 0.81);
+    (256, 0.90);
+    (384, 0.97);
+    (512, 1.04);
+    (768, 1.13);
+    (1024, 1.25);
+    (2048, 1.47);
+  ]
+
+(* Smallest probed size where zero-copy at least breaks even. *)
+let crossover_bytes ?(table = default_table) () =
+  match
+    List.filter (fun (_, ratio) -> ratio >= 1.0) table
+    |> List.map fst |> List.sort compare
+  with
+  | least :: _ -> least
+  | [] -> ( match List.rev (List.sort compare (List.map fst table)) with
+            | biggest :: _ -> biggest
+            | [] -> 512)

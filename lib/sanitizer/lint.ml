@@ -152,7 +152,33 @@ let eligibility_findings ~threshold (m : Schema.Desc.message) =
                 separately)"
                target)
 
-let check ?(threshold = 512) (t : Schema.Desc.t) =
+(* A bytes/string field whose declared [max_size=N] bound never reaches the
+   measured zc/copy crossover will take the scatter-gather path (it is
+   eligible) yet always lose to a plain copy. Warning by default; [strict]
+   promotes to an error for CI gating of new schemas. *)
+let crossover_findings ~crossover ~strict (m : Schema.Desc.message) =
+  Array.to_list m.Schema.Desc.fields
+  |> List.filter_map (fun (f : Schema.Desc.field) ->
+         match (f.Schema.Desc.ty, f.Schema.Desc.max_size) with
+         | (Schema.Desc.Bytes | Schema.Desc.Str), Some bound
+           when bound < crossover ->
+             Some
+               (finding
+                  (if strict then Error else Warning)
+                  m.Schema.Desc.msg_name ~field_name:f.Schema.Desc.field_name
+                  "zero-copy-eligible field bounded at %d B, below the \
+                   measured zc/copy crossover (%d B): every payload will pay \
+                   scatter-gather bookkeeping and still lose to copy; drop \
+                   the field below the threshold or raise max_size"
+                  bound crossover)
+         | _ -> None)
+
+let check ?(threshold = 512) ?crossover ?(strict = false) (t : Schema.Desc.t) =
+  let crossover =
+    match crossover with
+    | Some c -> c
+    | None -> Crossover.crossover_bytes ()
+  in
   let dup_messages =
     let seen = Hashtbl.create 8 in
     List.filter_map
@@ -170,6 +196,7 @@ let check ?(threshold = 512) (t : Schema.Desc.t) =
       (fun m ->
         number_findings m @ name_findings m @ resolution_findings t m
         @ bitmap_waste_findings m
+        @ crossover_findings ~crossover ~strict m
         @ eligibility_findings ~threshold m)
       t.Schema.Desc.messages
 

@@ -19,11 +19,16 @@ type finding = {
   text : string;
 }
 
-(** [check ?threshold desc] lints a (possibly invalid) descriptor.
-    [threshold] is the zero-copy threshold in bytes (default 512, the
-    paper's crossover). Findings appear in schema order, eligibility lines
-    last within each message. *)
-val check : ?threshold:int -> Schema.Desc.t -> finding list
+(** [check ?threshold ?crossover ?strict desc] lints a (possibly invalid)
+    descriptor. [threshold] is the zero-copy threshold in bytes (default
+    512, the paper's crossover). [crossover] is the measured zc/copy
+    break-even size (default: {!Crossover.crossover_bytes}); a
+    zero-copy-eligible field whose [max_size=N] bound sits below it draws a
+    warning — or an error under [strict]. Findings appear in schema order,
+    eligibility lines last within each message. *)
+val check :
+  ?threshold:int -> ?crossover:int -> ?strict:bool -> Schema.Desc.t ->
+  finding list
 
 val errors : finding list -> finding list
 

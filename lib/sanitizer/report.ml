@@ -1,21 +1,28 @@
 (* Human-readable rendering of the RefSan ledger: leak reports at engine
    quiesce and the roll-up summary line the bench harness prints. *)
 
+(* Shared site-label rendering. StatCheck findings and RefSan quiesce
+   reports print sites identically — "[site Tcp.rtx_queue]" — so a dynamic
+   hazard greps straight to its static counterpart and vice versa. *)
+let site_label site = "[site " ^ site ^ "]"
+
 let leak_lines () =
   List.concat_map
     (fun (l : Refsan.leak) ->
       let sites =
         String.concat ", "
           (List.map
-             (fun (s, n) -> if n = 1 then s else Printf.sprintf "%s (x%d)" s n)
+             (fun (s, n) ->
+               let s = site_label s in
+               if n = 1 then s else Printf.sprintf "%s (x%d)" s n)
              l.Refsan.l_ref_sites)
       in
       [
-        Printf.sprintf "leak: %s holds %d unexcused ref%s (alloc at %s)"
+        Printf.sprintf "leak: %s holds %d unexcused ref%s (alloc %s)"
           (Refsan.describe l.Refsan.l_id)
           l.Refsan.l_refs
           (if l.Refsan.l_refs = 1 then "" else "s")
-          l.Refsan.l_alloc_site;
+          (site_label l.Refsan.l_alloc_site);
         Printf.sprintf "      refs taken at: %s" sites;
       ])
     (Refsan.leaks ())
@@ -23,8 +30,9 @@ let leak_lines () =
 let diag_lines () =
   List.map
     (fun (d : Refsan.diag) ->
-      Printf.sprintf "%s: %s"
+      Printf.sprintf "%s %s: %s"
         (Refsan.diag_kind_to_string d.Refsan.d_kind)
+        (site_label d.Refsan.d_site)
         d.Refsan.d_message)
     (Refsan.diagnostics ())
 

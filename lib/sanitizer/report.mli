@@ -1,6 +1,11 @@
 (** Rendering of RefSan results: per-buffer leak lines, diagnostic lines,
     and the "[N] leaks, [M] hazards" roll-up. *)
 
+(** ["[site Tcp.rtx_queue]"] — the one way a site is rendered, shared by
+    RefSan quiesce reports and StatCheck findings so dynamic and static
+    reports for the same code grep to each other. *)
+val site_label : string -> string
+
 (** Two lines per leaked buffer: what leaked (with alloc provenance) and the
     sites that took the unbalanced references. *)
 val leak_lines : unit -> string list

@@ -13,6 +13,9 @@ type field = {
   number : int;
   label : label;
   ty : field_type;
+  max_size : int option;
+      (** declared payload-size bound from a [[max_size=N]] field option;
+          drives the zero-copy crossover lint *)
 }
 
 type message = { msg_name : string; fields : field array }

@@ -19,6 +19,9 @@ type field = {
   number : int; (* wire tag, unique within the message *)
   label : label;
   ty : field_type;
+  max_size : int option;
+      (* declared payload-size bound ([max_size=N] field option); informs
+         the zero-copy crossover lint, never enforced on the wire *)
 }
 
 type message = {

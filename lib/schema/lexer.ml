@@ -4,6 +4,8 @@ type token =
   | Str_lit of string
   | Lbrace
   | Rbrace
+  | Lbracket
+  | Rbracket
   | Equals
   | Semi
   | Eof
@@ -16,6 +18,8 @@ let token_to_string = function
   | Str_lit s -> Printf.sprintf "string %S" s
   | Lbrace -> "'{'"
   | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
   | Equals -> "'='"
   | Semi -> "';'"
   | Eof -> "end of input"
@@ -55,6 +59,8 @@ let tokenize src =
     end
     else if c = '{' then (emit Lbrace; incr i)
     else if c = '}' then (emit Rbrace; incr i)
+    else if c = '[' then (emit Lbracket; incr i)
+    else if c = ']' then (emit Rbracket; incr i)
     else if c = '=' then (emit Equals; incr i)
     else if c = ';' then (emit Semi; incr i)
     else if c = '"' then begin

@@ -6,6 +6,8 @@ type token =
   | Str_lit of string
   | Lbrace
   | Rbrace
+  | Lbracket
+  | Rbracket
   | Equals
   | Semi
   | Eof

@@ -61,8 +61,27 @@ let parse_field st =
   let field_name = expect_ident st in
   expect st Lexer.Equals;
   let number = expect_int st in
+  (* proto-style field options: only [max_size = N] is understood. *)
+  let max_size = ref None in
+  if peek st = Lexer.Lbracket then begin
+    advance st;
+    let rec options () =
+      (match expect_ident st with
+      | "max_size" ->
+          expect st Lexer.Equals;
+          max_size := Some (expect_int st)
+      | other ->
+          raise
+            (Parse_error
+               (Printf.sprintf "unknown field option %S (supported: max_size)"
+                  other)));
+      if peek st <> Lexer.Rbracket then options ()
+    in
+    options ();
+    expect st Lexer.Rbracket
+  end;
   expect st Lexer.Semi;
-  { Desc.field_name; number; label; ty }
+  { Desc.field_name; number; label; ty; max_size = !max_size }
 
 let parse_message st =
   expect st (Lexer.Ident "message");

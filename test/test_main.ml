@@ -25,4 +25,5 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("faults", Test_faults.suite);
       ("par", Test_par.suite);
+      ("analysis", Test_analysis.suite);
     ]
