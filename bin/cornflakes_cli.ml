@@ -215,7 +215,14 @@ let compile_cmd =
               generated binding; `check` verifies the generated module \
               against it).")
   in
-  let run input output ir =
+  let crossover_from_probe =
+    Arg.(value & flag & info [ "crossover-from-probe" ]
+           ~doc:
+             "Fold payload copy/zc dispatch against the probe-calibrated \
+              crossover (Sanitizer.Crossover, the committed probe table) \
+              instead of the hardcoded 512 B default.")
+  in
+  let run input output ir crossover_from_probe =
     let text = read_file input in
     match Schema.Parser.parse text with
     | exception Schema.Parser.Parse_error e ->
@@ -225,7 +232,13 @@ let compile_cmd =
         Printf.eprintf "lex error at offset %d: %s\n" pos message;
         exit 1
     | schema ->
-        let source = Codegen.Emit.module_source ~schema_text:text schema in
+        let crossover =
+          if crossover_from_probe then Sanitizer.Crossover.crossover_bytes ()
+          else 512
+        in
+        let source =
+          Codegen.Emit.module_source ~crossover ~schema_text:text schema
+        in
         (match output with
         | None -> print_string source
         | Some path ->
@@ -238,7 +251,7 @@ let compile_cmd =
         | None -> ()
         | Some path ->
             let oc = open_out path in
-            output_string oc (Codegen.Emit.ir_source schema);
+            output_string oc (Codegen.Emit.ir_source ~crossover schema);
             close_out oc;
             Printf.printf "wrote %s\n" path
   in
@@ -246,8 +259,9 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:
          "Generate OCaml accessors from a schema (--ir also emits the \
-          ownership-IR sidecar for `check`)")
-    Term.(const run $ input $ output $ ir)
+          ownership-IR sidecar for `check`; --crossover-from-probe folds \
+          bounded fields against the probe-calibrated crossover)")
+    Term.(const run $ input $ output $ ir $ crossover_from_probe)
 
 (* --- StatCheck: static analysis over the OCaml sources ------------------ *)
 

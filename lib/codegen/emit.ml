@@ -4,7 +4,7 @@ let keywords =
     "downto"; "else"; "end"; "exception"; "external"; "false"; "for"; "fun";
     "function"; "functor"; "if"; "in"; "include"; "inherit"; "initializer";
     "lazy"; "let"; "match"; "method"; "module"; "mutable"; "new"; "object";
-    "of"; "open"; "or"; "private"; "rec"; "sig"; "struct"; "then"; "to";
+    "of"; "or"; "private"; "rec"; "sig"; "struct"; "then"; "to";
     "true"; "try"; "type"; "val"; "virtual"; "when"; "while"; "with";
   ]
 
@@ -24,6 +24,39 @@ let ocaml_name s =
   if List.mem name keywords then name ^ "_" else name
 
 let module_name s = String.capitalize_ascii (ocaml_name s)
+
+(* The copy/zc crossover used to fold payload dispatch; matches the runtime
+   default ([Config.default.zero_copy_threshold]) and the committed probe
+   table ([Sanitizer.Crossover]). The CLI can override it with the
+   probe-calibrated value (--crossover-from-probe). *)
+let default_crossover = 512
+
+(* Which CFPtr entry does a payload field's setter compile to? A declared
+   size bound that lands the whole field on one side of the crossover folds
+   the per-field size test away entirely. *)
+type dispatch = Copy_folded | Zc_folded | Table
+
+let payload_dispatch ~crossover (f : Schema.Desc.field) =
+  match (f.Schema.Desc.max_size, f.Schema.Desc.min_size) with
+  | Some mx, _ when mx < crossover -> Copy_folded
+  | _, Some mn when mn >= crossover -> Zc_folded
+  | _ -> Table
+
+let dispatch_ctor = function
+  | Copy_folded -> "Cornflakes.Cf_ptr.copy_folded"
+  | Zc_folded -> "Cornflakes.Cf_ptr.zc_folded"
+  | Table -> "Cornflakes.Cf_ptr.make"
+
+let dispatch_reason ~crossover (f : Schema.Desc.field) = function
+  | Copy_folded ->
+      Printf.sprintf "max_size %d < crossover %d: always copied"
+        (Option.get f.Schema.Desc.max_size)
+        crossover
+  | Zc_folded ->
+      Printf.sprintf "min_size %d >= crossover %d: always zero-copy"
+        (Option.get f.Schema.Desc.min_size)
+        crossover
+  | Table -> "CFPtr's size-class table decides copy vs zero-copy"
 
 let emit_scalar_field buf (f : Schema.Desc.field) scalar =
   let n = ocaml_name f.Schema.Desc.field_name in
@@ -54,17 +87,20 @@ let emit_scalar_field buf (f : Schema.Desc.field) scalar =
         fname;
       Printf.bprintf buf "  let %s t = Wire.Dyn.get_int t.msg %S\n\n" n fname
 
-let emit_payload_field buf (f : Schema.Desc.field) =
+let emit_payload_field ~crossover buf (f : Schema.Desc.field) =
   let n = ocaml_name f.Schema.Desc.field_name in
   let fname = f.Schema.Desc.field_name in
+  let d = payload_dispatch ~crossover f in
+  let ctor = dispatch_ctor d in
+  let reason = dispatch_reason ~crossover f d in
   match f.Schema.Desc.label with
   | Schema.Desc.Repeated ->
       Printf.bprintf buf
-        "  (* [add_%s] accepts any bytes; CFPtr decides copy vs zero-copy. *)\n\
+        "  (* [add_%s] accepts any bytes; %s. *)\n\
         \  let add_%s ?cpu config ep t view =\n\
         \    Wire.Dyn.append t.msg %S\n\
-        \      (Wire.Dyn.Payload (Cornflakes.Cf_ptr.make ?cpu config ep view))\n\n"
-        n n fname;
+        \      (Wire.Dyn.Payload (%s ?cpu config ep view))\n\n"
+        n reason n fname ctor;
       Printf.bprintf buf
         "  let add_%s_payload t p =\n\
         \    Wire.Dyn.append t.msg %S (Wire.Dyn.Payload p)\n\n"
@@ -77,10 +113,11 @@ let emit_payload_field buf (f : Schema.Desc.field) =
         n fname
   | Schema.Desc.Singular ->
       Printf.bprintf buf
-        "  let set_%s ?cpu config ep t view =\n\
+        "  (* [set_%s] accepts any bytes; %s. *)\n\
+        \  let set_%s ?cpu config ep t view =\n\
         \    Wire.Dyn.set t.msg %S\n\
-        \      (Wire.Dyn.Payload (Cornflakes.Cf_ptr.make ?cpu config ep view))\n\n"
-        n fname;
+        \      (Wire.Dyn.Payload (%s ?cpu config ep view))\n\n"
+        n reason n fname ctor;
       Printf.bprintf buf
         "  let set_%s_payload t p = Wire.Dyn.set t.msg %S (Wire.Dyn.Payload p)\n\n"
         n fname;
@@ -111,7 +148,79 @@ let emit_message_field buf (f : Schema.Desc.field) =
         \    | _ -> None\n\n"
         n fname
 
-let emit_message buf (m : Schema.Desc.message) =
+(* The specialized serializer body handed to [Send.send_planned] /
+   [Format_.run]: when every field is present, the layout is fully folded —
+   one hoisted [span] bounds check, a literal bitmap-word store, and
+   unrolled constant-offset slot stores (scalars write their u64 directly;
+   variable-size values go through [Format_.write_value_at] with a literal
+   slot). Any other presence pattern — and any message the layout cannot
+   fold — falls back to the generic writer, which produces byte-identical
+   wire output. *)
+let emit_write_folded buf (m : Schema.Desc.message) =
+  let fields = m.Schema.Desc.fields in
+  let n = Array.length fields in
+  if not (Layout.foldable n) then
+    Printf.bprintf buf
+      "  (* Specialized serializer: %s, so writes always take the generic\n\
+      \     path. *)\n\
+      \  let write_folded ~cpu plan w msg =\n\
+      \    Cornflakes.Format_.write_msg_generic ?cpu w plan msg\n\
+      \  [@@alloc_free]\n\n"
+      (if n = 0 then "the message has no fields"
+       else "the bitmap spans several words")
+  else begin
+    Printf.bprintf buf
+      "  (* Specialized serializer (constant-folded layout): with all %d\n\
+      \     field%s present the header block is bytes [0, %d) — bitmap word\n\
+      \     count 1, bitmap 0x%x, info slots from byte %d — so one [span]\n\
+      \     bounds check covers every unrolled store below. Any other\n\
+      \     presence falls back to the generic writer (identical bytes). *)\n\
+      \  let write_folded ~cpu plan w msg =\n\
+      \    if Wire.Dyn.present_count msg = %d then begin\n\
+      \      Wire.Cursor.Writer.span w ~pos:0 ~len:%d;\n\
+      \      Wire.Cursor.Writer.u32_at w ~pos:0 1;\n\
+      \      Wire.Cursor.Writer.u32_at w ~pos:4 0x%x;\n"
+      n
+      (if n = 1 then "" else "s")
+      (Layout.all_present_header_len n)
+      (Layout.all_present_bitmap n)
+      (Layout.slot_base n) n
+      (Layout.all_present_header_len n)
+      (Layout.all_present_bitmap n);
+    Array.iteri
+      (fun i (f : Schema.Desc.field) ->
+        let slot = Layout.slot n i in
+        let sep = if i = n - 1 then "" else ";" in
+        match (f.Schema.Desc.label, f.Schema.Desc.ty) with
+        | Schema.Desc.Singular, Schema.Desc.Scalar Schema.Desc.Float64 ->
+            Printf.bprintf buf
+              "      (match Wire.Dyn.raw_field msg %d with\n\
+              \      | Some (Wire.Dyn.Float v) ->\n\
+              \          Wire.Cursor.Writer.u64_at w ~pos:%d (Int64.bits_of_float v)\n\
+              \      | Some v -> Cornflakes.Format_.write_value_at ?cpu w plan v ~slot:%d\n\
+              \      | None -> assert false)%s\n"
+              i slot slot sep
+        | Schema.Desc.Singular, Schema.Desc.Scalar _ ->
+            Printf.bprintf buf
+              "      (match Wire.Dyn.raw_field msg %d with\n\
+              \      | Some (Wire.Dyn.Int v) -> Wire.Cursor.Writer.u64_at w ~pos:%d v\n\
+              \      | Some v -> Cornflakes.Format_.write_value_at ?cpu w plan v ~slot:%d\n\
+              \      | None -> assert false)%s\n"
+              i slot slot sep
+        | _ ->
+            Printf.bprintf buf
+              "      (match Wire.Dyn.raw_field msg %d with\n\
+              \      | Some v -> Cornflakes.Format_.write_value_at ?cpu w plan v ~slot:%d\n\
+              \      | None -> assert false)%s\n"
+              i slot sep)
+      fields;
+    Buffer.add_string buf
+      "    end\n\
+      \    else Cornflakes.Format_.write_msg_generic ?cpu w plan msg\n\
+      \  [@@alloc_free]\n\n"
+  end
+
+let emit_message ~crossover buf (m : Schema.Desc.message) =
   Printf.bprintf buf "module %s = struct\n" (module_name m.Schema.Desc.msg_name);
   Printf.bprintf buf "  let desc = Schema.Desc.message schema %S\n\n"
     m.Schema.Desc.msg_name;
@@ -127,7 +236,8 @@ let emit_message buf (m : Schema.Desc.message) =
     (fun (f : Schema.Desc.field) ->
       match f.Schema.Desc.ty with
       | Schema.Desc.Scalar s -> emit_scalar_field buf f s
-      | Schema.Desc.Str | Schema.Desc.Bytes -> emit_payload_field buf f
+      | Schema.Desc.Str | Schema.Desc.Bytes ->
+          emit_payload_field ~crossover buf f
       | Schema.Desc.Message _ -> emit_message_field buf f)
     m.Schema.Desc.fields;
   Buffer.add_string buf
@@ -135,22 +245,26 @@ let emit_message buf (m : Schema.Desc.message) =
   Buffer.add_string buf
     "  let deserialize buf =\n\
     \    { msg = Cornflakes.Send.deserialize schema desc buf }\n\n";
+  emit_write_folded buf m;
   Buffer.add_string buf
     "  (* Combined serialize-and-send: no separate serialize step. The\n\
     \     transport decides framing and headroom, so the same accessor\n\
-    \     sends over UDP datagrams or TCP records. *)\n\
+    \     sends over UDP datagrams or TCP records; the serializer body is\n\
+    \     this module's folded writer. *)\n\
     \  let send ?cpu config tr ~dst t =\n\
-    \    Cornflakes.Send.send_via ?cpu config tr ~dst t.msg\n\n";
+    \    Cornflakes.Send.send_planned ?cpu config tr ~dst t.msg\n\
+    \      ~write:write_folded\n\
+    \  [@@alloc_free]\n\n";
   Buffer.add_string buf
     "  let release ?cpu t = Wire.Dyn.release ?cpu t.msg\nend\n\n"
 
-let module_source ~schema_text schema =
+let module_source ?(crossover = default_crossover) ~schema_text schema =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "(* Generated by the Cornflakes compiler (Codegen.Emit). DO NOT EDIT. *)\n\n";
   Printf.bprintf buf "let schema = Schema.Parser.parse {schema|%s|schema}\n\n"
     schema_text;
-  List.iter (fun m -> emit_message buf m) schema.Schema.Desc.messages;
+  List.iter (fun m -> emit_message ~crossover buf m) schema.Schema.Desc.messages;
   Buffer.contents buf
 
 (* Ownership-IR summary of the generated module: one line per binding,
@@ -158,7 +272,7 @@ let module_source ~schema_text schema =
    StatCheck's IR pass re-parses the generated .ml against this, so the
    generated code is verified mechanically instead of hand-spec'd — and a
    hand-edited generated file (or a stale sidecar) fails `check`. *)
-let ir_message buf (m : Schema.Desc.message) =
+let ir_message ~crossover buf (m : Schema.Desc.message) =
   let mn = module_name m.Schema.Desc.msg_name in
   let fn name role callee =
     Printf.bprintf buf "fn %s.%s role=%s callee=%s\n" mn name role callee
@@ -181,11 +295,13 @@ let ir_message buf (m : Schema.Desc.message) =
           fn ("set_" ^ n) "setter" "Wire.Dyn.set_int";
           fn n "getter" "Wire.Dyn.get_int"
       | (Schema.Desc.Str | Schema.Desc.Bytes), Schema.Desc.Repeated ->
-          fn ("add_" ^ n) "setter" "Cornflakes.Cf_ptr.make";
+          fn ("add_" ^ n) "setter"
+            (dispatch_ctor (payload_dispatch ~crossover f));
           fn ("add_" ^ n ^ "_payload") "setter" "Wire.Dyn.append";
           fn n "getter" "Wire.Dyn.get_list"
       | (Schema.Desc.Str | Schema.Desc.Bytes), Schema.Desc.Singular ->
-          fn ("set_" ^ n) "setter" "Cornflakes.Cf_ptr.make";
+          fn ("set_" ^ n) "setter"
+            (dispatch_ctor (payload_dispatch ~crossover f));
           fn ("set_" ^ n ^ "_payload") "setter" "Wire.Dyn.set";
           fn n "getter" "Wire.Dyn.get_payload"
       | Schema.Desc.Message _, Schema.Desc.Repeated ->
@@ -197,16 +313,17 @@ let ir_message buf (m : Schema.Desc.message) =
     m.Schema.Desc.fields;
   fn "object_len" "len" "Cornflakes.Format_.object_len";
   fn "deserialize" "deserialize" "Cornflakes.Send.deserialize";
-  fn "send" "send" "Cornflakes.Send.send_via";
+  fn "write_folded" "writer" "Cornflakes.Format_.write_msg_generic";
+  fn "send" "send" "Cornflakes.Send.send_planned";
   fn "release" "release" "Wire.Dyn.release"
 
-let ir_source schema =
+let ir_source ?(crossover = default_crossover) schema =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     "# Ownership IR generated by the Cornflakes compiler (Codegen.Emit). DO NOT EDIT.\n";
   List.iter
     (fun m ->
       Buffer.add_char buf '\n';
-      ir_message buf m)
+      ir_message ~crossover buf m)
     schema.Schema.Desc.messages;
   Buffer.contents buf

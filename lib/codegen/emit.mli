@@ -3,20 +3,30 @@
     This is the analogue of the paper's code-generation step (§3, Listing 1):
     from a message schema it produces, per message, a typed wrapper over the
     dynamic-message runtime with a constructor, setters, getters, repeated-
-    field appenders, [deserialize], and a combined [send] (serialize-and-
-    send). The generated source depends only on the public [schema], [wire],
-    [mem] and [cornflakes] libraries; [examples/] contains a checked-in
-    instance kept in sync by a golden test. *)
+    field appenders, [deserialize], a specialized [write_folded] serializer
+    (constant-folded layout: literal bitmap + slot offsets behind one hoisted
+    bounds check, falling back to the generic writer off the all-present
+    path), and a combined [send] (serialize-and-send through the folded
+    writer). Payload setters whose [max_size]/[min_size] bounds prove the
+    copy/zero-copy verdict against [crossover] compile to the corresponding
+    [Cf_ptr] arm directly; unbounded fields keep the size-class-table
+    dispatch. The generated source depends only on the public [schema],
+    [wire], [mem] and [cornflakes] libraries; [examples/] contains a
+    checked-in instance kept in sync by a golden test. *)
 
-(** [module_source ~schema_text schema] is the complete [.ml] source. *)
-val module_source : schema_text:string -> Schema.Desc.t -> string
+(** [module_source ?crossover ~schema_text schema] is the complete [.ml]
+    source. [crossover] (default 512 B, the runtime default threshold)
+    drives the folded copy/zc dispatch of bounded payload fields. *)
+val module_source :
+  ?crossover:int -> schema_text:string -> Schema.Desc.t -> string
 
-(** [ir_source schema] is the ownership-IR sidecar for the generated module:
-    one [fn <Rel.Path> role=<role> callee=<Path|->] line per emitted
-    binding. StatCheck's IR pass re-parses the generated [.ml] against this
-    summary, so generated accessors are verified mechanically instead of
-    hand-spec'd. *)
-val ir_source : Schema.Desc.t -> string
+(** [ir_source ?crossover schema] is the ownership-IR sidecar for the
+    generated module: one [fn <Rel.Path> role=<role> callee=<Path|->] line
+    per emitted binding. StatCheck's IR pass re-parses the generated [.ml]
+    against this summary, so generated accessors are verified mechanically
+    instead of hand-spec'd. Must use the same [crossover] as
+    {!module_source}: the folded setter callees depend on it. *)
+val ir_source : ?crossover:int -> Schema.Desc.t -> string
 
 (** [ocaml_name s] — a valid lower-case OCaml identifier for a field name. *)
 val ocaml_name : string -> string

@@ -1,0 +1,24 @@
+(* Constant-folded wire-layout arithmetic, shared by the emitter's folded
+   writers. These mirror the runtime's Format_ layout (header = u32 bitmap
+   word count + bitmap words + one 8-byte info slot per present field, in
+   schema order) — the emitter folds them into literal offsets at codegen
+   time, and the golden/QCheck equivalence tests hold the two in lockstep. *)
+
+let bitmap_words nfields = (nfields + 31) / 32
+
+(* Byte offset of the first info slot (after the count word + bitmap). *)
+let slot_base nfields = 4 + (4 * bitmap_words nfields)
+
+(* Byte offset of field [i]'s info slot when every field is present. *)
+let slot nfields i = slot_base nfields + (8 * i)
+
+(* The all-present bitmap; only meaningful for [foldable] messages. *)
+let all_present_bitmap nfields = (1 lsl nfields) - 1
+
+let all_present_header_len nfields = slot_base nfields + (8 * nfields)
+
+(* A message layout is folded only when the bitmap fits one word (and there
+   is at least one field): a single literal bitmap store, literal slot
+   offsets, one hoisted bounds check. Wider or empty messages keep the
+   generic writer. *)
+let foldable nfields = nfields >= 1 && nfields <= 32

@@ -1,0 +1,25 @@
+(** Constant-folded wire-layout arithmetic for the specializing emitter.
+
+    Mirrors the runtime layout in [Cornflakes.Format_] (bitmap word count,
+    slot base, per-field slot offsets); the emitter evaluates these at
+    codegen time so generated writers store at literal offsets. Kept in
+    lockstep with the runtime by the golden and QCheck equivalence tests. *)
+
+val bitmap_words : int -> int
+
+(** Byte offset of the first info slot ([4 + 4 * bitmap_words n]). *)
+val slot_base : int -> int
+
+(** [slot nfields i] — byte offset of field [i]'s info slot with all fields
+    present. *)
+val slot : int -> int -> int
+
+(** The bitmap value with every field present (foldable messages only). *)
+val all_present_bitmap : int -> int
+
+(** Header block length with every field present. *)
+val all_present_header_len : int -> int
+
+(** Can this field count be compiled to a folded writer? (1–32 fields:
+    single-word bitmap.) *)
+val foldable : int -> bool

@@ -15,28 +15,59 @@ let reset_counters () = oom_fallbacks_ctr () := 0
 let copy ?cpu ep view =
   Wire.Payload.Copied (Mem.Arena.copy_in ?cpu (Net.Endpoint.arena ep) view)
 
+let recover ?cpu ep (view : Mem.View.t) =
+  Mem.Registry.recover_ptr ?cpu
+    (Net.Endpoint.registry ep)
+    ~addr:view.Mem.View.addr ~len:view.Mem.View.len
+
+(* The two arms of the hybrid heuristic, exposed separately so codegen can
+   bind a field with a provable size bound ([max_size]/[min_size] vs the
+   crossover) directly to its arm — no size test at all on that path. Both
+   keep [make]'s resilience behaviour and take the config for a uniform
+   call shape in generated setters. *)
+
+let zc_folded ?cpu (_config : Config.t) ep (view : Mem.View.t) =
+  match recover ?cpu ep view with
+  | Some buf -> Wire.Payload.Zero_copy buf
+  | None -> copy ?cpu ep view
+
+let copy_folded ?cpu (_config : Config.t) ep (view : Mem.View.t) =
+  match copy ?cpu ep view with
+  | p -> p
+  | exception (Mem.Pinned.Out_of_memory _ as oom) -> (
+      match recover ?cpu ep view with
+      | Some buf ->
+          incr (oom_fallbacks_ctr ());
+          Wire.Payload.Zero_copy buf
+      | None -> raise oom)
+
+(* Unbounded fields dispatch through the arena's size-class verdict table
+   instead of a per-field compare. The table depends only on the threshold;
+   one domain-local slot caches it (configs in a run share one threshold,
+   and the parallel harness gives each domain its own slot — no shared
+   mutable global). *)
+let verdict_dls : Mem.Arena.Verdict.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      ref (Mem.Arena.Verdict.make ~threshold:Config.default.zero_copy_threshold))
+
+let verdict_for threshold =
+  let cache = Domain.DLS.get verdict_dls in
+  let v = !cache in
+  if Mem.Arena.Verdict.threshold v = threshold then v
+  else begin
+    let v = Mem.Arena.Verdict.make ~threshold in
+    cache := v;
+    v
+  end
+
 let make ?cpu (config : Config.t) ep (view : Mem.View.t) =
-  let recover () =
-    Mem.Registry.recover_ptr ?cpu
-      (Net.Endpoint.registry ep)
-      ~addr:view.Mem.View.addr ~len:view.Mem.View.len
-  in
-  if view.Mem.View.len >= config.zero_copy_threshold then
-    match recover () with
-    | Some buf -> Wire.Payload.Zero_copy buf
-    | None -> copy ?cpu ep view
-  else
-    match copy ?cpu ep view with
-    | p -> p
-    | exception (Mem.Pinned.Out_of_memory _ as oom) -> (
-        match recover () with
-        | Some buf ->
-            incr (oom_fallbacks_ctr ());
-            Wire.Payload.Zero_copy buf
-        | None -> raise oom)
+  let v = verdict_for config.zero_copy_threshold in
+  if Mem.Arena.Verdict.zc v view.Mem.View.len then zc_folded ?cpu config ep view
+  else copy_folded ?cpu config ep view
 
 let of_buf ?cpu (config : Config.t) ep buf =
-  if Mem.Pinned.Buf.len buf >= config.zero_copy_threshold then
+  let v = verdict_for config.zero_copy_threshold in
+  if Mem.Arena.Verdict.zc v (Mem.Pinned.Buf.len buf) then
     Wire.Payload.Zero_copy buf
   else
     match copy ?cpu ep (Mem.Pinned.Buf.view buf) with

@@ -17,8 +17,32 @@
     failing the request — the inverse of the usual demotion. Only a
     sub-threshold copy of non-pinned bytes still raises. *)
 
-(** [make ?cpu config ep view] builds a payload from arbitrary bytes. *)
+(** [make ?cpu config ep view] builds a payload from arbitrary bytes. The
+    size test is a lookup in a precomputed {!Mem.Arena.Verdict} table over
+    the arena's 16 B size classes (cached per domain, keyed by the config's
+    threshold) — semantically identical to [len >= threshold]. *)
 val make :
+  ?cpu:Memmodel.Cpu.t ->
+  Config.t ->
+  Net.Endpoint.t ->
+  Mem.View.t ->
+  Wire.Payload.t
+
+(** The two arms of {!make}, exposed for specialized (codegen-folded)
+    setters whose schema bounds prove the verdict at compile time:
+    [copy_folded] when [max_size < crossover], [zc_folded] when
+    [min_size >= crossover]. Each keeps {!make}'s resilience behaviour
+    (arena exhaustion falls back to zero-copy; non-DMA-safe bytes fall back
+    to copy), so a stale bound degrades gracefully instead of failing. *)
+
+val copy_folded :
+  ?cpu:Memmodel.Cpu.t ->
+  Config.t ->
+  Net.Endpoint.t ->
+  Mem.View.t ->
+  Wire.Payload.t
+
+val zc_folded :
   ?cpu:Memmodel.Cpu.t ->
   Config.t ->
   Net.Endpoint.t ->

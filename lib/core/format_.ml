@@ -62,7 +62,13 @@ let rec measure_payload plan (p : Wire.Payload.t) =
       plan.stream_len <- plan.stream_len + v.Mem.View.len
 
 and measure_msg plan (msg : Wire.Dyn.t) =
-  Wire.Dyn.iter_present msg (fun _ _field v -> measure_value plan v)
+  (* Direct slot iteration: no per-call closure for [iter_present]. *)
+  let values = Wire.Dyn.raw_values msg in
+  for i = 0 to Array.length values - 1 do
+    match Array.unsafe_get values i with
+    | Some v -> measure_value plan v
+    | None -> ()
+  done
 
 and measure_value plan (v : Wire.Dyn.value) =
   match v with
@@ -107,52 +113,99 @@ let object_len msg = (measure msg).total_len
 
 let num_entries plan = 1 + plan.zc_count
 
-(* --- Writing ---------------------------------------------------------- *)
+(* --- Writing ----------------------------------------------------------
+
+   Every header-block and table store goes through the constant-offset
+   [Cursor.Writer] fast stores: the enclosing [write_msg] (or the List arm)
+   issues one [span] bounds check over the region, after which slot writes
+   are straight-line unchecked stores. Charge order is byte-for-byte the
+   same as the historical cursor-seeking writer, so simulated figures are
+   unchanged. *)
 
 let rec write_msg ?cpu w cur (msg : Wire.Dyn.t) ~hpos =
   let module W = Wire.Cursor.Writer in
   let desc = Wire.Dyn.desc msg in
   let nfields = Array.length desc.Schema.Desc.fields in
   let bw = bitmap_words nfields in
-  W.seek w hpos;
-  W.u32 w bw;
-  (* Bitmap: bit i set iff field index i is present. *)
-  let words = Array.make bw 0 in
-  Wire.Dyn.iter_present msg (fun i _ _ ->
-      words.(i / 32) <- words.(i / 32) lor (1 lsl (i mod 32)));
-  Array.iter (fun word -> W.u32 w word) words;
-  let slot_base = hpos + 4 + (4 * bw) in
-  let k = ref 0 in
-  Wire.Dyn.iter_present msg (fun _ _field v ->
-      let slot = slot_base + (8 * !k) in
-      incr k;
-      write_value ?cpu w cur v ~slot)
+  let values = Wire.Dyn.raw_values msg in
+  if bw <= 1 then begin
+    (* Folded path (≤32 fields): the bitmap fits one native int — one pass
+       builds bitmap + present count, one [span] covers the whole header
+       block, and every slot store lands at a computed offset with no
+       cursor seeks and no per-store bounds checks. *)
+    let bitmap = ref 0 in
+    let present = ref 0 in
+    for i = 0 to nfields - 1 do
+      match Array.unsafe_get values i with
+      | Some _ ->
+          bitmap := !bitmap lor (1 lsl i);
+          incr present
+      | None -> ()
+    done;
+    W.span w ~pos:hpos ~len:(4 + (4 * bw) + (8 * !present));
+    W.u32_at w ~pos:hpos bw;
+    if bw = 1 then W.u32_at w ~pos:(hpos + 4) !bitmap;
+    let slot_base = hpos + 4 + (4 * bw) in
+    let k = ref 0 in
+    for i = 0 to nfields - 1 do
+      match Array.unsafe_get values i with
+      | Some (Wire.Dyn.Int value) ->
+          W.u64_at w ~pos:(slot_base + (8 * !k)) value;
+          incr k
+      | Some (Wire.Dyn.Float f) ->
+          W.u64_at w ~pos:(slot_base + (8 * !k)) (Int64.bits_of_float f);
+          incr k
+      | Some v ->
+          write_value ?cpu w cur v ~slot:(slot_base + (8 * !k));
+          incr k
+      | None -> ()
+    done
+  end
+  else begin
+    (* Wide messages (>32 fields): multi-word bitmap via a scratch array. *)
+    W.span w ~pos:hpos
+      ~len:(4 + (4 * bw) + (8 * Wire.Dyn.present_count msg));
+    W.u32_at w ~pos:hpos bw;
+    let words = Array.make bw 0 in
+    for i = 0 to nfields - 1 do
+      match Array.unsafe_get values i with
+      | Some _ -> words.(i / 32) <- words.(i / 32) lor (1 lsl (i mod 32))
+      | None -> ()
+    done;
+    Array.iteri (fun j word -> W.u32_at w ~pos:(hpos + 4 + (4 * j)) word) words;
+    let slot_base = hpos + 4 + (4 * bw) in
+    let k = ref 0 in
+    for i = 0 to nfields - 1 do
+      match Array.unsafe_get values i with
+      | Some v ->
+          write_value ?cpu w cur v ~slot:(slot_base + (8 * !k));
+          incr k
+      | None -> ()
+    done
+  end
 
+(* Precondition: [slot, slot+8) lies inside a region already [span]ed by the
+   caller (the header block, or a repeated-field table). *)
 and write_value ?cpu w cur (v : Wire.Dyn.value) ~slot =
   let module W = Wire.Cursor.Writer in
   match v with
-  | Wire.Dyn.Int value ->
-      W.seek w slot;
-      W.u64 w value
-  | Wire.Dyn.Float f ->
-      W.seek w slot;
-      W.u64 w (Int64.bits_of_float f)
+  | Wire.Dyn.Int value -> W.u64_at w ~pos:slot value
+  | Wire.Dyn.Float f -> W.u64_at w ~pos:slot (Int64.bits_of_float f)
   | Wire.Dyn.Payload p -> write_payload ?cpu w cur p ~slot
   | Wire.Dyn.Nested m ->
       let nh = header_block_len m in
       let pos = cur.stream_pos in
       cur.stream_pos <- cur.stream_pos + nh;
-      W.seek w slot;
-      W.u32 w pos;
-      W.u32 w nh;
+      W.u32_at w ~pos:slot pos;
+      W.u32_at w ~pos:(slot + 4) nh;
       write_msg ?cpu w cur m ~hpos:pos
   | Wire.Dyn.List elems ->
       let count = List.length elems in
       let table = cur.stream_pos in
       cur.stream_pos <- cur.stream_pos + (8 * count);
-      W.seek w slot;
-      W.u32 w table;
-      W.u32 w count;
+      W.u32_at w ~pos:slot table;
+      W.u32_at w ~pos:(slot + 4) count;
+      W.span w ~pos:table ~len:(8 * count);
       List.iteri
         (fun j elem -> write_value ?cpu w cur elem ~slot:(table + (8 * j)))
         elems
@@ -164,9 +217,8 @@ and write_payload ?cpu w cur (p : Wire.Payload.t) ~slot =
       let len = Mem.Pinned.Buf.len buf in
       let pos = cur.zc_pos in
       cur.zc_pos <- cur.zc_pos + len;
-      W.seek w slot;
-      W.u32 w pos;
-      W.u32 w len;
+      W.u32_at w ~pos:slot pos;
+      W.u32_at w ~pos:(slot + 4) len;
       (* Data travels as its own gather entry; nothing written here. *)
       ignore cpu
   | Wire.Payload.Copied v | Wire.Payload.Literal v ->
@@ -174,16 +226,27 @@ and write_payload ?cpu w cur (p : Wire.Payload.t) ~slot =
       cur.stream_pos <- cur.stream_pos + v.Mem.View.len;
       W.seek w pos;
       W.view_bytes w v;
-      W.seek w slot;
-      W.u32 w pos;
-      W.u32 w v.Mem.View.len
+      W.u32_at w ~pos:slot pos;
+      W.u32_at w ~pos:(slot + 4) v.Mem.View.len
 
-let write ?cpu plan w msg =
+let write_value_at ?cpu w plan v ~slot = write_value ?cpu w plan v ~slot
+
+let write_msg_generic ?cpu w plan msg = write_msg ?cpu w plan msg ~hpos:0
+
+(* [run] owns the cursor init / postcondition bookkeeping around a writer
+   body, so specialized (codegen-folded) writers share the exact contract of
+   the generic one. The [write] callback takes [cpu] as a plain labeled
+   option so passing a top-level function here allocates nothing. *)
+let run ?cpu plan w msg ~write =
   plan.stream_pos <- plan.header_len;
   plan.zc_pos <- plan.header_len + plan.stream_len;
-  write_msg ?cpu w plan msg ~hpos:0;
+  write ~cpu plan w msg;
   assert (plan.stream_pos = plan.header_len + plan.stream_len);
   assert (plan.zc_pos = plan.total_len)
+
+let generic_entry ~cpu plan w msg = write_msg_generic ?cpu w plan msg
+
+let write ?cpu plan w msg = run ?cpu plan w msg ~write:generic_entry
 
 (* --- Deserializing ---------------------------------------------------- *)
 

@@ -88,6 +88,50 @@ val num_entries : plan -> int
     are not touched. Raises [Invalid_argument] if [w] is too small. *)
 val write : ?cpu:Memmodel.Cpu.t -> plan -> Wire.Cursor.Writer.t -> Wire.Dyn.t -> unit
 
+(** {2 Specialized-writer hooks (Codegen.Emit folded serializers)}
+
+    Generated [write_folded] functions drive the same plan/cursor machinery
+    as {!write} but fold layout constants (bitmap word, slot offsets) at
+    codegen time. They are invoked through {!run} and fall back to
+    {!write_msg_generic} whenever presence deviates from the all-fields
+    fast path. *)
+
+(** [write_value_at ?cpu w plan v ~slot] writes one field value whose 8-byte
+    info slot sits at absolute offset [slot]. Precondition: the slot lies in
+    a region already bounds-checked with [Cursor.Writer.span] (generated
+    code spans the whole header block up front). *)
+val write_value_at :
+  ?cpu:Memmodel.Cpu.t ->
+  Wire.Cursor.Writer.t ->
+  plan ->
+  Wire.Dyn.value ->
+  slot:int ->
+  unit
+
+(** Generic interpreter-shaped body at header position 0 — the fallback arm
+    of generated folded writers. Cursors must have been initialized by
+    {!run}. *)
+val write_msg_generic :
+  ?cpu:Memmodel.Cpu.t -> Wire.Cursor.Writer.t -> plan -> Wire.Dyn.t -> unit
+
+(** [run ?cpu plan w msg ~write] initializes the plan's write cursors, runs
+    [write], and asserts the region postconditions — the shared harness for
+    both the generic writer and generated specialized ones. [write] receives
+    [cpu] as a plain labeled option so top-level functions pass through
+    without a closure. *)
+val run :
+  ?cpu:Memmodel.Cpu.t ->
+  plan ->
+  Wire.Cursor.Writer.t ->
+  Wire.Dyn.t ->
+  write:
+    (cpu:Memmodel.Cpu.t option ->
+    plan ->
+    Wire.Cursor.Writer.t ->
+    Wire.Dyn.t ->
+    unit) ->
+  unit
+
 (** [deserialize ?cpu schema desc buf] rebuilds a message from a received
     object. Bytes/string fields become [Zero_copy] windows into [buf] (one
     new reference each); nothing larger than the header/tables is read.

@@ -98,7 +98,12 @@ let scratch_dls : scratch Domain.DLS.key =
 
 let scratch () = Domain.DLS.get scratch_dls
 
-let send_via ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg =
+(* The full send pipeline, parameterised over the serializer body: the
+   generic writer for [send_via], a codegen-folded [write_folded] for
+   generated [send]s ([send_planned]). [write] must be a top-level function
+   so the hot path stays allocation-free. *)
+let send_planned ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg
+    ~write =
   let ep = tr.Net.Transport.tr_ep in
   let headroom = tr.Net.Transport.tr_headroom in
   let max_len = tr.Net.Transport.tr_max_msg_len in
@@ -159,7 +164,7 @@ let send_via ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg =
     in
     let w = scratch.writer in
     Wire.Cursor.Writer.reset ?cpu w window;
-    Format_.write ?cpu plan w msg;
+    Format_.run ?cpu plan w msg ~write;
     tr.Net.Transport.tr_send_inline_zc ?cpu ~dst ~head:staging
       ~zc:plan.Format_.zc ~zc_n:plan.Format_.zc_count
   end
@@ -169,7 +174,7 @@ let send_via ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg =
     let obj = Net.Endpoint.alloc_tx ?cpu ep ~len:contiguous_len in
     let w = scratch.writer in
     Wire.Cursor.Writer.reset ?cpu w (Mem.Pinned.Buf.view obj);
-    Format_.write ?cpu plan w msg;
+    Format_.run ?cpu plan w msg ~write;
     let nsge = 1 + plan.Format_.zc_count in
     let arena = Net.Endpoint.arena ep in
     let sga = Mem.Arena.alloc ?cpu ~site:"Send.sga" arena ~len:(16 * nsge) in
@@ -195,6 +200,14 @@ let send_via ?cpu (config : Config.t) (tr : Net.Transport.t) ~dst msg =
        so the next layered send reuses it. *)
     Mem.Arena.recycle ~site:"Send.sga" arena sga
   end
+[@@alloc_free]
+
+(* Generic serializer body as a top-level function: passing it below is a
+   static value, not a closure allocation. *)
+let generic_write ~cpu plan w msg = Format_.write_msg_generic ?cpu w plan msg
+
+let send_via ?cpu config tr ~dst msg =
+  send_planned ?cpu config tr ~dst msg ~write:generic_write
 [@@alloc_free]
 
 (* Compatibility shim for the UDP-only call sites: [Endpoint.transport] is

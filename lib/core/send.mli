@@ -46,6 +46,26 @@ val send_via :
   Wire.Dyn.t ->
   unit
 
+(** [send_planned ?cpu config tr ~dst msg ~write] — the same pipeline as
+    {!send_via} (measure, size/SGE/pressure checks, staging, post) but with
+    the serializer body supplied by the caller: generated modules pass their
+    codegen-folded [write_folded] here via {!Format_.run}'s contract. [write]
+    must be a top-level function (not a closure) to keep the hot path
+    allocation-free. *)
+val send_planned :
+  ?cpu:Memmodel.Cpu.t ->
+  Config.t ->
+  Net.Transport.t ->
+  dst:int ->
+  Wire.Dyn.t ->
+  write:
+    (cpu:Memmodel.Cpu.t option ->
+    Format_.plan ->
+    Wire.Cursor.Writer.t ->
+    Wire.Dyn.t ->
+    unit) ->
+  unit
+
 (** [send_object config ep ~dst msg] = [send_via config (Endpoint.transport
     ep)] — the historical UDP entry point (Listing 2); allocation-free, the
     endpoint's transport record is cached. *)

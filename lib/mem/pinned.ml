@@ -356,6 +356,24 @@ module Buf = struct
     | None -> ()
     | Some cpu -> Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(addr t) ~len
 
+  (* [fill_substring] over a caller-owned bytes window (e.g. a pooled NIC
+     egress frame whose capacity exceeds the packet): same RefSan write
+     event and CPU charge, no intermediate string. *)
+  let fill_subbytes ?cpu ?(site = "Pinned.fill_subbytes") t s ~src_off ~len =
+    check_live ~site ~op:`Write t;
+    if src_off < 0 || len < 0 || src_off + len > Bytes.length s then
+      invalid_arg "Pinned.Buf.fill_subbytes: source out of bounds";
+    if len > slot_size t - t.off then
+      invalid_arg "Pinned.Buf.fill_subbytes: source too long";
+    let c = sc t in
+    Bytes.blit s src_off c.backing ((t.slot * c.size) + t.off) len;
+    if san_on () then
+      Sanitizer.Refsan.on_write ~id:(san_id t) ~refs:(refcount t)
+        ~addr:(addr t) ~len ~via_cow:false ~site;
+    match cpu with
+    | None -> ()
+    | Some cpu -> Memmodel.Cpu.stream cpu Memmodel.Cpu.Copy ~addr:(addr t) ~len
+
   let blit_from ?cpu ?(site = "Pinned.blit_from") t ~src ~dst_off =
     check_live ~site ~op:`Write t;
     if dst_off < 0 || t.off + dst_off + src.View.len > slot_size t then

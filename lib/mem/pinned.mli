@@ -131,6 +131,18 @@ module Buf : sig
     len:int ->
     unit
 
+  (** [fill_subbytes ?cpu ?site t b ~src_off ~len] — {!fill_substring} over
+      a caller-owned bytes window (e.g. a pooled NIC egress frame): same
+      RefSan write event, no intermediate string. *)
+  val fill_subbytes :
+    ?cpu:Memmodel.Cpu.t ->
+    ?site:string ->
+    t ->
+    Bytes.t ->
+    src_off:int ->
+    len:int ->
+    unit
+
   (** [blit_from ?cpu ?site t ~src ~dst_off] copies [src]'s visible bytes
       into the buffer, charging a streaming read of [src] and write of the
       target. *)

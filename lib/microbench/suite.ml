@@ -33,11 +33,31 @@ let words_per_op ~iters fn =
   done;
   (Gc.minor_words () -. w0) /. float_of_int iters
 
+(* Hand-transcription of the writer [Codegen.Emit] folds for
+   [Apps.Proto.resp] (uint64 id = 1; repeated bytes vals = 2) — the exact
+   shape of the generated [Getresp.write_folded]. Top-level so passing it
+   to [Format_.run]/[Send.send_planned] allocates nothing. *)
+let resp_write_folded ~cpu plan w msg =
+  if Wire.Dyn.present_count msg = 2 then begin
+    Wire.Cursor.Writer.span w ~pos:0 ~len:24;
+    Wire.Cursor.Writer.u32_at w ~pos:0 1;
+    Wire.Cursor.Writer.u32_at w ~pos:4 0x3;
+    (match Wire.Dyn.raw_field msg 0 with
+    | Some (Wire.Dyn.Int v) -> Wire.Cursor.Writer.u64_at w ~pos:8 v
+    | Some v -> Cornflakes.Format_.write_value_at ?cpu w plan v ~slot:8
+    | None -> assert false);
+    (match Wire.Dyn.raw_field msg 1 with
+    | Some v -> Cornflakes.Format_.write_value_at ?cpu w plan v ~slot:16
+    | None -> assert false)
+  end
+  else Cornflakes.Format_.write_msg_generic ?cpu w plan msg
+
 (* The serialize-and-send loop: the paper's steady-state hot path. One
    pooled response object is cleared and rebuilt per op (one copied 64 B
-   field, two zero-copy fields), sent through [Send.send_object], and the
+   field, two zero-copy fields), sent through [Send.send_object] (or a
+   folded writer via [Send.send_planned] when [write] is given), and the
    engine drained so NIC completions release the stack's references. *)
-let make_send_loop ~pooled () =
+let make_send_loop ~pooled ?write () =
   let engine = Sim.Engine.create () in
   let fabric = Net.Fabric.create engine in
   let space = Mem.Addr_space.create () in
@@ -79,7 +99,12 @@ let make_send_loop ~pooled () =
       else Wire.Dyn.create Apps.Proto.resp
     in
     build msg;
-    Cornflakes.Send.send_object config ep ~dst:2 msg;
+    (match write with
+    | None -> Cornflakes.Send.send_object config ep ~dst:2 msg
+    | Some write ->
+        Cornflakes.Send.send_planned config
+          (Net.Endpoint.transport ep)
+          ~dst:2 msg ~write);
     Sim.Engine.run_all engine;
     Mem.Arena.reset (Net.Endpoint.arena ep)
 
@@ -144,7 +169,8 @@ let make_benchmarks ~seed () =
   let arena = Mem.Arena.create arena_space ~capacity:(1 lsl 16) in
   let arena_src = Mem.View.of_string arena_space payload_512 in
   (* NIC doorbell pair: 8 single-SGE descriptors, one doorbell each vs one
-     batched doorbell. No fabric: on_wire is dropped. *)
+     batched doorbell. No fabric: the default on_wire hook releases each
+     egress frame straight back to the device's pool. *)
   let nic_engine = Sim.Engine.create () in
   let nic = Nic.Device.create nic_engine ~model:Nic.Model.mellanox_cx6 in
   let nic_descs =
@@ -208,6 +234,17 @@ let make_benchmarks ~seed () =
           Cornflakes.Format_.measure_into plan msg;
           Wire.Cursor.Writer.reset writer scratch_view;
           Cornflakes.Format_.write plan writer msg);
+    };
+    (* The codegen-specialized writer body (literal layout, one hoisted
+       span) over the same message and reused plan/writer. *)
+    {
+      name = "cf-write-folded";
+      tracked = true;
+      fn =
+        (fun () ->
+          Cornflakes.Format_.measure_into plan msg;
+          Wire.Cursor.Writer.reset writer scratch_view;
+          Cornflakes.Format_.run plan writer msg ~write:resp_write_folded);
     };
     (* Paired: message object allocated per request vs pooled + cleared. *)
     {
@@ -288,6 +325,13 @@ let make_benchmarks ~seed () =
       tracked = true;
       fn = make_send_loop ~pooled:true ();
     };
+    (* The same steady-state loop through a generated-style [send]: the
+       folded writer body via [Send.send_planned]. *)
+    {
+      name = "cf-serialize+send-folded";
+      tracked = true;
+      fn = make_send_loop ~pooled:true ~write:resp_write_folded ();
+    };
     {
       name = "zipf-sample";
       tracked = false;
@@ -303,7 +347,9 @@ let make_benchmarks ~seed () =
     };
   ]
 
-let run ~quick ~seed () =
+(* One bechamel pass over a fresh benchmark suite: returns the OLS ns/op
+   estimates keyed by bechamel's "group/name" ids. *)
+let ns_pass ~quick ~seed () =
   let open Bechamel in
   let benchmarks = make_benchmarks ~seed () in
   let tests =
@@ -319,7 +365,17 @@ let run ~quick ~seed () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Analyze.all ols Toolkit.Instance.monotonic_clock raw
+
+(* [rounds] repeats the wall-clock passes and keeps each benchmark's
+   minimum estimate: timing noise is strictly additive (preemption, cache
+   pollution from neighbors), so the min is the stable statistic — gating
+   a single noisy sample against a ±20 % tolerance flags phantom
+   regressions on small benches. Words/op is deterministic and measured
+   once. *)
+let run ?(rounds = 1) ~quick ~seed () =
+  let open Bechamel in
+  let benchmarks = make_benchmarks ~seed () in
   let iters = if quick then 5_000 else 20_000 in
   (* Words/op jobs: index into a fresh suite per job (the shared scratch
      above is single-domain); results merge back in suite order. *)
@@ -341,22 +397,28 @@ let run ~quick ~seed () =
         })
       benchmarks
   in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] ->
-          List.iter
-            (fun r ->
-              (* Bechamel keys are "group/name"; match on the suffix. *)
-              let suffix = "/" ^ r.r_name in
-              let nl = String.length name and sl = String.length suffix in
-              if
-                name = r.r_name
-                || (nl >= sl && String.sub name (nl - sl) sl = suffix)
-              then r.ns_per_op <- est)
-            results
-      | _ -> ())
-    analyzed;
+  for _ = 1 to max 1 rounds do
+    let analyzed = ns_pass ~quick ~seed () in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] ->
+            List.iter
+              (fun r ->
+                (* Bechamel keys are "group/name"; match on the suffix. *)
+                let suffix = "/" ^ r.r_name in
+                let nl = String.length name and sl = String.length suffix in
+                if
+                  name = r.r_name
+                  || (nl >= sl && String.sub name (nl - sl) sl = suffix)
+                then
+                  r.ns_per_op <-
+                    (if Float.is_nan r.ns_per_op then est
+                     else Float.min r.ns_per_op est))
+              results
+        | _ -> ())
+      analyzed
+  done;
   print_endline
     "== Bechamel microbenchmarks (real wall-clock + minor words of this impl) ==";
   Printf.printf "  %-32s %12s %16s\n" "benchmark" "ns/op" "minor words/op";
@@ -457,9 +519,12 @@ let gate_against_baseline results ~baseline_path =
             if n = name && not (Float.is_nan ns) then Some ns else None)
           baseline
       in
-      (* ns/op deltas vs the baseline machine: reported, never gated —
-         wall-clock depends on the host, words/op does not. *)
-      print_endline "\nns/op vs baseline (informational):";
+      (* ns/op deltas vs the baseline machine. Raw wall-clock depends on
+         the host, so each tracked bench's now/base ratio is normalized by
+         the median ratio across tracked benches before the +20% tolerance
+         applies: a uniform machine-speed shift cancels out, one bench
+         regressing against its peers does not. *)
+      print_endline "\nns/op vs baseline (tracked benches gated, median-normalized):";
       List.iter
         (fun r ->
           match ns_of r.r_name with
@@ -469,6 +534,32 @@ let gate_against_baseline results ~baseline_path =
                 (100.0 *. ((r.ns_per_op /. base) -. 1.0))
           | _ -> ())
         results;
+      let ns_ratios =
+        List.filter_map
+          (fun r ->
+            if not r.r_tracked then None
+            else
+              match ns_of r.r_name with
+              | Some base when base > 0.0 && not (Float.is_nan r.ns_per_op) ->
+                  Some (r.r_name, base, r.ns_per_op, r.ns_per_op /. base)
+              | _ -> None)
+          results
+      in
+      let ns_regressions =
+        match ns_ratios with
+        | [] -> []
+        | _ ->
+            let sorted =
+              List.sort compare (List.map (fun (_, _, _, q) -> q) ns_ratios)
+            in
+            let median = List.nth sorted (List.length sorted / 2) in
+            let median = if median > 0.0 then median else 1.0 in
+            List.filter_map
+              (fun (name, base, now, q) ->
+                if q /. median > tolerance then Some (name, base, now)
+                else None)
+              ns_ratios
+      in
       let regressions =
         List.filter_map
           (fun r ->
@@ -482,15 +573,29 @@ let gate_against_baseline results ~baseline_path =
                   else None)
           results
       in
-      Printf.printf "\nbaseline gate (%s, minor words/op, +20%% tolerance): "
+      Printf.printf
+        "\nbaseline gate (%s, words/op + normalized ns/op, +20%% tolerance): "
         baseline_path;
-      if regressions = [] then print_endline "OK"
+      if regressions = [] && ns_regressions = [] then print_endline "OK"
       else begin
         print_endline "FAIL";
-        List.iter
-          (fun (name, base, now) ->
-            Printf.printf "  %-32s %10.1f -> %10.1f (%+.0f%%)\n" name base now
-              (100.0 *. ((now /. base) -. 1.0)))
-          regressions;
+        if regressions <> [] then begin
+          print_endline "  minor words/op:";
+          List.iter
+            (fun (name, base, now) ->
+              Printf.printf "  %-32s %10.1f -> %10.1f (%+.0f%%)\n" name base
+                now
+                (100.0 *. ((now /. base) -. 1.0)))
+            regressions
+        end;
+        if ns_regressions <> [] then begin
+          print_endline "  ns/op (median-normalized):";
+          List.iter
+            (fun (name, base, now) ->
+              Printf.printf "  %-32s %10.1f -> %10.1f (%+.0f%%)\n" name base
+                now
+                (100.0 *. ((now /. base) -. 1.0)))
+            ns_regressions
+        end;
         exit 1
       end

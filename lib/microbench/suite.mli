@@ -15,7 +15,11 @@ type result = {
   words_per_op : float;
 }
 
-val run : quick:bool -> seed:int -> unit -> result list
+(** [rounds] (default 1) repeats the wall-clock passes and keeps each
+    benchmark's minimum ns/op estimate — timing noise is strictly
+    additive, so the min is the stable statistic to gate against a
+    relative tolerance. Words/op is deterministic and measured once. *)
+val run : ?rounds:int -> quick:bool -> seed:int -> unit -> result list
 
 val json_file : string
 
@@ -26,6 +30,8 @@ val write_json : result list -> unit
     (dependency-free scanner). *)
 val parse_baseline : string -> (string * float * float) list
 
-(** Report ns/op deltas vs the baseline (informational) and exit 1 if any
-    tracked benchmark's minor words/op regressed more than 20%. *)
+(** Report ns/op deltas vs the baseline and exit 1 if any tracked
+    benchmark's minor words/op regressed more than 20%, or its ns/op
+    regressed more than 20% after dividing out the median now/base ratio
+    across tracked benches (machine-speed normalization). *)
 val gate_against_baseline : result list -> baseline_path:string -> unit

@@ -88,15 +88,19 @@ let tx_batch t = if t.config.tx_batch > 0 then t.config.tx_batch else Atomic.get
 
 let engine t = Fabric.engine t.fabric
 
-let handle_wire t packet =
-  let src, _dst = Packet.parse_header packet in
-  let payload_len = String.length packet - Packet.header_len in
+let handle_wire t frame =
+  let bytes = Nic.Device.wire_bytes frame in
+  let frame_len = Nic.Device.wire_len frame in
+  let src, _dst = Packet.parse_header_bytes bytes ~len:frame_len in
+  let payload_len = frame_len - Packet.header_len in
   if payload_len > 0 then begin
     (* NIC DMA writes the frame into a posted receive buffer: real bytes
-       move, but no CPU cycles are charged here. *)
+       move, but no CPU cycles are charged here. The frame is the sender
+       device's pooled snapshot, valid only for this call — the copy out
+       happens now, before the fabric releases it. *)
     match Mem.Pinned.Buf.alloc ~site:"Endpoint.rx_dma" t.rx_pool ~len:payload_len with
     | buf ->
-        Mem.Pinned.Buf.fill_substring ~site:"Endpoint.rx_dma" buf packet
+        Mem.Pinned.Buf.fill_subbytes ~site:"Endpoint.rx_dma" buf bytes
           ~src_off:Packet.header_len ~len:payload_len;
         (* DDIO: the DMA write leaves the frame in the LLC. *)
         (match t.cpu with
@@ -159,8 +163,8 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       udp_transport = None;
     }
   in
-  Nic.Device.set_on_wire nic (fun packet -> Fabric.inject fabric packet);
-  Fabric.attach fabric ~id ~rx:(fun packet -> handle_wire t packet);
+  Nic.Device.set_on_wire nic (fun frame -> Fabric.inject fabric frame);
+  Fabric.attach fabric ~id ~rx:(fun frame -> handle_wire t frame);
   t
 
 let id t = t.id

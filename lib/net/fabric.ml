@@ -3,7 +3,7 @@ type t = {
   one_way_delay_ns : int;
   mutable loss_rate : float;
   rng : Sim.Rng.t;
-  endpoints : (int, string -> unit) Hashtbl.t;
+  endpoints : (int, Nic.Device.wire -> unit) Hashtbl.t;
   mutable delivered : int;
   mutable dropped : int;
   dropped_by_dst : (int, int) Hashtbl.t;
@@ -58,18 +58,31 @@ let drop t ~dst =
   let prev = Option.value (Hashtbl.find_opt t.dropped_by_dst dst) ~default:0 in
   Hashtbl.replace t.dropped_by_dst dst (prev + 1)
 
-let deliver t ~after rx packet =
+(* Each scheduled delivery owns one reference on the frame: the receiving
+   NIC copies it into a posted rx buffer synchronously in [rx], so the
+   frame goes back to the sender's pool as soon as its last delivery (or
+   drop) is accounted. *)
+let deliver t ~after rx w =
   Sim.Engine.schedule t.engine ~after (fun () ->
       t.delivered <- t.delivered + 1;
-      rx packet)
+      rx w;
+      Nic.Device.wire_release w)
 
-let inject t packet =
-  let _src, dst = Packet.parse_header packet in
+let inject t w =
+  let _src, dst =
+    Packet.parse_header_bytes (Nic.Device.wire_bytes w)
+      ~len:(Nic.Device.wire_len w)
+  in
   let lost = t.loss_rate > 0.0 && Sim.Rng.bool t.rng t.loss_rate in
-  if lost then drop t ~dst
+  if lost then begin
+    drop t ~dst;
+    Nic.Device.wire_release w
+  end
   else
     match Hashtbl.find_opt t.endpoints dst with
-    | None -> drop t ~dst
+    | None ->
+        drop t ~dst;
+        Nic.Device.wire_release w
     | Some rx -> (
         let fault =
           match t.injector with
@@ -78,26 +91,30 @@ let inject t packet =
               Faults.Injector.fabric_decision inj ~now:(Sim.Engine.now t.engine) ~dst
         in
         match fault with
-        | Some `Drop -> drop t ~dst
+        | Some `Drop ->
+            drop t ~dst;
+            Nic.Device.wire_release w
         | Some `Corrupt ->
             (* Wire corruption: the receiving NIC's FCS check catches the
                mangled frame and discards it before the host sees it, so a
                corrupt packet is a (separately counted) drop. *)
             t.corrupted <- t.corrupted + 1;
-            drop t ~dst
+            drop t ~dst;
+            Nic.Device.wire_release w
         | Some `Duplicate ->
             t.duplicated <- t.duplicated + 1;
-            deliver t ~after:t.one_way_delay_ns rx packet;
-            deliver t ~after:(2 * t.one_way_delay_ns) rx packet
+            Nic.Device.wire_retain w;
+            deliver t ~after:t.one_way_delay_ns rx w;
+            deliver t ~after:(2 * t.one_way_delay_ns) rx w
         | Some (`Delay extra) ->
             t.delayed <- t.delayed + 1;
-            deliver t ~after:(t.one_way_delay_ns + extra) rx packet
+            deliver t ~after:(t.one_way_delay_ns + extra) rx w
         | Some `Reorder ->
             (* Hold the packet for two extra one-way delays so anything
                sent in that window overtakes it. *)
             t.reordered <- t.reordered + 1;
-            deliver t ~after:(3 * t.one_way_delay_ns) rx packet
-        | None -> deliver t ~after:t.one_way_delay_ns rx packet)
+            deliver t ~after:(3 * t.one_way_delay_ns) rx w
+        | None -> deliver t ~after:t.one_way_delay_ns rx w)
 
 let delivered t = t.delivered
 

@@ -14,14 +14,17 @@ val engine : t -> Sim.Engine.t
 
 val one_way_delay_ns : t -> int
 
-(** [attach t ~id ~rx] registers endpoint [id]; [rx packet] is called when a
-    wire packet addressed to [id] arrives. *)
-val attach : t -> id:int -> rx:(string -> unit) -> unit
+(** [attach t ~id ~rx] registers endpoint [id]; [rx frame] is called when a
+    wire packet addressed to [id] arrives. The frame is only valid for the
+    duration of the call (the fabric releases it to the sender's pool right
+    after [rx] returns), so receivers must copy out synchronously. *)
+val attach : t -> id:int -> rx:(Nic.Device.wire -> unit) -> unit
 
-(** [inject t packet] routes a wire packet to its destination endpoint after
+(** [inject t frame] routes a wire packet to its destination endpoint after
     the one-way delay (subject to loss and injected faults). Unknown
-    destinations are dropped. *)
-val inject : t -> string -> unit
+    destinations are dropped. Takes ownership of the frame's reference:
+    the fabric releases it after the last delivery (or on drop). *)
+val inject : t -> Nic.Device.wire -> unit
 
 (** [set_loss_rate t r] changes the drop probability (failure injection).
     Raises [Invalid_argument] outside [0,1]. *)

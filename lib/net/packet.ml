@@ -33,3 +33,15 @@ let parse_header s =
   if String.length s < header_len then
     invalid_arg "Packet.parse_header: truncated";
   (get_u32 s src_off, get_u32 s dst_off)
+
+let get_u32_bytes b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+(* [len] is the frame length, not the buffer capacity: pooled egress frames
+   ride in rounded-up buffers. *)
+let parse_header_bytes b ~len =
+  if len < header_len then invalid_arg "Packet.parse_header: truncated";
+  (get_u32_bytes b src_off, get_u32_bytes b dst_off)

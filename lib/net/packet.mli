@@ -15,3 +15,8 @@ val write_header : Bytes.t -> off:int -> src:int -> dst:int -> unit
 (** [parse_header s] reads [(src, dst)] from a wire packet.
     Raises [Invalid_argument] if [s] is shorter than a header. *)
 val parse_header : string -> int * int
+
+(** [parse_header_bytes b ~len] — {!parse_header} over a pooled egress
+    frame: [len] is the frame length within [b] (whose capacity may be
+    larger). *)
+val parse_header_bytes : Bytes.t -> len:int -> int * int

@@ -30,10 +30,27 @@ let noop_release (_ : Mem.Pinned.Buf.t) = ()
 let new_txd () =
   { d_segs = [||]; d_n = 0; d_holds = [||]; d_release = noop_release; d_done = noop }
 
-type t = {
+(* Egress frame: the device's payload snapshot, pooled and recycled. The
+   gather copy lands in [w_buf] (capacity rounded up so steady-state sends
+   reuse one buffer instead of carving a fresh multi-KB block out of the
+   major heap per packet — the allocation alone costs more than the copy).
+   Ownership transfers to the [on_wire] consumer, who must call
+   {!wire_release} exactly once per reference when the frame is finished
+   (and {!wire_retain} before duplicating delivery). Consumers may read
+   [w_buf.[0 .. w_len)] but never mutate or stash it past release. *)
+type wire = {
+  mutable w_buf : Bytes.t;
+  mutable w_len : int;
+  mutable w_refs : int;
+  w_dev : t;
+}
+
+and t = {
   engine : Sim.Engine.t;
   model : Model.t;
-  mutable on_wire : string -> unit;
+  mutable on_wire : wire -> unit;
+  mutable wire_free : wire list; (* recycled egress frames *)
+  mutable wire_pooled : int;
   mutable busy_until : int; (* when the DMA/wire pipeline frees up *)
   mutable in_flight : int;
   mutable tx_packets : int;
@@ -54,11 +71,72 @@ type t = {
   mutable reaped_completions : int;
 }
 
+(* Ceiling on recycled frames: enough for every packet that can be in
+   flight across fabric delays in practice, while bounding retained bytes
+   if a consumer holds frames unusually long. *)
+let wire_pool_cap = 64
+
+let wire_bytes w = w.w_buf
+
+let wire_len w = w.w_len
+
+let wire_retain w = w.w_refs <- w.w_refs + 1
+
+let wire_release w =
+  w.w_refs <- w.w_refs - 1;
+  if w.w_refs = 0 then begin
+    let t = w.w_dev in
+    if t.wire_pooled < wire_pool_cap then begin
+      t.wire_free <- w :: t.wire_free;
+      t.wire_pooled <- t.wire_pooled + 1
+    end
+  end
+
+let wire_capacity_for len =
+  let c = ref 256 in
+  while !c < len do c := !c * 2 done;
+  !c
+
+let wire_acquire t len =
+  match t.wire_free with
+  | w :: rest when Bytes.length w.w_buf >= len ->
+      (* Steady state: packets are near-constant size, so the head of the
+         free list fits and the acquire is allocation-free. *)
+      t.wire_free <- rest;
+      t.wire_pooled <- t.wire_pooled - 1;
+      w.w_len <- len;
+      w.w_refs <- 1;
+      w
+  | free -> (
+      (* Head too small: scan for any fitting frame before allocating. *)
+      let rec take acc = function
+        | [] -> None
+        | w :: rest when Bytes.length w.w_buf >= len ->
+            Some (w, List.rev_append acc rest)
+        | w :: rest -> take (w :: acc) rest
+      in
+      match take [] free with
+      | Some (w, rest) ->
+          t.wire_free <- rest;
+          t.wire_pooled <- t.wire_pooled - 1;
+          w.w_len <- len;
+          w.w_refs <- 1;
+          w
+      | None ->
+          {
+            w_buf = Bytes.create (wire_capacity_for len);
+            w_len = len;
+            w_refs = 1;
+            w_dev = t;
+          })
+
 let create engine ~model =
   {
     engine;
     model;
-    on_wire = (fun _ -> ());
+    on_wire = wire_release;
+    wire_free = [];
+    wire_pooled = 0;
     busy_until = 0;
     in_flight = 0;
     tx_packets = 0;
@@ -126,15 +204,15 @@ let txd_payload_bytes txd =
   done;
   !total
 
-let gather txd =
-  let out = Bytes.create (txd_payload_bytes txd) in
+let gather t txd ~len =
+  let w = wire_acquire t len in
   let off = ref 0 in
   for i = 0 to txd.d_n - 1 do
     let buf = txd.d_segs.(i) in
-    Mem.Pinned.Buf.blit_to buf ~dst:out ~dst_off:!off;
+    Mem.Pinned.Buf.blit_to buf ~dst:w.w_buf ~dst_off:!off;
     off := !off + Mem.Pinned.Buf.len buf
   done;
-  Bytes.unsafe_to_string out
+  w
 
 (* Deliver one descriptor's completion: free the ring slot, release the
    write-protect holds, release the stack's segment references, run the
@@ -236,10 +314,10 @@ let post_txd t txd =
      write-protect each segment until the completion fires, turning any
      in-place mutation of posted bytes into a write-after-post diagnostic. *)
   take_holds txd ~site:"Nic.post";
-  let payload = gather txd in
+  let payload = gather t txd ~len:payload_bytes in
   Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
       t.tx_packets <- t.tx_packets + 1;
-      t.tx_bytes <- t.tx_bytes + String.length payload;
+      t.tx_bytes <- t.tx_bytes + payload.w_len;
       (* Egress happens regardless of the CQE's fate: losing a completion
          does not claw the packet back off the wire. *)
       t.on_wire payload;
@@ -281,10 +359,10 @@ let post_txd_batch t txds ~n =
       t.busy_until <- finish;
       if finish > !last_finish then last_finish := finish;
       take_holds txd ~site:"Nic.post_batch";
-      let payload = gather txd in
+      let payload = gather t txd ~len:payload_bytes in
       Sim.Engine.schedule_at t.engine ~time:finish (fun () ->
           t.tx_packets <- t.tx_packets + 1;
-          t.tx_bytes <- t.tx_bytes + String.length payload;
+          t.tx_bytes <- t.tx_bytes + payload.w_len;
           t.on_wire payload))
     batch;
   (* One coalesced CQE: a completion fault hits the whole batch at once. *)

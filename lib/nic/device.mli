@@ -62,9 +62,30 @@ val post_txd : t -> txd -> unit
     the next batch immediately. *)
 val post_txd_batch : t -> txd array -> n:int -> unit
 
-(** [set_on_wire t f] registers the fabric hook: [f payload] is called when a
-    packet's last bit leaves the NIC, with the gathered wire bytes. *)
-val set_on_wire : t -> (string -> unit) -> unit
+(** Egress frame handed to the {!set_on_wire} hook: the device's pooled
+    payload snapshot. The consumer owns one reference and must call
+    {!wire_release} exactly once per reference when it is done with the
+    frame (after the last delivery for a fabric); {!wire_retain} takes an
+    extra reference before duplicating delivery. The bytes window
+    [{!wire_bytes} w][0 .. {!wire_len} w) is read-only and must not be
+    stashed past release — the device recycles the buffer for a later
+    packet. *)
+type wire
+
+(** Backing bytes of the frame; only the first {!wire_len} bytes are the
+    packet (the buffer's capacity is rounded up for pooling). *)
+val wire_bytes : wire -> Bytes.t
+
+val wire_len : wire -> int
+
+val wire_retain : wire -> unit
+
+val wire_release : wire -> unit
+
+(** [set_on_wire t f] registers the fabric hook: [f frame] is called when a
+    packet's last bit leaves the NIC, with the gathered wire bytes. The
+    default hook releases the frame immediately (dropped on the floor). *)
+val set_on_wire : t -> (wire -> unit) -> unit
 
 (** [post t desc] enqueues a send. Raises [Too_many_segments] if the gather
     list exceeds the model's SGE limit, [Ring_full] if the device backlog

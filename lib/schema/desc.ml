@@ -16,6 +16,10 @@ type field = {
   max_size : int option;
       (** declared payload-size bound from a [[max_size=N]] field option;
           drives the zero-copy crossover lint *)
+  min_size : int option;
+      (** declared payload-size lower bound ([[min_size=N]] field option);
+          lets codegen prove a field always crosses the zero-copy
+          threshold and fold its dispatch away *)
 }
 
 type message = { msg_name : string; fields : field array }
@@ -83,12 +87,26 @@ let validate t =
             else begin
               fnames := SS.add f.field_name !fnames;
               fnums := IS.add f.number !fnums;
-              match f.ty with
-              | Message target when find_message t target = None ->
+              match (f.max_size, f.min_size) with
+              | Some n, _ when n < 0 ->
                   Error
-                    (Printf.sprintf "unresolved message type %s in %s.%s"
-                       target m.msg_name f.field_name)
-              | _ -> Ok ()
+                    (Printf.sprintf "negative max_size in %s.%s" m.msg_name
+                       f.field_name)
+              | _, Some n when n < 0 ->
+                  Error
+                    (Printf.sprintf "negative min_size in %s.%s" m.msg_name
+                       f.field_name)
+              | Some mx, Some mn when mn > mx ->
+                  Error
+                    (Printf.sprintf "min_size %d exceeds max_size %d in %s.%s"
+                       mn mx m.msg_name f.field_name)
+              | _ -> (
+                  match f.ty with
+                  | Message target when find_message t target = None ->
+                      Error
+                        (Printf.sprintf "unresolved message type %s in %s.%s"
+                           target m.msg_name f.field_name)
+                  | _ -> Ok ())
             end
       in
       Array.fold_left check_field (Ok ()) m.fields

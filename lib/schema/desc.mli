@@ -22,6 +22,9 @@ type field = {
   max_size : int option;
       (* declared payload-size bound ([max_size=N] field option); informs
          the zero-copy crossover lint, never enforced on the wire *)
+  min_size : int option;
+      (* declared payload-size lower bound ([min_size=N] field option);
+         lets codegen prove the zero-copy verdict and fold dispatch away *)
 }
 
 type message = {
@@ -47,7 +50,7 @@ val field : message -> string -> field
     Raises [Not_found]. *)
 val field_index : message -> string -> int
 
-(** [validate t] checks field-number uniqueness, name uniqueness, and that
-    every [Message] reference resolves. Returns an error description on
-    failure. *)
+(** [validate t] checks field-number uniqueness, name uniqueness, size-bound
+    sanity ([0 <= min_size <= max_size]), and that every [Message] reference
+    resolves. Returns an error description on failure. *)
 val validate : t -> (unit, string) result

@@ -20,29 +20,24 @@ let schedule t ~after f =
   if after < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now + after) f
 
+let fire t time f =
+  t.now <- time;
+  f ()
+
 let run t ~until =
+  let fire_one = fire t in
   let continue = ref true in
   while !continue do
     match Heap.peek_time t.heap with
-    | Some time when time <= until -> begin
-        match Heap.pop_min t.heap with
-        | Some (time, _, f) ->
-            t.now <- time;
-            f ()
-        | None -> continue := false
-      end
+    | Some time when time <= until -> ignore (Heap.pop_into t.heap fire_one)
     | Some _ | None -> continue := false
   done;
   if t.now < until then t.now <- until
 
 let run_all t =
-  let continue = ref true in
-  while !continue do
-    match Heap.pop_min t.heap with
-    | Some (time, _, f) ->
-        t.now <- time;
-        f ()
-    | None -> continue := false
+  let fire_one = fire t in
+  while Heap.pop_into t.heap fire_one do
+    ()
   done
 
 let pending t = Heap.length t.heap

@@ -38,31 +38,46 @@ let push t ~time ~seq payload =
     else continue := false
   done
 
+let remove_min t =
+  let min = t.arr.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.arr.(0) <- t.arr.(t.len);
+    (* Sift the relocated root down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
+      if r < t.len && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.arr.(!smallest) in
+        t.arr.(!smallest) <- t.arr.(!i);
+        t.arr.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  min
+
 let pop_min t =
   if t.len = 0 then None
   else begin
-    let min = t.arr.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.arr.(0) <- t.arr.(t.len);
-      (* Sift the relocated root down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
-        if r < t.len && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.arr.(!smallest) in
-          t.arr.(!smallest) <- t.arr.(!i);
-          t.arr.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
+    let min = remove_min t in
     Some (min.time, min.seq, min.payload)
+  end
+
+(* Allocation-free pop for the event-loop hot path: removes the minimum
+   entry and applies [f time payload] (after the heap is restructured, so
+   [f] may push). Returns [false] on an empty heap, without calling [f]. *)
+let pop_into t f =
+  if t.len = 0 then false
+  else begin
+    let min = remove_min t in
+    f min.time min.payload;
+    true
   end
 
 let peek_time t = if t.len = 0 then None else Some t.arr.(0).time

@@ -19,6 +19,12 @@ val push : 'a t -> time:int -> seq:int -> 'a -> unit
     [(time, seq, payload)], or [None] when the heap is empty. *)
 val pop_min : 'a t -> (int * int * 'a) option
 
+(** [pop_into heap f] removes the minimum element and applies
+    [f time payload] — {!pop_min} without the per-event option/tuple, for
+    the event-loop hot path. The heap is restructured before [f] runs, so
+    [f] may {!push}. Returns [false] on an empty heap ([f] not called). *)
+val pop_into : 'a t -> (int -> 'a -> unit) -> bool
+
 (** [peek_time heap] is the time of the minimum element, if any. *)
 val peek_time : 'a t -> int option
 

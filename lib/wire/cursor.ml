@@ -47,11 +47,58 @@ module Writer = struct
     if t.pos + n > t.view.Mem.View.len then
       raise (Overflow "Cursor.Writer: window overflow")
 
+  (* [byte] is only reached behind a [need] (or [span]) bounds check, so
+     the store itself is unchecked — the check is hoisted, not skipped. *)
   let byte t v =
-    Bytes.set t.view.Mem.View.data
+    Bytes.unsafe_set t.view.Mem.View.data
       (t.view.Mem.View.off + t.pos)
-      (Char.chr (v land 0xff));
+      (Char.unsafe_chr (v land 0xff));
     t.pos <- t.pos + 1
+
+  (* --- constant-offset fast stores (specialized serializers) ----------
+     [span] hoists one bounds check over a whole region; the [_at] stores
+     inside it are straight-line unchecked writes at absolute offsets that
+     leave the cursor untouched. Charges are per store, exactly like the
+     cursor-advancing calls, so the cache-model accounting (and therefore
+     every simulated figure) is unchanged — only the per-byte bounds
+     checks and seek ping-pong disappear. *)
+
+  let span t ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > t.view.Mem.View.len then
+      raise (Overflow "Cursor.Writer: span overflow")
+
+  let charge_at t ~pos ~len =
+    match t.cpu with
+    | None -> ()
+    | Some cpu ->
+        Memmodel.Cpu.stream cpu t.cat ~addr:(t.view.Mem.View.addr + pos) ~len
+
+  (* Store a byte at an absolute offset; caller has [span]-checked. *)
+  let byte_at t ~pos v =
+    Bytes.unsafe_set t.view.Mem.View.data
+      (t.view.Mem.View.off + pos)
+      (Char.unsafe_chr (v land 0xff))
+
+  let u32_at t ~pos v =
+    charge_at t ~pos ~len:4;
+    byte_at t ~pos (v land 0xff);
+    byte_at t ~pos:(pos + 1) ((v lsr 8) land 0xff);
+    byte_at t ~pos:(pos + 2) ((v lsr 16) land 0xff);
+    byte_at t ~pos:(pos + 3) ((v lsr 24) land 0xff)
+
+  let u64_at t ~pos v =
+    charge_at t ~pos ~len:8;
+    (* Same native-int extraction as [u64]: identical wire bytes. *)
+    let lo = Int64.to_int v in
+    byte_at t ~pos lo;
+    byte_at t ~pos:(pos + 1) (lo lsr 8);
+    byte_at t ~pos:(pos + 2) (lo lsr 16);
+    byte_at t ~pos:(pos + 3) (lo lsr 24);
+    byte_at t ~pos:(pos + 4) (lo lsr 32);
+    byte_at t ~pos:(pos + 5) (lo lsr 40);
+    byte_at t ~pos:(pos + 6) (lo lsr 48);
+    byte_at t ~pos:(pos + 7)
+      (((lo lsr 56) land 0x7f) lor (if Int64.compare v 0L < 0 then 0x80 else 0))
 
   let u8 t v =
     need t 1;

@@ -40,6 +40,27 @@ module Writer : sig
   (** [view_bytes t src] copies [src]'s bytes at the cursor, charging a
       streaming read of the source and write of the destination. *)
   val view_bytes : t -> Mem.View.t -> unit
+
+  (** {2 Constant-offset fast stores}
+
+      Specialized serializers (Codegen.Emit's folded writers) hoist one
+      bounds check over a whole header block with [span], then issue
+      straight-line unchecked stores at literal offsets with the [_at]
+      calls. The [_at] stores do not move the cursor. Charges are issued
+      per store, identically to the cursor-advancing calls, so cache-model
+      accounting is unchanged. Callers must [span] first: the [_at] stores
+      perform no bounds check of their own. *)
+
+  (** [span t ~pos ~len] checks that [pos, pos+len) fits the window
+      (raises [Overflow] otherwise); charges nothing. *)
+  val span : t -> pos:int -> len:int -> unit
+
+  (** Store a little-endian u32 at absolute offset [pos]. Unchecked. *)
+  val u32_at : t -> pos:int -> int -> unit
+
+  (** Store a little-endian u64 at absolute offset [pos]. Unchecked.
+      Same byte extraction as {!u64}. *)
+  val u64_at : t -> pos:int -> int64 -> unit
 end
 
 module Reader : sig

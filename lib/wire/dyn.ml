@@ -86,6 +86,12 @@ let get_list t name =
   | Some v -> [ v ]
   | None -> []
 
+(* Raw slot access for specialized (codegen-folded) serializers: indexed by
+   schema field position, no name lookup, no closure. *)
+let raw_values t = t.values
+
+let raw_field t i = Array.unsafe_get t.values i
+
 let iter_present t f =
   Array.iteri
     (fun i v ->

@@ -48,6 +48,14 @@ val get_list : t -> string -> value list
 (** Fields present, in schema (field-number) order. *)
 val iter_present : t -> (int -> Schema.Desc.field -> value -> unit) -> unit
 
+(** Raw slot array, indexed by schema field position. For specialized
+    serializers (codegen-folded writers) that avoid the per-field closure of
+    {!iter_present}; treat as read-only. *)
+val raw_values : t -> value option array
+
+(** [raw_field t i] is slot [i] (schema field position), unchecked. *)
+val raw_field : t -> int -> value option
+
 val present_count : t -> int
 
 (** Sum of the byte lengths of all payloads, recursively. *)

@@ -40,9 +40,10 @@ let test_generated_source_mentions_all_fields () =
       "DO NOT EDIT";
     ]
 
-(* Golden test: the checked-in generated module in examples/ must match
-   what the compiler emits today (it is compiled by the examples build, so
-   together these prove generated code builds and stays in sync). *)
+(* Golden test: the checked-in generated module and IR sidecar in examples/
+   must match what the compiler emits today (the module is compiled by the
+   examples build, so together these prove generated code builds and stays
+   in sync, and that the ownership-IR summary tracks it). *)
 let test_generated_example_in_sync () =
   let read path =
     let ic = open_in_bin path in
@@ -54,6 +55,7 @@ let test_generated_example_in_sync () =
   let root = Filename.concat (Filename.concat (Sys.getcwd ()) "..") ".." in
   let proto = Filename.concat root "examples/kv.proto" in
   let generated = Filename.concat root "examples/kv_msgs.ml" in
+  let sidecar = Filename.concat root "examples/kv_msgs.ir" in
   if Sys.file_exists proto && Sys.file_exists generated then begin
     let schema_text = read proto in
     let schema = Schema.Parser.parse schema_text in
@@ -63,10 +65,118 @@ let test_generated_example_in_sync () =
       Alcotest.fail
         "examples/kv_msgs.ml is stale; regenerate with:\n\
          dune exec bin/cornflakes_cli.exe -- compile examples/kv.proto -o \
-         examples/kv_msgs.ml"
+         examples/kv_msgs.ml --ir examples/kv_msgs.ir";
+    if Sys.file_exists sidecar then begin
+      let want_ir = Codegen.Emit.ir_source schema in
+      let got_ir = read sidecar in
+      if not (String.equal want_ir got_ir) then
+        Alcotest.fail
+          "examples/kv_msgs.ir is stale; regenerate with:\n\
+           dune exec bin/cornflakes_cli.exe -- compile examples/kv.proto -o \
+           examples/kv_msgs.ml --ir examples/kv_msgs.ir"
+    end
   end
   else Printf.printf "(examples not found from %s; skipping golden check)\n"
          (Sys.getcwd ())
+
+let contains ~hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Size-bound-driven dispatch folding: fields whose [max_size]/[min_size]
+   bounds settle the copy/zc verdict against the crossover compile to the
+   corresponding Cf_ptr arm directly; unbounded fields keep the table. *)
+let test_dispatch_folding () =
+  let schema_text =
+    "message B { bytes small = 1 [max_size=128]; bytes big = 2 \
+     [min_size=2048]; bytes any = 3; }"
+  in
+  let schema = Schema.Parser.parse schema_text in
+  let src = Codegen.Emit.module_source ~schema_text schema in
+  let ir = Codegen.Emit.ir_source schema in
+  let setter name ctor =
+    (* The setter body for [name] must construct its payload via [ctor]. *)
+    let idx =
+      let pat = Printf.sprintf "let set_%s" name in
+      let n = String.length pat in
+      let rec go i =
+        if i + n > String.length src then
+          Alcotest.failf "no set_%s in generated source" name
+        else if String.sub src i n = pat then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let window = String.sub src idx (min 400 (String.length src - idx)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "set_%s uses %s" name ctor)
+      true
+      (contains ~hay:window ctor)
+  in
+  setter "small" "Cornflakes.Cf_ptr.copy_folded";
+  setter "big" "Cornflakes.Cf_ptr.zc_folded";
+  setter "any" "Cornflakes.Cf_ptr.make";
+  (* The IR sidecar's callees must fold the same way. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~hay:ir needle))
+    [
+      "fn B.set_small role=setter callee=Cornflakes.Cf_ptr.copy_folded";
+      "fn B.set_big role=setter callee=Cornflakes.Cf_ptr.zc_folded";
+      "fn B.set_any role=setter callee=Cornflakes.Cf_ptr.make";
+    ];
+  (* A different crossover shifts the verdicts: at 64 B the max_size=128
+     field is no longer provably small; at 4096 B the min_size=2048 field
+     is no longer provably large. *)
+  let src64 = Codegen.Emit.module_source ~crossover:64 ~schema_text schema in
+  Alcotest.(check bool) "crossover 64: small falls back to table" false
+    (contains ~hay:src64 "copy_folded");
+  let src4k = Codegen.Emit.module_source ~crossover:4096 ~schema_text schema in
+  Alcotest.(check bool) "crossover 4096: small still folds to copy" true
+    (contains ~hay:src4k "Cornflakes.Cf_ptr.copy_folded");
+  Alcotest.(check bool) "crossover 4096: nothing proves zc" false
+    (contains ~hay:src4k "zc_folded")
+
+(* The specialized writer: foldable messages get a folded [write_folded]
+   with literal offsets behind one hoisted span; unfoldable ones (>32
+   fields) degrade to the generic writer. *)
+let test_write_folded_emission () =
+  let schema_text = "message P { uint64 a = 1; double b = 2; bytes c = 3; }" in
+  let schema = Schema.Parser.parse schema_text in
+  let src = Codegen.Emit.module_source ~schema_text schema in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~hay:src needle))
+    [
+      "let write_folded";
+      "Wire.Cursor.Writer.span";
+      (* all-present bitmap for three fields, folded to a literal *)
+      "0x7";
+      (* slot offsets folded to literals: base 8, then 16, 24 *)
+      "~pos:8";
+      "~pos:16";
+      "~slot:24";
+      "Int64.bits_of_float";
+      "Cornflakes.Format_.write_msg_generic";
+      "~write:write_folded";
+    ];
+  (* 33 fields -> two bitmap words -> no folded fast path. *)
+  let wide =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "message W {";
+    for i = 1 to 33 do
+      Buffer.add_string b (Printf.sprintf " uint64 f%d = %d;" i i)
+    done;
+    Buffer.add_string b " }";
+    Buffer.contents b
+  in
+  let wide_schema = Schema.Parser.parse wide in
+  let wide_src = Codegen.Emit.module_source ~schema_text:wide wide_schema in
+  Alcotest.(check bool) "wide message still has write_folded" true
+    (contains ~hay:wide_src "let write_folded");
+  Alcotest.(check bool) "wide message has no span fast path" false
+    (contains ~hay:wide_src "Wire.Cursor.Writer.span")
 
 let test_generated_roundtrips_against_runtime () =
   (* Emit code for a schema, then exercise the same accessors through the
@@ -92,6 +202,9 @@ let suite =
       test_generated_source_mentions_all_fields;
     Alcotest.test_case "example in sync (golden)" `Quick
       test_generated_example_in_sync;
+    Alcotest.test_case "dispatch folding" `Quick test_dispatch_folding;
+    Alcotest.test_case "folded writer emission" `Quick
+      test_write_folded_emission;
     Alcotest.test_case "runtime conventions" `Quick
       test_generated_roundtrips_against_runtime;
   ]

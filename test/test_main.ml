@@ -17,6 +17,7 @@ let () =
       ("redis", Test_redis.suite);
       ("tcp", Test_tcp.suite);
       ("codegen", Test_codegen.suite);
+      ("specialized", Test_specialized.suite);
       ("fuzz", Test_fuzz.suite);
       ("extensions", Test_extensions.suite);
       ("segment", Test_segment.suite);
