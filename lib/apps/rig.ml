@@ -26,6 +26,16 @@ let default_transport () = Atomic.get transport_ref
 
 let transport_kind_name = function `Udp -> "udp" | `Tcp -> "tcp"
 
+(* The datapath choice is a per-endpoint view: UDP uses the endpoint's
+   cached transport; TCP attaches a stack over the endpoint's receive
+   path (connections open lazily, or explicitly during warmup via
+   [Transport.connect]). Shared with multi-endpoint topologies (lib/cluster)
+   that build their own endpoint sets. *)
+let transport_for ~kind ep =
+  match kind with
+  | `Udp -> Net.Endpoint.transport ep
+  | `Tcp -> Tcp.transport (Tcp.Stack.attach ep)
+
 (* Process-wide seed used when [create] is not given ?seed explicitly; the
    bench harness's --seed flag sets it so whole experiment runs replay. *)
 (* Atomic: the harness sets it once at startup; worker domains read it. *)
@@ -60,15 +70,7 @@ let create ?(params = Memmodel.Params.default) ?shared_l3 ?nic_model
     Net.Endpoint.create ~cpu ~config:server_config fabric registry
       ~id:server_id
   in
-  (* The datapath choice is a per-endpoint view: UDP uses the endpoint's
-     cached transport; TCP attaches a stack over the endpoint's receive
-     path (connections open lazily, or explicitly during warmup via
-     [Transport.connect]). *)
-  let as_transport ep =
-    match transport_kind with
-    | `Udp -> Net.Endpoint.transport ep
-    | `Tcp -> Tcp.transport (Tcp.Stack.attach ep)
-  in
+  let as_transport ep = transport_for ~kind:transport_kind ep in
   let server_tr = as_transport server_ep in
   let server = Loadgen.Server.create server_tr cpu in
   let clients =

@@ -37,6 +37,13 @@ val default_transport : unit -> transport_kind
 
 val transport_kind_name : transport_kind -> string
 
+(** [transport_for ~kind ep] is the datapath view over an endpoint: UDP
+    uses the endpoint's cached transport, TCP attaches a stack over its
+    receive path. Multi-endpoint topologies (lib/cluster) build their
+    shard/dispatcher/client transports through this, so both datapaths
+    stay interchangeable everywhere. *)
+val transport_for : kind:transport_kind -> Net.Endpoint.t -> Net.Transport.t
+
 (** [create ()] builds the rig. [n_clients] defaults to 16; [seed] defaults
     to the [set_default_seed] value; [transport] to the
     [set_default_transport] value. With [`Tcp], every endpoint gets a

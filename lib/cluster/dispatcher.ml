@@ -1,0 +1,446 @@
+(* Front-end dispatcher: routes client requests across the shard set by
+   consistent hash, fans multi-gets out as per-shard sub-requests, and
+   reassembles the partial responses into one client response without
+   copying payload bytes.
+
+   Ownership contract across the fan-out (what RefSan checks dynamically):
+
+   - A partial response deserializes into refcounted [Zero_copy] windows
+     of the dispatcher's rx buffer. Retaining a value into its pending
+     slot takes one extra reference, then the parsed message is released
+     — net effect, the slot owns exactly one reference and the rx buffer
+     stays pinned until assembly.
+   - Assembly moves each slot payload into the egress response; the send
+     path consumes one reference per zero-copy payload (released on NIC
+     completion / cumulative ACK), so handing the slot's reference to the
+     stack is a transfer, not a leak.
+   - Sub-threshold values are demoted to arena copies at assembly — the
+     per-shard [Cornflakes.Adaptive] estimator decides, and both of its
+     observation hooks are fed from this path. The slot reference is
+     dropped at demotion.
+
+   Pending slots are the only state that lives across handler
+   invocations; everything else (arena copies, parsed messages) dies with
+   the invocation, which is exactly the [Loadgen.Server] arena-reset
+   contract. *)
+
+type slot = { owner : int; mutable payload : Wire.Payload.t option }
+
+type group = {
+  g_shard : int;
+  g_slots : int array; (* slot indices, in sub-request key order *)
+  mutable g_arrived : bool;
+}
+
+type pending = {
+  client : int;
+  client_id : int64;
+  slots : slot array; (* one per requested key, request order *)
+  groups : group list;
+  mutable awaiting : int;
+}
+
+(* Exactly-once audit counters: the cluster experiment asserts the
+   invariants at quiesce (started = completed, no duplicates, no orphans,
+   every client id answered exactly once, table drained). *)
+type audit = {
+  fanouts_started : int;
+  fanouts_completed : int;
+  partials : int;
+  dup_partials : int;
+  orphan_partials : int;
+  misaligned : int;
+  in_flight : int;
+  max_completions_per_id : int;
+}
+
+type t = {
+  id : int;
+  cpu : Memmodel.Cpu.t;
+  ep : Net.Endpoint.t;
+  tr : Net.Transport.t;
+  server : Loadgen.Server.t;
+  backend : Apps.Backend.t;
+  ring : Ring.t;
+  shard_index : (int, int) Hashtbl.t; (* shard endpoint id -> dense index *)
+  adaptives : Cornflakes.Adaptive.t array; (* per shard index *)
+  stash : Mem.Pinned.Pool.t; (* for non-refcounted partial payloads *)
+  subreq_scratch : Wire.Dyn.t;
+  resp_scratch : Wire.Dyn.t;
+  pending : (int, pending) Hashtbl.t; (* fan-out id -> pending *)
+  mutable next_fanout : int;
+  mutable started : int;
+  mutable completed : int;
+  mutable partials : int;
+  mutable dup_partials : int;
+  mutable orphan_partials : int;
+  mutable misaligned : int;
+  mutable zc_forwards : int;
+  mutable copy_forwards : int;
+  mutable stash_copies : int;
+  completions : (int64, int) Hashtbl.t; (* client id -> responses sent *)
+}
+
+let fresh_fanout t =
+  let id = t.next_fanout in
+  t.next_fanout <- id + 1;
+  id
+
+(* Retain a payload beyond this handler invocation. Zero-copy windows take
+   a reference; arena-backed views (a copying backend's deserialize) are
+   stashed into a dispatcher-owned pinned buffer, since the arena resets
+   when the handler returns. *)
+let retain t ~cpu (p : Wire.Payload.t) =
+  match p with
+  | Wire.Payload.Zero_copy b ->
+      Mem.Pinned.Buf.incr_ref ~cpu ~site:"Dispatcher.retain" b;
+      Some p
+  | Wire.Payload.Copied v | Wire.Payload.Literal v -> (
+      match
+        Mem.Pinned.Buf.alloc ~cpu ~site:"Dispatcher.stash" t.stash
+          ~len:(max 1 v.Mem.View.len)
+      with
+      | buf ->
+          if v.Mem.View.len > 0 then
+            Mem.Pinned.Buf.blit_from ~cpu ~site:"Dispatcher.stash" buf ~src:v
+              ~dst_off:0;
+          t.stash_copies <- t.stash_copies + 1;
+          Some (Wire.Payload.Zero_copy buf)
+      | exception Mem.Pinned.Out_of_memory _ -> None)
+
+(* Move a retained slot payload into the egress response: the per-source-
+   shard adaptive estimator picks zero-copy (reference handed to the
+   stack) or an arena copy (reference dropped here), and both arms feed
+   the estimator its observation. *)
+let forward t ~shard_idx (p : Wire.Payload.t) =
+  let cpu = t.cpu in
+  let a = t.adaptives.(shard_idx) in
+  match p with
+  | Wire.Payload.Zero_copy b ->
+      let len = Mem.Pinned.Buf.len b in
+      if len >= Cornflakes.Adaptive.threshold a then begin
+        (* Keeping the pinned reference costs nothing now; the stack pays
+           one completion-side SGE release later — that is the zc fixed
+           cost the estimator tracks. *)
+        let prm = Memmodel.Cpu.params cpu in
+        Cornflakes.Adaptive.observe_zc a
+          ~cycles:prm.Memmodel.Params.cost_completion_per_sge;
+        t.zc_forwards <- t.zc_forwards + 1;
+        p
+      end
+      else begin
+        let c0 = Memmodel.Cpu.cycles cpu in
+        let copied =
+          Mem.Arena.copy_in ~cpu ~site:"Dispatcher.demote"
+            (Net.Transport.arena t.tr) (Mem.Pinned.Buf.view b)
+        in
+        Mem.Pinned.Buf.decr_ref ~cpu ~site:"Dispatcher.demote" b;
+        Cornflakes.Adaptive.observe_copy a ~bytes:len
+          ~cycles:(Memmodel.Cpu.cycles cpu -. c0);
+        t.copy_forwards <- t.copy_forwards + 1;
+        Wire.Payload.Copied copied
+      end
+  | other -> other
+
+let record_completion t client_id =
+  Hashtbl.replace t.completions client_id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.completions client_id))
+
+(* --- Client request: route, group, fan out ----------------------------- *)
+
+let charge_route t key =
+  let cpu = t.cpu in
+  let prm = Memmodel.Cpu.params cpu in
+  Memmodel.Cpu.charge cpu Memmodel.Cpu.App prm.Memmodel.Params.cost_hash_op;
+  ignore key
+
+let handle_request t ~src req =
+  let cpu = t.cpu in
+  let client_id =
+    Option.value ~default:(-1L) (Wire.Dyn.get_int req "id")
+  in
+  let op = Option.value ~default:Apps.Proto.op_get (Wire.Dyn.get_int req "op") in
+  let keys =
+    List.filter_map
+      (fun v -> match v with Wire.Dyn.Payload p -> Some p | _ -> None)
+      (Wire.Dyn.get_list req "keys")
+  in
+  (* Route every key: hash the bytes (charged), look up the ring owner. *)
+  let owners =
+    List.map
+      (fun p ->
+        let key = Shard.key_string ~cpu p in
+        charge_route t key;
+        Ring.owner t.ring key)
+      keys
+  in
+  let slots =
+    Array.of_list (List.map (fun o -> { owner = o; payload = None }) owners)
+  in
+  (* Group slot indices by owner shard, preserving request order within a
+     group (first-appearance group order keeps sub-requests deterministic). *)
+  let groups =
+    let acc = ref [] in
+    Array.iteri
+      (fun i s ->
+        match List.find_opt (fun (sh, _) -> sh = s.owner) !acc with
+        | Some (_, idxs) -> idxs := i :: !idxs
+        | None -> acc := !acc @ [ (s.owner, ref [ i ]) ])
+      slots;
+    List.map
+      (fun (sh, idxs) ->
+        { g_shard = sh; g_slots = Array.of_list (List.rev !idxs); g_arrived = false })
+      !acc
+  in
+  let groups =
+    (* A put has one key; its group carries the values along. *)
+    if op = Apps.Proto.op_put && groups = [] then []
+    else groups
+  in
+  let fid = fresh_fanout t in
+  let p =
+    {
+      client = src;
+      client_id;
+      slots = (if op = Apps.Proto.op_put then [||] else slots);
+      groups;
+      awaiting = List.length groups;
+    }
+  in
+  if p.awaiting = 0 then begin
+    (* Degenerate request (no keys): answer immediately, still exactly
+       once. *)
+    let resp = t.resp_scratch in
+    Wire.Dyn.clear resp;
+    Wire.Dyn.set_int resp "id" client_id;
+    t.backend.Apps.Backend.send ~cpu t.tr ~dst:src resp;
+    t.started <- t.started + 1;
+    t.completed <- t.completed + 1;
+    record_completion t client_id
+  end
+  else begin
+    Hashtbl.replace t.pending fid p;
+    t.started <- t.started + 1;
+    let keys_arr = Array.of_list keys in
+    let vals = Wire.Dyn.get_list req "vals" in
+    List.iter
+      (fun g ->
+        let sub = t.subreq_scratch in
+        Wire.Dyn.clear sub;
+        Wire.Dyn.set_int sub "id" (Int64.of_int fid);
+        Wire.Dyn.set_int sub "op" op;
+        (match Wire.Dyn.get_int req "index" with
+        | Some ix -> Wire.Dyn.set_int sub "index" ix
+        | None -> ());
+        Array.iter
+          (fun slot_idx ->
+            match retain t ~cpu keys_arr.(slot_idx) with
+            | Some p -> Wire.Dyn.append sub "keys" (Wire.Dyn.Payload p)
+            | None -> ())
+          g.g_slots;
+        if op = Apps.Proto.op_put then
+          List.iter
+            (fun v ->
+              match v with
+              | Wire.Dyn.Payload p -> (
+                  match retain t ~cpu p with
+                  | Some p -> Wire.Dyn.append sub "vals" (Wire.Dyn.Payload p)
+                  | None -> ())
+              | _ -> ())
+            vals;
+        t.backend.Apps.Backend.send ~cpu t.tr ~dst:g.g_shard sub)
+      groups
+  end
+
+(* --- Partial response: slot fill, assemble on last arrival -------------- *)
+
+let assemble t fid p =
+  let cpu = t.cpu in
+  Hashtbl.remove t.pending fid;
+  let resp = t.resp_scratch in
+  Wire.Dyn.clear resp;
+  Wire.Dyn.set_int resp "id" p.client_id;
+  Array.iter
+    (fun s ->
+      match s.payload with
+      | Some payload ->
+          let shard_idx =
+            Option.value ~default:0 (Hashtbl.find_opt t.shard_index s.owner)
+          in
+          Wire.Dyn.append resp "vals"
+            (Wire.Dyn.Payload (forward t ~shard_idx payload));
+          s.payload <- None
+      | None -> ())
+    p.slots;
+  t.backend.Apps.Backend.send ~cpu t.tr ~dst:p.client resp;
+  t.completed <- t.completed + 1;
+  record_completion t p.client_id
+
+let handle_partial t ~src resp_msg =
+  let cpu = t.cpu in
+  t.partials <- t.partials + 1;
+  let fid =
+    match Wire.Dyn.get_int resp_msg "id" with
+    | Some id -> Int64.to_int id
+    | None -> -1
+  in
+  match Hashtbl.find_opt t.pending fid with
+  | None -> t.orphan_partials <- t.orphan_partials + 1
+  | Some p -> (
+      match List.find_opt (fun g -> g.g_shard = src) p.groups with
+      | None -> t.orphan_partials <- t.orphan_partials + 1
+      | Some g when g.g_arrived -> t.dup_partials <- t.dup_partials + 1
+      | Some g ->
+          g.g_arrived <- true;
+          let vals =
+            List.filter_map
+              (fun v ->
+                match v with Wire.Dyn.Payload pl -> Some pl | _ -> None)
+              (Wire.Dyn.get_list resp_msg "vals")
+          in
+          let vals_arr = Array.of_list vals in
+          if Array.length vals_arr <> Array.length g.g_slots && p.slots <> [||]
+          then t.misaligned <- t.misaligned + 1;
+          Array.iteri
+            (fun pos slot_idx ->
+              if pos < Array.length vals_arr && p.slots <> [||] then
+                match retain t ~cpu vals_arr.(pos) with
+                | Some payload -> p.slots.(slot_idx).payload <- Some payload
+                | None -> ())
+            g.g_slots;
+          p.awaiting <- p.awaiting - 1;
+          if p.awaiting = 0 then assemble t fid p)
+
+let handler t ~src buf =
+  let cpu = t.cpu in
+  if Hashtbl.mem t.shard_index src then begin
+    let resp_msg = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.resp buf in
+    handle_partial t ~src resp_msg;
+    Wire.Dyn.release ~cpu resp_msg
+  end
+  else begin
+    let req = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.req buf in
+    handle_request t ~src req;
+    Wire.Dyn.release ~cpu req
+  end;
+  Mem.Pinned.Buf.decr_ref ~cpu ~site:"Dispatcher.handler_done" buf
+
+let create ~fabric ~registry ~space ~kind ~backend ~queue_limit ~id ~ring
+    ~shard_ids ~stash_classes =
+  let cpu = Memmodel.Cpu.create Memmodel.Params.default in
+  let ep = Net.Endpoint.create ~cpu fabric registry ~id in
+  let tr = Apps.Rig.transport_for ~kind ep in
+  let server = Loadgen.Server.create ~queue_limit tr cpu in
+  let shard_index = Hashtbl.create 16 in
+  List.iteri (fun i sid -> Hashtbl.replace shard_index sid i) shard_ids;
+  let stash =
+    Mem.Pinned.Pool.create space ~name:"dispatcher-stash"
+      ~classes:stash_classes
+  in
+  Mem.Registry.register registry stash;
+  let t =
+    {
+      id;
+      cpu;
+      ep;
+      tr;
+      server;
+      backend;
+      ring;
+      shard_index;
+      (* Seeded low: forwarding an already-pinned rx window has near-zero
+         marginal cost, so the estimator starts zc-happy and the copy arm
+         earns its keep from observations. *)
+      adaptives =
+        Array.init (List.length shard_ids) (fun _ ->
+            Cornflakes.Adaptive.create ~initial:64 ());
+      stash;
+      subreq_scratch = Wire.Dyn.create Apps.Proto.req;
+      resp_scratch = Wire.Dyn.create Apps.Proto.resp;
+      pending = Hashtbl.create 4096;
+      next_fanout = 1;
+      started = 0;
+      completed = 0;
+      partials = 0;
+      dup_partials = 0;
+      orphan_partials = 0;
+      misaligned = 0;
+      zc_forwards = 0;
+      copy_forwards = 0;
+      stash_copies = 0;
+      completions = Hashtbl.create 4096;
+    }
+  in
+  Loadgen.Server.set_handler server (fun ~src buf -> handler t ~src buf);
+  (* Open the dispatcher->shard connections up front: establishment is a
+     topology-build cost, not a measured-window cost (no-op on UDP). *)
+  List.iter (fun sid -> Net.Transport.connect tr ~peer:sid) shard_ids;
+  t
+
+let id t = t.id
+
+let server t = t.server
+
+let endpoint t = t.ep
+
+let transport t = t.tr
+
+let cpu t = t.cpu
+
+let ring t = t.ring
+
+let adaptive t ~shard_idx = t.adaptives.(shard_idx)
+
+let zc_forwards t = t.zc_forwards
+
+let copy_forwards t = t.copy_forwards
+
+let stash_copies t = t.stash_copies
+
+let audit t =
+  {
+    fanouts_started = t.started;
+    fanouts_completed = t.completed;
+    partials = t.partials;
+    dup_partials = t.dup_partials;
+    orphan_partials = t.orphan_partials;
+    misaligned = t.misaligned;
+    in_flight = Hashtbl.length t.pending;
+    max_completions_per_id =
+      Hashtbl.fold (fun _ n acc -> max n acc) t.completions 0;
+  }
+
+let exactly_once a =
+  a.fanouts_started = a.fanouts_completed
+  && a.dup_partials = 0 && a.orphan_partials = 0 && a.misaligned = 0
+  && a.in_flight = 0
+  && a.max_completions_per_id <= 1
+
+(* Tier-wide view: sums are exact; [max_completions_per_id] is exact as
+   long as each client id reaches one dispatcher (the topology pins
+   connections, so it does). *)
+let merge_audits audits =
+  List.fold_left
+    (fun acc a ->
+      {
+        fanouts_started = acc.fanouts_started + a.fanouts_started;
+        fanouts_completed = acc.fanouts_completed + a.fanouts_completed;
+        partials = acc.partials + a.partials;
+        dup_partials = acc.dup_partials + a.dup_partials;
+        orphan_partials = acc.orphan_partials + a.orphan_partials;
+        misaligned = acc.misaligned + a.misaligned;
+        in_flight = acc.in_flight + a.in_flight;
+        max_completions_per_id =
+          max acc.max_completions_per_id a.max_completions_per_id;
+      })
+    {
+      fanouts_started = 0;
+      fanouts_completed = 0;
+      partials = 0;
+      dup_partials = 0;
+      orphan_partials = 0;
+      misaligned = 0;
+      in_flight = 0;
+      max_completions_per_id = 0;
+    }
+    audits

@@ -1,0 +1,180 @@
+(* One shard of the cluster: a shared-nothing ownership domain. Each shard
+   has its own CPU (sharing the socket L3 with its siblings), endpoint,
+   pinned-buffer pool, and store — the only way in or out is a message
+   through [Net.Transport], so the ownership story StatCheck and RefSan
+   verify for a single rig holds per shard by construction.
+
+   The request protocol is the kv [Apps.Proto] schema: the dispatcher's
+   sub-requests are ordinary Req messages whose id is the fan-out id, and
+   partial responses are Resp messages echoing it. Values appended to a
+   get response keep positional alignment with the sub-request's keys
+   (a miss answers an empty value), which is what lets the dispatcher
+   reassemble multi-get responses without re-parsing keys. *)
+
+type t = {
+  index : int; (* dense 0..n-1, for per-shard report rows *)
+  id : int; (* endpoint id on the fabric *)
+  space : Mem.Addr_space.t;
+  cpu : Memmodel.Cpu.t;
+  ep : Net.Endpoint.t;
+  tr : Net.Transport.t;
+  server : Loadgen.Server.t;
+  backend : Apps.Backend.t;
+  store : Kvstore.Store.t;
+  pool : Mem.Pinned.Pool.t;
+  resp_scratch : Wire.Dyn.t;
+  mutable keys_served : int;
+  mutable puts : int;
+  mutable misses : int;
+  mutable drops : int; (* put values dropped on pool exhaustion *)
+}
+
+(* Read a key payload out of a request, charging the byte sweep (the
+   handler must hash/compare them) to App. *)
+let key_string ?cpu (p : Wire.Payload.t) =
+  let v = Wire.Payload.view p in
+  (match cpu with
+  | None -> ()
+  | Some cpu ->
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:v.Mem.View.addr
+        ~len:v.Mem.View.len);
+  Mem.View.to_string v
+
+let handle_get t ~cpu req resp =
+  List.iter
+    (fun v ->
+      match v with
+      | Wire.Dyn.Payload p -> (
+          let key = key_string ~cpu p in
+          match Kvstore.Store.get ~cpu t.store ~key with
+          | Some value ->
+              t.keys_served <- t.keys_served + 1;
+              List.iter
+                (fun buf ->
+                  let payload =
+                    t.backend.Apps.Backend.wrap ~cpu t.tr
+                      (Mem.Pinned.Buf.view buf)
+                  in
+                  Wire.Dyn.append resp "vals" (Wire.Dyn.Payload payload))
+                (Kvstore.Store.buffers value)
+          | None ->
+              (* Positional alignment with the sub-request keys must
+                 survive a miss: answer an empty value for this slot. *)
+              t.misses <- t.misses + 1;
+              Wire.Dyn.append resp "vals"
+                (Wire.Dyn.Payload (Wire.Payload.of_string t.space "")))
+      | _ -> ())
+    (Wire.Dyn.get_list req "keys")
+
+let handle_put t ~cpu req =
+  match Wire.Dyn.get_list req "keys" with
+  | [ Wire.Dyn.Payload kp ] ->
+      let key = key_string ~cpu kp in
+      let bufs =
+        List.filter_map
+          (fun v ->
+            match v with
+            | Wire.Dyn.Payload p -> (
+                let src = Wire.Payload.view p in
+                match
+                  Mem.Pinned.Buf.alloc ~cpu ~site:"Shard.put_value" t.pool
+                    ~len:(max 1 src.Mem.View.len)
+                with
+                | buf ->
+                    Mem.Pinned.Buf.blit_from ~cpu ~site:"Shard.put_value" buf
+                      ~src ~dst_off:0;
+                    Some buf
+                | exception Mem.Pinned.Out_of_memory _ ->
+                    t.drops <- t.drops + 1;
+                    None)
+            | _ -> None)
+          (Wire.Dyn.get_list req "vals")
+      in
+      (match bufs with
+      | [] -> ()
+      | [ one ] ->
+          t.puts <- t.puts + 1;
+          Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Single one)
+      | many ->
+          t.puts <- t.puts + 1;
+          Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Linked many))
+  | _ -> ()
+
+let handler t ~src buf =
+  let cpu = t.cpu in
+  let req = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.req buf in
+  let resp = t.resp_scratch in
+  Wire.Dyn.clear resp;
+  (match Wire.Dyn.get_int req "id" with
+  | Some id -> Wire.Dyn.set_int resp "id" id
+  | None -> ());
+  (match Wire.Dyn.get_int req "op" with
+  | Some op when op = Apps.Proto.op_get -> handle_get t ~cpu req resp
+  | Some op when op = Apps.Proto.op_put -> handle_put t ~cpu req
+  | Some _ | None -> ());
+  t.backend.Apps.Backend.send ~cpu t.tr ~dst:src resp;
+  Wire.Dyn.release ~cpu req;
+  Mem.Pinned.Buf.decr_ref ~cpu ~site:"Shard.handler_done" buf
+
+let create ~fabric ~registry ~space ~shared_l3 ~kind ~backend ~queue_limit
+    ~index ~id ~pool_classes ~store_capacity =
+  let cpu = Memmodel.Cpu.create ~shared_l3 Memmodel.Params.default in
+  let ep = Net.Endpoint.create ~cpu fabric registry ~id in
+  let tr = Apps.Rig.transport_for ~kind ep in
+  let server = Loadgen.Server.create ~queue_limit tr cpu in
+  let pool =
+    Mem.Pinned.Pool.create space
+      ~name:(Printf.sprintf "shard-%d" index)
+      ~classes:pool_classes
+  in
+  Mem.Registry.register registry pool;
+  let store =
+    Kvstore.Store.create space
+      ~name:(Printf.sprintf "shard-%d" index)
+      ~capacity:store_capacity
+  in
+  let t =
+    {
+      index;
+      id;
+      space;
+      cpu;
+      ep;
+      tr;
+      server;
+      backend;
+      store;
+      pool;
+      resp_scratch = Wire.Dyn.create Apps.Proto.resp;
+      keys_served = 0;
+      puts = 0;
+      misses = 0;
+      drops = 0;
+    }
+  in
+  Loadgen.Server.set_handler server (fun ~src buf -> handler t ~src buf);
+  t
+
+let id t = t.id
+
+let index t = t.index
+
+let endpoint t = t.ep
+
+let server t = t.server
+
+let cpu t = t.cpu
+
+let store t = t.store
+
+let pool t = t.pool
+
+let served t = Loadgen.Server.served t.server
+
+let keys_served t = t.keys_served
+
+let puts t = t.puts
+
+let misses t = t.misses
+
+let drops t = t.drops

@@ -1,0 +1,289 @@
+(* Cluster scaling: the sharded KV cluster (lib/cluster) under the
+   open-loop million-connection driver.
+
+   One front-end dispatcher consistent-hashes keys across 1..N shared-
+   nothing shards and reassembles multi-get fan-outs zero-copy; the
+   driver models 10^5–10^6 concurrent client connections as a packed
+   table with per-connection SplitMix64 streams and Zipf key popularity.
+   The offered load is fixed above the 4-shard aggregate capacity, so
+   achieved krps climbs as shards absorb more of the overload — the
+   paper's Fig. 13 linear-scaling story at cluster granularity.
+
+   The hot-shard scenario re-runs the widest cluster with the Zipf
+   exponent cranked up: popularity mass concentrates on few keys, the
+   ring maps the hottest onto one shard, and the per-shard served counts
+   expose the imbalance a consistent-hash cluster cannot shed.
+
+   Besides the printed tables the run writes BENCH_cluster.json —
+   simulated metrics only — which CI regenerates at --jobs 1 and --jobs 4
+   and compares byte-for-byte: each config builds its whole topology
+   (engine, fabric, shards, connection table) from [Sim.Rng.stream
+   ~index], so pool scheduling is invisible in the artifact. *)
+
+type row = {
+  label : string;
+  shards : int;
+  zipf_s : float;
+  offered_rps : float;
+  achieved_rps : float;
+  achieved_gbps : float;
+  p50_ns : int;
+  p99_ns : int;
+  completed : int;
+  active_conns : int;
+  zc_forwards : int;
+  copy_forwards : int;
+  adaptive_obs : int;
+  drops : int;
+  misses : int;
+  exactly_once : bool;
+  per_shard_served : int list;
+  disp_svc_ns : float; (* dispatcher mean service time *)
+  shard_svc_ns : float; (* mean over shards of mean service time *)
+  audit : Cluster.Dispatcher.audit;
+}
+
+(* Offered load per front-end/shard pair: the routing tier scales with
+   the data tier (dispatchers = shards), so offered load grows linearly
+   with width while every server stays below saturation — the run is
+   loss-free, which the exactly-once audit and RefSan depend on. The
+   rate is calibrated against the simulated service costs (roughly 85%
+   of a dispatcher's worst-case per-request budget) and asserted by the
+   scaling_monotone gate rather than trusted. *)
+let rate_per_unit = 450_000.0
+
+let base_zipf = 0.9
+
+let hot_zipf = 1.25
+
+(* The hot-shard scenario keeps the skew extreme but offers less: the
+   point is the served-count imbalance and the latency it costs, not a
+   saturation collapse that would orphan fan-outs. *)
+let hot_rate_per_unit = 180_000.0
+
+let n_keys = 32_768
+
+let run_config ~index ~label ~shards ~zipf_s ~offered ~conns_n =
+  let b = Util.budget () in
+  let seed = Apps.Rig.default_seed () in
+  (* Per-config streams: jobs are independent whatever the pool width. *)
+  let topo_seed = Sim.Rng.stream_seed ~seed ~index in
+  let topo =
+    Cluster.Topology.create ~seed:topo_seed ~shards ~dispatchers:shards
+      ~n_keys ~zipf_s ~backend:(Apps.Backend.cornflakes ()) ()
+  in
+  let conns = Loadgen.Conns.create ~seed:topo_seed conns_n in
+  let r =
+    Cluster.Topology.drive topo ~conns ~rate_rps:offered
+      ~duration_ns:b.Util.point_ns ~warmup_ns:b.Util.warmup_ns
+  in
+  let ds = Cluster.Topology.dispatcher_list topo in
+  let ss = Cluster.Topology.shard_list topo in
+  let audit =
+    Cluster.Dispatcher.merge_audits (List.map Cluster.Dispatcher.audit ds)
+  in
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let drops =
+    (* Any loss breaks exactly-once, so count every sink: server queue
+       rejections, NIC rx-ring overruns, and fabric-level drops. *)
+    sum (fun d -> Loadgen.Server.dropped (Cluster.Dispatcher.server d)) ds
+    + sum (fun s -> Loadgen.Server.dropped (Cluster.Shard.server s)) ss
+    + sum (fun d -> Net.Endpoint.rx_dropped (Cluster.Dispatcher.endpoint d)) ds
+    + sum (fun s -> Net.Endpoint.rx_dropped (Cluster.Shard.endpoint s)) ss
+    + sum
+        (fun c -> Net.Endpoint.rx_dropped (Net.Transport.endpoint c))
+        (Cluster.Topology.clients topo)
+    + Net.Fabric.dropped (Cluster.Topology.fabric topo)
+  in
+  let misses = sum Cluster.Shard.misses ss in
+  let adaptive_obs =
+    sum
+      (fun d ->
+        let acc = ref 0 in
+        for i = 0 to shards - 1 do
+          acc :=
+            !acc
+            + Cornflakes.Adaptive.observations
+                (Cluster.Dispatcher.adaptive d ~shard_idx:i)
+        done;
+        !acc)
+      ds
+  in
+  let per_shard_served = Cluster.Topology.per_shard_served topo in
+  let mean f l =
+    List.fold_left (fun acc x -> acc +. f x) 0.0 l
+    /. float_of_int (max 1 (List.length l))
+  in
+  let disp_svc_ns =
+    mean (fun d -> Loadgen.Server.mean_service_ns (Cluster.Dispatcher.server d)) ds
+  in
+  let shard_svc_ns =
+    mean (fun s -> Loadgen.Server.mean_service_ns (Cluster.Shard.server s)) ss
+  in
+  if Sanitizer.Refsan.is_enabled () then begin
+    Sim.Engine.quiesce (Cluster.Topology.engine topo);
+    Sanitizer.Report.print_scoped ~label:"cluster fan-out" ();
+    Sanitizer.Refsan.checkpoint ()
+  end;
+  {
+    label;
+    shards;
+    zipf_s;
+    offered_rps = offered;
+    achieved_rps = r.Loadgen.Driver.achieved_rps;
+    achieved_gbps = r.Loadgen.Driver.achieved_gbps;
+    p50_ns = Loadgen.Driver.p50_ns r;
+    p99_ns = Loadgen.Driver.p99_ns r;
+    completed = r.Loadgen.Driver.completed;
+    active_conns = Loadgen.Conns.active conns;
+    zc_forwards = sum Cluster.Dispatcher.zc_forwards ds;
+    copy_forwards = sum Cluster.Dispatcher.copy_forwards ds;
+    adaptive_obs;
+    drops;
+    misses;
+    exactly_once = Cluster.Dispatcher.exactly_once audit && drops = 0;
+    per_shard_served;
+    disp_svc_ns;
+    shard_svc_ns;
+    audit;
+  }
+
+(* Aggregate krps must rise with every added shard (the overload shrinks);
+   flat-within-noise is a scaling failure, so require a real step. *)
+let scaling_monotone rows =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        b.achieved_rps > a.achieved_rps *. 1.02 && go rest
+    | _ -> true
+  in
+  go rows
+
+let imbalance row =
+  let served = List.map float_of_int row.per_shard_served in
+  let n = List.length served in
+  if n = 0 then 1.0
+  else
+    let mean = List.fold_left ( +. ) 0.0 served /. float_of_int n in
+    if mean <= 0.0 then 1.0 else List.fold_left max 0.0 served /. mean
+
+let json_file = "BENCH_cluster.json"
+
+let row_json r =
+  Printf.sprintf
+    "{\"label\": %S, \"shards\": %d, \"zipf_s\": %.2f, \"offered_rps\": \
+     %.1f, \"achieved_rps\": %.1f, \"achieved_gbps\": %.4f, \"p50_ns\": %d, \
+     \"p99_ns\": %d, \"completed\": %d, \"active_conns\": %d, \
+     \"zc_forwards\": %d, \"copy_forwards\": %d, \"adaptive_obs\": %d, \
+     \"drops\": %d, \"misses\": %d, \"exactly_once\": %b, \
+     \"per_shard_served\": [%s]}"
+    r.label r.shards r.zipf_s r.offered_rps r.achieved_rps r.achieved_gbps
+    r.p50_ns r.p99_ns r.completed r.active_conns r.zc_forwards
+    r.copy_forwards r.adaptive_obs r.drops r.misses r.exactly_once
+    (String.concat ", " (List.map string_of_int r.per_shard_served))
+
+let write_json ~seed ~conns_n ~scaling ~hot =
+  let oc = open_out json_file in
+  Printf.fprintf oc "{\n  \"schema\": \"cornflakes-bench-cluster/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"transport\": %S,\n"
+    (Apps.Rig.transport_kind_name (Apps.Rig.default_transport ()));
+  Printf.fprintf oc "  \"conns\": %d,\n" conns_n;
+  Printf.fprintf oc "  \"n_keys\": %d,\n" n_keys;
+  Printf.fprintf oc "  \"scaling_monotone\": %b,\n" (scaling_monotone scaling);
+  Printf.fprintf oc "  \"exactly_once\": %b,\n"
+    (List.for_all (fun r -> r.exactly_once) (scaling @ [ hot ]));
+  Printf.fprintf oc "  \"hot_imbalance\": %.3f,\n" (imbalance hot);
+  Printf.fprintf oc "  \"scaling\": [\n";
+  let n = List.length scaling in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n" (row_json r)
+        (if i = n - 1 then "" else ","))
+    scaling;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"hot\": %s\n}\n" (row_json hot);
+  close_out oc;
+  Printf.printf "wrote %s\n" json_file
+
+let print_rows ~title rows =
+  let t =
+    Stats.Table.create ~title
+      ~columns:
+        [
+          "scenario"; "shards"; "offered krps"; "achieved krps"; "p50 us";
+          "p99 us"; "conns"; "zc fwd"; "copy fwd"; "imbalance";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.label;
+          string_of_int r.shards;
+          Util.krps r.offered_rps;
+          Util.krps r.achieved_rps;
+          Printf.sprintf "%.1f" (float_of_int r.p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (float_of_int r.p99_ns /. 1e3);
+          string_of_int r.active_conns;
+          string_of_int r.zc_forwards;
+          string_of_int r.copy_forwards;
+          Printf.sprintf "%.2f" (imbalance r);
+        ])
+    rows;
+  Stats.Table.print t
+
+let run () =
+  let quick = Util.is_quick () in
+  let shard_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let conns_n = if quick then 131_072 else 1_048_576 in
+  let hot_shards = List.fold_left max 1 shard_counts in
+  let configs =
+    List.map
+      (fun n ->
+        ( Printf.sprintf "scale-%d" n,
+          n,
+          base_zipf,
+          float_of_int n *. rate_per_unit ))
+      shard_counts
+    @ [
+        ( "hot-shard",
+          hot_shards,
+          hot_zipf,
+          float_of_int hot_shards *. hot_rate_per_unit );
+      ]
+  in
+  let rows =
+    Util.par_map
+      (fun (index, (label, shards, zipf_s, offered)) ->
+        run_config ~index ~label ~shards ~zipf_s ~offered ~conns_n)
+      (List.mapi (fun i c -> (i, c)) configs)
+  in
+  let scaling = List.filteri (fun i _ -> i < List.length shard_counts) rows in
+  let hot = List.nth rows (List.length shard_counts) in
+  print_rows
+    ~title:
+      (Printf.sprintf
+         "Cluster scaling: sharded KV behind a matched dispatcher tier, %d \
+          open-loop connections"
+         conns_n)
+    (scaling @ [ hot ]);
+  List.iter
+    (fun r ->
+      let a = r.audit in
+      Printf.printf
+        "  %-10s svc ns disp=%.0f shard=%.0f | fanouts %d/%d partials=%d \
+         dup=%d orphan=%d misaligned=%d in_flight=%d maxcomp=%d drops=%d \
+         misses=%d\n"
+        r.label r.disp_svc_ns r.shard_svc_ns a.Cluster.Dispatcher.fanouts_started
+        a.Cluster.Dispatcher.fanouts_completed a.Cluster.Dispatcher.partials
+        a.Cluster.Dispatcher.dup_partials a.Cluster.Dispatcher.orphan_partials
+        a.Cluster.Dispatcher.misaligned a.Cluster.Dispatcher.in_flight
+        a.Cluster.Dispatcher.max_completions_per_id r.drops r.misses)
+    rows;
+  Printf.printf "aggregate krps monotone 1..%d shards: %s\n" hot_shards
+    (if scaling_monotone scaling then "OK" else "VIOLATED");
+  Printf.printf "exactly-once fan-out semantics: %s\n"
+    (if List.for_all (fun r -> r.exactly_once) rows then "OK" else "VIOLATED");
+  Printf.printf "hot-shard imbalance (max/mean served at zipf %.2f): %.2f\n"
+    hot_zipf (imbalance hot);
+  write_json ~seed:(Apps.Rig.default_seed ()) ~conns_n ~scaling ~hot

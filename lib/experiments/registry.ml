@@ -78,6 +78,11 @@ let all =
       run = Exp_replication.run;
     };
     {
+      id = "cluster";
+      title = "Sharded KV cluster: scaling and hot-shard imbalance";
+      run = Exp_cluster.run;
+    };
+    {
       id = "faults";
       title = "Faultline: goodput/p99 degradation under injected faults";
       run = Exp_faults.run;

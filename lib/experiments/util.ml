@@ -35,6 +35,10 @@ let budget () = Atomic.get current
 
 let set_quick q = Atomic.set current (if q then quick_budget else default_budget)
 
+(* Experiments that scale non-time knobs (connection-table width, shard
+   counts) off the CI-vs-full distinction rather than durations alone. *)
+let is_quick () = Atomic.get current = quick_budget
+
 (* Parallel harness entry point: experiments hand their independent
    per-config jobs here and the pool width set from --jobs (see
    [Par.Pool.set_default_jobs]) decides how many run at once. Each job

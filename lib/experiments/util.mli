@@ -19,6 +19,10 @@ val budget : unit -> budget
 
 val set_quick : bool -> unit
 
+(** Whether the quick budget is active — for experiments that also scale
+    non-time knobs (connection-table width, shard counts) down in CI. *)
+val is_quick : unit -> bool
+
 (** [par_map f xs] maps [f] over [xs] on the parallel harness (width =
     [Par.Pool.default_jobs ()], i.e. the --jobs flag), preserving order.
     Each call of [f] must be self-contained (own rig/engine/space). *)

@@ -159,6 +159,56 @@ let open_loop ?reliab engine ~clients ~server ~rate_rps ~duration_ns ~warmup_ns
     clients;
   finish ctx ~offered_rps:rate_rps
 
+(* Open loop over a packed connection table (see [Conns]): one aggregate
+   Poisson arrival process at [rate_rps] picks a uniformly random
+   connection per arrival — the superposition of n independent Poisson
+   streams at rate/n each, without n timer chains in the heap. The chosen
+   connection's private RNG stream generates the request (key choice, op
+   mix), so the sequence each connection emits is a function of the seed
+   alone. Connections multiplex over the (few) physical client endpoints
+   round-robin.
+
+   Responses must be id-matched: a dispatcher fanning requests across
+   shards can reorder completions, so the FIFO fallback of [open_loop]
+   would mis-pair latencies. *)
+let open_loop_conns ?reliab engine ~conns ~clients ~server ~rate_rps
+    ~duration_ns ~warmup_ns ~rng ~send ~parse_id =
+  if clients = [] then invalid_arg "Driver.open_loop_conns: no clients";
+  let clients_arr = Array.of_list clients in
+  let n_clients = Array.length clients_arr in
+  List.iter (fun c -> Net.Transport.connect c ~peer:server) clients;
+  let ctx = make_ctx ?reliab engine ~duration_ns ~warmup_ns in
+  let parse = Some parse_id in
+  List.iter
+    (fun client ->
+      install_rx ctx client ~parse_id:parse ~fifo:(Queue.create ())
+        ~on_complete:(fun () -> ()))
+    clients;
+  let master = Sim.Rng.split rng in
+  let mean_gap_ns = 1e9 /. rate_rps in
+  let rec arrival () =
+    if Sim.Engine.now engine < ctx.end_abs then begin
+      let conn = Sim.Rng.int master (Conns.length conns) in
+      let client = clients_arr.(conn mod n_clients) in
+      let id = fresh_id ctx in
+      Hashtbl.replace ctx.pending id (Sim.Engine.now engine);
+      ctx.sent <- ctx.sent + 1;
+      let do_send () =
+        Conns.with_stream conns conn (fun crng ->
+            send ~conn crng client ~dst:server ~id)
+      in
+      (match ctx.reliab with
+      | None -> do_send ()
+      | Some r ->
+          Net.Reliab.track r ~id ~send:do_send ~give_up:(fun () ->
+              Hashtbl.remove ctx.pending id));
+      let gap = Sim.Dist.exponential master ~mean:mean_gap_ns in
+      Sim.Engine.schedule engine ~after:(max 1 (int_of_float gap)) arrival
+    end
+  in
+  Sim.Engine.schedule engine ~after:1 arrival;
+  finish ctx ~offered_rps:rate_rps
+
 let closed_loop ?reliab engine ~clients ~server ~outstanding ~duration_ns
     ~warmup_ns ~rng ~send ~parse_id =
   if clients = [] then invalid_arg "Driver.closed_loop: no clients";

@@ -53,6 +53,30 @@ val open_loop :
   parse_id:(Mem.Pinned.Buf.t -> int) option ->
   result
 
+(** [open_loop_conns ...] — open loop over a packed connection table
+    (see {!Conns}): one aggregate Poisson process at [rate_rps] picks a
+    uniformly random connection per arrival (the superposition of
+    per-connection Poisson streams, without a timer chain per
+    connection), rehydrates that connection's private RNG stream, and
+    hands it to [send ~conn crng client ~dst ~id]. Connections multiplex
+    round-robin over the physical [clients]. Responses must be id-matched
+    ([parse_id] is mandatory): a dispatcher fanning requests across
+    shards reorders completions, which would desynchronise FIFO
+    matching. *)
+val open_loop_conns :
+  ?reliab:Net.Reliab.t ->
+  Sim.Engine.t ->
+  conns:Conns.t ->
+  clients:Net.Transport.t list ->
+  server:int ->
+  rate_rps:float ->
+  duration_ns:int ->
+  warmup_ns:int ->
+  rng:Sim.Rng.t ->
+  send:(conn:int -> Sim.Rng.t -> Net.Transport.t -> dst:int -> id:int -> unit) ->
+  parse_id:(Mem.Pinned.Buf.t -> int) ->
+  result
+
 (** [closed_loop ...] keeps [outstanding] requests in flight per client
     until [duration_ns]; measures saturation throughput. [?reliab] as in
     {!open_loop}; a given-up request re-issues a fresh one so loss cannot

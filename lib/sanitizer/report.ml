@@ -76,6 +76,16 @@ let print_quiesce ?(verbose = false) () =
 
 let clean () = Refsan.leaks () = [] && Refsan.diagnostics () = []
 
+(* Labelled summary for a specific datapath a harness wants greppable in
+   CI — e.g. "cluster fan-out refsan: 0 leaks, 0 hazards ..." asserts the
+   cross-shard scatter-gather path specifically, not just the end-of-bench
+   roll-up. Always prints (a clean line is the assertion). *)
+let print_scoped ~label () =
+  ignore (Refsan.flag_stuck_holds ());
+  print_endline ("  " ^ label ^ " " ^ summary_line ());
+  List.iter (fun l -> print_endline ("    " ^ l)) (diag_lines ());
+  List.iter (fun l -> print_endline ("    " ^ l)) (leak_lines ())
+
 (* End-of-bench roll-up across every checkpointed run plus the live ledger. *)
 let grand_total_line () =
   let leaks = Refsan.total_leaks () and hazards = Refsan.total_hazards () in

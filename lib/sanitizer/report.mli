@@ -24,6 +24,11 @@ val print_quiesce : ?verbose:bool -> unit -> unit
 (** No leaks and no diagnostics recorded. *)
 val clean : unit -> bool
 
+(** [print_scoped ~label ()] prints a labelled ledger summary (plus any
+    leak/diagnostic detail) unconditionally — for CI to grep a specific
+    datapath's cleanliness, e.g. the cluster fan-out. *)
+val print_scoped : label:string -> unit -> unit
+
 (** Roll-up over every checkpointed run plus the live ledger, e.g.
     ["refsan: 0 leaks, 0 hazards"]. *)
 val grand_total_line : unit -> string

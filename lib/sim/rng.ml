@@ -17,6 +17,13 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* Raw state save/restore: a packed connection table keeps millions of
+   per-connection SplitMix64 streams as 8 bytes each and rehydrates them
+   into one scratch generator, instead of allocating a [t] per stream. *)
+let state t = t.state
+
+let set_state t s = t.state <- s
+
 (* Job-splitting streams: the parallel harness gives job [i] the generator
    [stream ~seed ~index:i]. Double-mixing the (seed, index) pair scatters
    the initial states across the whole 2^64 SplitMix orbit, so streams for

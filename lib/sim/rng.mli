@@ -22,6 +22,17 @@ val stream : seed:int -> index:int -> t
     for components that take a seed rather than a generator. *)
 val stream_seed : seed:int -> index:int -> int
 
+(** Raw state save/restore: lets a packed table (e.g. a million-connection
+    load driver) keep one stream per row as 8 flat bytes and rehydrate
+    rows into a single scratch generator without allocating. *)
+val state : t -> int64
+
+val set_state : t -> int64 -> unit
+
+(** The SplitMix64 finalizer, exposed for hash-mixing uses (consistent
+    hashing scatters FNV digests through it). *)
+val mix64 : int64 -> int64
+
 (** [next_int64 t] is a uniform 64-bit value. *)
 val next_int64 : t -> int64
 

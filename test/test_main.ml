@@ -26,5 +26,6 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("faults", Test_faults.suite);
       ("par", Test_par.suite);
+      ("cluster", Test_cluster.suite);
       ("analysis", Test_analysis.suite);
     ]
