@@ -1,0 +1,19 @@
+(* StatCheck fixture: RX view outliving its buffer's recycle.
+   NOT part of the build — parsed by the analyzer only.
+
+   [park] keeps a handle to a receive buffer after every reference on it
+   has been dropped: the delivery reference and the parked view's reference
+   both go, the ring slot recycles back into the RX pool, and the final
+   [blit_from] writes through a handle that may now alias a buffer serving
+   a newer delivery. Expected: SC-LC-UAF. *)
+
+let park pool ~len ~src =
+  let buf = Mem.Pinned.Buf.alloc ~site:"Fixture.park" pool ~len in
+  let view = Wire.Rc_view.of_buf ~site:"Fixture.park" buf ~off:0 ~len in
+  (* handler done with the delivery reference... *)
+  Mem.Pinned.Buf.decr_ref ~site:"Fixture.park" buf;
+  (* ...and the parked view gets released too: refcount 0, slot recycled *)
+  Mem.Pinned.Buf.decr_ref ~site:"Fixture.park" buf;
+  ignore view;
+  (* stale write through the recycled slot *)
+  Mem.Pinned.Buf.blit_from buf ~src ~dst_off:0

@@ -15,7 +15,10 @@
    - SC-LC-WAP     write to a subject while posted (before completion)
    - SC-LC-RBA     release of a posted subject outside an ACK/completion
                    context (the TCP hold-until-cumulative-ACK contract)
-   - SC-LC-DOUBLE  second release of an already fully-released local *)
+   - SC-LC-DOUBLE  second release of an already fully-released local
+   - SC-LC-UAF     write through a local whose references already reached
+                   zero — at refcount 0 an RX ring slot recycles, so the
+                   handle may alias a buffer serving a newer delivery *)
 
 type subj = {
   s_refs : int;
@@ -135,6 +138,13 @@ let apply_op ctx op name line (sts : state list) : state list =
                   "write to '%s' while posted (in flight) — mutating bytes \
                    covered by an active DMA/retransmission hold is the \
                    write-after-post race"
+                  name;
+              if s.s_released && s.s_local then
+                report ctx ~id:"SC-LC-UAF" ~line
+                  "write to '%s' after its references reached zero on this \
+                   path — at refcount 0 the slot recycles back to its pool, \
+                   so this handle may alias a buffer already serving a newer \
+                   delivery"
                   name;
               s)
         st)

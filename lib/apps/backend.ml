@@ -1,5 +1,11 @@
 type t = {
   name : string;
+  (* RX discipline: [true] routes servers through the in-place
+     [Wire.Reader] path (validate once, access fields in the receive
+     buffer); [false] materializes a [Wire.Dyn] via [recv]. Only the
+     Cornflakes wire format supports in-place access; baselines always
+     parse-into-heap. *)
+  zc_rx : bool;
   send :
     ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit;
   recv :
@@ -12,7 +18,7 @@ type t = {
     ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> Mem.View.t -> Wire.Payload.t;
 }
 
-let cornflakes ?(config = Cornflakes.Config.default) () =
+let cornflakes ?(config = Cornflakes.Config.default) ?(zc_rx = true) () =
   {
     name =
       (if config = Cornflakes.Config.default then "cornflakes"
@@ -20,7 +26,9 @@ let cornflakes ?(config = Cornflakes.Config.default) () =
        else if config = Cornflakes.Config.all_zero_copy then "cornflakes-zc"
        else
          Printf.sprintf "cornflakes-t%d%s" config.Cornflakes.Config.zero_copy_threshold
-           (if config.Cornflakes.Config.serialize_and_send then "" else "-nosas"));
+           (if config.Cornflakes.Config.serialize_and_send then "" else "-nosas"))
+      ^ (if zc_rx then "" else "-copyrx");
+    zc_rx;
     send = (fun ?cpu tr ~dst msg -> Cornflakes.Send.send_via ?cpu config tr ~dst msg);
     recv =
       (fun ?cpu _tr desc buf ->
@@ -44,6 +52,7 @@ let protobuf_wrap ?cpu tr view =
 let protobuf =
   {
     name = "protobuf";
+    zc_rx = false;
     send = (fun ?cpu tr ~dst msg -> Baselines.Protobuf.serialize_and_send ?cpu tr ~dst msg);
     recv =
       (fun ?cpu tr desc buf ->
@@ -55,6 +64,7 @@ let protobuf =
 let flatbuffers =
   {
     name = "flatbuffers";
+    zc_rx = false;
     send = (fun ?cpu tr ~dst msg -> Baselines.Flatbuf.serialize_and_send ?cpu tr ~dst msg);
     recv =
       (fun ?cpu _tr desc buf ->
@@ -65,6 +75,7 @@ let flatbuffers =
 let capnproto =
   {
     name = "capnproto";
+    zc_rx = false;
     send = (fun ?cpu tr ~dst msg -> Baselines.Capnp.serialize_and_send ?cpu tr ~dst msg);
     recv =
       (fun ?cpu _tr desc buf ->

@@ -12,6 +12,12 @@
 
 type t = {
   name : string;
+  (* RX discipline: [true] routes servers through the in-place
+     [Wire.Reader] path (validate once, access fields in the receive
+     buffer); [false] materializes a [Wire.Dyn] via [recv]. Only the
+     Cornflakes wire format supports in-place access; baselines always
+     parse-into-heap. *)
+  zc_rx : bool;
   send :
     ?cpu:Memmodel.Cpu.t -> Net.Transport.t -> dst:int -> Wire.Dyn.t -> unit;
   recv :
@@ -25,8 +31,11 @@ type t = {
 }
 
 (** [cornflakes ~config] — hybrid by default; pass
-    {!Cornflakes.Config.all_copy} / [all_zero_copy] for the ablations. *)
-val cornflakes : ?config:Cornflakes.Config.t -> unit -> t
+    {!Cornflakes.Config.all_copy} / [all_zero_copy] for the ablations.
+    [~zc_rx:false] keeps the TX config but parses received messages into a
+    [Wire.Dyn] (the pre-reader receive path, kept for the [rx] ablation);
+    its name gains a ["-copyrx"] suffix. *)
+val cornflakes : ?config:Cornflakes.Config.t -> ?zc_rx:bool -> unit -> t
 
 val protobuf : t
 

@@ -27,3 +27,18 @@ let op_get = 0L
 let op_put = 1L
 
 let op_get_index = 2L
+
+(* Field indices for the in-place [Wire.Reader] accessors (schema order). *)
+let req_id = Schema.Desc.field_index req "id"
+
+let req_op = Schema.Desc.field_index req "op"
+
+let req_keys = Schema.Desc.field_index req "keys"
+
+let req_index = Schema.Desc.field_index req "index"
+
+let req_vals = Schema.Desc.field_index req "vals"
+
+let resp_id = Schema.Desc.field_index resp "id"
+
+let resp_vals = Schema.Desc.field_index resp "vals"

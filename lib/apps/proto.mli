@@ -17,3 +17,18 @@ val op_get : int64
 val op_put : int64
 
 val op_get_index : int64
+
+(** Field indices (schema order) for the in-place [Wire.Reader] accessors. *)
+val req_id : int
+
+val req_op : int
+
+val req_keys : int
+
+val req_index : int
+
+val req_vals : int
+
+val resp_id : int
+
+val resp_vals : int

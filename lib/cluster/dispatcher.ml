@@ -67,6 +67,11 @@ type t = {
   stash : Mem.Pinned.Pool.t; (* for non-refcounted partial payloads *)
   subreq_scratch : Wire.Dyn.t;
   resp_scratch : Wire.Dyn.t;
+  (* Pooled in-place readers for the zc-RX path: requests and partial
+     responses are validated once and accessed in the receive buffer;
+     retained values become [Wire.Rc_view] slices, no [Dyn] in between. *)
+  req_reader : Wire.Reader.t;
+  partial_reader : Wire.Reader.t;
   pending : (int, pending) Hashtbl.t; (* fan-out id -> pending *)
   mutable next_fanout : int;
   mutable started : int;
@@ -311,18 +316,167 @@ let handle_partial t ~src resp_msg =
           p.awaiting <- p.awaiting - 1;
           if p.awaiting = 0 then assemble t fid p)
 
-let handler t ~src buf =
+(* --- In-place fan-out path (zc-RX) ------------------------------------- *)
+
+(* Client request over the validated reader: keys are hashed straight out
+   of the receive buffer for routing, and each forwarded key/value becomes
+   an [Rc_view] slice whose reference transfers to the sub-request's send
+   path — the request bytes are never re-materialized. *)
+let handle_request_zc t ~src r =
   let cpu = t.cpu in
-  if Hashtbl.mem t.shard_index src then begin
-    let resp_msg = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.resp buf in
-    handle_partial t ~src resp_msg;
-    Wire.Dyn.release ~cpu resp_msg
+  let client_id =
+    if Wire.Reader.present r Apps.Proto.req_id then
+      Wire.Reader.get_u64 r Apps.Proto.req_id
+    else -1L
+  in
+  let op =
+    if Wire.Reader.present r Apps.Proto.req_op then
+      Wire.Reader.get_u64 r Apps.Proto.req_op
+    else Apps.Proto.op_get
+  in
+  let nkeys =
+    if Wire.Reader.present r Apps.Proto.req_keys then
+      Wire.Reader.count r Apps.Proto.req_keys
+    else 0
+  in
+  let owners =
+    Array.init nkeys (fun j ->
+        let key = Wire.Reader.elem_string r Apps.Proto.req_keys ~j in
+        charge_route t key;
+        Ring.owner t.ring key)
+  in
+  let slots = Array.map (fun o -> { owner = o; payload = None }) owners in
+  let groups =
+    let acc = ref [] in
+    Array.iteri
+      (fun i s ->
+        match List.find_opt (fun (sh, _) -> sh = s.owner) !acc with
+        | Some (_, idxs) -> idxs := i :: !idxs
+        | None -> acc := !acc @ [ (s.owner, ref [ i ]) ])
+      slots;
+    List.map
+      (fun (sh, idxs) ->
+        { g_shard = sh; g_slots = Array.of_list (List.rev !idxs); g_arrived = false })
+      !acc
+  in
+  let fid = fresh_fanout t in
+  let p =
+    {
+      client = src;
+      client_id;
+      slots = (if op = Apps.Proto.op_put then [||] else slots);
+      groups;
+      awaiting = List.length groups;
+    }
+  in
+  if p.awaiting = 0 then begin
+    let resp = t.resp_scratch in
+    Wire.Dyn.clear resp;
+    Wire.Dyn.set_int resp "id" client_id;
+    t.backend.Apps.Backend.send ~cpu t.tr ~dst:src resp;
+    t.started <- t.started + 1;
+    t.completed <- t.completed + 1;
+    record_completion t client_id
   end
   else begin
-    let req = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.req buf in
-    handle_request t ~src req;
-    Wire.Dyn.release ~cpu req
-  end;
+    Hashtbl.replace t.pending fid p;
+    t.started <- t.started + 1;
+    let nvals =
+      if op = Apps.Proto.op_put && Wire.Reader.present r Apps.Proto.req_vals
+      then Wire.Reader.count r Apps.Proto.req_vals
+      else 0
+    in
+    List.iter
+      (fun g ->
+        let sub = t.subreq_scratch in
+        Wire.Dyn.clear sub;
+        Wire.Dyn.set_int sub "id" (Int64.of_int fid);
+        Wire.Dyn.set_int sub "op" op;
+        if Wire.Reader.present r Apps.Proto.req_index then
+          Wire.Dyn.set_int sub "index"
+            (Wire.Reader.get_u64 r Apps.Proto.req_index);
+        Array.iter
+          (fun slot_idx ->
+            let rc =
+              Wire.Reader.elem_rc ~site:"Dispatcher.retain" r
+                Apps.Proto.req_keys ~j:slot_idx
+            in
+            Wire.Dyn.append sub "keys"
+              (Wire.Dyn.Payload (Wire.Rc_view.to_payload rc)))
+          g.g_slots;
+        for j = 0 to nvals - 1 do
+          let rc =
+            Wire.Reader.elem_rc ~site:"Dispatcher.retain" r Apps.Proto.req_vals
+              ~j
+          in
+          Wire.Dyn.append sub "vals"
+            (Wire.Dyn.Payload (Wire.Rc_view.to_payload rc))
+        done;
+        t.backend.Apps.Backend.send ~cpu t.tr ~dst:g.g_shard sub)
+      groups
+  end
+
+(* Partial response over the validated reader: each value retained into its
+   pending slot is an [Rc_view] slice of the shard's response frame — the
+   slot owns exactly one reference and the RX ring slot stays pinned until
+   assembly hands it to the egress send (same ownership automaton as the
+   [Dyn] path, minus the parse). *)
+let handle_partial_zc t ~src r =
+  t.partials <- t.partials + 1;
+  let fid =
+    if Wire.Reader.present r Apps.Proto.resp_id then
+      Int64.to_int (Wire.Reader.get_u64 r Apps.Proto.resp_id)
+    else -1
+  in
+  match Hashtbl.find_opt t.pending fid with
+  | None -> t.orphan_partials <- t.orphan_partials + 1
+  | Some p -> (
+      match List.find_opt (fun g -> g.g_shard = src) p.groups with
+      | None -> t.orphan_partials <- t.orphan_partials + 1
+      | Some g when g.g_arrived -> t.dup_partials <- t.dup_partials + 1
+      | Some g ->
+          g.g_arrived <- true;
+          let nvals =
+            if Wire.Reader.present r Apps.Proto.resp_vals then
+              Wire.Reader.count r Apps.Proto.resp_vals
+            else 0
+          in
+          if nvals <> Array.length g.g_slots && p.slots <> [||] then
+            t.misaligned <- t.misaligned + 1;
+          Array.iteri
+            (fun pos slot_idx ->
+              if pos < nvals && p.slots <> [||] then begin
+                let rc =
+                  Wire.Reader.elem_rc ~site:"Dispatcher.retain" r
+                    Apps.Proto.resp_vals ~j:pos
+                in
+                p.slots.(slot_idx).payload <- Some (Wire.Rc_view.to_payload rc)
+              end)
+            g.g_slots;
+          p.awaiting <- p.awaiting - 1;
+          if p.awaiting = 0 then assemble t fid p)
+
+let handler t ~src buf =
+  let cpu = t.cpu in
+  (if t.backend.Apps.Backend.zc_rx then
+     if Hashtbl.mem t.shard_index src then begin
+       Wire.Reader.validate ~cpu t.partial_reader buf;
+       handle_partial_zc t ~src t.partial_reader
+     end
+     else begin
+       Wire.Reader.validate ~cpu t.req_reader buf;
+       handle_request_zc t ~src t.req_reader
+     end
+   else if Hashtbl.mem t.shard_index src then begin
+     let resp_msg = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.resp buf in
+     handle_partial t ~src resp_msg;
+     Wire.Dyn.release ~cpu resp_msg
+   end
+   else begin
+     let req = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.req buf in
+     handle_request t ~src req;
+     Wire.Dyn.release ~cpu req
+   end);
   Mem.Pinned.Buf.decr_ref ~cpu ~site:"Dispatcher.handler_done" buf
 
 let create ~fabric ~registry ~space ~kind ~backend ~queue_limit ~id ~ring
@@ -357,6 +511,8 @@ let create ~fabric ~registry ~space ~kind ~backend ~queue_limit ~id ~ring
       stash;
       subreq_scratch = Wire.Dyn.create Apps.Proto.req;
       resp_scratch = Wire.Dyn.create Apps.Proto.resp;
+      req_reader = Wire.Reader.create Apps.Proto.req;
+      partial_reader = Wire.Reader.create Apps.Proto.resp;
       pending = Hashtbl.create 4096;
       next_fanout = 1;
       started = 0;

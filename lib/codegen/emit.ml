@@ -220,6 +220,47 @@ let emit_write_folded buf (m : Schema.Desc.message) =
       \  [@@alloc_free]\n\n"
   end
 
+(* The specialized validator paired with [Wire.Reader]: when the frame
+   carries the constant-folded all-present layout (same shape
+   [write_folded] emits — bitmap word count 1, the literal bitmap, slots
+   at literal offsets), [Wire.Reader.validate_folded] validates it with
+   one hoisted bounds check and arithmetic slot fill. Any other presence
+   pattern falls back to the generic validate pass, which accepts exactly
+   the same frames and yields the same typed view. *)
+let emit_read_folded buf (m : Schema.Desc.message) =
+  let fields = m.Schema.Desc.fields in
+  let n = Array.length fields in
+  Buffer.add_string buf
+    "  (* A reusable in-place reader for this message type; validate with\n\
+    \     [read_folded] then access fields in the receive buffer. *)\n\
+    \  let reader () = Wire.Reader.create desc\n\n";
+  if not (Layout.foldable n) then
+    Printf.bprintf buf
+      "  (* Specialized validator: %s, so validation always takes the\n\
+      \     generic pass. *)\n\
+      \  let read_folded ?cpu r buf = Wire.Reader.validate ?cpu r buf\n\
+      \  [@@alloc_free]\n\n"
+      (if n = 0 then "the message has no fields"
+       else "the bitmap spans several words")
+  else
+    Printf.bprintf buf
+      "  (* Specialized validator (constant-folded layout): with all %d\n\
+      \     field%s present the header block is bytes [0, %d) — bitmap\n\
+      \     0x%x, info slots from byte %d — so one bounds check plus\n\
+      \     arithmetic slot fill validates the frame. Any other presence\n\
+      \     falls back to the generic pass (same frames accepted). *)\n\
+      \  let read_folded ?cpu r buf =\n\
+      \    if not (Wire.Reader.validate_folded ?cpu r buf ~bitmap:0x%x ~header_len:%d)\n\
+      \    then Wire.Reader.validate ?cpu r buf\n\
+      \  [@@alloc_free]\n\n"
+      n
+      (if n = 1 then "" else "s")
+      (Layout.all_present_header_len n)
+      (Layout.all_present_bitmap n)
+      (Layout.slot_base n)
+      (Layout.all_present_bitmap n)
+      (Layout.all_present_header_len n)
+
 let emit_message ~crossover buf (m : Schema.Desc.message) =
   Printf.bprintf buf "module %s = struct\n" (module_name m.Schema.Desc.msg_name);
   Printf.bprintf buf "  let desc = Schema.Desc.message schema %S\n\n"
@@ -245,6 +286,7 @@ let emit_message ~crossover buf (m : Schema.Desc.message) =
   Buffer.add_string buf
     "  let deserialize buf =\n\
     \    { msg = Cornflakes.Send.deserialize schema desc buf }\n\n";
+  emit_read_folded buf m;
   emit_write_folded buf m;
   Buffer.add_string buf
     "  (* Combined serialize-and-send: no separate serialize step. The\n\
@@ -313,6 +355,11 @@ let ir_message ~crossover buf (m : Schema.Desc.message) =
     m.Schema.Desc.fields;
   fn "object_len" "len" "Cornflakes.Format_.object_len";
   fn "deserialize" "deserialize" "Cornflakes.Send.deserialize";
+  fn "reader" "alloc" "Wire.Reader.create";
+  fn "read_folded" "reader"
+    (if Layout.foldable (Array.length m.Schema.Desc.fields) then
+       "Wire.Reader.validate_folded"
+     else "Wire.Reader.validate");
   fn "write_folded" "writer" "Cornflakes.Format_.write_msg_generic";
   fn "send" "send" "Cornflakes.Send.send_planned";
   fn "release" "release" "Wire.Dyn.release"

@@ -1,0 +1,254 @@
+(* RX-path ablation: copy-RX (every delivered frame parsed into a heap
+   [Wire.Dyn]) vs zc-RX (validate once with [Wire.Reader], access fields in
+   the receive buffer). Two sections:
+
+   - end-to-end: the Twitter kv workload served by the same Cornflakes TX
+     stack under both RX disciplines, on UDP and TCP — the zc-RX server
+     must not lose to its copy-RX twin on either transport;
+
+   - RX deserialize in isolation: one delivered GET request frame parsed
+     repeatedly through both paths, reporting simulated deserialize-side
+     ns/op (the [Memmodel.Cpu] meter — deterministic) and real minor-heap
+     words/op. The acceptance gate lives here: the in-place reader must cut
+     ns/op by >= 25% and minor words/op by >= 50% against the Dyn parse.
+
+   Beyond the printed tables the run writes BENCH_rx.json — simulated
+   metrics and deterministic allocation counts only, no wall-clock — which
+   CI regenerates at --jobs 1 and --jobs 4 and compares byte-for-byte. *)
+
+type row = {
+  transport : string;
+  name : string;
+  achieved_rps : float;
+  achieved_gbps : float;
+  p50_ns : int;
+  p99_ns : int;
+  completed : int;
+}
+
+let rows_of ~transport results =
+  List.map
+    (fun (name, (r : Loadgen.Driver.result)) ->
+      {
+        transport;
+        name;
+        achieved_rps = r.Loadgen.Driver.achieved_rps;
+        achieved_gbps = r.Loadgen.Driver.achieved_gbps;
+        p50_ns = Loadgen.Driver.p50_ns r;
+        p99_ns = Loadgen.Driver.p99_ns r;
+        completed = r.Loadgen.Driver.completed;
+      })
+    results
+
+(* Per transport, the zc-RX server (first row) must at least match the
+   copy-RX twin: the validate-once path exists to shed work, not add it. *)
+let zc_wins_e2e rows =
+  match rows with
+  | zc :: copy :: _ -> zc.achieved_rps >= copy.achieved_rps
+  | _ -> false
+
+(* --- RX deserialize in isolation --------------------------------------- *)
+
+type deser = { ns_per_op : float; words_per_op : float }
+
+let deser_iters = 2000
+
+let keys =
+  (* Four 32 B keys: the GetM(4) shape of the paper's Listing 1, with the
+     key size the Twitter trace centres on. *)
+  List.init 4 (fun i -> Printf.sprintf "twitter:user:%013d:profile-%02d" i i)
+
+(* One GET request frame produced by a real send through the loopback
+   fabric, so both parses see exactly the wire bytes a server sees. *)
+let make_frame () =
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let space = Mem.Addr_space.create () in
+  let registry = Mem.Registry.create space in
+  let ep = Net.Endpoint.create fabric registry ~id:1 in
+  let peer = Net.Endpoint.create fabric registry ~id:2 in
+  let got = ref None in
+  Net.Endpoint.set_rx peer (fun ~src:_ buf -> got := Some buf);
+  let m = Wire.Dyn.create Apps.Proto.req in
+  Wire.Dyn.set_int m "id" 1L;
+  Wire.Dyn.set_int m "op" Apps.Proto.op_get;
+  List.iter
+    (fun k ->
+      Wire.Dyn.append m "keys" (Wire.Dyn.Payload (Wire.Payload.of_string space k)))
+    keys;
+  Cornflakes.Send.send_object Cornflakes.Config.default ep ~dst:2 m;
+  Sim.Engine.run_all engine;
+  match !got with
+  | Some b -> b
+  | None -> failwith "exp_rx: loopback send delivered no frame"
+
+(* [measure cpu op] — simulated ns from the cost meter, minor words from a
+   counted loop; both deterministic for a deterministic [op]. *)
+let measure cpu op =
+  for _ = 1 to 100 do
+    op ()
+  done;
+  let ns0 = Memmodel.Cpu.ns cpu in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to deser_iters do
+    op ()
+  done;
+  {
+    ns_per_op = (Memmodel.Cpu.ns cpu -. ns0) /. float_of_int deser_iters;
+    words_per_op = (Gc.minor_words () -. w0) /. float_of_int deser_iters;
+  }
+
+(* The GET-path consumption both servers perform per request: read id and
+   op, copy each key out for the store lookup (the hybrid exit: small
+   fields are hashed, so they are copied either way). *)
+let measure_dyn_parse () =
+  let frame = make_frame () in
+  let cpu = Memmodel.Cpu.create Memmodel.Params.default in
+  let sink = ref 0 in
+  let op () =
+    let d =
+      Cornflakes.Send.deserialize ~cpu Apps.Proto.schema Apps.Proto.req frame
+    in
+    (match Wire.Dyn.get_int d "id" with Some _ -> () | None -> ());
+    (match Wire.Dyn.get_int d "op" with Some _ -> () | None -> ());
+    List.iter
+      (fun v ->
+        match v with
+        | Wire.Dyn.Payload p ->
+            let view = Wire.Payload.view p in
+            Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:view.Mem.View.addr
+              ~len:view.Mem.View.len;
+            sink := !sink + String.length (Mem.View.to_string view)
+        | _ -> ())
+      (Wire.Dyn.get_list d "keys");
+    Wire.Dyn.release ~cpu d
+  in
+  let r = measure cpu op in
+  Mem.Pinned.Buf.decr_ref ~site:"exp_rx.frame" frame;
+  r
+
+let measure_inplace_read () =
+  let frame = make_frame () in
+  let cpu = Memmodel.Cpu.create Memmodel.Params.default in
+  let reader = Wire.Reader.create Apps.Proto.req in
+  let sink = ref 0 in
+  let op () =
+    Wire.Reader.validate ~cpu reader frame;
+    ignore (Wire.Reader.get_u64 reader Apps.Proto.req_id);
+    ignore (Wire.Reader.get_u64 reader Apps.Proto.req_op);
+    let n = Wire.Reader.count reader Apps.Proto.req_keys in
+    for j = 0 to n - 1 do
+      sink :=
+        !sink
+        + String.length (Wire.Reader.elem_string reader Apps.Proto.req_keys ~j)
+    done
+  in
+  let r = measure cpu op in
+  (* Drop the reader's handle cache, then the delivery reference. *)
+  Wire.Reader.clear reader;
+  Mem.Pinned.Buf.decr_ref ~site:"exp_rx.frame" frame;
+  r
+
+let reduction_pct ~base ~now =
+  if base > 0.0 then 100.0 *. (1.0 -. (now /. base)) else 0.0
+
+(* --- output ------------------------------------------------------------- *)
+
+let json_file = "BENCH_rx.json"
+
+let write_json ~seed rows ~dyn ~zc ~ns_red ~words_red ~wins =
+  let oc = open_out json_file in
+  Printf.fprintf oc "{\n  \"schema\": \"cornflakes-bench-rx/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"zc_rx_wins\": %b,\n" wins;
+  Printf.fprintf oc "  \"deserialize\": {\n";
+  Printf.fprintf oc
+    "    \"dyn_ns_per_op\": %.1f, \"zc_ns_per_op\": %.1f, \
+     \"ns_reduction_pct\": %.1f,\n"
+    dyn.ns_per_op zc.ns_per_op ns_red;
+  Printf.fprintf oc
+    "    \"dyn_minor_words_per_op\": %.1f, \"zc_minor_words_per_op\": %.1f, \
+     \"words_reduction_pct\": %.1f\n"
+    dyn.words_per_op zc.words_per_op words_red;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"transport\": %S, \"system\": %S, \"achieved_rps\": %.1f, \
+         \"achieved_gbps\": %.4f, \"p50_ns\": %d, \"p99_ns\": %d, \
+         \"completed\": %d}%s\n"
+        r.transport r.name r.achieved_rps r.achieved_gbps r.p50_ns r.p99_ns
+        r.completed
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" json_file
+
+let run () =
+  let workload = Workload.Twitter.make () in
+  let backends =
+    [ Apps.Backend.cornflakes (); Apps.Backend.cornflakes ~zc_rx:false () ]
+  in
+  let udp = rows_of ~transport:"udp" (Kv_bench.capacities ~workload backends) in
+  let tcp =
+    rows_of ~transport:"tcp"
+      (Kv_bench.capacities ~transport:`Tcp ~workload backends)
+  in
+  let rows = udp @ tcp in
+  let t =
+    Stats.Table.create
+      ~title:
+        "RX ablation: zc-RX (validate-once reader) vs copy-RX (Dyn parse), \
+         Twitter kv"
+      ~columns:[ "transport"; "system"; "krps"; "Gbps"; "p99 us"; "completed" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.transport;
+          r.name;
+          Util.krps r.achieved_rps;
+          Util.gbps r.achieved_gbps;
+          Printf.sprintf "%.1f" (float_of_int r.p99_ns /. 1e3);
+          string_of_int r.completed;
+        ])
+    rows;
+  Stats.Table.print t;
+  let dyn = measure_dyn_parse () in
+  let zc = measure_inplace_read () in
+  let ns_red = reduction_pct ~base:dyn.ns_per_op ~now:zc.ns_per_op in
+  let words_red = reduction_pct ~base:dyn.words_per_op ~now:zc.words_per_op in
+  let d =
+    Stats.Table.create
+      ~title:
+        "RX deserialize in isolation: GetM(4) request frame, simulated \
+         ns/op + minor words/op"
+      ~columns:[ "path"; "sim ns/op"; "minor words/op" ]
+  in
+  Stats.Table.add_row d
+    [
+      "dyn-parse (copy-RX)";
+      Printf.sprintf "%.1f" dyn.ns_per_op;
+      Printf.sprintf "%.1f" dyn.words_per_op;
+    ];
+  Stats.Table.add_row d
+    [
+      "reader (zc-RX)";
+      Printf.sprintf "%.1f" zc.ns_per_op;
+      Printf.sprintf "%.1f" zc.words_per_op;
+    ];
+  Stats.Table.print d;
+  Printf.printf "RX deserialize: ns/op -%.1f%%, minor words/op -%.1f%%\n"
+    ns_red words_red;
+  let wins =
+    ns_red >= 25.0 && words_red >= 50.0 && zc_wins_e2e udp && zc_wins_e2e tcp
+  in
+  Printf.printf
+    "zc-RX gate (>=25%% ns, >=50%% words, e2e no-loss on both transports): %s\n"
+    (if wins then "OK" else "VIOLATED");
+  write_json ~seed:(Apps.Rig.default_seed ()) rows ~dyn ~zc ~ns_red ~words_red
+    ~wins

@@ -46,6 +46,11 @@ let all =
       run = Exp_tcp.run;
     };
     {
+      id = "rx";
+      title = "RX ablation: validate-once zero-copy receive vs Dyn parse";
+      run = Exp_rx.run;
+    };
+    {
       id = "fig10";
       title = "NIC generality: CX-6 vs e810 at 1024 B";
       run = Exp_fig10.run;

@@ -96,6 +96,8 @@ module Hierarchy = struct
 
   let shared_l3 h = h.l3
 
+  let line_bytes h = h.line_bytes
+
   let access_line h ~addr =
     let line = addr / h.line_bytes in
     if access h.l1 ~line then L1

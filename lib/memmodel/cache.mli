@@ -33,6 +33,10 @@ module Hierarchy : sig
 
   val shared_l3 : h -> t
 
+  (** Cache-line size shared by the three levels, for callers that walk a
+      byte range line by line themselves. *)
+  val line_bytes : h -> int
+
   (** [access h ~addr ~len] touches every line in [addr, addr+len) and
       returns per-level hit counts as [(l1, l2, l3, dram)]. *)
   val access : h -> addr:int -> len:int -> int * int * int * int

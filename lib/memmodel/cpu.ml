@@ -25,9 +25,16 @@ let category_label = function
 type t = {
   params : Params.t;
   hier : Cache.Hierarchy.h;
-  mutable cycles : float;
-  per_category : float array;
+  (* Cycle accumulators: slots 0-7 per category, slot 8 the running total.
+     A bare float array keeps every charge an unboxed store — a mutable
+     float field in this (mixed) record would allocate a boxed float per
+     assignment, and the meter is charged several times per simulated
+     request, so that boxing dominated the allocation profile of every
+     metered loop. *)
+  acc : float array;
 }
+
+let total_index = 8
 
 let create ?shared_l3 (params : Params.t) =
   let hier =
@@ -35,26 +42,35 @@ let create ?shared_l3 (params : Params.t) =
     | Some l3 -> Cache.Hierarchy.create_shared params ~l3
     | None -> Cache.Hierarchy.create params
   in
-  { params; hier; cycles = 0.0; per_category = Array.make 8 0.0 }
+  { params; hier; acc = Array.make 9 0.0 }
 
 let params t = t.params
 
 let charge t cat cycles =
-  t.cycles <- t.cycles +. cycles;
   let i = category_index cat in
-  t.per_category.(i) <- t.per_category.(i) +. cycles
+  t.acc.(i) <- t.acc.(i) +. cycles;
+  t.acc.(total_index) <- t.acc.(total_index) +. cycles
 
 let stream t cat ~addr ~len =
   if len > 0 then begin
-    let l1, l2, l3, dram = Cache.Hierarchy.access t.hier ~addr ~len in
     let p = t.params in
-    let cost =
-      (float_of_int l1 *. p.stream_l1)
-      +. (float_of_int l2 *. p.stream_l2)
-      +. (float_of_int l3 *. p.stream_l3)
-      +. (float_of_int dram *. p.stream_dram)
-    in
-    charge t cat cost
+    let i = category_index cat in
+    let lb = Cache.Hierarchy.line_bytes t.hier in
+    let first = addr / lb and last = (addr + len - 1) / lb in
+    (* Accumulate straight into the unboxed slots: no per-level counters,
+       no tuple, no boxed intermediate — this loop runs for every metered
+       byte range in the simulation. *)
+    for line = first to last do
+      let c =
+        match Cache.Hierarchy.access_line t.hier ~addr:(line * lb) with
+        | Cache.L1 -> p.stream_l1
+        | Cache.L2 -> p.stream_l2
+        | Cache.L3 -> p.stream_l3
+        | Cache.Dram -> p.stream_dram
+      in
+      t.acc.(i) <- t.acc.(i) +. c;
+      t.acc.(total_index) <- t.acc.(total_index) +. c
+    done
   end
 
 let latency_access t cat ~addr =
@@ -68,14 +84,14 @@ let latency_access t cat ~addr =
   in
   charge t cat cost
 
-let cycles t = t.cycles
+let cycles t = t.acc.(total_index)
 
-let ns t = Params.cycles_to_ns t.params t.cycles
+let ns t = Params.cycles_to_ns t.params t.acc.(total_index)
 
 let breakdown t =
-  List.map (fun c -> (c, t.per_category.(category_index c))) all_categories
+  List.map (fun c -> (c, t.acc.(category_index c))) all_categories
 
-let reset_breakdown t = Array.fill t.per_category 0 8 0.0
+let reset_breakdown t = Array.fill t.acc 0 total_index 0.0
 
 let install_dma t ~addr ~len = Cache.Hierarchy.install_l3 t.hier ~addr ~len
 

@@ -164,6 +164,41 @@ let make_benchmarks ~seed () =
     Wire.Dyn.append m "vals" (Wire.Dyn.Payload lit_512);
     Wire.Dyn.append m "vals" (Wire.Dyn.Payload lit_2048)
   in
+  (* RX pair scratch: one response frame produced by a real send through
+     the loopback fabric, then parsed per op — into a heap [Dyn] (the
+     pre-reader receive path) vs validated once and read in place. The
+     frame is a delivered RX-ring buffer held for the life of the suite. *)
+  let rx_frame =
+    let peer = Net.Endpoint.create fabric registry ~id:3 in
+    let got = ref None in
+    Net.Endpoint.set_rx peer (fun ~src:_ buf -> got := Some buf);
+    (* A dedicated message: the send consumes one reference per zero-copy
+       payload at NIC completion, so it must not share [msg]'s buffers. *)
+    let m = Wire.Dyn.create Apps.Proto.resp in
+    Wire.Dyn.set_int m "id" 7L;
+    Wire.Dyn.append m "vals"
+      (Wire.Dyn.Payload (Wire.Payload.of_string space payload_64));
+    List.iter
+      (fun s ->
+        Wire.Dyn.append m "vals"
+          (Wire.Dyn.Payload (Wire.Payload.Zero_copy (pinned s))))
+      [ payload_512; payload_2048 ];
+    Cornflakes.Send.send_object Cornflakes.Config.default ep ~dst:3 m;
+    Sim.Engine.run_all engine;
+    match !got with
+    | Some b -> b
+    | None -> failwith "microbench: loopback send delivered no frame"
+  in
+  let rx_reader = Wire.Reader.create Apps.Proto.resp in
+  (* RX delivery: a dedicated device + receive ring; each op posts one
+     1024 B frame into the ring and releases it straight back (refcount
+     0 -> recycle), the steady-state delivery cost. *)
+  let rx_nic = Nic.Device.create (Sim.Engine.create ()) ~model:Nic.Model.mellanox_cx6 in
+  let rx_ring =
+    Mem.Pinned.Pool.create space ~name:"bench-rx-ring" ~classes:[ (2048, 64) ]
+  in
+  let rxq = Nic.Device.attach_rx rx_nic rx_ring in
+  let rx_wire = Bytes.make 1024 'r' in
   (* Arena pair: classic bump-and-mass-reset vs free-list recycling. *)
   let arena_space = Mem.Addr_space.create () in
   let arena = Mem.Arena.create arena_space ~capacity:(1 lsl 16) in
@@ -259,6 +294,46 @@ let make_benchmarks ~seed () =
         (fun () ->
           Wire.Dyn.clear dyn_scratch;
           build_dyn dyn_scratch);
+    };
+    (* Paired: the same delivered frame deserialized into a heap Dyn (the
+       copy-RX path: object graph + payload references per message) vs
+       validated once and accessed in place (scalars are literal-offset
+       loads, values stay in the receive buffer). *)
+    {
+      name = "cf-read-dyn";
+      tracked = true;
+      fn =
+        (fun () ->
+          let m =
+            Cornflakes.Send.deserialize Apps.Proto.schema Apps.Proto.resp
+              rx_frame
+          in
+          ignore (Wire.Dyn.get_int m "id");
+          ignore (Wire.Dyn.get_list m "vals");
+          Wire.Dyn.release m);
+    };
+    {
+      name = "cf-read-inplace";
+      tracked = true;
+      fn =
+        (fun () ->
+          Wire.Reader.validate rx_reader rx_frame;
+          ignore (Wire.Reader.get_u64 rx_reader Apps.Proto.resp_id);
+          let n = Wire.Reader.count rx_reader Apps.Proto.resp_vals in
+          for j = 0 to n - 1 do
+            ignore (Wire.Reader.elem_off_len rx_reader Apps.Proto.resp_vals ~j)
+          done);
+    };
+    (* One frame through the receive ring and straight back: DMA-visible
+       buffer claimed from the ring pool, released at refcount 0. *)
+    {
+      name = "cf-rx-deliver";
+      tracked = true;
+      fn =
+        (fun () ->
+          match Nic.Device.rx_deliver rxq rx_wire ~off:0 ~len:1024 with
+          | Some buf -> Mem.Pinned.Buf.decr_ref buf
+          | None -> ());
     };
     (* Paired: arena chunk from the bump pointer (mass reset) vs recycled
        through the size-class free list. *)

@@ -27,15 +27,43 @@ let arg_string ?cpu (v : Resp.value) =
       Mem.View.to_string view)
   | _ -> raise (Resp.Protocol_error "expected bulk argument")
 
+(* Case-insensitive command dispatch straight over the decoded view: the
+   command name never leaves the receive buffer (no [to_string], no
+   [uppercase_ascii] allocation per request). [name] must be uppercase. *)
+let cmd_is (v : Resp.value) name =
+  match v with
+  | Resp.Bulk view ->
+      let n = String.length name in
+      view.Mem.View.len = n
+      && begin
+           let ok = ref true in
+           for i = 0 to n - 1 do
+             let c =
+               Char.uppercase_ascii
+                 (Bytes.get view.Mem.View.data (view.Mem.View.off + i))
+             in
+             if c <> String.unsafe_get name i then ok := false
+           done;
+           !ok
+         end
+  | _ -> false
+
+let charge_cmd ~cpu (v : Resp.value) =
+  match v with
+  | Resp.Bulk view ->
+      Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:view.Mem.View.addr
+        ~len:view.Mem.View.len
+  | _ -> ()
+
 (* Execute a command against the store; returns the reply as values still
    referencing the store's buffers (no copies yet — the serializer decides
    how the bytes move). *)
 let execute t ~cpu req =
   match req with
   | Resp.Array (cmd :: args) -> (
-      let cmd = String.uppercase_ascii (arg_string ~cpu cmd) in
+      charge_cmd ~cpu cmd;
       match (cmd, args) with
-      | "GET", [ key ] -> (
+      | c, [ key ] when cmd_is c "GET" -> (
           match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
           | Some (Kvstore.Store.Single buf) -> Resp.Bulk (Mem.Pinned.Buf.view buf)
           | Some value -> (
@@ -43,7 +71,7 @@ let execute t ~cpu req =
               | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
               | [] -> Resp.Null)
           | None -> Resp.Null)
-      | "MGET", keys ->
+      | c, keys when cmd_is c "MGET" ->
           Resp.Array
             (List.map
                (fun key ->
@@ -56,7 +84,7 @@ let execute t ~cpu req =
                      | [] -> Resp.Null)
                  | None -> Resp.Null)
                keys)
-      | "LRANGE", [ key; _start; _stop ] -> (
+      | c, [ key; _start; _stop ] when cmd_is c "LRANGE" -> (
           (* The experiments query whole lists: LRANGE key 0 -1. *)
           match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
           | Some value ->
@@ -65,7 +93,7 @@ let execute t ~cpu req =
                    (fun buf -> Resp.Bulk (Mem.Pinned.Buf.view buf))
                    (Kvstore.Store.buffers value))
           | None -> Resp.Array [])
-      | "SET", [ key; payload ] -> (
+      | c, [ key; payload ] when cmd_is c "SET" -> (
           let key = arg_string ~cpu key in
           match payload with
           | Resp.Bulk src -> (
@@ -77,7 +105,7 @@ let execute t ~cpu req =
               | exception Mem.Pinned.Out_of_memory _ ->
                   Resp.Error "OOM command not allowed")
           | _ -> Resp.Error "ERR bad SET payload")
-      | "DEL", keys ->
+      | c, keys when cmd_is c "DEL" ->
           let removed =
             List.fold_left
               (fun acc key ->
@@ -90,7 +118,7 @@ let execute t ~cpu req =
               0 keys
           in
           Resp.Int removed
-      | "EXISTS", keys ->
+      | c, keys when cmd_is c "EXISTS" ->
           Resp.Int
             (List.fold_left
                (fun acc key ->
@@ -100,12 +128,16 @@ let execute t ~cpu req =
                  | Some _ -> acc + 1
                  | None -> acc)
                0 keys)
-      | "STRLEN", [ key ] -> (
+      | c, [ key ] when cmd_is c "STRLEN" -> (
           match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
           | Some v -> Resp.Int (Kvstore.Store.value_len v)
           | None -> Resp.Int 0)
-      | "PING", [] -> Resp.Simple "PONG"
-      | _, _ -> Resp.Error ("ERR unknown command '" ^ cmd ^ "'"))
+      | c, [] when cmd_is c "PING" -> Resp.Simple "PONG"
+      | _, _ ->
+          Resp.Error
+            ("ERR unknown command '"
+            ^ String.uppercase_ascii (arg_string ~cpu cmd)
+            ^ "'"))
   | _ -> Resp.Error "ERR protocol: expected command array"
 
 (* Redis's handwritten serialization, over the integrated stack: the reply

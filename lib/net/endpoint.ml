@@ -33,11 +33,9 @@ type t = {
   config : config;
   tx_pool : Mem.Pinned.Pool.t;
   rx_pool : Mem.Pinned.Pool.t;
+  rxq : Nic.Device.rxq; (* receive ring over [rx_pool] on [nic] *)
   arena : Mem.Arena.t;
   mutable rx_handler : src:int -> Mem.Pinned.Buf.t -> unit;
-  mutable rx_packets : int;
-  mutable rx_bytes : int;
-  mutable rx_dropped : int;
   mutable held : Nic.Device.txd list option; (* queued posts, reversed *)
   (* Coalesced posts parked for the next doorbell: a reusable scratch array
      (first [pending_n] slots live) — no per-batch list is built. *)
@@ -93,29 +91,19 @@ let handle_wire t frame =
   let frame_len = Nic.Device.wire_len frame in
   let src, _dst = Packet.parse_header_bytes bytes ~len:frame_len in
   let payload_len = frame_len - Packet.header_len in
-  if payload_len > 0 then begin
-    (* NIC DMA writes the frame into a posted receive buffer: real bytes
-       move, but no CPU cycles are charged here. The frame is the sender
-       device's pooled snapshot, valid only for this call — the copy out
-       happens now, before the fabric releases it. *)
-    match Mem.Pinned.Buf.alloc ~site:"Endpoint.rx_dma" t.rx_pool ~len:payload_len with
-    | buf ->
-        Mem.Pinned.Buf.fill_subbytes ~site:"Endpoint.rx_dma" buf bytes
-          ~src_off:Packet.header_len ~len:payload_len;
-        (* DDIO: the DMA write leaves the frame in the LLC. *)
-        (match t.cpu with
-        | Some cpu ->
-            Memmodel.Cpu.install_dma cpu ~addr:(Mem.Pinned.Buf.addr buf)
-              ~len:payload_len
-        | None -> ());
-        t.rx_packets <- t.rx_packets + 1;
-        t.rx_bytes <- t.rx_bytes + payload_len;
-        t.rx_handler ~src buf
-    | exception Mem.Pinned.Out_of_memory _ ->
-        (* RX ring overrun under overload: the frame is dropped, exactly as
-           a real NIC drops when the host can't keep up. *)
-        t.rx_dropped <- t.rx_dropped + 1
-  end
+  if payload_len > 0 then
+    (* The frame is the sender device's pooled snapshot, valid only for
+       this call — the device DMAs it into a posted receive buffer now,
+       before the fabric releases it. The handler receives the delivery
+       reference; the ring slot recycles when the refcount hits zero
+       (i.e. after the handler and every retained view release). Drops
+       (ring overrun) are counted inside the queue. *)
+    match
+      Nic.Device.rx_deliver t.rxq bytes ~off:Packet.header_len
+        ~len:payload_len
+    with
+    | Some buf -> t.rx_handler ~src buf
+    | None -> ()
 
 let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
   let space = Mem.Registry.space registry in
@@ -149,13 +137,11 @@ let create ?cpu ?nic ?(config = default_config) fabric registry ~id =
       config;
       tx_pool;
       rx_pool;
+      rxq = Nic.Device.attach_rx ?cpu nic rx_pool;
       arena = Mem.Arena.create space ~capacity:config.arena_capacity;
       rx_handler =
         (fun ~src:_ buf ->
           Mem.Pinned.Buf.decr_ref ~site:"Endpoint.rx_default_drop" buf);
-      rx_packets = 0;
-      rx_bytes = 0;
-      rx_dropped = 0;
       held = None;
       pending_txds = [||];
       pending_n = 0;
@@ -393,11 +379,15 @@ let[@warning "-16"] transport t =
       t.udp_transport <- Some tr;
       tr
 
-let rx_packets t = t.rx_packets
+let rx_packets t = Nic.Device.rxq_packets t.rxq
 
-let rx_dropped t = t.rx_dropped
+let rx_dropped t = Nic.Device.rxq_dropped t.rxq
 
-let rx_bytes t = t.rx_bytes
+let rx_bytes t = Nic.Device.rxq_bytes t.rxq
+
+(* Deliveries the application still pins (held buffers or [Wire.Rc_view]s):
+   RX ring slots that cannot serve new frames until released. *)
+let rx_outstanding t = Nic.Device.rx_outstanding t.rxq
 
 let tx_packets t = Nic.Device.tx_packets t.nic
 

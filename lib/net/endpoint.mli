@@ -208,6 +208,11 @@ val rx_dropped : t -> int
 
 val rx_bytes : t -> int
 
+(** Deliveries the application still pins (held buffers or retained
+    [Wire.Rc_view]s): RX ring slots that cannot serve new frames until
+    their refcount hits zero. *)
+val rx_outstanding : t -> int
+
 val tx_packets : t -> int
 
 val tx_bytes : t -> int

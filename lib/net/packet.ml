@@ -1,10 +1,20 @@
-let header_len = 42
+(* Header field offsets, shared by the writer and both parser entry points
+   so the layout is stated exactly once. *)
+module Off = struct
+  let header_len = 42
+
+  let ethertype = 12 (* 0x0800 = IPv4 *)
+
+  let ip_version = 14 (* version/IHL byte *)
+
+  let src = 26 (* IPv4 source address slot *)
+
+  let dst = 30 (* IPv4 destination address slot *)
+end
+
+let header_len = Off.header_len
 
 let max_payload = 9000
-
-let src_off = 26 (* IPv4 source address slot *)
-
-let dst_off = 30 (* IPv4 destination address slot *)
 
 let set_u32 b off v =
   Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
@@ -12,11 +22,11 @@ let set_u32 b off v =
   Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
   Bytes.set b (off + 3) (Char.chr (v land 0xff))
 
-let get_u32 s off =
-  (Char.code s.[off] lsl 24)
-  lor (Char.code s.[off + 1] lsl 16)
-  lor (Char.code s.[off + 2] lsl 8)
-  lor Char.code s.[off + 3]
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
 
 let write_header buf ~off ~src ~dst =
   if off + header_len > Bytes.length buf then
@@ -24,24 +34,17 @@ let write_header buf ~off ~src ~dst =
   Bytes.fill buf off header_len '\000';
   (* Ethertype 0x0800, IPv4 version/IHL, UDP stubs — enough to look like a
      frame in hexdumps; ids carry the routing information. *)
-  Bytes.set buf (off + 12) '\x08';
-  Bytes.set buf (off + 14) '\x45';
-  set_u32 buf (off + src_off) src;
-  set_u32 buf (off + dst_off) dst
+  Bytes.set buf (off + Off.ethertype) '\x08';
+  Bytes.set buf (off + Off.ip_version) '\x45';
+  set_u32 buf (off + Off.src) src;
+  set_u32 buf (off + Off.dst) dst
 
-let parse_header s =
-  if String.length s < header_len then
-    invalid_arg "Packet.parse_header: truncated";
-  (get_u32 s src_off, get_u32 s dst_off)
-
-let get_u32_bytes b off =
-  (Char.code (Bytes.get b off) lsl 24)
-  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
-  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
-  lor Char.code (Bytes.get b (off + 3))
-
-(* [len] is the frame length, not the buffer capacity: pooled egress frames
-   ride in rounded-up buffers. *)
+(* The single parser: [len] is the frame length, not the buffer capacity —
+   pooled egress frames ride in rounded-up buffers. *)
 let parse_header_bytes b ~len =
   if len < header_len then invalid_arg "Packet.parse_header: truncated";
-  (get_u32_bytes b src_off, get_u32_bytes b dst_off)
+  (get_u32 b Off.src, get_u32 b Off.dst)
+
+(* [Bytes.unsafe_of_string] is sound here because the parser only reads. *)
+let parse_header s =
+  parse_header_bytes (Bytes.unsafe_of_string s) ~len:(String.length s)

@@ -4,6 +4,21 @@
     ids stand in for MAC/IP/port tuples. The stack writes this header into
     the first scatter-gather entry of every send (§3.2.3). *)
 
+(** Header field offsets — the layout in one place, shared by the writer and
+    both parser entry points. *)
+module Off : sig
+  val header_len : int
+
+  val ethertype : int
+
+  val ip_version : int
+
+  val src : int
+
+  val dst : int
+end
+
+(** Alias for {!Off.header_len}. *)
 val header_len : int
 
 (** Jumbo frame payload budget (paper assumes ~9000-byte frames). *)
@@ -12,11 +27,11 @@ val max_payload : int
 (** [write_header buf ~off ~src ~dst] writes the 42-byte header. *)
 val write_header : Bytes.t -> off:int -> src:int -> dst:int -> unit
 
-(** [parse_header s] reads [(src, dst)] from a wire packet.
-    Raises [Invalid_argument] if [s] is shorter than a header. *)
+(** [parse_header s] reads [(src, dst)] from a wire packet — a zero-copy
+    wrapper over {!parse_header_bytes}. Raises [Invalid_argument] if [s] is
+    shorter than a header. *)
 val parse_header : string -> int * int
 
-(** [parse_header_bytes b ~len] — {!parse_header} over a pooled egress
-    frame: [len] is the frame length within [b] (whose capacity may be
-    larger). *)
+(** [parse_header_bytes b ~len] — the single header parser: [len] is the
+    frame length within [b] (whose capacity may be larger). *)
 val parse_header_bytes : Bytes.t -> len:int -> int * int

@@ -45,9 +45,26 @@ type wire = {
   w_dev : t;
 }
 
+(* Receive queue: one per attached endpoint (a shared device carries one
+   rxq per core, like a real multi-queue NIC under RSS). The ring is backed
+   by a pinned pool — posting a receive buffer IS allocating from the pool,
+   and the slot returns to the ring only when the delivered buffer's
+   refcount reaches zero. Outstanding [Wire.Rc_view]s hold references, so
+   [rx_outstanding] (live pool buffers) is exactly the number of deliveries
+   the application still pins. *)
+and rxq = {
+  q_dev : t;
+  q_pool : Mem.Pinned.Pool.t;
+  q_cpu : Memmodel.Cpu.t option;
+  mutable q_packets : int;
+  mutable q_bytes : int;
+  mutable q_dropped : int;
+}
+
 and t = {
   engine : Sim.Engine.t;
   model : Model.t;
+  mutable rxqs : rxq list; (* newest first; aggregate stats sum these *)
   mutable on_wire : wire -> unit;
   mutable wire_free : wire list; (* recycled egress frames *)
   mutable wire_pooled : int;
@@ -134,6 +151,7 @@ let create engine ~model =
   {
     engine;
     model;
+    rxqs = [];
     on_wire = wire_release;
     wire_free = [];
     wire_pooled = 0;
@@ -156,6 +174,63 @@ let model t = t.model
 let set_on_wire t f = t.on_wire <- f
 
 let set_completion_fault t f = t.completion_fault <- f
+
+(* --- Receive ring ------------------------------------------------------ *)
+
+let attach_rx ?cpu t pool =
+  let q =
+    {
+      q_dev = t;
+      q_pool = pool;
+      q_cpu = cpu;
+      q_packets = 0;
+      q_bytes = 0;
+      q_dropped = 0;
+    }
+  in
+  t.rxqs <- q :: t.rxqs;
+  q
+
+(* DMA one arriving frame's payload into a posted receive buffer. Real
+   bytes move but no CPU cycles are charged: the NIC does the write, the
+   host only sees the DDIO-installed lines. The returned buffer carries the
+   delivery reference (refcount 1) — whoever consumes the delivery releases
+   it, and the ring slot recycles at refcount zero. [None] is an RX ring
+   overrun: the ring has no free buffer posted (every slot is pinned by an
+   outstanding delivery or view), so the frame drops, exactly as a real NIC
+   drops when the host can't keep up. *)
+let rx_deliver q bytes ~off ~len =
+  match Mem.Pinned.Buf.alloc ~site:"Nic.rx_dma" q.q_pool ~len with
+  | buf ->
+      Mem.Pinned.Buf.fill_subbytes ~site:"Nic.rx_dma" buf bytes ~src_off:off
+        ~len;
+      (* DDIO: the DMA write leaves the frame in the LLC. *)
+      (match q.q_cpu with
+      | Some cpu ->
+          Memmodel.Cpu.install_dma cpu ~addr:(Mem.Pinned.Buf.addr buf) ~len
+      | None -> ());
+      q.q_packets <- q.q_packets + 1;
+      q.q_bytes <- q.q_bytes + len;
+      Some buf
+  | exception Mem.Pinned.Out_of_memory _ ->
+      q.q_dropped <- q.q_dropped + 1;
+      None
+
+let rxq_packets q = q.q_packets
+
+let rxq_bytes q = q.q_bytes
+
+let rxq_dropped q = q.q_dropped
+
+(* Deliveries (and views over them) the application still pins: ring slots
+   that cannot serve new frames until their refcount hits zero. *)
+let rx_outstanding q = Mem.Pinned.Pool.live q.q_pool
+
+let rx_packets t = List.fold_left (fun n q -> n + q.q_packets) 0 t.rxqs
+
+let rx_bytes t = List.fold_left (fun n q -> n + q.q_bytes) 0 t.rxqs
+
+let rx_dropped t = List.fold_left (fun n q -> n + q.q_dropped) 0 t.rxqs
 
 (* --- Reusable descriptors --------------------------------------------- *)
 

@@ -104,6 +104,43 @@ val post_batch : t -> descriptor list -> unit
 (** Number of descriptors queued but not yet completed. *)
 val in_flight : t -> int
 
+(** Receive queue: one per attached endpoint (a device shared across cores
+    carries one rxq per core, like a multi-queue NIC under RSS). The ring
+    is backed by a pinned pool: posting a receive buffer IS allocating from
+    the pool, and a delivered buffer's slot returns to the ring only when
+    its refcount reaches zero — outstanding [Wire.Rc_view]s each hold a
+    reference, so held views keep ring slots pinned. *)
+type rxq
+
+(** [attach_rx ?cpu t pool] registers a receive ring backed by [pool].
+    [cpu] receives the DDIO cache installs for delivered frames. *)
+val attach_rx : ?cpu:Memmodel.Cpu.t -> t -> Mem.Pinned.Pool.t -> rxq
+
+(** [rx_deliver q bytes ~off ~len] DMAs [bytes[off, off+len)] into a posted
+    receive buffer and returns it with the delivery reference (refcount 1);
+    the consumer must [decr_ref] when done (directly or by handing the last
+    [Rc_view] back). [None] means RX ring overrun — no free buffer was
+    posted — and the frame is dropped and counted. No CPU cycles are
+    charged: the device does the write. *)
+val rx_deliver : rxq -> Bytes.t -> off:int -> len:int -> Mem.Pinned.Buf.t option
+
+val rxq_packets : rxq -> int
+
+val rxq_bytes : rxq -> int
+
+val rxq_dropped : rxq -> int
+
+(** Deliveries (and views over them) the application still pins: ring
+    slots that cannot serve new frames until their refcount hits zero. *)
+val rx_outstanding : rxq -> int
+
+(** Aggregates over every attached receive queue. *)
+val rx_packets : t -> int
+
+val rx_bytes : t -> int
+
+val rx_dropped : t -> int
+
 (** Fault injection: consulted once per CQE that is due ([post] CQEs
     cover one descriptor, [post_batch] CQEs the whole batch). [`Lose]
     stashes the completion — ring slots stay occupied and segment

@@ -35,6 +35,31 @@ let kind_put = 1L
 
 let config = Cornflakes.Config.default
 
+(* Field indices (schema order) for the in-place readers. *)
+let msg_id = Schema.Desc.field_index rep_msg "id"
+
+let msg_role = Schema.Desc.field_index rep_msg "role"
+
+let msg_op = Schema.Desc.field_index rep_msg "op"
+
+let op_seq = Schema.Desc.field_index rep_op "seq"
+
+let op_kind = Schema.Desc.field_index rep_op "kind"
+
+let op_key = Schema.Desc.field_index rep_op "key"
+
+let op_vals = Schema.Desc.field_index rep_op "vals"
+
+(* An out-of-order replicate op parked until its sequence turn: the key and
+   value bytes stay in the receive buffer as [Rc_view] slices (one
+   reference each) plus the delivery reference on the buffer itself — no
+   [Dyn] materialization survives the handler. *)
+type parked = {
+  pk_key : Wire.Rc_view.t option;
+  pk_vals : Wire.Rc_view.t list;
+  pk_buf : Mem.Pinned.Buf.t;
+}
+
 type replica = {
   ep : Net.Endpoint.t;
   cpu : Memmodel.Cpu.t;
@@ -42,7 +67,10 @@ type replica = {
   store : Kvstore.Store.t;
   pool : Mem.Pinned.Pool.t;
   mutable expected_seq : int64; (* next sequence a backup will apply *)
-  ooo : (int64, Wire.Dyn.t * Mem.Pinned.Buf.t) Hashtbl.t;
+  ooo : (int64, parked) Hashtbl.t;
+  (* Pooled readers, revalidated per delivery. *)
+  msg_reader : Wire.Reader.t;
+  op_reader : Wire.Reader.t;
 }
 
 type pending_put = {
@@ -60,6 +88,7 @@ type cluster = {
   mutable committed : int;
   workload : Workload.Spec.t;
   client_rng : Sim.Rng.t;
+  client_reader : Wire.Reader.t; (* client-side id extraction, in place *)
 }
 
 let primary_store t = t.primary.store
@@ -70,36 +99,33 @@ let committed t = t.committed
 
 (* --- Shared helpers ----------------------------------------------------- *)
 
-let payload_string ?cpu (p : Wire.Payload.t) =
-  let v = Wire.Payload.view p in
-  (match cpu with
-  | None -> ()
-  | Some cpu ->
-      Memmodel.Cpu.stream cpu Memmodel.Cpu.App ~addr:v.Mem.View.addr
-        ~len:v.Mem.View.len);
-  Mem.View.to_string v
-
-(* Copy request/op payloads into a replica's own pinned pool and install
-   (allocate-and-swap put). *)
-let apply_put ~cpu replica ~key vals =
+(* Copy op value windows into a replica's own pinned pool and install
+   (allocate-and-swap put). The sources are in-place views of the receive
+   buffer (or parked [Rc_view]s) — one copy into the store, no
+   intermediate. *)
+let apply_put_views ~cpu replica ~key views =
   let bufs =
     List.filter_map
-      (fun v ->
-        match v with
-        | Wire.Dyn.Payload p -> (
-            let src = Wire.Payload.view p in
-            match Mem.Pinned.Buf.alloc ~cpu replica.pool ~len:src.Mem.View.len with
-            | buf ->
-                Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
-                Some buf
-            | exception Mem.Pinned.Out_of_memory _ -> None)
-        | _ -> None)
-      vals
+      (fun (src : Mem.View.t) ->
+        match Mem.Pinned.Buf.alloc ~cpu replica.pool ~len:src.Mem.View.len with
+        | buf ->
+            Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
+            Some buf
+        | exception Mem.Pinned.Out_of_memory _ -> None)
+      views
   in
   match bufs with
   | [] -> ()
   | [ one ] -> Kvstore.Store.put ~cpu replica.store ~key (Kvstore.Store.Single one)
   | many -> Kvstore.Store.put ~cpu replica.store ~key (Kvstore.Store.Linked many)
+
+(* Collect an op's value windows in place (reader must hold a validated
+   [RepOp] level). *)
+let op_val_views r =
+  if Wire.Reader.present r op_vals then
+    List.init (Wire.Reader.count r op_vals) (fun j ->
+        Wire.Reader.elem_view r op_vals ~j)
+  else []
 
 let reply ~cpu replica ~dst ~id ~vals =
   let msg = Wire.Dyn.create rep_msg in
@@ -110,57 +136,90 @@ let reply ~cpu replica ~dst ~id ~vals =
 
 (* --- Backup side --------------------------------------------------------- *)
 
+let send_ack ~cpu replica ~dst ~seq =
+  let ack = Wire.Dyn.create rep_msg in
+  Wire.Dyn.set_int ack "id" seq;
+  Wire.Dyn.set_int ack "role" role_ack;
+  Cornflakes.Send.send_object ~cpu config replica.ep ~dst ack
+
 let rec backup_apply_in_order replica ~src =
   match Hashtbl.find_opt replica.ooo replica.expected_seq with
   | None -> ()
-  | Some (op, buf) ->
+  | Some parked ->
       Hashtbl.remove replica.ooo replica.expected_seq;
       let cpu = replica.cpu in
       let key =
-        match Wire.Dyn.get_payload op "key" with
-        | Some p -> payload_string ~cpu p
+        match parked.pk_key with
+        | Some rc -> Wire.Rc_view.to_string ~cpu rc
         | None -> ""
       in
-      apply_put ~cpu replica ~key (Wire.Dyn.get_list op "vals");
+      apply_put_views ~cpu replica ~key
+        (List.map Wire.Rc_view.view parked.pk_vals);
       let seq = replica.expected_seq in
       replica.expected_seq <- Int64.add replica.expected_seq 1L;
-      Wire.Dyn.release ~cpu op;
-      Mem.Pinned.Buf.decr_ref ~cpu buf;
+      (* The store owns its copies now: release the parked slices, then
+         the delivery reference — at zero the RX ring slot recycles. *)
+      (match parked.pk_key with
+      | Some rc -> Wire.Rc_view.release ~cpu ~site:"Replication.apply" rc
+      | None -> ());
+      List.iter
+        (fun rc -> Wire.Rc_view.release ~cpu ~site:"Replication.apply" rc)
+        parked.pk_vals;
+      Mem.Pinned.Buf.decr_ref ~cpu parked.pk_buf;
       (* Cumulative-style ack for this sequence number. *)
-      let ack = Wire.Dyn.create rep_msg in
-      Wire.Dyn.set_int ack "id" seq;
-      Wire.Dyn.set_int ack "role" role_ack;
-      Cornflakes.Send.send_object ~cpu config replica.ep ~dst:src ack;
+      send_ack ~cpu replica ~dst:src ~seq;
       backup_apply_in_order replica ~src
 
 let backup_handler replica ~src buf =
   let cpu = replica.cpu in
-  match Cornflakes.Send.deserialize ~cpu schema rep_msg buf with
-  | exception Cornflakes.Format_.Malformed _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
-  | msg -> (
-      match (Wire.Dyn.get_int msg "role", Wire.Dyn.get msg "op") with
-      | Some role, Some (Wire.Dyn.Nested op) when role = role_replicate ->
-          let seq =
-            Option.value ~default:(-1L) (Wire.Dyn.get_int op "seq")
-          in
-          if seq >= replica.expected_seq && not (Hashtbl.mem replica.ooo seq)
-          then begin
-            (* Park the op (it references the rx buffer) until its turn. *)
-            Hashtbl.replace replica.ooo seq (op, buf);
-            backup_apply_in_order replica ~src
-          end
-          else begin
-            (* Duplicate or already applied: re-ack idempotently. *)
-            let ack = Wire.Dyn.create rep_msg in
-            Wire.Dyn.set_int ack "id" seq;
-            Wire.Dyn.set_int ack "role" role_ack;
-            Cornflakes.Send.send_object ~cpu config replica.ep ~dst:src ack;
-            Wire.Dyn.release ~cpu msg;
-            Mem.Pinned.Buf.decr_ref ~cpu buf
-          end
-      | _ ->
-          Wire.Dyn.release ~cpu msg;
-          Mem.Pinned.Buf.decr_ref ~cpu buf)
+  let r = replica.msg_reader in
+  match Wire.Reader.validate ~cpu r buf with
+  | exception Wire.Reader.Invalid _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
+  | () ->
+      let role =
+        if Wire.Reader.present r msg_role then Wire.Reader.get_u64 r msg_role
+        else -1L
+      in
+      if role = role_replicate && Wire.Reader.present r msg_op then begin
+        match
+          Wire.Reader.nested r msg_op ~into:replica.op_reader
+        with
+        | exception Wire.Reader.Invalid _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
+        | () ->
+            let op = replica.op_reader in
+            let seq =
+              if Wire.Reader.present op op_seq then
+                Wire.Reader.get_u64 op op_seq
+              else -1L
+            in
+            if seq >= replica.expected_seq && not (Hashtbl.mem replica.ooo seq)
+            then begin
+              (* Park the op until its turn: key and values stay in the
+                 receive buffer as refcounted slices; the delivery
+                 reference on [buf] transfers to the parked record. *)
+              let pk_key =
+                if Wire.Reader.present op op_key then
+                  Some
+                    (Wire.Reader.payload_rc ~site:"Replication.park" op op_key)
+                else None
+              in
+              let pk_vals =
+                if Wire.Reader.present op op_vals then
+                  List.init (Wire.Reader.count op op_vals) (fun j ->
+                      Wire.Reader.elem_rc ~site:"Replication.park" op op_vals
+                        ~j)
+                else []
+              in
+              Hashtbl.replace replica.ooo seq { pk_key; pk_vals; pk_buf = buf };
+              backup_apply_in_order replica ~src
+            end
+            else begin
+              (* Duplicate or already applied: re-ack idempotently. *)
+              send_ack ~cpu replica ~dst:src ~seq;
+              Mem.Pinned.Buf.decr_ref ~cpu buf
+            end
+      end
+      else Mem.Pinned.Buf.decr_ref ~cpu buf
 
 (* --- Primary side --------------------------------------------------------- *)
 
@@ -191,73 +250,89 @@ let replicate t ~cpu ~seq ~key vals =
         env)
     t.backups
 
-let handle_client_request t ~cpu ~src msg =
-  let id = Option.value ~default:0L (Wire.Dyn.get_int msg "id") in
-  match Wire.Dyn.get msg "op" with
-  | Some (Wire.Dyn.Nested op) -> (
-      let key =
-        match Wire.Dyn.get_payload op "key" with
-        | Some p -> payload_string ~cpu p
-        | None -> ""
+(* Client request over the validated reader: the op level opens in place,
+   the key is hashed straight out of the receive buffer, and put values
+   blit from their in-place windows into the store — the apply path never
+   materializes a [Dyn]. *)
+let handle_client_request t ~cpu ~src r =
+  let id = if Wire.Reader.present r msg_id then Wire.Reader.get_u64 r msg_id else 0L in
+  if
+    Wire.Reader.present r msg_op
+    && match Wire.Reader.nested r msg_op ~into:t.primary.op_reader with
+       | () -> true
+       | exception Wire.Reader.Invalid _ -> false
+  then begin
+    let op = t.primary.op_reader in
+    let key =
+      if Wire.Reader.present op op_key then
+        Wire.Reader.payload_string op op_key
+      else ""
+    in
+    let kind =
+      if Wire.Reader.present op op_kind then Wire.Reader.get_u64 op op_kind
+      else -1L
+    in
+    if kind = kind_get then begin
+      let vals =
+        match Kvstore.Store.get ~cpu t.primary.store ~key with
+        | Some value ->
+            List.map
+              (fun buf ->
+                Cornflakes.Cf_ptr.make ~cpu config t.primary.ep
+                  (Mem.Pinned.Buf.view buf))
+              (Kvstore.Store.buffers value)
+        | None -> []
       in
-      match Wire.Dyn.get_int op "kind" with
-      | Some k when k = kind_get ->
-          let vals =
-            match Kvstore.Store.get ~cpu t.primary.store ~key with
-            | Some value ->
-                List.map
-                  (fun buf ->
-                    Cornflakes.Cf_ptr.make ~cpu config t.primary.ep
-                      (Mem.Pinned.Buf.view buf))
-                  (Kvstore.Store.buffers value)
-            | None -> []
-          in
-          reply ~cpu t.primary ~dst:src ~id ~vals
-      | Some k when k = kind_put ->
-          apply_put ~cpu t.primary ~key (Wire.Dyn.get_list op "vals");
-          let seq = t.next_seq in
-          t.next_seq <- Int64.add t.next_seq 1L;
-          if t.backups = [] then begin
-            t.committed <- t.committed + 1;
-            reply ~cpu t.primary ~dst:src ~id ~vals:[]
-          end
-          else begin
-            Hashtbl.replace t.pending seq
-              { client_src = src; client_id = id; awaiting = List.length t.backups };
-            let vals =
-              match Kvstore.Store.get ~cpu t.primary.store ~key with
-              | Some value -> Kvstore.Store.buffers value
-              | None -> []
-            in
-            replicate t ~cpu ~seq ~key vals
-          end
-      | _ -> reply ~cpu t.primary ~dst:src ~id ~vals:[])
-  | _ -> reply ~cpu t.primary ~dst:src ~id ~vals:[]
+      reply ~cpu t.primary ~dst:src ~id ~vals
+    end
+    else if kind = kind_put then begin
+      apply_put_views ~cpu t.primary ~key (op_val_views op);
+      let seq = t.next_seq in
+      t.next_seq <- Int64.add t.next_seq 1L;
+      if t.backups = [] then begin
+        t.committed <- t.committed + 1;
+        reply ~cpu t.primary ~dst:src ~id ~vals:[]
+      end
+      else begin
+        Hashtbl.replace t.pending seq
+          { client_src = src; client_id = id; awaiting = List.length t.backups };
+        let vals =
+          match Kvstore.Store.get ~cpu t.primary.store ~key with
+          | Some value -> Kvstore.Store.buffers value
+          | None -> []
+        in
+        replicate t ~cpu ~seq ~key vals
+      end
+    end
+    else reply ~cpu t.primary ~dst:src ~id ~vals:[]
+  end
+  else reply ~cpu t.primary ~dst:src ~id ~vals:[]
 
-let handle_ack t ~cpu msg =
-  match Wire.Dyn.get_int msg "id" with
-  | None -> ()
-  | Some seq -> (
-      match Hashtbl.find_opt t.pending seq with
-      | None -> () (* duplicate ack *)
-      | Some p ->
-          p.awaiting <- p.awaiting - 1;
-          if p.awaiting = 0 then begin
-            Hashtbl.remove t.pending seq;
-            t.committed <- t.committed + 1;
-            reply ~cpu t.primary ~dst:p.client_src ~id:p.client_id ~vals:[]
-          end)
+let handle_ack t ~cpu r =
+  if Wire.Reader.present r msg_id then
+    let seq = Wire.Reader.get_u64 r msg_id in
+    match Hashtbl.find_opt t.pending seq with
+    | None -> () (* duplicate ack *)
+    | Some p ->
+        p.awaiting <- p.awaiting - 1;
+        if p.awaiting = 0 then begin
+          Hashtbl.remove t.pending seq;
+          t.committed <- t.committed + 1;
+          reply ~cpu t.primary ~dst:p.client_src ~id:p.client_id ~vals:[]
+        end
 
 let primary_handler t ~src buf =
   let cpu = t.primary.cpu in
-  match Cornflakes.Send.deserialize ~cpu schema rep_msg buf with
-  | exception Cornflakes.Format_.Malformed _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
-  | msg ->
-      (match Wire.Dyn.get_int msg "role" with
-      | Some role when role = role_request -> handle_client_request t ~cpu ~src msg
-      | Some role when role = role_ack -> handle_ack t ~cpu msg
-      | _ -> ());
-      Wire.Dyn.release ~cpu msg;
+  let r = t.primary.msg_reader in
+  match Wire.Reader.validate ~cpu r buf with
+  | exception Wire.Reader.Invalid _ -> Mem.Pinned.Buf.decr_ref ~cpu buf
+  | () ->
+      let role =
+        if Wire.Reader.present r msg_role then Wire.Reader.get_u64 r msg_role
+        else -1L
+      in
+      (if role = role_request then handle_client_request t ~cpu ~src r
+       else if role = role_ack then handle_ack t ~cpu r);
       Mem.Pinned.Buf.decr_ref ~cpu buf
 
 (* --- Construction --------------------------------------------------------- *)
@@ -273,7 +348,17 @@ let make_replica rig ~ep ~cpu ~server ~workload ~name =
       ~capacity:workload.Workload.Spec.store_capacity
   in
   workload.Workload.Spec.populate store ~pool;
-  { ep; cpu; server; store; pool; expected_seq = 1L; ooo = Hashtbl.create 32 }
+  {
+    ep;
+    cpu;
+    server;
+    store;
+    pool;
+    expected_seq = 1L;
+    ooo = Hashtbl.create 32;
+    msg_reader = Wire.Reader.create rep_msg;
+    op_reader = Wire.Reader.create rep_op;
+  }
 
 let create rig ~backups ~workload =
   let primary =
@@ -301,6 +386,7 @@ let create rig ~backups ~workload =
       committed = 0;
       workload;
       client_rng = Sim.Rng.split rig.Apps.Rig.rng;
+      client_reader = Wire.Reader.create rep_msg;
     }
   in
   Loadgen.Server.set_handler rig.Apps.Rig.server (fun ~src buf ->
@@ -347,12 +433,10 @@ let send_next t client ~dst ~id =
   send_op t (t.workload.Workload.Spec.next t.client_rng) client ~dst ~id
 
 let parse_id t buf =
-  ignore t;
-  match Cornflakes.Send.deserialize schema rep_msg buf with
-  | exception Cornflakes.Format_.Malformed _ -> -1
-  | msg ->
-      let id =
-        match Wire.Dyn.get_int msg "id" with Some v -> Int64.to_int v | None -> -1
-      in
-      Wire.Dyn.release msg;
-      id
+  let r = t.client_reader in
+  match Wire.Reader.validate r buf with
+  | exception Wire.Reader.Invalid _ -> -1
+  | () ->
+      if Wire.Reader.present r msg_id then
+        Int64.to_int (Wire.Reader.get_u64 r msg_id)
+      else -1

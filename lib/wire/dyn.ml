@@ -5,7 +5,7 @@ type value =
   | Nested of t
   | List of value list
 
-and t = { desc : Schema.Desc.message; values : value option array }
+and t = { desc : Schema.Desc.message; mutable values : value option array }
 
 exception Type_error of string
 
@@ -126,8 +126,18 @@ and release ?cpu t = iter_present t (fun _ _ v -> release_value ?cpu v)
 
 (* Reusable-message API: a pooled request/response object is [clear]ed (or
    [reset] when it may still own zero-copy references) and rebuilt in place,
-   so steady-state request loops do not allocate a Dyn per message. *)
-let clear t = Array.fill t.values 0 (Array.length t.values) None
+   so steady-state request loops do not allocate a Dyn per message.
+
+   [clear] swaps in a fresh slot array instead of [Array.fill]ing the old
+   one: a long-lived scratch message's array gets promoted to the major
+   heap, after which every slot store pays the full write-barrier path
+   (remembered-set insertion for minor values, plus the deletion barrier
+   darkening the overwritten slots during marking) — enough to make the
+   pooled build loop no faster than fresh allocation. A small fresh minor
+   array keeps the rebuild on the barrier fast path; the message object
+   itself (identity, desc) is still reused. *)
+let clear t =
+  t.values <- Array.make (Array.length t.values) None
 
 let reset ?cpu t =
   release ?cpu t;

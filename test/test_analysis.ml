@@ -103,6 +103,8 @@ let test_fixture_alloc = check_fixture "bad_alloc_free.ml" [ "SC-ALLOC" ]
 let test_fixture_cluster =
   check_fixture "bad_cluster_cursor.ml" [ "SC-PAR-CAPTURE"; "SC-PAR-MUT" ]
 
+let test_fixture_rx_view = check_fixture "bad_rx_view.ml" [ "SC-LC-UAF" ]
+
 (* --- clean run over the real tree --------------------------------------- *)
 
 let test_real_tree_clean () =
@@ -272,6 +274,8 @@ let suite =
     Alcotest.test_case "fixture: alloc on hot path" `Quick test_fixture_alloc;
     Alcotest.test_case "fixture: cluster cursor shared across shards" `Quick
       test_fixture_cluster;
+    Alcotest.test_case "fixture: rx view outlives recycle" `Quick
+      test_fixture_rx_view;
     Alcotest.test_case "real tree is clean" `Quick test_real_tree_clean;
     Alcotest.test_case "IR sidecar in sync (golden)" `Quick
       test_ir_sidecar_in_sync;

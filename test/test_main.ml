@@ -19,6 +19,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("specialized", Test_specialized.suite);
       ("fuzz", Test_fuzz.suite);
+      ("reader", Test_reader.suite);
       ("extensions", Test_extensions.suite);
       ("segment", Test_segment.suite);
       ("replication", Test_replication.suite);
