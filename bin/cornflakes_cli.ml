@@ -245,8 +245,9 @@ let compile_cmd =
             let oc = open_out path in
             output_string oc source;
             close_out oc;
-            Printf.printf "wrote %s (%d messages)\n" path
-              (List.length schema.Schema.Desc.messages));
+            Printf.printf "wrote %s (%d messages, %d services)\n" path
+              (List.length schema.Schema.Desc.messages)
+              (List.length schema.Schema.Desc.services));
         match ir with
         | None -> ()
         | Some path ->

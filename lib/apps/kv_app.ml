@@ -5,10 +5,11 @@ type t = {
   store : Kvstore.Store.t;
   pool : Mem.Pinned.Pool.t;
   client_rng : Sim.Rng.t;
-  (* Pooled request/response objects, rebuilt in place per message. The
-     stack takes over any zero-copy references at send, so a [Dyn.clear]
-     (not [reset]) between uses is the correct ownership move. *)
-  resp_scratch : Wire.Dyn.t;
+  (* Pooled request object, rebuilt in place per message. The stack takes
+     over any zero-copy references at send, so a [Dyn.clear] (not
+     [reset]) between uses is the correct ownership move. The pooled
+     response now lives inside the generated [Kv_rpc.Kv_service] server
+     skeleton built per [activate]. *)
   req_scratch : Wire.Dyn.t;
   (* Resilience mode (set by [enable_resilience]; shared across
      [switch_backend] copies via the ref/tables). With a dedup window
@@ -16,6 +17,10 @@ type t = {
      re-executed), retried ids replay the same cached op, and per-id put
      applications are recorded for exactly-once assertions. *)
   mutable dedup : Net.Dedup.t option;
+  (* Verdict of the pre-dispatch duplicate witness, read by the put row of
+     the generated dispatch table (a ref: shared across [switch_backend]
+     copies like the other resilience state). *)
+  current_duplicate : bool ref;
   puts_suppressed : int ref;
   put_applies : (int, int) Hashtbl.t; (* request id -> put applications *)
   retry_cache : (int, Workload.Spec.op) Hashtbl.t; (* in-flight id -> op *)
@@ -106,45 +111,54 @@ let handle_put t ~cpu req resp =
       | many -> Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Linked many))
   | _ -> ()
 
-let handler t ~src buf =
+(* The server side is the generated [Kv_rpc.Kv_service] skeleton: the
+   request parses once (via the backend), the duplicate witness runs
+   before dispatch for every id-carrying request (gets are idempotent and
+   re-executed; the put row reads the stashed verdict), then the method
+   word dispatches through the branchless table — the skeleton echoes the
+   id into the pooled response and tail-sends it, unknown ops included. *)
+let handler t srv ~src buf =
   let cpu = t.rig.Rig.cpu in
   let tr = t.rig.Rig.server_tr in
   let req = t.backend.Backend.recv ~cpu tr Proto.req buf in
-  let resp = t.resp_scratch in
-  Wire.Dyn.clear resp;
-  let id_opt = Wire.Dyn.get_int req "id" in
-  (match id_opt with
-  | Some id -> Wire.Dyn.set_int resp "id" id
-  | None -> ());
-  let duplicate =
-    match (t.dedup, id_opt) with
-    | Some d, Some id -> Net.Dedup.witness d ~src ~id:(Int64.to_int id) = `Duplicate
-    | _ -> false
+  t.current_duplicate :=
+    (match (t.dedup, Wire.Dyn.get_int req "id") with
+    | Some d, Some id ->
+        Net.Dedup.witness d ~src ~id:(Int64.to_int id) = `Duplicate
+    | _ -> false);
+  Kv_rpc.Kv_service.serve_dyn srv ~src req;
+  Wire.Dyn.release ~cpu req;
+  Mem.Pinned.Buf.decr_ref ~cpu ~site:"Kv_app.handler_done" buf
+
+let activate t =
+  let cpu = t.rig.Rig.cpu in
+  let tr = t.rig.Rig.server_tr in
+  let srv =
+    Kv_rpc.Kv_service.server
+      ~send:(fun ~dst resp -> t.backend.Backend.send ~cpu tr ~dst resp)
+      ()
   in
-  (match Wire.Dyn.get_int req "op" with
-  (* Gets are idempotent: re-executing a duplicate regenerates the (lost)
-     response. Puts are not — a duplicate put is suppressed and answered
-     with the id-only ack the retry layer needs. *)
-  | Some op when op = Proto.op_get -> handle_get t ~cpu req resp
-  | Some op when op = Proto.op_get_index -> handle_get_index t ~cpu req resp
-  | Some op when op = Proto.op_put ->
-      if duplicate then incr t.puts_suppressed
+  Kv_rpc.Kv_service.on_get srv
+    ~dyn:(fun ~src:_ req resp -> handle_get t ~cpu req resp);
+  Kv_rpc.Kv_service.on_get_index srv
+    ~dyn:(fun ~src:_ req resp -> handle_get_index t ~cpu req resp);
+  (* A duplicate put is suppressed and answered with the id-only ack the
+     retry layer needs; first applications are recorded for the
+     exactly-once audit. *)
+  Kv_rpc.Kv_service.on_put srv
+    ~dyn:(fun ~src:_ req resp ->
+      if !(t.current_duplicate) then incr t.puts_suppressed
       else begin
-        (match (t.dedup, id_opt) with
+        (match (t.dedup, Wire.Dyn.get_int req "id") with
         | Some _, Some id ->
             let id = Int64.to_int id in
             Hashtbl.replace t.put_applies id
               (1 + Option.value (Hashtbl.find_opt t.put_applies id) ~default:0)
         | _ -> ());
         handle_put t ~cpu req resp
-      end
-  | Some _ | None -> ());
-  t.backend.Backend.send ~cpu tr ~dst:src resp;
-  Wire.Dyn.release ~cpu req;
-  Mem.Pinned.Buf.decr_ref ~cpu ~site:"Kv_app.handler_done" buf
-
-let activate t =
-  Loadgen.Server.set_handler t.rig.Rig.server (fun ~src buf -> handler t ~src buf);
+      end);
+  Loadgen.Server.set_handler t.rig.Rig.server (fun ~src buf ->
+      handler t srv ~src buf);
   t
 
 let install rig ~backend ~workload =
@@ -165,9 +179,9 @@ let install rig ~backend ~workload =
       store;
       pool;
       client_rng = Sim.Rng.split rig.Rig.rng;
-      resp_scratch = Wire.Dyn.create Proto.resp;
       req_scratch = Wire.Dyn.create Proto.req;
       dedup = None;
+      current_duplicate = ref false;
       puts_suppressed = ref 0;
       put_applies = Hashtbl.create 256;
       retry_cache = Hashtbl.create 256;

@@ -1,37 +1,29 @@
-let schema_text =
-  {|
-  syntax = "proto3";
-  // Request sent by clients of the custom key-value store.
-  message Req {
-    uint64 id = 1;
-    uint32 op = 2;
-    repeated bytes keys = 3;
-    uint32 index = 4;
-    repeated bytes vals = 5;
-  }
-  // Response carrying the queried values (paper Listing 1's GetM).
-  message Resp {
-    uint64 id = 1;
-    repeated bytes vals = 2;
-  }
-  |}
+(* The kv protocol's stable alias surface. The schema itself lives in
+   [kv.proto], compiled (and committed) as the generated [Kv_rpc] module;
+   this module re-exports the descriptors, the op-tag words and the
+   in-place field indices so existing call sites keep one name for each.
 
-let schema = Schema.Parser.parse schema_text
+   The op tags are the schema-declared method ids of the [Kv] service —
+   one source of truth for the store, the sharded cluster and the load
+   drivers, enforced by the golden/CI regeneration of [kv_rpc.ml]. *)
 
-let req = Schema.Desc.message schema "Req"
+let schema = Kv_rpc.schema
 
-let resp = Schema.Desc.message schema "Resp"
+let req = Kv_rpc.Req.desc
 
-let op_get = 0L
+let resp = Kv_rpc.Resp.desc
 
-let op_put = 1L
+(* Method-id words (the request envelope's [op] field). *)
+let op_get = Kv_rpc.Kv_service.id_get
 
-let op_get_index = 2L
+let op_put = Kv_rpc.Kv_service.id_put
+
+let op_get_index = Kv_rpc.Kv_service.id_get_index
 
 (* Field indices for the in-place [Wire.Reader] accessors (schema order). *)
-let req_id = Schema.Desc.field_index req "id"
+let req_id = Kv_rpc.Kv_service.req_id
 
-let req_op = Schema.Desc.field_index req "op"
+let req_op = Kv_rpc.Kv_service.req_op
 
 let req_keys = Schema.Desc.field_index req "keys"
 
@@ -39,6 +31,6 @@ let req_index = Schema.Desc.field_index req "index"
 
 let req_vals = Schema.Desc.field_index req "vals"
 
-let resp_id = Schema.Desc.field_index resp "id"
+let resp_id = Kv_rpc.Kv_service.resp_id
 
 let resp_vals = Schema.Desc.field_index resp "vals"

@@ -1,7 +1,7 @@
 (** The schema shared by the evaluation applications (the analogue of the
-    paper's Listing 1 [GetM] messages). *)
-
-val schema_text : string
+    paper's Listing 1 [GetM] messages) — the stable alias surface over the
+    generated [Kv_rpc] module compiled from [kv.proto]. The op tags are
+    the [Kv] service's schema-declared method ids. *)
 
 val schema : Schema.Desc.t
 

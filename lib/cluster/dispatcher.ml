@@ -24,6 +24,15 @@
    the invocation, which is exactly the [Loadgen.Server] arena-reset
    contract. *)
 
+(* How a method word shapes the fan-out: whether per-key response slots
+   are kept for reassembly (gets) and whether request values ride along
+   in the sub-requests (puts). The rows are bound from the schema-declared
+   [Kv] service method ids once at create; the hot path consults the
+   branchless table instead of comparing op constants. Unknown method
+   words take the fallback (get-shaped) row, preserving the historical
+   default. *)
+type strategy = { keep_slots : bool; forward_vals : bool }
+
 type slot = { owner : int; mutable payload : Wire.Payload.t option }
 
 type group = {
@@ -72,6 +81,7 @@ type t = {
      retained values become [Wire.Rc_view] slices, no [Dyn] in between. *)
   req_reader : Wire.Reader.t;
   partial_reader : Wire.Reader.t;
+  strategies : strategy Rpc.Table.t; (* method word -> fan-out shape *)
   pending : (int, pending) Hashtbl.t; (* fan-out id -> pending *)
   mutable next_fanout : int;
   mutable started : int;
@@ -165,6 +175,7 @@ let handle_request t ~src req =
     Option.value ~default:(-1L) (Wire.Dyn.get_int req "id")
   in
   let op = Option.value ~default:Apps.Proto.op_get (Wire.Dyn.get_int req "op") in
+  let st = Rpc.Table.dispatch t.strategies (Int64.to_int op) in
   let keys =
     List.filter_map
       (fun v -> match v with Wire.Dyn.Payload p -> Some p | _ -> None)
@@ -199,7 +210,7 @@ let handle_request t ~src req =
   in
   let groups =
     (* A put has one key; its group carries the values along. *)
-    if op = Apps.Proto.op_put && groups = [] then []
+    if st.forward_vals && groups = [] then []
     else groups
   in
   let fid = fresh_fanout t in
@@ -207,7 +218,7 @@ let handle_request t ~src req =
     {
       client = src;
       client_id;
-      slots = (if op = Apps.Proto.op_put then [||] else slots);
+      slots = (if st.keep_slots then slots else [||]);
       groups;
       awaiting = List.length groups;
     }
@@ -243,7 +254,7 @@ let handle_request t ~src req =
             | Some p -> Wire.Dyn.append sub "keys" (Wire.Dyn.Payload p)
             | None -> ())
           g.g_slots;
-        if op = Apps.Proto.op_put then
+        if st.forward_vals then
           List.iter
             (fun v ->
               match v with
@@ -334,6 +345,7 @@ let handle_request_zc t ~src r =
       Wire.Reader.get_u64 r Apps.Proto.req_op
     else Apps.Proto.op_get
   in
+  let st = Rpc.Table.dispatch t.strategies (Int64.to_int op) in
   let nkeys =
     if Wire.Reader.present r Apps.Proto.req_keys then
       Wire.Reader.count r Apps.Proto.req_keys
@@ -364,7 +376,7 @@ let handle_request_zc t ~src r =
     {
       client = src;
       client_id;
-      slots = (if op = Apps.Proto.op_put then [||] else slots);
+      slots = (if st.keep_slots then slots else [||]);
       groups;
       awaiting = List.length groups;
     }
@@ -382,8 +394,8 @@ let handle_request_zc t ~src r =
     Hashtbl.replace t.pending fid p;
     t.started <- t.started + 1;
     let nvals =
-      if op = Apps.Proto.op_put && Wire.Reader.present r Apps.Proto.req_vals
-      then Wire.Reader.count r Apps.Proto.req_vals
+      if st.forward_vals && Wire.Reader.present r Apps.Proto.req_vals then
+        Wire.Reader.count r Apps.Proto.req_vals
       else 0
     in
     List.iter
@@ -513,6 +525,22 @@ let create ~fabric ~registry ~space ~kind ~backend ~queue_limit ~id ~ring
       resp_scratch = Wire.Dyn.create Apps.Proto.resp;
       req_reader = Wire.Reader.create Apps.Proto.req;
       partial_reader = Wire.Reader.create Apps.Proto.resp;
+      strategies =
+        (let get_shaped = { keep_slots = true; forward_vals = false } in
+         let tbl =
+           Rpc.Table.create ~n:Apps.Kv_rpc.Kv_service.method_count
+             ~fallback:get_shaped
+         in
+         Rpc.Table.set tbl
+           ~id:(Int64.to_int Apps.Kv_rpc.Kv_service.id_get)
+           get_shaped;
+         Rpc.Table.set tbl
+           ~id:(Int64.to_int Apps.Kv_rpc.Kv_service.id_get_index)
+           get_shaped;
+         Rpc.Table.set tbl
+           ~id:(Int64.to_int Apps.Kv_rpc.Kv_service.id_put)
+           { keep_slots = false; forward_vals = true };
+         tbl);
       pending = Hashtbl.create 4096;
       next_fanout = 1;
       started = 0;

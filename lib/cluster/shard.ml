@@ -22,7 +22,10 @@ type t = {
   backend : Apps.Backend.t;
   store : Kvstore.Store.t;
   pool : Mem.Pinned.Pool.t;
-  resp_scratch : Wire.Dyn.t;
+  (* Generated server skeleton: owns the pooled response and the
+     branchless method-dispatch table ([Get]/[Put] rows registered at
+     create; unregistered methods answer the bare id echo). *)
+  rpc : Apps.Kv_rpc.Kv_service.server;
   mutable keys_served : int;
   mutable puts : int;
   mutable misses : int;
@@ -100,19 +103,13 @@ let handle_put t ~cpu req =
           Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Linked many))
   | _ -> ()
 
+(* The request parses once (via the backend), then the generated skeleton
+   takes over: id echo into the pooled response, branchless dispatch on
+   the method word, tail-send. *)
 let handler t ~src buf =
   let cpu = t.cpu in
   let req = t.backend.Apps.Backend.recv ~cpu t.tr Apps.Proto.req buf in
-  let resp = t.resp_scratch in
-  Wire.Dyn.clear resp;
-  (match Wire.Dyn.get_int req "id" with
-  | Some id -> Wire.Dyn.set_int resp "id" id
-  | None -> ());
-  (match Wire.Dyn.get_int req "op" with
-  | Some op when op = Apps.Proto.op_get -> handle_get t ~cpu req resp
-  | Some op when op = Apps.Proto.op_put -> handle_put t ~cpu req
-  | Some _ | None -> ());
-  t.backend.Apps.Backend.send ~cpu t.tr ~dst:src resp;
+  Apps.Kv_rpc.Kv_service.serve_dyn t.rpc ~src req;
   Wire.Dyn.release ~cpu req;
   Mem.Pinned.Buf.decr_ref ~cpu ~site:"Shard.handler_done" buf
 
@@ -133,6 +130,11 @@ let create ~fabric ~registry ~space ~shared_l3 ~kind ~backend ~queue_limit
       ~name:(Printf.sprintf "shard-%d" index)
       ~capacity:store_capacity
   in
+  let rpc =
+    Apps.Kv_rpc.Kv_service.server
+      ~send:(fun ~dst resp -> backend.Apps.Backend.send ~cpu tr ~dst resp)
+      ()
+  in
   let t =
     {
       index;
@@ -145,13 +147,17 @@ let create ~fabric ~registry ~space ~shared_l3 ~kind ~backend ~queue_limit
       backend;
       store;
       pool;
-      resp_scratch = Wire.Dyn.create Apps.Proto.resp;
+      rpc;
       keys_served = 0;
       puts = 0;
       misses = 0;
       drops = 0;
     }
   in
+  Apps.Kv_rpc.Kv_service.on_get rpc
+    ~dyn:(fun ~src:_ req resp -> handle_get t ~cpu req resp);
+  Apps.Kv_rpc.Kv_service.on_put rpc
+    ~dyn:(fun ~src:_ req _resp -> handle_put t ~cpu req);
   Loadgen.Server.set_handler server (fun ~src buf -> handler t ~src buf);
   t
 

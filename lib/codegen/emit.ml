@@ -300,6 +300,264 @@ let emit_message ~crossover buf (m : Schema.Desc.message) =
   Buffer.add_string buf
     "  let release ?cpu t = Wire.Dyn.release ?cpu t.msg\nend\n\n"
 
+(* --- service compilation ---------------------------------------------- *)
+
+let service_module_name (s : Schema.Desc.service) =
+  module_name s.Schema.Desc.svc_name ^ "_service"
+
+let has_streamed (s : Schema.Desc.service) =
+  Array.exists (fun (m : Schema.Desc.method_) -> m.Schema.Desc.stream)
+    s.Schema.Desc.methods
+
+(* Envelope geometry folded at compile time: the v1 service contract
+   (checked by [Desc.validate]) pins every method of a service to one
+   request and one response envelope, with integer scalar [op]/[id] in the
+   request, [id] (plus [seq] for streams) in the response — so the field
+   indices the skeleton dispatches on are literals here. *)
+type envelope = {
+  env_req : Schema.Desc.message;
+  env_resp : Schema.Desc.message;
+  e_req_op : int;
+  e_req_id : int;
+  e_resp_id : int;
+  e_resp_seq : int option;
+}
+
+let envelope schema (s : Schema.Desc.service) =
+  let m0 = s.Schema.Desc.methods.(0) in
+  let req = Schema.Desc.message schema m0.Schema.Desc.req_type in
+  let resp = Schema.Desc.message schema m0.Schema.Desc.resp_type in
+  {
+    env_req = req;
+    env_resp = resp;
+    e_req_op = Schema.Desc.field_index req "op";
+    e_req_id = Schema.Desc.field_index req "id";
+    e_resp_id = Schema.Desc.field_index resp "id";
+    e_resp_seq =
+      (if has_streamed s then Some (Schema.Desc.field_index resp "seq")
+       else None);
+  }
+
+(* The compiled service: a typed client stub and a server skeleton, both
+   bound onto the specialized send/receive paths of the envelope message
+   modules emitted above. The skeleton validates each request exactly once
+   and dispatches the [op] method word through a branchless [Rpc.Table];
+   the stub stamps id + method word and sends through the folded writer,
+   with declared deadlines defaulted in. *)
+let emit_service schema buf (s : Schema.Desc.service) =
+  let env = envelope schema s in
+  let req_mod = module_name env.env_req.Schema.Desc.msg_name in
+  let resp_mod = module_name env.env_resp.Schema.Desc.msg_name in
+  let table_size = Schema.Desc.max_method_id s + 1 in
+  let methods = s.Schema.Desc.methods in
+  Printf.bprintf buf "module %s = struct\n" (service_module_name s);
+  Printf.bprintf buf "  let svc = Schema.Desc.service schema %S\n\n"
+    s.Schema.Desc.svc_name;
+  Buffer.add_string buf
+    "  (* Method-id words: the request envelope's [op] field. *)\n";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      Printf.bprintf buf "  let id_%s = %dL\n"
+        (ocaml_name m.Schema.Desc.meth_name)
+        m.Schema.Desc.meth_id)
+    methods;
+  Printf.bprintf buf "\n  let method_count = %d\n\n" (Array.length methods);
+  Buffer.add_string buf "  (* Declared per-method deadlines (ms). *)\n";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      Printf.bprintf buf "  let deadline_ms_%s : int option = %s\n"
+        (ocaml_name m.Schema.Desc.meth_name)
+        (match m.Schema.Desc.deadline_ms with
+        | Some d -> Printf.sprintf "Some %d" d
+        | None -> "None"))
+    methods;
+  Buffer.add_string buf "\n  (* Streamed responses. *)\n";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      Printf.bprintf buf "  let stream_%s = %b\n"
+        (ocaml_name m.Schema.Desc.meth_name)
+        m.Schema.Desc.stream)
+    methods;
+  Buffer.add_string buf
+    "\n  (* Envelope field indices (literal — folded from the schema). *)\n";
+  Printf.bprintf buf "  let req_op = %d\n" env.e_req_op;
+  Printf.bprintf buf "  let req_id = %d\n" env.e_req_id;
+  Printf.bprintf buf "  let resp_id = %d\n" env.e_resp_id;
+  (match env.e_resp_seq with
+  | Some i -> Printf.bprintf buf "  let resp_seq = %d\n" i
+  | None -> ());
+  Buffer.add_string buf
+    "\n\
+    \  (* A method handler. [h_reader] serves the zero-copy path: fields\n\
+    \     are read in place from the once-validated request frame. [h_dyn]\n\
+    \     serves backends that parse into a [Wire.Dyn.t] first. Both fill\n\
+    \     the pooled response; unary methods tail-send it, streamed methods\n\
+    \     emit chunks through their [emit_*] helper instead. *)\n\
+    \  type handler = {\n\
+    \    h_stream : bool;\n\
+    \    h_reader : src:int -> Wire.Reader.t -> Wire.Dyn.t -> unit;\n\
+    \    h_dyn : src:int -> Wire.Dyn.t -> Wire.Dyn.t -> unit;\n\
+    \  }\n\n\
+    \  (* Unknown or unregistered method words land here: the request is\n\
+    \     answered with the bare id-echo response, never dropped. *)\n\
+    \  let unhandled =\n\
+    \    {\n\
+    \      h_stream = false;\n\
+    \      h_reader = (fun ~src:_ _ _ -> ());\n\
+    \      h_dyn = (fun ~src:_ _ _ -> ());\n\
+    \    }\n\n\
+    \  type server = {\n\
+    \    s_table : handler Rpc.Table.t;\n\
+    \    s_reader : Wire.Reader.t;\n\
+    \    s_resp : Wire.Dyn.t;\n\
+    \    s_send : dst:int -> Wire.Dyn.t -> unit;\n\
+    \  }\n\n";
+  Printf.bprintf buf
+    "  let server ~send () =\n\
+    \    {\n\
+    \      s_table = Rpc.Table.create ~n:%d ~fallback:unhandled;\n\
+    \      s_reader = %s.reader ();\n\
+    \      s_resp = Wire.Dyn.create %s.desc;\n\
+    \      s_send = send;\n\
+    \    }\n\n"
+    table_size req_mod resp_mod;
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      let n = ocaml_name m.Schema.Desc.meth_name in
+      Printf.bprintf buf
+        "  let on_%s ?reader ?dyn s =\n\
+        \    Rpc.Table.set s.s_table ~id:%d\n\
+        \      {\n\
+        \        h_stream = stream_%s;\n\
+        \        h_reader =\n\
+        \          (match reader with Some f -> f | None -> unhandled.h_reader);\n\
+        \        h_dyn = (match dyn with Some f -> f | None -> unhandled.h_dyn);\n\
+        \      }\n\n"
+        n m.Schema.Desc.meth_id n)
+    methods;
+  Buffer.add_string buf
+    "  (* Method word of a request; [-1] (the fallback row) when absent. *)\n\
+    \  let method_of_reader r =\n\
+    \    Int64.to_int (Wire.Reader.get_u64_or r req_op ~default:(-1L))\n\n\
+    \  let method_of_dyn req =\n\
+    \    match Wire.Dyn.get_int req \"op\" with\n\
+    \    | Some v -> Int64.to_int v\n\
+    \    | None -> -1\n\n";
+  Buffer.add_string buf
+    "  (* Server skeleton, zero-copy path: validate the frame exactly once\n\
+    \     into the pooled in-place reader, echo the caller's id into the\n\
+    \     pooled response, dispatch the method word through the branchless\n\
+    \     table; unary methods tail-send the response the handler filled. *)\n\
+    \  let serve ?cpu s ~src buf =\n\
+    \    Wire.Reader.validate ?cpu s.s_reader buf;\n\
+    \    Wire.Dyn.clear s.s_resp;\n\
+    \    if Wire.Reader.present s.s_reader req_id then\n\
+    \      Wire.Dyn.set_int s.s_resp \"id\" (Wire.Reader.get_u64 s.s_reader req_id);\n\
+    \    let h = Rpc.Table.dispatch s.s_table (method_of_reader s.s_reader) in\n\
+    \    h.h_reader ~src s.s_reader s.s_resp;\n\
+    \    if not h.h_stream then s.s_send ~dst:src s.s_resp\n\n\
+    \  (* Copy-path twin: identical operation order over a request a\n\
+    \     backend already parsed into a [Wire.Dyn.t] (caller keeps\n\
+    \     ownership of [req]). *)\n\
+    \  let serve_dyn s ~src req =\n\
+    \    Wire.Dyn.clear s.s_resp;\n\
+    \    (match Wire.Dyn.get_int req \"id\" with\n\
+    \    | Some id -> Wire.Dyn.set_int s.s_resp \"id\" id\n\
+    \    | None -> ());\n\
+    \    let h = Rpc.Table.dispatch s.s_table (method_of_dyn req) in\n\
+    \    h.h_dyn ~src req s.s_resp;\n\
+    \    if not h.h_stream then s.s_send ~dst:src s.s_resp\n\n";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      if m.Schema.Desc.stream then
+        let n = ocaml_name m.Schema.Desc.meth_name in
+        Printf.bprintf buf
+          "  (* Stream emission for %s: stamp the chunk's seq word (last\n\
+          \     data chunk carries the last bit — no terminator frame) and\n\
+          \     send one response frame per chunk; the response is cleared\n\
+          \     for the handler to fill the next chunk. *)\n\
+          \  let emit_%s s ~dst ~id cur ~last =\n\
+          \    Wire.Dyn.set_int s.s_resp \"id\" id;\n\
+          \    Wire.Dyn.set_int s.s_resp \"seq\" (Rpc.Stream.next cur ~last);\n\
+          \    s.s_send ~dst s.s_resp;\n\
+          \    Wire.Dyn.clear s.s_resp\n\n"
+          m.Schema.Desc.meth_name n)
+    methods;
+  Printf.bprintf buf
+    "  (* Client call state over this service's response envelope. *)\n\
+    \  let client ?config ?engine ?reliab tr =\n\
+    \    Rpc.Client.create ?config ?engine ?reliab ~resp:%s.desc tr\n\n"
+    resp_mod;
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      let n = ocaml_name m.Schema.Desc.meth_name in
+      if m.Schema.Desc.stream then
+        Printf.bprintf buf
+          "  (* Typed stub for %s (streamed): stamps the call id and method\n\
+          \     word into a caller-built request, then sends through the\n\
+          \     folded writer — via the retry layer when the client carries\n\
+          \     one. Declared deadline defaults in. *)\n\
+          \  let call_%s ?cpu ?deadline_ms c ~dst req ~on_chunk ~on_done =\n\
+          \    let deadline_ms =\n\
+          \      match deadline_ms with Some _ as d -> d | None -> deadline_ms_%s\n\
+          \    in\n\
+          \    Rpc.Client.call_stream c ?deadline_ms\n\
+          \      ~prepare:(fun id ->\n\
+          \        %s.set_id req (Int64.of_int id);\n\
+          \        %s.set_op req id_%s)\n\
+          \      ~send:(fun () ->\n\
+          \        %s.send ?cpu (Rpc.Client.config c) (Rpc.Client.transport c)\n\
+          \          ~dst req)\n\
+          \      ~on_chunk ~on_done ()\n\n"
+          m.Schema.Desc.meth_name n n req_mod req_mod n req_mod
+      else
+        Printf.bprintf buf
+          "  (* Typed stub for %s: stamps the call id and method word into a\n\
+          \     caller-built request, then sends through the folded writer —\n\
+          \     via the retry layer when the client carries one. Declared\n\
+          \     deadline defaults in. *)\n\
+          \  let call_%s ?cpu ?deadline_ms c ~dst req ~on_reply =\n\
+          \    let deadline_ms =\n\
+          \      match deadline_ms with Some _ as d -> d | None -> deadline_ms_%s\n\
+          \    in\n\
+          \    Rpc.Client.call c ?deadline_ms\n\
+          \      ~prepare:(fun id ->\n\
+          \        %s.set_id req (Int64.of_int id);\n\
+          \        %s.set_op req id_%s)\n\
+          \      ~send:(fun () ->\n\
+          \        %s.send ?cpu (Rpc.Client.config c) (Rpc.Client.transport c)\n\
+          \          ~dst req)\n\
+          \      ~on_reply ()\n\n"
+          m.Schema.Desc.meth_name n n req_mod req_mod n req_mod)
+    methods;
+  (match env.e_resp_seq with
+  | Some _ ->
+      Printf.bprintf buf
+        "  (* Response delivery: validate the frame once into the client's\n\
+        \     pooled reader, then route on the echoed id and seq word. *)\n\
+        \  let deliver ?cpu c buf =\n\
+        \    let r = Rpc.Client.reader c in\n\
+        \    %s.read_folded ?cpu r buf;\n\
+        \    let id = Int64.to_int (Wire.Reader.get_u64_or r resp_id ~default:0L) in\n\
+        \    let seq_word =\n\
+        \      if Wire.Reader.present r resp_seq then\n\
+        \        Some (Wire.Reader.get_u64 r resp_seq)\n\
+        \      else None\n\
+        \    in\n\
+        \    Rpc.Client.complete ?seq_word c ~id r\n"
+        resp_mod
+  | None ->
+      Printf.bprintf buf
+        "  (* Response delivery: validate the frame once into the client's\n\
+        \     pooled reader, then route on the echoed id. *)\n\
+        \  let deliver ?cpu c buf =\n\
+        \    let r = Rpc.Client.reader c in\n\
+        \    %s.read_folded ?cpu r buf;\n\
+        \    let id = Int64.to_int (Wire.Reader.get_u64_or r resp_id ~default:0L) in\n\
+        \    Rpc.Client.complete c ~id r\n"
+        resp_mod);
+  Buffer.add_string buf "end\n\n"
+
 let module_source ?(crossover = default_crossover) ~schema_text schema =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -307,6 +565,7 @@ let module_source ?(crossover = default_crossover) ~schema_text schema =
   Printf.bprintf buf "let schema = Schema.Parser.parse {schema|%s|schema}\n\n"
     schema_text;
   List.iter (fun m -> emit_message ~crossover buf m) schema.Schema.Desc.messages;
+  List.iter (fun s -> emit_service schema buf s) schema.Schema.Desc.services;
   Buffer.contents buf
 
 (* Ownership-IR summary of the generated module: one line per binding,
@@ -364,6 +623,38 @@ let ir_message ~crossover buf (m : Schema.Desc.message) =
   fn "send" "send" "Cornflakes.Send.send_planned";
   fn "release" "release" "Wire.Dyn.release"
 
+let ir_service buf (s : Schema.Desc.service) =
+  let mn = service_module_name s in
+  let fn name role callee =
+    Printf.bprintf buf "fn %s.%s role=%s callee=%s\n" mn name role callee
+  in
+  fn "svc" "desc" "Schema.Desc.service";
+  fn "server" "alloc" "Rpc.Table.create";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      fn ("on_" ^ ocaml_name m.Schema.Desc.meth_name) "setter" "Rpc.Table.set")
+    s.Schema.Desc.methods;
+  fn "method_of_reader" "getter" "Wire.Reader.get_u64_or";
+  fn "method_of_dyn" "getter" "Wire.Dyn.get_int";
+  fn "serve" "reader" "Wire.Reader.validate";
+  fn "serve_dyn" "accessor" "Rpc.Table.dispatch";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      if m.Schema.Desc.stream then
+        fn ("emit_" ^ ocaml_name m.Schema.Desc.meth_name) "send"
+          "Rpc.Stream.next")
+    s.Schema.Desc.methods;
+  fn "client" "alloc" "Rpc.Client.create";
+  Array.iter
+    (fun (m : Schema.Desc.method_) ->
+      fn
+        ("call_" ^ ocaml_name m.Schema.Desc.meth_name)
+        "send"
+        (if m.Schema.Desc.stream then "Rpc.Client.call_stream"
+         else "Rpc.Client.call"))
+    s.Schema.Desc.methods;
+  fn "deliver" "reader" "Rpc.Client.complete"
+
 let ir_source ?(crossover = default_crossover) schema =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -373,4 +664,9 @@ let ir_source ?(crossover = default_crossover) schema =
       Buffer.add_char buf '\n';
       ir_message ~crossover buf m)
     schema.Schema.Desc.messages;
+  List.iter
+    (fun s ->
+      Buffer.add_char buf '\n';
+      ir_service buf s)
+    schema.Schema.Desc.services;
   Buffer.contents buf

@@ -51,6 +51,11 @@ let all =
       run = Exp_rx.run;
     };
     {
+      id = "rpc";
+      title = "RPC codegen ablation: hand-wired vs generated dispatch and call";
+      run = Exp_rpc.run;
+    };
+    {
       id = "fig10";
       title = "NIC generality: CX-6 vs e810 at 1024 B";
       run = Exp_fig10.run;

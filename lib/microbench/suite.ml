@@ -108,6 +108,53 @@ let make_send_loop ~pooled ?write () =
     Sim.Engine.run_all engine;
     Mem.Arena.reset (Net.Endpoint.arena ep)
 
+(* One generated-RPC round trip per op: the [call_get] stub stamps the
+   call id and method word, sends through the folded writer, the
+   generated [serve] skeleton dispatches on the server endpoint, and
+   [deliver] routes the reply back to the pending call. The engine is
+   drained and both egress arenas mass-reset per op — the same
+   steady-state discipline as the serialize+send loops above. *)
+let make_rpc_call_loop () =
+  let module S = Apps.Kv_rpc.Kv_service in
+  let engine = Sim.Engine.create () in
+  let fabric = Net.Fabric.create engine in
+  let space = Mem.Addr_space.create () in
+  let registry = Mem.Registry.create space in
+  let cli = Net.Endpoint.create fabric registry ~id:1 in
+  let srv_ep = Net.Endpoint.create fabric registry ~id:2 in
+  let sink = ref 0 in
+  let srv =
+    S.server
+      ~send:(fun ~dst resp ->
+        Cornflakes.Send.send_object Cornflakes.Config.default srv_ep ~dst resp)
+      ()
+  in
+  S.on_get srv ~reader:(fun ~src:_ r _resp ->
+      let n = Wire.Reader.count r Apps.Proto.req_keys in
+      for j = 0 to n - 1 do
+        let off, len = Wire.Reader.elem_off_len r Apps.Proto.req_keys ~j in
+        sink := !sink + off + len
+      done);
+  Net.Endpoint.set_rx srv_ep (fun ~src buf ->
+      S.serve srv ~src buf;
+      Mem.Pinned.Buf.decr_ref ~site:"bench.rpc" buf);
+  let c = S.client (Net.Endpoint.transport cli) in
+  Net.Endpoint.set_rx cli (fun ~src:_ buf ->
+      S.deliver c buf;
+      Mem.Pinned.Buf.decr_ref ~site:"bench.rpc" buf);
+  let req = Apps.Kv_rpc.Req.create () in
+  List.iter
+    (fun j ->
+      Apps.Kv_rpc.Req.add_keys_payload req
+        (Wire.Payload.of_string space
+           (Printf.sprintf "twitter:user:%013d:profile-%02d" j j)))
+    [ 0; 1; 2; 3 ];
+  fun () ->
+    ignore (S.call_get c ~dst:2 req ~on_reply:(fun _ -> ()));
+    Sim.Engine.run_all engine;
+    Mem.Arena.reset (Net.Endpoint.arena cli);
+    Mem.Arena.reset (Net.Endpoint.arena srv_ep)
+
 let make_benchmarks ~seed () =
   let space = Mem.Addr_space.create () in
   (* Shared scratch: one Addr_space, payload strings and sample messages
@@ -190,6 +237,40 @@ let make_benchmarks ~seed () =
     | None -> failwith "microbench: loopback send delivered no frame"
   in
   let rx_reader = Wire.Reader.create Apps.Proto.resp in
+  (* RPC dispatch scratch: one delivered GET request frame and a generated
+     server skeleton with a reader handler registered for Get — per op the
+     skeleton validates the frame once, echoes the id, dispatches the
+     method word through the branchless table and tail-sends into a sink. *)
+  let rpc_frame =
+    let peer = Net.Endpoint.create fabric registry ~id:4 in
+    let got = ref None in
+    Net.Endpoint.set_rx peer (fun ~src:_ buf -> got := Some buf);
+    let m = Wire.Dyn.create Apps.Proto.req in
+    Wire.Dyn.set_int m "id" 7L;
+    Wire.Dyn.set_int m "op" Apps.Proto.op_get;
+    List.iter
+      (fun j ->
+        Wire.Dyn.append m "keys"
+          (Wire.Dyn.Payload
+             (Wire.Payload.of_string space
+                (Printf.sprintf "twitter:user:%013d:profile-%02d" j j))))
+      [ 0; 1; 2; 3 ];
+    Cornflakes.Send.send_object Cornflakes.Config.default ep ~dst:4 m;
+    Sim.Engine.run_all engine;
+    match !got with
+    | Some b -> b
+    | None -> failwith "microbench: loopback send delivered no rpc frame"
+  in
+  let rpc_sink = ref 0 in
+  let rpc_srv =
+    Apps.Kv_rpc.Kv_service.server ~send:(fun ~dst:_ _ -> incr rpc_sink) ()
+  in
+  Apps.Kv_rpc.Kv_service.on_get rpc_srv ~reader:(fun ~src:_ r _resp ->
+      let n = Wire.Reader.count r Apps.Proto.req_keys in
+      for j = 0 to n - 1 do
+        let off, len = Wire.Reader.elem_off_len r Apps.Proto.req_keys ~j in
+        rpc_sink := !rpc_sink + off + len
+      done);
   (* RX delivery: a dedicated device + receive ring; each op posts one
      1024 B frame into the ring and releases it straight back (refcount
      0 -> recycle), the steady-state delivery cost. *)
@@ -406,6 +487,22 @@ let make_benchmarks ~seed () =
       name = "cf-serialize+send-folded";
       tracked = true;
       fn = make_send_loop ~pooled:true ~write:resp_write_folded ();
+    };
+    (* Generated service skeleton: validate-once + branchless method-table
+       dispatch over the delivered GET request frame. *)
+    {
+      name = "cf-rpc-dispatch";
+      tracked = true;
+      fn =
+        (fun () -> Apps.Kv_rpc.Kv_service.serve rpc_srv ~src:4 rpc_frame);
+    };
+    (* Generated client stub end to end: call_get stamps id + method word,
+       folded-writer send, generated serve on the peer, deliver routes the
+       reply to the pending call. *)
+    {
+      name = "cf-rpc-call-folded";
+      tracked = true;
+      fn = make_rpc_call_loop ();
     };
     {
       name = "zipf-sample";

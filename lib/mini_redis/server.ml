@@ -55,89 +55,154 @@ let charge_cmd ~cpu (v : Resp.value) =
         ~len:view.Mem.View.len
   | _ -> ()
 
+(* --- Schema-driven command dispatch ------------------------------------ *)
+
+(* The command set is declared as the [Redis] service in the apps schema
+   ([Apps.Kv_rpc]): the candidate list the scanner probes and the dispatch
+   rows below are both keyed by the schema's compact method ids, the same
+   single source of truth the kv store and the cluster use for their op
+   tags. RESP keeps its own wire format — only the dispatch is schema-
+   driven. *)
+module Rsvc = Apps.Kv_rpc.Redis_service
+
+(* A command that matches no row (or a row given the wrong argument
+   shape) answers the redis unknown-command error, as before. *)
+let err_unknown ~cpu cmd =
+  Resp.Error
+    ("ERR unknown command '" ^ String.uppercase_ascii (arg_string ~cpu cmd) ^ "'")
+
+(* Candidate commands in declaration order: uppercase RESP command name,
+   schema method id. *)
+let commands =
+  Array.map
+    (fun (m : Schema.Desc.method_) ->
+      (String.uppercase_ascii m.Schema.Desc.meth_name, m.Schema.Desc.meth_id))
+    Rsvc.svc.Schema.Desc.methods
+
+(* Method word of a decoded command: probe the candidates with the
+   allocation-free in-place compare; [-1] (the fallback row) when none
+   match. Probe order equals declaration order, so the scan cost per
+   command is unchanged from the hand-rolled chain. *)
+let command_id cmd =
+  let n = Array.length commands in
+  let rec scan i =
+    if i >= n then -1
+    else
+      let name, id = commands.(i) in
+      if cmd_is cmd name then id else scan (i + 1)
+  in
+  scan 0
+
+let exec_get t ~cpu cmd args =
+  match args with
+  | [ key ] -> (
+      match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+      | Some (Kvstore.Store.Single buf) -> Resp.Bulk (Mem.Pinned.Buf.view buf)
+      | Some value -> (
+          match Kvstore.Store.buffers value with
+          | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
+          | [] -> Resp.Null)
+      | None -> Resp.Null)
+  | _ -> err_unknown ~cpu cmd
+
+let exec_mget t ~cpu _cmd keys =
+  Resp.Array
+    (List.map
+       (fun key ->
+         match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+         | Some value -> (
+             match Kvstore.Store.buffers value with
+             | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
+             | [] -> Resp.Null)
+         | None -> Resp.Null)
+       keys)
+
+let exec_lrange t ~cpu cmd args =
+  match args with
+  | [ key; _start; _stop ] -> (
+      (* The experiments query whole lists: LRANGE key 0 -1. *)
+      match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+      | Some value ->
+          Resp.Array
+            (List.map
+               (fun buf -> Resp.Bulk (Mem.Pinned.Buf.view buf))
+               (Kvstore.Store.buffers value))
+      | None -> Resp.Array [])
+  | _ -> err_unknown ~cpu cmd
+
+let exec_set t ~cpu cmd args =
+  match args with
+  | [ key; payload ] -> (
+      let key = arg_string ~cpu key in
+      match payload with
+      | Resp.Bulk src -> (
+          match Mem.Pinned.Buf.alloc ~cpu t.pool ~len:src.Mem.View.len with
+          | buf ->
+              Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
+              Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Single buf);
+              Resp.Simple "OK"
+          | exception Mem.Pinned.Out_of_memory _ ->
+              Resp.Error "OOM command not allowed")
+      | _ -> Resp.Error "ERR bad SET payload")
+  | _ -> err_unknown ~cpu cmd
+
+let exec_del t ~cpu _cmd keys =
+  let removed =
+    List.fold_left
+      (fun acc key ->
+        let key = arg_string ~cpu key in
+        match Kvstore.Store.get ~cpu t.store ~key with
+        | Some _ ->
+            Kvstore.Store.remove ~cpu t.store ~key;
+            acc + 1
+        | None -> acc)
+      0 keys
+  in
+  Resp.Int removed
+
+let exec_exists t ~cpu _cmd keys =
+  Resp.Int
+    (List.fold_left
+       (fun acc key ->
+         match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+         | Some _ -> acc + 1
+         | None -> acc)
+       0 keys)
+
+let exec_strlen t ~cpu cmd args =
+  match args with
+  | [ key ] -> (
+      match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
+      | Some v -> Resp.Int (Kvstore.Store.value_len v)
+      | None -> Resp.Int 0)
+  | _ -> err_unknown ~cpu cmd
+
+let exec_ping _t ~cpu cmd args =
+  match args with [] -> Resp.Simple "PONG" | _ -> err_unknown ~cpu cmd
+
+(* The dispatch table, one row per schema-declared method id. *)
+let exec_table =
+  let fallback _t ~cpu cmd _args = err_unknown ~cpu cmd in
+  let tbl = Rpc.Table.create ~n:Rsvc.method_count ~fallback in
+  let set id row = Rpc.Table.set tbl ~id:(Int64.to_int id) row in
+  set Rsvc.id_get exec_get;
+  set Rsvc.id_mget exec_mget;
+  set Rsvc.id_lrange exec_lrange;
+  set Rsvc.id_set exec_set;
+  set Rsvc.id_del exec_del;
+  set Rsvc.id_exists exec_exists;
+  set Rsvc.id_strlen exec_strlen;
+  set Rsvc.id_ping exec_ping;
+  tbl
+
 (* Execute a command against the store; returns the reply as values still
    referencing the store's buffers (no copies yet — the serializer decides
    how the bytes move). *)
 let execute t ~cpu req =
   match req with
-  | Resp.Array (cmd :: args) -> (
+  | Resp.Array (cmd :: args) ->
       charge_cmd ~cpu cmd;
-      match (cmd, args) with
-      | c, [ key ] when cmd_is c "GET" -> (
-          match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
-          | Some (Kvstore.Store.Single buf) -> Resp.Bulk (Mem.Pinned.Buf.view buf)
-          | Some value -> (
-              match Kvstore.Store.buffers value with
-              | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
-              | [] -> Resp.Null)
-          | None -> Resp.Null)
-      | c, keys when cmd_is c "MGET" ->
-          Resp.Array
-            (List.map
-               (fun key ->
-                 match
-                   Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key)
-                 with
-                 | Some value -> (
-                     match Kvstore.Store.buffers value with
-                     | buf :: _ -> Resp.Bulk (Mem.Pinned.Buf.view buf)
-                     | [] -> Resp.Null)
-                 | None -> Resp.Null)
-               keys)
-      | c, [ key; _start; _stop ] when cmd_is c "LRANGE" -> (
-          (* The experiments query whole lists: LRANGE key 0 -1. *)
-          match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
-          | Some value ->
-              Resp.Array
-                (List.map
-                   (fun buf -> Resp.Bulk (Mem.Pinned.Buf.view buf))
-                   (Kvstore.Store.buffers value))
-          | None -> Resp.Array [])
-      | c, [ key; payload ] when cmd_is c "SET" -> (
-          let key = arg_string ~cpu key in
-          match payload with
-          | Resp.Bulk src -> (
-              match Mem.Pinned.Buf.alloc ~cpu t.pool ~len:src.Mem.View.len with
-              | buf ->
-                  Mem.Pinned.Buf.blit_from ~cpu buf ~src ~dst_off:0;
-                  Kvstore.Store.put ~cpu t.store ~key (Kvstore.Store.Single buf);
-                  Resp.Simple "OK"
-              | exception Mem.Pinned.Out_of_memory _ ->
-                  Resp.Error "OOM command not allowed")
-          | _ -> Resp.Error "ERR bad SET payload")
-      | c, keys when cmd_is c "DEL" ->
-          let removed =
-            List.fold_left
-              (fun acc key ->
-                let key = arg_string ~cpu key in
-                match Kvstore.Store.get ~cpu t.store ~key with
-                | Some _ ->
-                    Kvstore.Store.remove ~cpu t.store ~key;
-                    acc + 1
-                | None -> acc)
-              0 keys
-          in
-          Resp.Int removed
-      | c, keys when cmd_is c "EXISTS" ->
-          Resp.Int
-            (List.fold_left
-               (fun acc key ->
-                 match
-                   Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key)
-                 with
-                 | Some _ -> acc + 1
-                 | None -> acc)
-               0 keys)
-      | c, [ key ] when cmd_is c "STRLEN" -> (
-          match Kvstore.Store.get ~cpu t.store ~key:(arg_string ~cpu key) with
-          | Some v -> Resp.Int (Kvstore.Store.value_len v)
-          | None -> Resp.Int 0)
-      | c, [] when cmd_is c "PING" -> Resp.Simple "PONG"
-      | _, _ ->
-          Resp.Error
-            ("ERR unknown command '"
-            ^ String.uppercase_ascii (arg_string ~cpu cmd)
-            ^ "'"))
+      (Rpc.Table.dispatch exec_table (command_id cmd)) t ~cpu cmd args
   | _ -> Resp.Error "ERR protocol: expected command array"
 
 (* Redis's handwritten serialization, over the integrated stack: the reply

@@ -12,6 +12,7 @@ let default_config =
 type entry = {
   e_send : unit -> unit;
   e_give_up : unit -> unit;
+  e_deadline : int option; (* absolute engine time; no send at/after it *)
   mutable attempts : int; (* sends so far, including the first *)
   mutable resolved : bool;
 }
@@ -27,6 +28,7 @@ type t = {
   mutable retries : int;
   mutable timeouts : int;
   mutable give_ups : int;
+  mutable abandoned : int;
   mutable acked : int;
   mutable dup_acks : int;
 }
@@ -51,6 +53,7 @@ let create ?(config = default_config) engine ~rng =
     retries = 0;
     timeouts = 0;
     give_ups = 0;
+    abandoned = 0;
     acked = 0;
     dup_acks = 0;
   }
@@ -77,28 +80,60 @@ let timeout_for t e =
   let jitter = 1.0 +. (t.config.jitter *. ((2.0 *. Sim.Rng.float t.rng) -. 1.0)) in
   max 1 (int_of_float (base *. jitter))
 
-let rec arm t ~id e =
-  Sim.Engine.schedule t.engine ~after:(timeout_for t e) (fun () ->
-      if not e.resolved then begin
-        t.timeouts <- t.timeouts + 1;
-        if e.attempts > t.config.max_retries then begin
-          e.resolved <- true;
-          Hashtbl.remove t.pending id;
-          t.give_ups <- t.give_ups + 1;
-          e.e_give_up ()
-        end
-        else begin
-          t.retries <- t.retries + 1;
-          e.attempts <- e.attempts + 1;
-          e.e_send ();
-          arm t ~id e
-        end
-      end)
+(* Abandon at the deadline: the request resolves exactly when its budget
+   expires, not one retransmission timeout later. *)
+let abandon t ~id e =
+  e.resolved <- true;
+  Hashtbl.remove t.pending id;
+  t.give_ups <- t.give_ups + 1;
+  t.abandoned <- t.abandoned + 1;
+  e.e_give_up ()
 
-let track t ~id ~send ~give_up =
+let rec arm t ~id e =
+  let timeout = timeout_for t e in
+  (* A per-request deadline clamps the retry budget: a retransmission
+     whose timer would fire at or past the deadline is never scheduled —
+     the request instead reports [Abandoned] deterministically at the
+     deadline itself. *)
+  match e.e_deadline with
+  | Some d when Sim.Engine.now t.engine + timeout >= d ->
+      Sim.Engine.schedule t.engine
+        ~after:(max 1 (d - Sim.Engine.now t.engine))
+        (fun () -> if not e.resolved then abandon t ~id e)
+  | _ ->
+      Sim.Engine.schedule t.engine ~after:timeout (fun () ->
+          if not e.resolved then begin
+            t.timeouts <- t.timeouts + 1;
+            if e.attempts > t.config.max_retries then begin
+              e.resolved <- true;
+              Hashtbl.remove t.pending id;
+              t.give_ups <- t.give_ups + 1;
+              e.e_give_up ()
+            end
+            else begin
+              t.retries <- t.retries + 1;
+              e.attempts <- e.attempts + 1;
+              e.e_send ();
+              arm t ~id e
+            end
+          end)
+
+let track ?deadline_ns t ~id ~send ~give_up =
   if Hashtbl.mem t.pending id then
     invalid_arg (Printf.sprintf "Reliab.track: id %d already tracked" id);
-  let e = { e_send = send; e_give_up = give_up; attempts = 1; resolved = false } in
+  (match deadline_ns with
+  | Some d when d <= 0 -> invalid_arg "Reliab.track: deadline_ns must be positive"
+  | _ -> ());
+  let e =
+    {
+      e_send = send;
+      e_give_up = give_up;
+      e_deadline =
+        Option.map (fun d -> Sim.Engine.now t.engine + d) deadline_ns;
+      attempts = 1;
+      resolved = false;
+    }
+  in
   Hashtbl.replace t.pending id e;
   t.tracked <- t.tracked + 1;
   send ();
@@ -123,6 +158,8 @@ let retries t = t.retries
 let timeouts t = t.timeouts
 
 let give_ups t = t.give_ups
+
+let abandoned t = t.abandoned
 
 let acked t = t.acked
 

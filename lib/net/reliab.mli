@@ -33,11 +33,23 @@ type t
     retries, backoff < 1, or jitter outside [0,1]. *)
 val create : ?config:config -> Sim.Engine.t -> rng:Sim.Rng.t -> t
 
-(** [track t ~id ~send ~give_up] sends a request (calling [send] once,
-    now) and arms its retransmit timer. [send] is re-invoked on each
-    retry; [give_up] runs once if [max_retries] re-sends all time out.
-    Raises [Invalid_argument] if [id] is already tracked. *)
-val track : t -> id:int -> send:(unit -> unit) -> give_up:(unit -> unit) -> unit
+(** [track ?deadline_ns t ~id ~send ~give_up] sends a request (calling
+    [send] once, now) and arms its retransmit timer. [send] is re-invoked
+    on each retry; [give_up] runs once if [max_retries] re-sends all time
+    out. A [deadline_ns] (relative to now) clamps the retry budget: no
+    retransmission whose timer would fire at or past the deadline is
+    scheduled — instead the request resolves at the deadline itself,
+    running [give_up] and counting as {!abandoned} (deterministic: the
+    abandon time is the deadline, independent of jitter draws). Raises
+    [Invalid_argument] if [id] is already tracked or the deadline is not
+    positive. *)
+val track :
+  ?deadline_ns:int ->
+  t ->
+  id:int ->
+  send:(unit -> unit) ->
+  give_up:(unit -> unit) ->
+  unit
 
 (** Acknowledge a response. [`Acked] completes the request and disarms
     its timer; [`Duplicate] means the id was unknown — already acked,
@@ -60,6 +72,11 @@ val retries : t -> int
 val timeouts : t -> int
 
 val give_ups : t -> int
+
+(** Of the {!give_ups}, how many resolved at a deadline (always [<=]
+    [give_ups]; a deadline abandon also counts as a give-up so existing
+    accounting — e.g. the load driver's abandoned column — is unchanged). *)
+val abandoned : t -> int
 
 val acked : t -> int
 

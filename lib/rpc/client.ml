@@ -1,0 +1,139 @@
+(* Client-side call state shared by every generated stub.
+
+   A generated [call_<m>] closes over this record: it assigns a request
+   id, registers the reply continuation, stamps the id + method word into
+   the request envelope via [prepare], then hands the folded send closure
+   either to [Net.Reliab] (retry/backoff, deadline-clamped) or straight
+   to the transport. Responses come back through the generated [deliver],
+   which validates the frame into the pooled [reader] exactly once and
+   routes on the echoed id here — {!complete} acks the retry layer and
+   runs the continuation with the in-place reader, so a unary round trip
+   allocates nothing on the reply path beyond the validation itself.
+
+   Streamed methods register a {!Stream.collector}; each chunk's seq word
+   (from the response envelope's [seq] field) is checked for order, the
+   last bit resolves the call. *)
+
+type reply_handler =
+  | Unary of (Wire.Reader.t -> unit)
+  | Streamed of {
+      on_chunk : Wire.Reader.t -> unit;
+      on_done : ok:bool -> unit;
+      coll : Stream.collector;
+    }
+
+type t = {
+  tr : Net.Transport.t;
+  config : Cornflakes.Config.t;
+  engine : Sim.Engine.t option;
+  reliab : Net.Reliab.t option;
+  reader : Wire.Reader.t;
+  pending : (int, reply_handler) Hashtbl.t;
+  mutable next_id : int;
+  mutable calls : int;
+  mutable replies : int;
+  mutable chunks : int;
+  mutable abandoned : int;
+  mutable orphans : int;
+  mutable misordered : int;
+}
+
+let create ?(config = Cornflakes.Config.default) ?engine ?reliab ~resp tr =
+  {
+    tr;
+    config;
+    engine;
+    reliab;
+    reader = Wire.Reader.create resp;
+    pending = Hashtbl.create 64;
+    next_id = 1;
+    calls = 0;
+    replies = 0;
+    chunks = 0;
+    abandoned = 0;
+    orphans = 0;
+    misordered = 0;
+  }
+
+let transport t = t.tr
+let config t = t.config
+let reader t = t.reader
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let abandon t ~id =
+  match Hashtbl.find_opt t.pending id with
+  | None -> ()
+  | Some h ->
+      Hashtbl.remove t.pending id;
+      t.abandoned <- t.abandoned + 1;
+      (match h with Unary _ -> () | Streamed s -> s.on_done ~ok:false)
+
+let start t ?deadline_ms ~handler ~prepare ~send () =
+  let id = fresh_id t in
+  Hashtbl.replace t.pending id handler;
+  t.calls <- t.calls + 1;
+  prepare id;
+  let deadline_ns = Option.map Deadline.ns_of_ms deadline_ms in
+  (match t.reliab with
+  | Some rl -> Net.Reliab.track ?deadline_ns rl ~id ~send ~give_up:(fun () -> abandon t ~id)
+  | None -> (
+      send ();
+      (* No retry layer: the deadline still resolves the call
+         deterministically, provided an engine clock is attached. *)
+      match (deadline_ns, t.engine) with
+      | Some d, Some engine ->
+          Sim.Engine.schedule engine ~after:d (fun () -> abandon t ~id)
+      | _ -> ()));
+  id
+
+let call t ?deadline_ms ~prepare ~send ~on_reply () =
+  start t ?deadline_ms ~handler:(Unary on_reply) ~prepare ~send ()
+
+let call_stream t ?deadline_ms ~prepare ~send ~on_chunk ~on_done () =
+  start t ?deadline_ms
+    ~handler:(Streamed { on_chunk; on_done; coll = Stream.collector () })
+    ~prepare ~send ()
+
+let ack_reliab t ~id =
+  match t.reliab with
+  | Some rl -> ignore (Net.Reliab.ack rl ~id)
+  | None -> ()
+
+let complete ?seq_word t ~id r =
+  match Hashtbl.find_opt t.pending id with
+  | None -> t.orphans <- t.orphans + 1
+  | Some (Unary f) ->
+      Hashtbl.remove t.pending id;
+      ack_reliab t ~id;
+      t.replies <- t.replies + 1;
+      f r
+  | Some (Streamed s) -> (
+      match seq_word with
+      | None ->
+          (* A streamed reply without a seq word is a framing error. *)
+          t.misordered <- t.misordered + 1
+      | Some w -> (
+          match Stream.observe s.coll w with
+          | `Chunk ->
+              t.chunks <- t.chunks + 1;
+              s.on_chunk r
+          | `Last ->
+              Hashtbl.remove t.pending id;
+              ack_reliab t ~id;
+              t.chunks <- t.chunks + 1;
+              t.replies <- t.replies + 1;
+              s.on_chunk r;
+              s.on_done ~ok:true
+          | `Out_of_order | `After_end -> t.misordered <- t.misordered + 1))
+
+let outstanding t = Hashtbl.length t.pending
+let calls t = t.calls
+let replies t = t.replies
+let chunks t = t.chunks
+let abandoned t = t.abandoned
+let orphans t = t.orphans
+let misordered t = t.misordered

@@ -1,0 +1,17 @@
+(* Deadline clock: schema-declared [deadline_ms=N] method options become
+   absolute expiry points on the engine clock. The arithmetic lives here
+   so the client stub, the retry layer, and tests agree on the
+   conversion. *)
+
+let ns_per_ms = 1_000_000
+
+let ns_of_ms ms =
+  if ms <= 0 then invalid_arg "Rpc.Deadline.ns_of_ms: deadline must be positive";
+  ms * ns_per_ms
+
+(* Absolute expiry for a deadline declared now. *)
+let expiry engine ~deadline_ms = Sim.Engine.now engine + ns_of_ms deadline_ms
+
+let remaining_ns engine ~expiry = max 0 (expiry - Sim.Engine.now engine)
+
+let expired engine ~expiry = Sim.Engine.now engine >= expiry

@@ -1,0 +1,56 @@
+(* Streamed responses ride the ordinary response envelope: each chunk is
+   a full response frame whose [seq] field carries the word
+   [(seq lsl 1) lor last]. The final data chunk sets the last bit — there
+   is no empty terminator frame, so a single-chunk stream costs exactly
+   one frame, the same as a unary reply. The cursor (server side) and
+   collector (client side) are pure sequence-number machines; frame
+   bytes, retries and ownership stay with the surrounding layers. *)
+
+let word ~seq ~last =
+  if seq < 0 then invalid_arg "Rpc.Stream.word: negative seq";
+  Int64.of_int ((seq lsl 1) lor if last then 1 else 0)
+
+let seq_of w = Int64.to_int (Int64.shift_right_logical w 1)
+let is_last w = Int64.to_int w land 1 = 1
+
+(* Server-side emission cursor. *)
+
+type cursor = { mutable next_seq : int; mutable closed : bool }
+
+let cursor () = { next_seq = 0; closed = false }
+let closed cur = cur.closed
+let emitted cur = cur.next_seq
+
+let next cur ~last =
+  if cur.closed then invalid_arg "Rpc.Stream.next: stream already closed";
+  let w = word ~seq:cur.next_seq ~last in
+  cur.next_seq <- cur.next_seq + 1;
+  if last then cur.closed <- true;
+  w
+
+(* Client-side reassembly: chunks must arrive in declaration order (the
+   simulated fabric never reorders a single flow; a gap means a dropped
+   retransmit slipped through, which the caller surfaces as a protocol
+   error rather than silently reordering). *)
+
+type collector = { mutable expect : int; mutable finished : bool }
+
+let collector () = { expect = 0; finished = false }
+let finished coll = coll.finished
+let received coll = coll.expect
+
+let observe coll w =
+  if coll.finished then `After_end
+  else if seq_of w <> coll.expect then `Out_of_order
+  else begin
+    coll.expect <- coll.expect + 1;
+    if is_last w then begin
+      coll.finished <- true;
+      `Last
+    end
+    else `Chunk
+  end
+
+let reset coll =
+  coll.expect <- 0;
+  coll.finished <- false

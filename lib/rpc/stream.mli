@@ -1,0 +1,43 @@
+(** Streamed-response sequencing.
+
+    A streamed method's chunks are ordinary response frames whose [seq]
+    envelope field carries [(seq lsl 1) lor last]. The last data chunk
+    sets the last bit; there is no empty terminator frame. *)
+
+(** Raises [Invalid_argument] on negative [seq]. *)
+val word : seq:int -> last:bool -> int64
+
+val seq_of : int64 -> int
+val is_last : int64 -> bool
+
+(** {2 Server-side emission} *)
+
+type cursor
+
+val cursor : unit -> cursor
+
+(** Next seq word; closes the cursor when [last]. Raises
+    [Invalid_argument] once closed. *)
+val next : cursor -> last:bool -> int64
+
+val closed : cursor -> bool
+
+(** Chunks emitted so far. *)
+val emitted : cursor -> int
+
+(** {2 Client-side reassembly} *)
+
+type collector
+
+val collector : unit -> collector
+
+(** Feed one seq word, in arrival order. *)
+val observe :
+  collector -> int64 -> [ `Chunk | `Last | `Out_of_order | `After_end ]
+
+val finished : collector -> bool
+
+(** In-order chunks accepted so far. *)
+val received : collector -> int
+
+val reset : collector -> unit

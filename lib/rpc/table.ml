@@ -1,0 +1,27 @@
+(* Branchless method dispatch: handlers live in a dense array indexed by
+   the method-id word the request envelope carries. Dispatch is one
+   bounds clamp plus an unsafe load — no per-method compare chain, so the
+   cost is independent of how many methods the service declares (the
+   Bebop observation: a compiled protocol keeps the hot path straight-
+   line). Out-of-range ids — corrupt frames, schema skew — land on the
+   fallback handler instead of raising, keeping the dispatch total. *)
+
+type 'h t = { handlers : 'h array; fallback : 'h }
+
+let create ~n ~fallback =
+  if n < 0 then invalid_arg "Rpc.Table.create: negative size";
+  { handlers = Array.make (max 1 n) fallback; fallback }
+
+let size t = Array.length t.handlers
+
+(* Setup-time registration; the normal bounds check is the error report. *)
+let set t ~id h =
+  if id < 0 || id >= Array.length t.handlers then
+    invalid_arg
+      (Printf.sprintf "Rpc.Table.set: method id %d outside [0, %d)" id
+         (Array.length t.handlers));
+  t.handlers.(id) <- h
+
+let dispatch t m =
+  if m >= 0 && m < Array.length t.handlers then Array.unsafe_get t.handlers m
+  else t.fallback

@@ -1,0 +1,23 @@
+(** Branchless method dispatch table.
+
+    Handlers are stored densely, indexed by the schema-declared method-id
+    word; {!dispatch} is a single bounds clamp plus an array load, so its
+    cost does not grow with the number of methods. Unknown ids fall
+    through to the fallback handler — dispatch is total over arbitrary
+    (possibly corrupt) method words. *)
+
+type 'h t
+
+(** [create ~n ~fallback] — a table covering method ids [0 .. n-1]; every
+    slot starts as [fallback]. Raises [Invalid_argument] on negative [n]. *)
+val create : n:int -> fallback:'h -> 'h t
+
+(** Register a handler (setup time). Raises [Invalid_argument] when [id]
+    is outside the table. *)
+val set : 'h t -> id:int -> 'h -> unit
+
+val size : 'h t -> int
+
+(** [dispatch t m] — the handler for method word [m]; the fallback when
+    [m] is outside the table. *)
+val dispatch : 'h t -> int -> 'h

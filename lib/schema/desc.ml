@@ -24,7 +24,20 @@ type field = {
 
 type message = { msg_name : string; fields : field array }
 
-type t = { messages : message list }
+type method_ = {
+  meth_name : string;
+  meth_id : int;
+      (** compact method-id word carried in the request envelope's [op]
+          field; the generated dispatch table is indexed by it *)
+  req_type : string; (* request message name *)
+  resp_type : string; (* response message name *)
+  stream : bool; (* [stream]: the response is a chunk sequence *)
+  deadline_ms : int option; (* [deadline_ms=N]: per-method deadline *)
+}
+
+type service = { svc_name : string; methods : method_ array }
+
+type t = { messages : message list; services : service list }
 
 let scalar_to_string = function
   | Bool -> "bool"
@@ -59,9 +72,54 @@ let field_index msg name =
 
 let field msg name = msg.fields.(field_index msg name)
 
+let find_service t name =
+  List.find_opt (fun s -> s.svc_name = name) t.services
+
+let service t name =
+  match find_service t name with Some s -> s | None -> raise Not_found
+
+let method_index svc name =
+  let n = Array.length svc.methods in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if svc.methods.(i).meth_name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let method_ svc name = svc.methods.(method_index svc name)
+
+(* Dispatch tables are indexed by the method-id word; they must cover
+   [0 .. max_method_id]. Ids are validated dense-ish (unique, >= 0), so
+   this is [Array.length methods - 1] unless ids were declared sparse. *)
+let max_method_id svc =
+  Array.fold_left (fun acc m -> max acc m.meth_id) (-1) svc.methods
+
+(* The service envelope contract (v1): every method of a service shares
+   one request and one response message type; the request envelope carries
+   the method-id word in a singular scalar field named "op" and the
+   request id in "id"; the response envelope echoes "id"; a service with
+   streamed methods additionally threads the chunk seq word through the
+   response's "seq" field. Per-method payload variation rides optional
+   fields of the shared envelope — the same shape the kv protocol already
+   uses — which is what lets the server validate every incoming frame
+   with one pooled reader before it knows the method. *)
+let envelope_scalar msg name =
+  match Array.find_opt (fun f -> f.field_name = name) msg.fields with
+  | Some { label = Singular; ty = Scalar (UInt32 | UInt64 | Int32 | Int64); _ }
+    ->
+      Ok ()
+  | Some _ ->
+      Error
+        (Printf.sprintf "field %s.%s must be a singular integer scalar"
+           msg.msg_name name)
+  | None ->
+      Error (Printf.sprintf "message %s lacks required field %S" msg.msg_name name)
+
 let validate t =
   let module SS = Set.Make (String) in
   let module IS = Set.Make (Int) in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   let names = ref SS.empty in
   let check_message m =
     if SS.mem m.msg_name !names then
@@ -122,9 +180,86 @@ let validate t =
       m.fields;
     !ok
   in
+  let check_service s =
+    if Array.length s.methods = 0 then
+      Error (Printf.sprintf "service %s has no methods" s.svc_name)
+    else begin
+      let mnames = ref SS.empty and mids = ref IS.empty in
+      let req0 = s.methods.(0).req_type and resp0 = s.methods.(0).resp_type in
+      let check_method acc m =
+        let* () = acc in
+        if SS.mem m.meth_name !mnames then
+          Error
+            (Printf.sprintf "duplicate method %s.%s" s.svc_name m.meth_name)
+        else if IS.mem m.meth_id !mids then
+          Error
+            (Printf.sprintf "duplicate method id %d in service %s" m.meth_id
+               s.svc_name)
+        else if m.meth_id < 0 then
+          Error
+            (Printf.sprintf "negative method id in %s.%s" s.svc_name
+               m.meth_name)
+        else begin
+          mnames := SS.add m.meth_name !mnames;
+          mids := IS.add m.meth_id !mids;
+          let* () =
+            match m.deadline_ms with
+            | Some d when d <= 0 ->
+                Error
+                  (Printf.sprintf "non-positive deadline_ms in %s.%s"
+                     s.svc_name m.meth_name)
+            | _ -> Ok ()
+          in
+          (* v1 envelope rule: one request/response envelope per service,
+             so the skeleton validates frames before knowing the method. *)
+          let* () =
+            if m.req_type <> req0 || m.resp_type <> resp0 then
+              Error
+                (Printf.sprintf
+                   "service %s: method %s uses (%s, %s) but the service \
+                    envelope is (%s, %s) — all methods of a service share \
+                    one request/response envelope"
+                   s.svc_name m.meth_name m.req_type m.resp_type req0 resp0)
+            else Ok ()
+          in
+          match (find_message t m.req_type, find_message t m.resp_type) with
+          | None, _ ->
+              Error
+                (Printf.sprintf "unresolved request type %s in %s.%s"
+                   m.req_type s.svc_name m.meth_name)
+          | _, None ->
+              Error
+                (Printf.sprintf "unresolved response type %s in %s.%s"
+                   m.resp_type s.svc_name m.meth_name)
+          | Some req, Some resp ->
+              let* () = envelope_scalar req "op" in
+              let* () = envelope_scalar req "id" in
+              let* () = envelope_scalar resp "id" in
+              if m.stream then envelope_scalar resp "seq" else Ok ()
+        end
+      in
+      Array.fold_left check_method (Ok ()) s.methods
+    end
+  in
+  let* () =
+    List.fold_left
+      (fun acc m ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+            match check_message m with Ok () -> check_sorted m | e -> e))
+      (Ok ()) t.messages
+  in
+  let snames = ref SS.empty in
   List.fold_left
-    (fun acc m ->
+    (fun acc s ->
       match acc with
       | Error _ as e -> e
-      | Ok () -> ( match check_message m with Ok () -> check_sorted m | e -> e))
-    (Ok ()) t.messages
+      | Ok () ->
+          if SS.mem s.svc_name !snames then
+            Error (Printf.sprintf "duplicate service %s" s.svc_name)
+          else begin
+            snames := SS.add s.svc_name !snames;
+            check_service s
+          end)
+    (Ok ()) t.services

@@ -32,7 +32,21 @@ type message = {
   fields : field array; (* sorted by [number] *)
 }
 
-type t = { messages : message list }
+(** One RPC method of a [service] declaration. The generated dispatch
+    table is indexed by [meth_id] (the compact method-id word the request
+    envelope carries in its [op] field). *)
+type method_ = {
+  meth_name : string;
+  meth_id : int;
+  req_type : string;
+  resp_type : string;
+  stream : bool; (* [stream]: the response is a chunk sequence *)
+  deadline_ms : int option; (* [deadline_ms=N]: per-method deadline *)
+}
+
+type service = { svc_name : string; methods : method_ array }
+
+type t = { messages : message list; services : service list }
 
 val scalar_to_string : scalar -> string
 
@@ -50,7 +64,26 @@ val field : message -> string -> field
     Raises [Not_found]. *)
 val field_index : message -> string -> int
 
+(** [service t name] finds a service by name. Raises [Not_found]. *)
+val service : t -> string -> service
+
+val find_service : t -> string -> service option
+
+(** [method_ svc name] finds a method by name. Raises [Not_found]. *)
+val method_ : service -> string -> method_
+
+(** [method_index svc name] is the index into [svc.methods].
+    Raises [Not_found]. *)
+val method_index : service -> string -> int
+
+(** Largest declared method id; dispatch tables cover [0 .. max]. *)
+val max_method_id : service -> int
+
 (** [validate t] checks field-number uniqueness, name uniqueness, size-bound
-    sanity ([0 <= min_size <= max_size]), and that every [Message] reference
-    resolves. Returns an error description on failure. *)
+    sanity ([0 <= min_size <= max_size]), that every [Message] reference
+    resolves, and the service contract: unique non-negative method ids, one
+    request/response envelope per service, and the envelope fields the
+    generated stubs dispatch on ([op]/[id] in the request, [id] — plus
+    [seq] for streamed methods — in the response). Returns an error
+    description on failure. *)
 val validate : t -> (unit, string) result

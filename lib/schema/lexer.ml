@@ -6,6 +6,8 @@ type token =
   | Rbrace
   | Lbracket
   | Rbracket
+  | Lparen
+  | Rparen
   | Equals
   | Semi
   | Eof
@@ -20,6 +22,8 @@ let token_to_string = function
   | Rbrace -> "'}'"
   | Lbracket -> "'['"
   | Rbracket -> "']'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
   | Equals -> "'='"
   | Semi -> "';'"
   | Eof -> "end of input"
@@ -61,6 +65,8 @@ let tokenize src =
     else if c = '}' then (emit Rbrace; incr i)
     else if c = '[' then (emit Lbracket; incr i)
     else if c = ']' then (emit Rbracket; incr i)
+    else if c = '(' then (emit Lparen; incr i)
+    else if c = ')' then (emit Rparen; incr i)
     else if c = '=' then (emit Equals; incr i)
     else if c = ';' then (emit Semi; incr i)
     else if c = '"' then begin

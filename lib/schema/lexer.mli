@@ -8,6 +8,8 @@ type token =
   | Rbrace
   | Lbracket
   | Rbracket
+  | Lparen
+  | Rparen
   | Equals
   | Semi
   | Eof

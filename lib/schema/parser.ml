@@ -103,6 +103,71 @@ let parse_message st =
   in
   { Desc.msg_name; fields = Array.of_list fields }
 
+(* One method declaration:
+     rpc Name (ReqType) returns (RespType) [stream deadline_ms=N];
+   The method id defaults to the declaration index; an explicit
+   [rpc Name (Req) returns (Resp) = 4;] pins it. Options ride a
+   space-separated proto-style bracket list after the returns clause (and
+   after the explicit id when one is given). *)
+let parse_method st ~default_id =
+  expect st (Lexer.Ident "rpc");
+  let meth_name = expect_ident st in
+  expect st Lexer.Lparen;
+  let req_type = expect_ident st in
+  expect st Lexer.Rparen;
+  expect st (Lexer.Ident "returns");
+  expect st Lexer.Lparen;
+  let resp_type = expect_ident st in
+  expect st Lexer.Rparen;
+  let meth_id =
+    if peek st = Lexer.Equals then begin
+      advance st;
+      expect_int st
+    end
+    else default_id
+  in
+  let stream = ref false in
+  let deadline_ms = ref None in
+  if peek st = Lexer.Lbracket then begin
+    advance st;
+    let rec options () =
+      (match expect_ident st with
+      | "stream" -> stream := true
+      | "deadline_ms" ->
+          expect st Lexer.Equals;
+          deadline_ms := Some (expect_int st)
+      | other ->
+          raise
+            (Parse_error
+               (Printf.sprintf
+                  "unknown method option %S (supported: stream, deadline_ms)"
+                  other)));
+      if peek st <> Lexer.Rbracket then options ()
+    in
+    options ();
+    expect st Lexer.Rbracket
+  end;
+  expect st Lexer.Semi;
+  {
+    Desc.meth_name;
+    meth_id;
+    req_type;
+    resp_type;
+    stream = !stream;
+    deadline_ms = !deadline_ms;
+  }
+
+let parse_service st =
+  expect st (Lexer.Ident "service");
+  let svc_name = expect_ident st in
+  expect st Lexer.Lbrace;
+  let methods = ref [] in
+  while peek st <> Lexer.Rbrace do
+    methods := parse_method st ~default_id:(List.length !methods) :: !methods
+  done;
+  expect st Lexer.Rbrace;
+  { Desc.svc_name; methods = Array.of_list (List.rev !methods) }
+
 let parse_syntax st =
   match peek st with
   | Lexer.Ident "syntax" ->
@@ -125,10 +190,13 @@ let parse_raw src =
   let st = { tokens = Lexer.tokenize src } in
   parse_syntax st;
   let messages = ref [] in
+  let services = ref [] in
   while peek st <> Lexer.Eof do
-    messages := parse_message st :: !messages
+    match peek st with
+    | Lexer.Ident "service" -> services := parse_service st :: !services
+    | _ -> messages := parse_message st :: !messages
   done;
-  { Desc.messages = List.rev !messages }
+  { Desc.messages = List.rev !messages; services = List.rev !services }
 
 let parse src =
   let t = parse_raw src in

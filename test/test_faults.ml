@@ -186,6 +186,61 @@ let test_reliab_reaper_runs_while_outstanding () =
      engine quiesces (the reaper must not self-reschedule forever) *)
   Alcotest.(check bool) "reaped at least twice" true (!reaps >= 2)
 
+let test_reliab_deadline_clamps_retries () =
+  (* Unclamped, the schedule is send@0, retries at 1000 and 3000, give-up
+     at 7000. A 2500 ns deadline admits only the first retry (timer at
+     1000 < 2500); the request then resolves at the deadline itself. *)
+  let engine = Sim.Engine.create () in
+  let r =
+    Net.Reliab.create ~config:reliab_cfg engine ~rng:(Sim.Rng.create ~seed:3)
+  in
+  let sends = ref 0 and gave_up = ref false in
+  Net.Reliab.track r ~deadline_ns:2_500 ~id:1
+    ~send:(fun () -> incr sends)
+    ~give_up:(fun () -> gave_up := true);
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "initial + 1 clamped retry" 2 !sends;
+  Alcotest.(check bool) "gave up" true !gave_up;
+  Alcotest.(check int) "abandoned" 1 (Net.Reliab.abandoned r);
+  Alcotest.(check int) "abandons count as give-ups" 1 (Net.Reliab.give_ups r);
+  Alcotest.(check int) "outstanding" 0 (Net.Reliab.outstanding r);
+  Alcotest.(check int) "resolved at the deadline" 2_500 (Sim.Engine.now engine)
+
+let test_reliab_deadline_deterministic_abandon_time () =
+  (* With jitter on, retransmit instants wobble per seed but the abandon
+     instant is the deadline — identical across rng streams. *)
+  let abandon_time ~seed =
+    let engine = Sim.Engine.create () in
+    let r =
+      Net.Reliab.create
+        ~config:{ reliab_cfg with jitter = 0.5 }
+        engine
+        ~rng:(Sim.Rng.create ~seed)
+    in
+    let at = ref (-1) in
+    Net.Reliab.track r ~deadline_ns:2_200 ~id:1 ~send:ignore
+      ~give_up:(fun () -> at := Sim.Engine.now engine);
+    Sim.Engine.run_all engine;
+    !at
+  in
+  Alcotest.(check int) "seed 3" 2_200 (abandon_time ~seed:3);
+  Alcotest.(check int) "seed 99" 2_200 (abandon_time ~seed:99)
+
+let test_reliab_ack_before_deadline () =
+  let engine = Sim.Engine.create () in
+  let r =
+    Net.Reliab.create ~config:reliab_cfg engine ~rng:(Sim.Rng.create ~seed:3)
+  in
+  Net.Reliab.track r ~deadline_ns:2_500 ~id:1 ~send:ignore ~give_up:ignore;
+  Alcotest.(check bool) "acked" true (Net.Reliab.ack r ~id:1 = `Acked);
+  Sim.Engine.run_all engine;
+  Alcotest.(check int) "no abandon after ack" 0 (Net.Reliab.abandoned r);
+  match
+    Net.Reliab.track r ~deadline_ns:0 ~id:2 ~send:ignore ~give_up:ignore
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive deadline accepted"
+
 (* --- Dedup window ------------------------------------------------------- *)
 
 let test_dedup_window () =
@@ -474,6 +529,12 @@ let suite =
     Alcotest.test_case "reliab ack disarms timer" `Quick test_reliab_ack_disarms;
     Alcotest.test_case "reliab reaper cadence" `Quick
       test_reliab_reaper_runs_while_outstanding;
+    Alcotest.test_case "reliab deadline clamps retries" `Quick
+      test_reliab_deadline_clamps_retries;
+    Alcotest.test_case "reliab deadline abandon is deterministic" `Quick
+      test_reliab_deadline_deterministic_abandon_time;
+    Alcotest.test_case "reliab ack before deadline" `Quick
+      test_reliab_ack_before_deadline;
     Alcotest.test_case "dedup window" `Quick test_dedup_window;
     Alcotest.test_case "completion loss pins refs until reap" `Quick
       test_completion_loss_pins_refs_until_reap;

@@ -29,4 +29,5 @@ let () =
       ("par", Test_par.suite);
       ("cluster", Test_cluster.suite);
       ("analysis", Test_analysis.suite);
+      ("rpc", Test_rpc.suite);
     ]

@@ -94,9 +94,88 @@ let test_all_scalar_types () =
     ((Schema.Desc.field m "d").Schema.Desc.ty
     = Schema.Desc.Scalar Schema.Desc.Float64)
 
+(* --- services ------------------------------------------------------------ *)
+
+let svc_envelope =
+  {|
+  message Req { uint64 id = 1; uint32 op = 2; repeated bytes keys = 3; }
+  message Resp { uint64 id = 1; uint64 seq = 2; repeated bytes vals = 3; }
+  |}
+
+let test_parse_service () =
+  let s =
+    Schema.Parser.parse
+      (svc_envelope
+      ^ {|service Kv {
+            rpc Get (Req) returns (Resp);
+            rpc Put (Req) returns (Resp) [deadline_ms=5];
+            rpc Scan (Req) returns (Resp) [stream];
+            rpc Probe (Req) returns (Resp) = 7;
+          }|})
+  in
+  let svc = Schema.Desc.service s "Kv" in
+  Alcotest.(check int) "four methods" 4 (Array.length svc.Schema.Desc.methods);
+  let get = Schema.Desc.method_ svc "Get" in
+  Alcotest.(check int) "declaration-index id" 0 get.Schema.Desc.meth_id;
+  Alcotest.(check bool) "unary" false get.Schema.Desc.stream;
+  let put = Schema.Desc.method_ svc "Put" in
+  Alcotest.(check (option int)) "deadline" (Some 5) put.Schema.Desc.deadline_ms;
+  let scan = Schema.Desc.method_ svc "Scan" in
+  Alcotest.(check bool) "streamed" true scan.Schema.Desc.stream;
+  let probe = Schema.Desc.method_ svc "Probe" in
+  Alcotest.(check int) "pinned id" 7 probe.Schema.Desc.meth_id;
+  Alcotest.(check int) "max id covers the pin" 7
+    (Schema.Desc.max_method_id svc);
+  Alcotest.(check int) "method index" 2 (Schema.Desc.method_index svc "Scan")
+
+let test_service_envelope_contract () =
+  (* One request/response envelope per service. *)
+  expect_parse_error
+    (svc_envelope
+    ^ {|message Other { uint64 id = 1; uint32 op = 2; }
+        service S { rpc A (Req) returns (Resp); rpc B (Other) returns (Resp); }|});
+  (* Request envelope must carry [op] and [id] integer scalars. *)
+  expect_parse_error
+    {|message NoOp { uint64 id = 1; }
+      message R { uint64 id = 1; }
+      service S { rpc A (NoOp) returns (R); }|};
+  (* Response envelope must carry [id]. *)
+  expect_parse_error
+    {|message Rq { uint64 id = 1; uint32 op = 2; }
+      message NoId { repeated bytes vals = 1; }
+      service S { rpc A (Rq) returns (NoId); }|};
+  (* Streamed methods need [seq] in the response envelope. *)
+  expect_parse_error
+    {|message Rq { uint64 id = 1; uint32 op = 2; }
+      message R { uint64 id = 1; }
+      service S { rpc A (Rq) returns (R) [stream]; }|};
+  (* Unresolved request type. *)
+  expect_parse_error
+    (svc_envelope ^ "service S { rpc A (Missing) returns (Resp); }")
+
+let test_service_rejects_bad_ids () =
+  (* Duplicate method ids (pin collides with a declaration index). *)
+  expect_parse_error
+    (svc_envelope
+    ^ {|service S { rpc A (Req) returns (Resp);
+                    rpc B (Req) returns (Resp) = 0; }|});
+  (* Duplicate method names. *)
+  expect_parse_error
+    (svc_envelope
+    ^ {|service S { rpc A (Req) returns (Resp);
+                    rpc A (Req) returns (Resp); }|});
+  (* Bad deadline. *)
+  expect_parse_error
+    (svc_envelope ^ "service S { rpc A (Req) returns (Resp) [deadline_ms=0]; }")
+
 let suite =
   [
     Alcotest.test_case "parse messages" `Quick test_parse_messages;
+    Alcotest.test_case "parse service" `Quick test_parse_service;
+    Alcotest.test_case "service envelope contract" `Quick
+      test_service_envelope_contract;
+    Alcotest.test_case "service rejects bad ids" `Quick
+      test_service_rejects_bad_ids;
     Alcotest.test_case "fields sorted" `Quick test_fields_sorted_by_number;
     Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
     Alcotest.test_case "rejects duplicate numbers" `Quick test_rejects_duplicate_numbers;
